@@ -1,0 +1,213 @@
+//! The Spark Dispatcher (Figure 6).
+//!
+//! "The main controller for each request to Spark is the Spark Dispatcher.
+//! The Dispatcher takes care that for each user a different Spark Cluster
+//! Manager gets created and that Spark only gets the memory configured."
+//!
+//! Per-user isolation means: each user gets their own cluster manager
+//! (with its own job table — users cannot see or cancel other users'
+//! jobs), and the total analytics memory the auto-configuration reserved
+//! is budgeted across user clusters. The submit/cancel/monitor surface
+//! corresponds to the paper's REST API / stored procedures /
+//! `spark_submit` client.
+
+use dash_common::ids::JobId;
+use dash_common::{DashError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker slot.
+    Queued,
+    /// Running.
+    Running,
+    /// Completed; carries a result summary string.
+    Done(String),
+    /// Failed with an error message.
+    Failed(String),
+    /// Cancelled by the owner.
+    Cancelled,
+}
+
+#[derive(Debug, Clone)]
+struct JobRecord {
+    name: String,
+    status: JobStatus,
+    submitted: Instant,
+}
+
+/// One user's cluster manager: an isolated job table + memory slice.
+struct UserCluster {
+    memory_mb: u64,
+    jobs: HashMap<JobId, JobRecord>,
+    next_job: u32,
+}
+
+/// The per-database analytics dispatcher.
+pub struct Dispatcher {
+    total_memory_mb: u64,
+    clusters: Mutex<HashMap<String, Arc<Mutex<UserCluster>>>>,
+}
+
+impl Dispatcher {
+    /// Dispatcher with the analytics memory budget derived by the
+    /// auto-configuration (`AutoConfig::analytics_mb`).
+    pub fn new(total_memory_mb: u64) -> Dispatcher {
+        Dispatcher {
+            total_memory_mb,
+            clusters: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Total memory the analytics runtime may use.
+    pub fn total_memory_mb(&self) -> u64 {
+        self.total_memory_mb
+    }
+
+    fn user_cluster(&self, user: &str) -> Arc<Mutex<UserCluster>> {
+        let mut clusters = self.clusters.lock();
+        let n = (clusters.len() as u64 + u64::from(!clusters.contains_key(user))).max(1);
+        let share = self.total_memory_mb / n;
+        let entry = clusters
+            .entry(user.to_string())
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(UserCluster {
+                    memory_mb: share,
+                    jobs: HashMap::new(),
+                    next_job: 0,
+                }))
+            })
+            .clone();
+        // Rebalance shares across all user clusters (equal split).
+        for c in clusters.values() {
+            c.lock().memory_mb = share;
+        }
+        entry
+    }
+
+    /// The memory share currently granted to a user's cluster manager.
+    pub fn user_memory_mb(&self, user: &str) -> u64 {
+        self.user_cluster(user).lock().memory_mb
+    }
+
+    /// Submit a job: runs `body` synchronously under the user's cluster
+    /// (the paper's batch path; interactive/streaming submit the same way)
+    /// and records the outcome. Returns the job id.
+    pub fn submit<F>(&self, user: &str, name: &str, body: F) -> JobId
+    where
+        F: FnOnce() -> Result<String>,
+    {
+        let cluster = self.user_cluster(user);
+        let id = {
+            let mut c = cluster.lock();
+            let id = JobId(c.next_job);
+            c.next_job += 1;
+            c.jobs.insert(
+                id,
+                JobRecord {
+                    name: name.to_string(),
+                    status: JobStatus::Running,
+                    submitted: Instant::now(),
+                },
+            );
+            id
+        };
+        let outcome = body();
+        let mut c = cluster.lock();
+        let rec = c.jobs.get_mut(&id).expect("just inserted");
+        // A cancel that raced the execution wins (best-effort semantics).
+        if rec.status == JobStatus::Running {
+            rec.status = match outcome {
+                Ok(summary) => JobStatus::Done(summary),
+                Err(e) => JobStatus::Failed(e.to_string()),
+            };
+        }
+        id
+    }
+
+    /// Cancel a job (owner only — other users cannot see it).
+    pub fn cancel(&self, user: &str, job: JobId) -> Result<()> {
+        let cluster = self.user_cluster(user);
+        let mut c = cluster.lock();
+        match c.jobs.get_mut(&job) {
+            Some(rec) => {
+                if matches!(rec.status, JobStatus::Queued | JobStatus::Running) {
+                    rec.status = JobStatus::Cancelled;
+                }
+                Ok(())
+            }
+            None => Err(DashError::not_found("job", job.to_string())),
+        }
+    }
+
+    /// Job status (owner only).
+    pub fn status(&self, user: &str, job: JobId) -> Result<JobStatus> {
+        let cluster = self.user_cluster(user);
+        let c = cluster.lock();
+        c.jobs
+            .get(&job)
+            .map(|r| r.status.clone())
+            .ok_or_else(|| DashError::not_found("job", job.to_string()))
+    }
+
+    /// List a user's jobs as `(id, name, status)`, newest first.
+    pub fn list(&self, user: &str) -> Vec<(JobId, String, JobStatus)> {
+        let cluster = self.user_cluster(user);
+        let c = cluster.lock();
+        let mut v: Vec<(JobId, String, JobStatus, Instant)> = c
+            .jobs
+            .iter()
+            .map(|(id, r)| (*id, r.name.clone(), r.status.clone(), r.submitted))
+            .collect();
+        v.sort_by(|a, b| b.3.cmp(&a.3).then(b.0.cmp(&a.0)));
+        v.into_iter().map(|(i, n, s, _)| (i, n, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_run_and_record() {
+        let d = Dispatcher::new(4096);
+        let id = d.submit("alice", "glm", || Ok("fit ok".into()));
+        assert_eq!(d.status("alice", id).unwrap(), JobStatus::Done("fit ok".into()));
+        let id2 = d.submit("alice", "bad", || Err(DashError::exec("boom")));
+        assert!(matches!(d.status("alice", id2).unwrap(), JobStatus::Failed(_)));
+        assert_eq!(d.list("alice").len(), 2);
+    }
+
+    #[test]
+    fn per_user_isolation() {
+        let d = Dispatcher::new(4096);
+        let id = d.submit("alice", "secret", || Ok("done".into()));
+        // Bob cannot see Alice's job: same id under bob is unknown.
+        assert!(d.status("bob", id).is_err());
+        assert!(d.cancel("bob", id).is_err());
+        assert!(d.list("bob").is_empty());
+    }
+
+    #[test]
+    fn memory_shares_rebalance() {
+        let d = Dispatcher::new(4000);
+        assert_eq!(d.user_memory_mb("alice"), 4000);
+        let _ = d.user_memory_mb("bob");
+        assert_eq!(d.user_memory_mb("alice"), 2000);
+        assert_eq!(d.user_memory_mb("bob"), 2000);
+    }
+
+    #[test]
+    fn cancel_semantics() {
+        let d = Dispatcher::new(1024);
+        let id = d.submit("u", "j", || Ok("x".into()));
+        // Already done: cancel is a no-op.
+        d.cancel("u", id).unwrap();
+        assert_eq!(d.status("u", id).unwrap(), JobStatus::Done("x".into()));
+        assert!(d.cancel("u", JobId(99)).is_err());
+    }
+}

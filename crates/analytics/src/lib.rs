@@ -1,0 +1,30 @@
+//! The integrated analytics runtime — the paper's native Apache Spark
+//! integration (§II.D), rebuilt as an embedded Rust runtime with the same
+//! architecture:
+//!
+//! * [`dispatcher`] — "for each user Apache Spark starts an own Spark
+//!   Cluster Manager so that different users could not see what other
+//!   users are doing": per-user isolated clusters, a submit/cancel/monitor
+//!   job API (the REST / stored-procedure / `spark_submit` surface), and
+//!   the memory budget the auto-configuration reserves;
+//! * [`dataset`] — the RDD/DataFrame-style partitioned collection API
+//!   (map, filter, reduce, aggregate — executed partition-parallel);
+//! * [`transfer`] — Figure 7's data path: workers fetch table data through
+//!   a JDBC-style interface with optional predicate pushdown, either
+//!   *collocated* (socket to the local shard) or *remote* (network), with
+//!   simulated transfer costs so benchmarks can show why collocation wins;
+//! * [`ml`] — the MLlib-substitute: GLM (linear regression), logistic
+//!   regression, and k-means, each written map-reduce style so the same
+//!   code runs per-shard and merges partials.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dataset;
+pub mod dispatcher;
+pub mod ml;
+pub mod transfer;
+
+pub use dataset::Dataset;
+pub use dispatcher::{Dispatcher, JobStatus};
+pub use transfer::{read_table, TransferMode, TransferStats};

@@ -1,0 +1,45 @@
+//! Criterion: buffer-pool access throughput per replacement policy on a
+//! Big-Data-style cyclic scan trace (the overhead side of `repro_bufferpool`
+//! — hit ratios are the other side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dash_storage::bufferpool::{BufferPool, PageKey, Policy};
+
+fn trace(pages: u32, cycles: usize) -> Vec<PageKey> {
+    let mut t = Vec::new();
+    for _ in 0..cycles {
+        for p in 0..pages {
+            t.push(PageKey::new(0, 0, p));
+        }
+    }
+    t
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let accesses = trace(4000, 4);
+    let mut group = c.benchmark_group("bufferpool_access");
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    for (name, policy) in [
+        ("lru", Policy::Lru),
+        ("mru", Policy::Mru),
+        ("random", Policy::Random),
+        ("randomized_weight", Policy::RandomizedWeight),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 2000), &accesses, |b, t| {
+            b.iter(|| {
+                let mut pool = BufferPool::new(2000, policy);
+                let mut hits = 0u64;
+                for &k in t {
+                    if pool.access(k) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

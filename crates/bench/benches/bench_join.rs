@@ -1,0 +1,107 @@
+//! Criterion: cache-conscious partitioned hash join, and the fused
+//! join-aggregate against join-then-aggregate (the §II.B.7 ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dash_common::{row, Field, Row, Schema};
+use dash_exec::agg::{try_fused_join_aggregate, AggExpr, AggFunc};
+use dash_exec::batch::Batch;
+use dash_exec::expr::Expr;
+use dash_exec::functions::EvalContext;
+use dash_exec::join::{hash_join, JoinType};
+use dash_exec::stats::ExecStats;
+
+fn fact(n: usize) -> Batch {
+    let schema = Schema::new(vec![
+        Field::not_null("fk", dash_common::DataType::Int64),
+        Field::new("v", dash_common::DataType::Float64),
+    ])
+    .expect("schema");
+    let rows: Vec<Row> = (0..n)
+        .map(|i| row![(i % 1000) as i64, (i % 97) as f64])
+        .collect();
+    Batch::from_rows(schema, &rows).expect("batch")
+}
+
+fn dim() -> Batch {
+    let schema = Schema::new(vec![
+        Field::not_null("pk", dash_common::DataType::Int64),
+        Field::new("label", dash_common::DataType::Utf8),
+    ])
+    .expect("schema");
+    let rows: Vec<Row> = (0..1000)
+        .map(|i| row![i as i64, format!("label-{}", i % 25)])
+        .collect();
+    Batch::from_rows(schema, &rows).expect("batch")
+}
+
+fn bench_join(c: &mut Criterion) {
+    let d = dim();
+    let mut group = c.benchmark_group("hash_join");
+    for n in [10_000usize, 100_000] {
+        let f = fact(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("inner", n), &f, |b, f| {
+            b.iter(|| {
+                let mut stats = ExecStats::default();
+                hash_join(f, &d, &[(0, 0)], JoinType::Inner, &mut stats).expect("join")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_vs_pipeline(c: &mut Criterion) {
+    let d = dim();
+    let out_schema = Schema::new(vec![
+        Field::new("label", dash_common::DataType::Utf8),
+        Field::new("cnt", dash_common::DataType::Int64),
+        Field::new("total", dash_common::DataType::Float64),
+    ])
+    .expect("schema");
+    let group_exprs = vec![Expr::col(3)]; // label in joined schema
+    let aggs = vec![
+        AggExpr {
+            func: AggFunc::CountStar,
+            args: vec![],
+            distinct: false,
+        },
+        AggExpr {
+            func: AggFunc::Sum,
+            args: vec![Expr::col(1)],
+            distinct: false,
+        },
+    ];
+    let ctx = EvalContext::default();
+    let mut group = c.benchmark_group("join_aggregate");
+    for n in [10_000usize, 100_000] {
+        let f = fact(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fused", n), &f, |b, f| {
+            b.iter(|| {
+                try_fused_join_aggregate(f, &d, &[(0, 0)], &group_exprs, &aggs, &out_schema)
+                    .expect("fusable")
+                    .expect("ok")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("join_then_agg", n), &f, |b, f| {
+            b.iter(|| {
+                let mut stats = ExecStats::default();
+                let joined =
+                    hash_join(f, &d, &[(0, 0)], JoinType::Inner, &mut stats).expect("join");
+                dash_exec::agg::hash_aggregate(
+                    &joined,
+                    &group_exprs,
+                    &aggs,
+                    out_schema.clone(),
+                    &ctx,
+                    &mut stats,
+                )
+                .expect("agg")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join, bench_fused_vs_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion: data skipping across predicate selectivities — the
+//! synopsis-on vs synopsis-off ablation as a parameter sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dash_common::{row, Datum, Field, Row, Schema};
+use dash_exec::functions::EvalContext;
+use dash_exec::scan::{scan, ColumnPredicate, ScanConfig};
+use dash_storage::table::ColumnTable;
+
+fn build_table(n: usize) -> ColumnTable {
+    let schema = Schema::new(vec![
+        Field::not_null("id", dash_common::DataType::Int64),
+        Field::not_null("d", dash_common::DataType::Date),
+        Field::new("v", dash_common::DataType::Float64),
+    ])
+    .expect("schema");
+    let mut t = ColumnTable::new("T", schema);
+    // Monotone dates over ~2557 "days" of history.
+    let rows: Vec<Row> = (0..n)
+        .map(|i| row![i as i64, Datum::Date((i * 2557 / n) as i32), (i % 89) as f64])
+        .collect();
+    t.load_rows(rows).expect("load");
+    t
+}
+
+fn bench_selectivity_sweep(c: &mut Criterion) {
+    let n = 500_000usize;
+    let t = build_table(n);
+    let ctx = EvalContext::default();
+    let mut group = c.benchmark_group("data_skipping");
+    group.throughput(Throughput::Elements(n as u64));
+    // Percent of the history the predicate touches.
+    for pct in [1u32, 10, 50, 100] {
+        let lo = 2557 - (2557 * pct as i32 / 100);
+        let mk = |disable| ScanConfig {
+            predicates: vec![ColumnPredicate::Range {
+                col: 1,
+                lo: Some(Datum::Date(lo)),
+                hi: None,
+            }],
+            disable_skipping: disable,
+            ..ScanConfig::full(0, vec![0, 2])
+        };
+        group.bench_with_input(BenchmarkId::new("skipping_on", pct), &t, |b, t| {
+            let cfg = mk(false);
+            b.iter(|| scan(t, &cfg, &ctx).expect("scan"))
+        });
+        group.bench_with_input(BenchmarkId::new("skipping_off", pct), &t, |b, t| {
+            let cfg = mk(true);
+            b.iter(|| scan(t, &cfg, &ctx).expect("scan"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectivity_sweep);
+criterion_main!(benches);

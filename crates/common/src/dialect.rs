@@ -1,0 +1,122 @@
+//! SQL dialect identifiers (§II.C of the paper).
+//!
+//! dashDB Local "began with an ANSI standard compliant SQL compiler, and
+//! added extensions for Oracle, PostgreSQL, Netezza, and DB2". A session
+//! variable selects the active dialect; objects (views) remember the
+//! dialect they were created under.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The SQL language variants the engine understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Dialect {
+    /// ANSI-standard baseline (always available).
+    #[default]
+    Ansi,
+    /// Oracle extensions: `NVL`, `DECODE`, `ROWNUM`, `DUAL`, `(+)` joins...
+    Oracle,
+    /// Netezza extensions (largely PostgreSQL-flavoured).
+    Netezza,
+    /// PostgreSQL extensions: `::` casts, `LIMIT/OFFSET`, `ISNULL`...
+    PostgreSql,
+    /// DB2 extensions: `VALUES` statements, `DECFLOAT` helpers...
+    Db2,
+}
+
+impl Dialect {
+    /// Parse a dialect name as used in `SET SQL_DIALECT = ...`.
+    pub fn parse(s: &str) -> Option<Dialect> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "ANSI" | "STANDARD" => Dialect::Ansi,
+            "ORACLE" => Dialect::Oracle,
+            "NETEZZA" | "NPS" => Dialect::Netezza,
+            "POSTGRES" | "POSTGRESQL" | "PG" => Dialect::PostgreSql,
+            "DB2" => Dialect::Db2,
+            _ => return None,
+        })
+    }
+
+    /// All dialects, for iteration in tests and docs.
+    pub const ALL: [Dialect; 5] = [
+        Dialect::Ansi,
+        Dialect::Oracle,
+        Dialect::Netezza,
+        Dialect::PostgreSql,
+        Dialect::Db2,
+    ];
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dialect::Ansi => "ANSI",
+            Dialect::Oracle => "ORACLE",
+            Dialect::Netezza => "NETEZZA",
+            Dialect::PostgreSql => "POSTGRESQL",
+            Dialect::Db2 => "DB2",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A set of dialects a feature is available in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DialectSet(u8);
+
+impl DialectSet {
+    /// Available in every dialect.
+    pub const ALL: DialectSet = DialectSet(0b11111);
+
+    /// Available nowhere (useful as a builder seed).
+    pub const NONE: DialectSet = DialectSet(0);
+
+    fn bit(d: Dialect) -> u8 {
+        match d {
+            Dialect::Ansi => 1,
+            Dialect::Oracle => 2,
+            Dialect::Netezza => 4,
+            Dialect::PostgreSql => 8,
+            Dialect::Db2 => 16,
+        }
+    }
+
+    /// A set with exactly these dialects.
+    pub fn of(dialects: &[Dialect]) -> DialectSet {
+        DialectSet(dialects.iter().fold(0, |acc, &d| acc | Self::bit(d)))
+    }
+
+    /// Add a dialect.
+    pub fn with(self, d: Dialect) -> DialectSet {
+        DialectSet(self.0 | Self::bit(d))
+    }
+
+    /// Membership test.
+    pub fn contains(self, d: Dialect) -> bool {
+        self.0 & Self::bit(d) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Dialect::parse("oracle"), Some(Dialect::Oracle));
+        assert_eq!(Dialect::parse("NPS"), Some(Dialect::Netezza));
+        assert_eq!(Dialect::parse("pg"), Some(Dialect::PostgreSql));
+        assert_eq!(Dialect::parse("klingon"), None);
+    }
+
+    #[test]
+    fn sets() {
+        let s = DialectSet::of(&[Dialect::Oracle, Dialect::Db2]);
+        assert!(s.contains(Dialect::Oracle));
+        assert!(s.contains(Dialect::Db2));
+        assert!(!s.contains(Dialect::Ansi));
+        assert!(DialectSet::ALL.contains(Dialect::Netezza));
+        assert!(!DialectSet::NONE.contains(Dialect::Ansi));
+        assert!(DialectSet::NONE.with(Dialect::Ansi).contains(Dialect::Ansi));
+    }
+}

@@ -1,0 +1,175 @@
+//! The common error type shared across all dashdb-local-rs crates.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = DashError> = std::result::Result<T, E>;
+
+/// The error type produced by every layer of the system.
+///
+/// Lower layers use the structured variants; the SQL front-end attaches
+/// statement context via [`DashError::with_context`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DashError {
+    /// SQL text failed to lex/parse. Carries position and message.
+    Parse {
+        /// Human-readable description of the syntax problem.
+        message: String,
+        /// Byte offset into the statement where the problem was detected.
+        offset: usize,
+    },
+    /// Statement is syntactically valid but semantically wrong
+    /// (unknown column, type mismatch, ...).
+    Analysis(String),
+    /// A catalog object was not found.
+    NotFound {
+        /// Object kind, e.g. "table", "column", "schema", "node".
+        kind: &'static str,
+        /// Object name as referenced.
+        name: String,
+    },
+    /// A catalog object already exists.
+    AlreadyExists {
+        /// Object kind.
+        kind: &'static str,
+        /// Object name.
+        name: String,
+    },
+    /// Runtime execution error (overflow, division by zero, cast failure...).
+    Execution(String),
+    /// Storage-layer failure (page corruption, out-of-space, codec misuse).
+    Storage(String),
+    /// Constraint violation (uniqueness — the only index kind BLU allows).
+    Constraint(String),
+    /// Cluster-level failure (node down, shard unavailable, quorum loss).
+    Cluster(String),
+    /// The feature is recognized but not supported by this engine build.
+    Unsupported(String),
+    /// Internal invariant violation — indicates a bug, never user error.
+    Internal(String),
+    /// The statement was cancelled by the workload manager or the user.
+    Cancelled,
+}
+
+impl DashError {
+    /// Construct a parse error at a byte offset.
+    pub fn parse(message: impl Into<String>, offset: usize) -> Self {
+        DashError::Parse {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Construct an analysis (semantic) error.
+    pub fn analysis(message: impl Into<String>) -> Self {
+        DashError::Analysis(message.into())
+    }
+
+    /// Construct an execution error.
+    pub fn exec(message: impl Into<String>) -> Self {
+        DashError::Execution(message.into())
+    }
+
+    /// Construct a not-found error.
+    pub fn not_found(kind: &'static str, name: impl Into<String>) -> Self {
+        DashError::NotFound {
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// Construct an already-exists error.
+    pub fn already_exists(kind: &'static str, name: impl Into<String>) -> Self {
+        DashError::AlreadyExists {
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// Construct an internal-invariant error.
+    pub fn internal(message: impl Into<String>) -> Self {
+        DashError::Internal(message.into())
+    }
+
+    /// Construct an unsupported-feature error.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        DashError::Unsupported(message.into())
+    }
+
+    /// Prefix the error message with statement-level context.
+    pub fn with_context(self, ctx: &str) -> Self {
+        match self {
+            DashError::Execution(m) => DashError::Execution(format!("{ctx}: {m}")),
+            DashError::Analysis(m) => DashError::Analysis(format!("{ctx}: {m}")),
+            DashError::Storage(m) => DashError::Storage(format!("{ctx}: {m}")),
+            other => other,
+        }
+    }
+
+    /// SQLSTATE-like class code, used by tests and the console to classify
+    /// failures without string matching.
+    pub fn class(&self) -> &'static str {
+        match self {
+            DashError::Parse { .. } => "42601",
+            DashError::Analysis(_) => "42000",
+            DashError::NotFound { .. } => "42704",
+            DashError::AlreadyExists { .. } => "42710",
+            DashError::Execution(_) => "22000",
+            DashError::Storage(_) => "58030",
+            DashError::Constraint(_) => "23505",
+            DashError::Cluster(_) => "57011",
+            DashError::Unsupported(_) => "0A000",
+            DashError::Internal(_) => "XX000",
+            DashError::Cancelled => "57014",
+        }
+    }
+}
+
+impl fmt::Display for DashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DashError::Parse { message, offset } => {
+                write!(f, "syntax error at offset {offset}: {message}")
+            }
+            DashError::Analysis(m) => write!(f, "semantic error: {m}"),
+            DashError::NotFound { kind, name } => write!(f, "{kind} \"{name}\" not found"),
+            DashError::AlreadyExists { kind, name } => {
+                write!(f, "{kind} \"{name}\" already exists")
+            }
+            DashError::Execution(m) => write!(f, "execution error: {m}"),
+            DashError::Storage(m) => write!(f, "storage error: {m}"),
+            DashError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DashError::Cluster(m) => write!(f, "cluster error: {m}"),
+            DashError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DashError::Internal(m) => write!(f, "internal error (bug): {m}"),
+            DashError::Cancelled => write!(f, "statement cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for DashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_class() {
+        let e = DashError::not_found("table", "T1");
+        assert_eq!(e.to_string(), "table \"T1\" not found");
+        assert_eq!(e.class(), "42704");
+        assert_eq!(DashError::Cancelled.class(), "57014");
+    }
+
+    #[test]
+    fn context_prefixing() {
+        let e = DashError::exec("division by zero").with_context("query Q42");
+        assert_eq!(
+            e.to_string(),
+            "execution error: query Q42: division by zero"
+        );
+        // NotFound is not prefixed (context would hide the object name).
+        let e2 = DashError::not_found("column", "C").with_context("x");
+        assert_eq!(e2, DashError::not_found("column", "C"));
+    }
+}

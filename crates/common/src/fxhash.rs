@@ -1,0 +1,140 @@
+//! A fast, non-cryptographic hasher (FxHash-style multiply-rotate).
+//!
+//! Hash joins, group-by and the shard partitioner hash billions of keys;
+//! SipHash's HashDoS protection is wasted cost there. This is the classic
+//! Firefox/rustc Fx algorithm, implemented locally so we stay within the
+//! sanctioned dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (64-bit golden-ratio-ish, as used by rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hash a single u64 key directly (used by the partitioner and bloom-ish
+/// structures where constructing a `Hasher` per key would be overhead).
+#[inline]
+pub fn hash_u64(v: u64) -> u64 {
+    // One multiply-rotate round plus a finalizer for avalanche.
+    let mut h = v.wrapping_mul(SEED);
+    h ^= h >> 32;
+    h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+    h ^= h >> 32;
+    h
+}
+
+/// Hash a byte slice directly.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hellp"));
+    }
+
+    #[test]
+    fn avalanche_on_sequential_keys() {
+        // Sequential integers must spread across buckets — this is the exact
+        // pattern hash partitioning of surrogate keys produces.
+        let buckets = 64u64;
+        let mut counts = vec![0u32; buckets as usize];
+        for i in 0..64_000u64 {
+            counts[(hash_u64(i) % buckets) as usize] += 1;
+        }
+        let expected = 1000.0;
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "bucket {b} has {c} items (>{:.0}% off)", dev * 100.0);
+        }
+    }
+
+    #[test]
+    fn fxmap_works() {
+        let mut m: FxHashMap<String, i32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+    }
+
+    #[test]
+    fn tail_bytes_disambiguated() {
+        // Same prefix, different short tails must hash differently.
+        assert_ne!(hash_bytes(b"12345678a"), hash_bytes(b"12345678b"));
+        assert_ne!(hash_bytes(b"1234"), hash_bytes(b"12340"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared primitives for `dashdb-local-rs`.
+//!
+//! This crate holds the vocabulary types used by every layer of the system:
+//! logical data types ([`DataType`]), runtime values ([`Datum`]), table
+//! schemas ([`Schema`], [`Field`]), rows ([`Row`]), the common error type
+//! ([`DashError`]), and a few performance-sensitive utilities (a fast
+//! non-cryptographic hasher, date arithmetic).
+//!
+//! Everything here is deliberately engine-agnostic: both the columnar BLU
+//! style engine and the row-store baseline speak these types.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod datum;
+pub mod date;
+pub mod dialect;
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod row;
+pub mod schema;
+pub mod types;
+
+pub use datum::Datum;
+pub use error::{DashError, Result};
+pub use row::Row;
+pub use schema::{Field, Schema};
+pub use types::DataType;

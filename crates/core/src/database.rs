@@ -1,0 +1,832 @@
+//! The Database and Session objects — the embedded equivalent of
+//! connecting to dashDB Local.
+
+use crate::autoconf::{AutoConfig, HardwareSpec};
+use crate::catalog::Catalog;
+use crate::monitor::Monitor;
+use crate::result::{QueryResult, StatementKind};
+use crate::wlm::WorkloadManager;
+use dash_common::dialect::Dialect;
+use dash_common::ids::SessionId;
+use dash_common::{DashError, DataType, Datum, Field, Result, Row, Schema};
+use dash_exec::batch::Batch;
+use dash_exec::functions::EvalContext;
+use dash_exec::plan::PhysicalPlan;
+use dash_exec::scan::ScanConfig;
+use dash_sql::ast::{InsertSource, Statement};
+use dash_sql::parser::{parse_statement, split_statements};
+use dash_sql::planner::{lower_standalone_expr, lower_table_expr, plan_select, pushdown};
+use dash_storage::bufferpool::{BufferPool, Policy};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One single-node dashDB Local engine instance.
+///
+/// In MPP deployments (`dash-mpp`), each shard runs one `Database`.
+pub struct Database {
+    catalog: Arc<Catalog>,
+    config: AutoConfig,
+    wlm: WorkloadManager,
+    monitor: Monitor,
+    next_session: AtomicU32,
+}
+
+impl Database {
+    /// Create an engine auto-configured for the detected hardware.
+    pub fn new() -> Arc<Database> {
+        Database::with_hardware(HardwareSpec::detect())
+    }
+
+    /// Create an engine auto-configured for the given hardware (used by
+    /// the deployment simulator and tests).
+    pub fn with_hardware(hw: HardwareSpec) -> Arc<Database> {
+        let config = AutoConfig::derive(&hw);
+        // Simulation pools are capped so tests stay fast; the page budget
+        // ratio is preserved.
+        Database::with_pool_pages(hw, (config.bufferpool_pages as usize).min(1 << 20))
+    }
+
+    /// Create an engine with an explicit buffer-pool page budget — used by
+    /// benchmarks that model the paper's data ≫ RAM regime by shrinking
+    /// the pool below the data size.
+    pub fn with_pool_pages(hw: HardwareSpec, pages: usize) -> Arc<Database> {
+        let config = AutoConfig::derive(&hw);
+        let pool = Arc::new(Mutex::new(BufferPool::new(
+            pages.max(1),
+            Policy::RandomizedWeight,
+        )));
+        let catalog = Arc::new(Catalog::new(Some(pool)));
+        catalog.set_parallelism((config.query_parallelism as usize).min(8));
+        Arc::new(Database {
+            catalog,
+            config,
+            wlm: WorkloadManager::new(config.wlm_concurrency),
+            monitor: Monitor::new(),
+            next_session: AtomicU32::new(0),
+        })
+    }
+
+    /// An engine without buffer-pool tracking (micro-benchmarks that want
+    /// pure CPU measurements).
+    pub fn untracked() -> Arc<Database> {
+        let config = AutoConfig::derive(&HardwareSpec::detect());
+        Arc::new(Database {
+            catalog: Arc::new(Catalog::new(None)),
+            config,
+            wlm: WorkloadManager::new(config.wlm_concurrency),
+            monitor: Monitor::new(),
+            next_session: AtomicU32::new(0),
+        })
+    }
+
+    /// Open a session (default ANSI dialect).
+    pub fn connect(self: &Arc<Self>) -> Session {
+        Session {
+            db: self.clone(),
+            id: SessionId(self.next_session.fetch_add(1, Ordering::Relaxed)),
+            dialect: Dialect::Ansi,
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The derived configuration.
+    pub fn config(&self) -> &AutoConfig {
+        &self.config
+    }
+
+    /// The workload manager.
+    pub fn wlm(&self) -> &WorkloadManager {
+        &self.wlm
+    }
+
+    /// Monitoring counters.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+}
+
+/// A user session: holds the SQL dialect and owns temporary tables.
+pub struct Session {
+    db: Arc<Database>,
+    id: SessionId,
+    dialect: Dialect,
+}
+
+impl Session {
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The active SQL dialect.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Switch dialect (same as `SET SQL_DIALECT = ...`).
+    pub fn set_dialect(&mut self, d: Dialect) {
+        self.dialect = d;
+    }
+
+    /// The owning database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    fn provider(&self) -> SessionCatalog<'_> {
+        SessionCatalog {
+            catalog: self.db.catalog.as_ref(),
+            session: self.id,
+        }
+    }
+
+    fn eval_context(&self) -> EvalContext {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as i64)
+            .unwrap_or(0);
+        EvalContext {
+            now_micros: now,
+            sequences: Some(self.db.catalog.clone()),
+        }
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let start = Instant::now();
+        let stmt = parse_statement(sql, self.dialect)?;
+        let kind = kind_name(&stmt);
+        let result = self.execute_statement(stmt);
+        self.db
+            .monitor
+            .record(kind, start.elapsed(), result.is_ok());
+        result
+    }
+
+    /// Execute a `;`-separated script, stopping at the first error.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        let mut out = Vec::new();
+        for stmt in split_statements(sql) {
+            out.push(self.execute(&stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute a query and return its rows (convenience).
+    pub fn query(&mut self, sql: &str) -> Result<Vec<Row>> {
+        Ok(self.execute(sql)?.rows)
+    }
+
+    /// Close the session, dropping its temporary tables.
+    pub fn close(self) {
+        self.db.catalog.drop_session_objects(self.id);
+    }
+
+    fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(select) => {
+                let _ticket = self.db.wlm.admit();
+                let ctx = self.eval_context();
+                let plan =
+                    plan_select(&select, &self.provider(), self.dialect, &ctx)?;
+                let (batch, stats) = dash_exec::plan::execute(&plan, &ctx)?;
+                Ok(QueryResult {
+                    kind: StatementKind::Query,
+                    schema: batch.schema().clone(),
+                    rows: batch.to_rows(),
+                    affected: 0,
+                    stats,
+                })
+            }
+            Statement::Explain(inner) => self.explain(*inner),
+            Statement::Values(rows) => self.standalone_values(rows),
+            Statement::Insert {
+                table,
+                columns,
+                source,
+            } => self.insert(&table, &columns, source),
+            Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => self.update(&table, &assignments, selection.as_ref()),
+            Statement::Delete { table, selection } => self.delete(&table, selection.as_ref()),
+            Statement::CreateTable {
+                name,
+                columns,
+                temporary,
+                if_not_exists,
+                as_select,
+            } => {
+                if if_not_exists && self.db.catalog.has_table(&name) {
+                    return Ok(QueryResult::ddl());
+                }
+                let owner = if temporary { Some(self.id) } else { None };
+                match as_select {
+                    Some(select) => {
+                        let ctx = self.eval_context();
+                        let plan = plan_select(
+                            &select,
+                            &self.provider(),
+                            self.dialect,
+                            &ctx,
+                        )?;
+                        let (batch, _) = dash_exec::plan::execute(&plan, &ctx)?;
+                        let handle =
+                            self.db
+                                .catalog
+                                .create_table(&name, batch.schema().clone(), owner)?;
+                        handle.write().load_rows(batch.to_rows())?;
+                        Ok(QueryResult::ddl())
+                    }
+                    None => {
+                        let mut fields = Vec::with_capacity(columns.len());
+                        for c in &columns {
+                            let dt = DataType::from_sql_name(&c.type_name, &c.type_args)
+                                .ok_or_else(|| {
+                                    DashError::analysis(format!(
+                                        "unknown type {} for column {}",
+                                        c.type_name, c.name
+                                    ))
+                                })?;
+                            fields.push(Field {
+                                name: c.name.clone(),
+                                data_type: dt,
+                                nullable: !c.not_null,
+                            });
+                        }
+                        self.db
+                            .catalog
+                            .create_table(&name, Schema::new(fields)?, owner)?;
+                        Ok(QueryResult::ddl())
+                    }
+                }
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.db.catalog.drop_table_for(&name, if_exists, Some(self.id))?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::Truncate { name } => {
+                let handle = self.db.catalog.table_handle_for(&name, Some(self.id))?;
+                let mut t = handle.table.write();
+                let schema = t.schema().clone();
+                let tname = t.name().to_string();
+                *t = dash_storage::table::ColumnTable::new(tname, schema);
+                Ok(QueryResult::ddl())
+            }
+            Statement::CreateView { name, text, .. } => {
+                // Views remember the dialect they were created under
+                // (§II.C.2): later sessions parse them with it.
+                self.db.catalog.create_view(&name, text, self.dialect)?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::DropView { name, if_exists } => {
+                self.db.catalog.drop_view(&name, if_exists)?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::CreateSequence {
+                name,
+                start,
+                increment,
+            } => {
+                self.db.catalog.create_sequence(&name, start, increment)?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::DropSequence { name } => {
+                self.db.catalog.drop_sequence(&name)?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::CreateAlias { name, target } => {
+                self.db.catalog.create_alias(&name, &target)?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::SetDialect(d) => {
+                self.dialect = d;
+                Ok(QueryResult::ddl())
+            }
+            Statement::Block(stmts) => {
+                // Compound SQL: run sequentially, return the last statement's
+                // result (DB2 inlined-compound semantics; no atomicity at
+                // reproduction scope).
+                let mut last = QueryResult::ddl();
+                for stmt in stmts {
+                    last = self.execute_statement(stmt)?;
+                }
+                Ok(last)
+            }
+        }
+    }
+
+    fn explain(&mut self, stmt: Statement) -> Result<QueryResult> {
+        let text = match stmt {
+            Statement::Select(select) => {
+                let ctx = self.eval_context();
+                let plan =
+                    plan_select(&select, &self.provider(), self.dialect, &ctx)?;
+                plan.explain()
+            }
+            other => format!("{} statement\n", kind_name(&other)),
+        };
+        let schema = Schema::new_unchecked(vec![Field::new("PLAN", DataType::Utf8)]);
+        let rows: Vec<Row> = text
+            .lines()
+            .map(|l| Row::new(vec![Datum::str(l)]))
+            .collect();
+        Ok(QueryResult {
+            kind: StatementKind::Query,
+            schema,
+            rows,
+            affected: 0,
+            stats: Default::default(),
+        })
+    }
+
+    fn standalone_values(&mut self, rows: Vec<Vec<dash_sql::ast::AstExpr>>) -> Result<QueryResult> {
+        let ctx = self.eval_context();
+        let mut out_rows: Vec<Row> = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut vals = Vec::with_capacity(row.len());
+            for e in row {
+                let lowered =
+                    lower_standalone_expr(e, &self.provider(), self.dialect, &ctx)?;
+                vals.push(eval_standalone(&lowered, &ctx)?);
+            }
+            out_rows.push(Row::new(vals));
+        }
+        let width = out_rows.first().map_or(0, |r| r.len());
+        if out_rows.iter().any(|r| r.len() != width) {
+            return Err(DashError::analysis("VALUES rows have unequal arity"));
+        }
+        let fields: Vec<Field> = (0..width)
+            .map(|i| {
+                let dt = out_rows
+                    .iter()
+                    .find_map(|r| r.get(i).data_type())
+                    .unwrap_or(DataType::Utf8);
+                Field::new(format!("COL{}", i + 1), dt)
+            })
+            .collect();
+        Ok(QueryResult {
+            kind: StatementKind::Query,
+            schema: Schema::new_unchecked(fields),
+            rows: out_rows,
+            affected: 0,
+            stats: Default::default(),
+        })
+    }
+
+    fn insert(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        source: InsertSource,
+    ) -> Result<QueryResult> {
+        let handle = self.db.catalog.table_handle_for(table, Some(self.id))?;
+        let schema = handle.table.read().schema().clone();
+        // Map the written columns to table ordinals.
+        let targets: Vec<usize> = if columns.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            let mut v = Vec::with_capacity(columns.len());
+            for c in columns {
+                v.push(schema.resolve(c)?);
+            }
+            v
+        };
+        let ctx = self.eval_context();
+        let source_rows: Vec<Row> = match source {
+            InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        let lowered = lower_standalone_expr(
+                            e,
+                            &self.provider(),
+                            self.dialect,
+                            &ctx,
+                        )?;
+                        vals.push(eval_standalone(&lowered, &ctx)?);
+                    }
+                    out.push(Row::new(vals));
+                }
+                out
+            }
+            InsertSource::Select(select) => {
+                let plan =
+                    plan_select(&select, &self.provider(), self.dialect, &ctx)?;
+                let (batch, _) = dash_exec::plan::execute(&plan, &ctx)?;
+                batch.to_rows()
+            }
+        };
+        let mut count = 0u64;
+        let mut t = handle.table.write();
+        for src in source_rows {
+            if src.len() != targets.len() {
+                return Err(DashError::analysis(format!(
+                    "INSERT provides {} values for {} columns",
+                    src.len(),
+                    targets.len()
+                )));
+            }
+            let mut full = vec![Datum::Null; schema.len()];
+            for (v, &ti) in src.0.into_iter().zip(&targets) {
+                full[ti] = v;
+            }
+            t.insert(Row::new(full))?;
+            count += 1;
+        }
+        Ok(QueryResult::dml(StatementKind::Insert, count))
+    }
+
+    /// Scan matching rows of a table, returning (full row, tsn) pairs.
+    fn matching_rows(
+        &mut self,
+        table: &str,
+        selection: Option<&dash_sql::ast::AstExpr>,
+        ctx: &EvalContext,
+    ) -> Result<(Vec<Row>, Vec<u64>)> {
+        let handle = self.db.catalog.table_handle_for(table, Some(self.id))?;
+        let schema = handle.table.read().schema().clone();
+        let mut config = ScanConfig::full(handle.id, (0..schema.len()).collect());
+        config.include_tsn = true;
+        config.pool = self.db.catalog.pool.clone();
+        let mut plan = PhysicalPlan::ColumnScan {
+            table: handle.table.clone(),
+            config,
+        };
+        if let Some(sel) = selection {
+            let predicate =
+                lower_table_expr(sel, &schema, &self.provider(), self.dialect, ctx)?;
+            plan = PhysicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+        let plan = pushdown(plan);
+        let (batch, _) = dash_exec::plan::execute(&plan, ctx)?;
+        let ncols = schema.len();
+        let mut rows = Vec::with_capacity(batch.len());
+        let mut tsns = Vec::with_capacity(batch.len());
+        for mut r in batch.to_rows() {
+            let tsn = r.0.remove(ncols);
+            tsns.push(tsn.as_int().expect("tsn is an integer") as u64);
+            rows.push(r);
+        }
+        Ok((rows, tsns))
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, dash_sql::ast::AstExpr)],
+        selection: Option<&dash_sql::ast::AstExpr>,
+    ) -> Result<QueryResult> {
+        let ctx = self.eval_context();
+        let handle = self.db.catalog.table_handle_for(table, Some(self.id))?;
+        let schema = handle.table.read().schema().clone();
+        let mut lowered = Vec::with_capacity(assignments.len());
+        for (col, e) in assignments {
+            let ordinal = schema.resolve(col)?;
+            let expr =
+                lower_table_expr(e, &schema, &self.provider(), self.dialect, &ctx)?;
+            lowered.push((ordinal, expr));
+        }
+        let (rows, tsns) = self.matching_rows(table, selection, &ctx)?;
+        let batch = Batch::from_rows(schema.clone(), &rows)?;
+        let mut t = handle.table.write();
+        let mut applied = 0u64;
+        for (i, &tsn) in tsns.iter().enumerate() {
+            // A concurrent statement may have deleted/updated the row
+            // between our scan and this write; skip it (last-writer-wins
+            // row visibility, no MVCC at reproduction scope).
+            if t.is_deleted(dash_common::ids::Tsn(tsn)) {
+                continue;
+            }
+            let mut changes = Vec::with_capacity(lowered.len());
+            for (ordinal, expr) in &lowered {
+                changes.push((*ordinal, expr.eval(&batch, i, &ctx)?));
+            }
+            t.update(dash_common::ids::Tsn(tsn), &changes)?;
+            applied += 1;
+        }
+        Ok(QueryResult::dml(StatementKind::Update, applied))
+    }
+
+    fn delete(
+        &mut self,
+        table: &str,
+        selection: Option<&dash_sql::ast::AstExpr>,
+    ) -> Result<QueryResult> {
+        let ctx = self.eval_context();
+        let handle = self.db.catalog.table_handle_for(table, Some(self.id))?;
+        let (_, tsns) = self.matching_rows(table, selection, &ctx)?;
+        let mut t = handle.table.write();
+        let mut count = 0u64;
+        for &tsn in &tsns {
+            if t.delete(dash_common::ids::Tsn(tsn)) {
+                count += 1;
+            }
+        }
+        Ok(QueryResult::dml(StatementKind::Delete, count))
+    }
+}
+
+/// A session-scoped view of the catalog: the session's temporary tables
+/// resolve ahead of permanent ones; everything else delegates.
+struct SessionCatalog<'a> {
+    catalog: &'a Catalog,
+    session: SessionId,
+}
+
+impl dash_sql::planner::SchemaProvider for SessionCatalog<'_> {
+    fn table(&self, name: &str) -> Result<dash_sql::planner::TableHandle> {
+        self.catalog.table_handle_for(name, Some(self.session))
+    }
+
+    fn view(&self, name: &str) -> Option<(String, Dialect)> {
+        dash_sql::planner::SchemaProvider::view(self.catalog, name)
+    }
+
+    fn pool(
+        &self,
+    ) -> Option<Arc<Mutex<BufferPool>>> {
+        dash_sql::planner::SchemaProvider::pool(self.catalog)
+    }
+
+    fn udx(
+        &self,
+        name: &str,
+    ) -> Option<Arc<dash_exec::functions::ScalarFunction>> {
+        dash_sql::planner::SchemaProvider::udx(self.catalog, name)
+    }
+
+    fn parallelism(&self) -> usize {
+        dash_sql::planner::SchemaProvider::parallelism(self.catalog)
+    }
+}
+
+fn eval_standalone(expr: &dash_exec::expr::Expr, ctx: &EvalContext) -> Result<Datum> {
+    // One empty row gives constant expressions something to evaluate over.
+    let batch = Batch::from_rows(Schema::empty(), &[Row::new(vec![])])?;
+    expr.eval(&batch, 0, ctx)
+}
+
+fn kind_name(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Select(_) => "SELECT",
+        Statement::Insert { .. } => "INSERT",
+        Statement::Update { .. } => "UPDATE",
+        Statement::Delete { .. } => "DELETE",
+        Statement::CreateTable { .. }
+        | Statement::CreateView { .. }
+        | Statement::CreateSequence { .. }
+        | Statement::CreateAlias { .. } => "CREATE",
+        Statement::DropTable { .. }
+        | Statement::DropView { .. }
+        | Statement::DropSequence { .. } => "DROP",
+        Statement::Truncate { .. } => "TRUNCATE",
+        Statement::Explain(_) => "EXPLAIN",
+        Statement::SetDialect(_) => "SET",
+        Statement::Values(_) => "VALUES",
+        Statement::Block(_) => "BLOCK",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Database::with_hardware(HardwareSpec::laptop()).connect()
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut s = session();
+        s.execute("CREATE TABLE t (id BIGINT NOT NULL, name VARCHAR(20), amt DOUBLE)")
+            .unwrap();
+        s.execute("INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', 2.5), (3, NULL, 3.5)")
+            .unwrap();
+        let rows = s.query("SELECT id, name FROM t WHERE amt > 2.0 ORDER BY id").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), &Datum::Int(2));
+        assert!(rows[1].get(1).is_null());
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut s = session();
+        s.execute("CREATE TABLE t (id INT, v INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+            .unwrap();
+        let r = s.execute("UPDATE t SET v = v + 1 WHERE id >= 2").unwrap();
+        assert_eq!(r.affected, 2);
+        let rows = s.query("SELECT v FROM t ORDER BY id").unwrap();
+        assert_eq!(
+            rows.iter().map(|r| r.get(0).as_int().unwrap()).collect::<Vec<_>>(),
+            vec![10, 21, 31]
+        );
+        let r = s.execute("DELETE FROM t WHERE v = 21").unwrap();
+        assert_eq!(r.affected, 1);
+        assert_eq!(s.query("SELECT COUNT(*) FROM t").unwrap()[0].get(0), &Datum::Int(2));
+    }
+
+    #[test]
+    fn group_by_join_pipeline() {
+        let mut s = session();
+        s.execute("CREATE TABLE f (k INT, amt DOUBLE)").unwrap();
+        s.execute("CREATE TABLE d (k INT, label VARCHAR(10))").unwrap();
+        s.execute("INSERT INTO d VALUES (1, 'one'), (2, 'two')").unwrap();
+        s.execute("INSERT INTO f VALUES (1, 5.0), (1, 7.0), (2, 1.0)").unwrap();
+        let rows = s
+            .query(
+                "SELECT d.label, SUM(f.amt), COUNT(*) FROM f JOIN d ON f.k = d.k \
+                 GROUP BY d.label ORDER BY d.label",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0).as_str(), Some("one"));
+        assert_eq!(rows[0].get(1), &Datum::Float(12.0));
+        assert_eq!(rows[1].get(2), &Datum::Int(1));
+    }
+
+    #[test]
+    fn dialect_stickiness_of_views() {
+        let mut s = session();
+        s.set_dialect(Dialect::Oracle);
+        s.execute("CREATE VIEW v AS SELECT 1 + 1 total FROM DUAL").unwrap();
+        // An ANSI session can still use the Oracle view.
+        let mut s2 = s.database().clone().connect();
+        let rows = s2.query("SELECT total FROM v").unwrap();
+        assert_eq!(rows[0].get(0), &Datum::Int(2));
+    }
+
+    #[test]
+    fn oracle_rownum_and_sequences() {
+        let mut s = session();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (5), (6), (7), (8)").unwrap();
+        s.execute("CREATE SEQUENCE sq START WITH 100").unwrap();
+        s.set_dialect(Dialect::Oracle);
+        let rows = s.query("SELECT x FROM t WHERE ROWNUM <= 2").unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = s.query("SELECT sq.NEXTVAL FROM DUAL").unwrap();
+        assert_eq!(rows[0].get(0), &Datum::Int(100));
+        let rows = s.query("SELECT sq.CURRVAL FROM DUAL").unwrap();
+        assert_eq!(rows[0].get(0), &Datum::Int(100));
+    }
+
+    #[test]
+    fn db2_values_and_alias() {
+        let mut s = session();
+        s.set_dialect(Dialect::Db2);
+        let r = s.execute("VALUES (1, 'x'), (2, 'y')").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.schema.field(0).name, "COL1");
+        s.execute("CREATE TABLE base (a INT)").unwrap();
+        s.execute("CREATE ALIAS b FOR base").unwrap();
+        s.execute("INSERT INTO b VALUES (9)").unwrap();
+        assert_eq!(s.query("SELECT a FROM b").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn temp_tables_per_session() {
+        let db = Database::with_hardware(HardwareSpec::laptop());
+        let mut s1 = db.connect();
+        s1.set_dialect(Dialect::Netezza);
+        s1.execute("CREATE TEMP TABLE scratch (x INT)").unwrap();
+        s1.execute("INSERT INTO scratch VALUES (1)").unwrap();
+        // Visible within the session.
+        assert_eq!(s1.query("SELECT * FROM scratch").unwrap().len(), 1);
+        s1.close();
+        let mut s2 = db.connect();
+        assert!(s2.query("SELECT * FROM scratch").is_err());
+    }
+
+    #[test]
+    fn ctas_and_truncate() {
+        let mut s = session();
+        s.execute("CREATE TABLE src (a INT, b VARCHAR(5))").unwrap();
+        s.execute("INSERT INTO src VALUES (1, 'x'), (2, 'y')").unwrap();
+        s.execute("CREATE TABLE copy AS SELECT a, UPPER(b) AS b FROM src")
+            .unwrap();
+        let rows = s.query("SELECT b FROM copy ORDER BY a").unwrap();
+        assert_eq!(rows[0].get(0).as_str(), Some("X"));
+        s.execute("TRUNCATE TABLE copy").unwrap();
+        assert_eq!(s.query("SELECT * FROM copy").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn explain_output() {
+        let mut s = session();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        let r = s.execute("EXPLAIN SELECT x FROM t WHERE x > 1").unwrap();
+        let text: String = r.rows.iter().map(|r| r.get(0).render() + "\n").collect();
+        assert!(text.contains("ColumnScan T"), "{text}");
+        assert!(text.contains("preds=1"), "pushdown should apply: {text}");
+    }
+
+    #[test]
+    fn insert_select_and_column_lists() {
+        let mut s = session();
+        s.execute("CREATE TABLE a (x INT, y VARCHAR(5))").unwrap();
+        s.execute("CREATE TABLE b (y VARCHAR(5), x INT)").unwrap();
+        s.execute("INSERT INTO a VALUES (1, 'p'), (2, 'q')").unwrap();
+        s.execute("INSERT INTO b (x, y) SELECT x, y FROM a").unwrap();
+        let rows = s.query("SELECT y FROM b ORDER BY x").unwrap();
+        assert_eq!(rows[0].get(0).as_str(), Some("p"));
+        // Unspecified columns become NULL.
+        s.execute("INSERT INTO b (x) VALUES (3)").unwrap();
+        let rows = s.query("SELECT y FROM b WHERE x = 3").unwrap();
+        assert!(rows[0].get(0).is_null());
+    }
+
+    #[test]
+    fn monitor_counts_statements() {
+        let mut s = session();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        let _ = s.execute("SELECT * FROM missing_table");
+        let m = s.database().monitor();
+        assert_eq!(m.stats("CREATE").count, 1);
+        assert_eq!(m.stats("INSERT").count, 1);
+        assert_eq!(m.stats("SELECT").errors, 1);
+    }
+
+    #[test]
+    fn connect_by_hierarchy() {
+        let mut s = session();
+        s.execute("CREATE TABLE org (emp VARCHAR(10), mgr VARCHAR(10))")
+            .unwrap();
+        s.execute(
+            "INSERT INTO org VALUES ('ceo', NULL), ('vp1', 'ceo'), ('vp2', 'ceo'), \
+             ('eng1', 'vp1'), ('eng2', 'vp1')",
+        )
+        .unwrap();
+        s.set_dialect(Dialect::Oracle);
+        let rows = s
+            .query(
+                "SELECT emp, LEVEL FROM org START WITH mgr IS NULL \
+                 CONNECT BY PRIOR emp = mgr ORDER BY LEVEL, emp",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].get(0).as_str(), Some("ceo"));
+        assert_eq!(rows[0].get(1), &Datum::Int(1));
+        assert_eq!(rows[4].get(1), &Datum::Int(3));
+    }
+
+    #[test]
+    fn netezza_dialect_features() {
+        let mut s = session();
+        s.execute("CREATE TABLE t (a INT, b VARCHAR(10))").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 'aa'), (2, NULL), (3, 'cc')")
+            .unwrap();
+        s.set_dialect(Dialect::Netezza);
+        let rows = s
+            .query("SELECT a, b FROM t WHERE b NOTNULL ORDER BY a LIMIT 1 OFFSET 1")
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Datum::Int(3));
+        let rows = s.query("SELECT a::FLOAT8 FROM t ORDER BY 1 LIMIT 1").unwrap();
+        assert_eq!(rows[0].get(0), &Datum::Float(1.0));
+    }
+
+    #[test]
+    fn decode_nvl_in_oracle_queries() {
+        let mut s = session();
+        s.execute("CREATE TABLE t (status INT, note VARCHAR(10))").unwrap();
+        s.execute("INSERT INTO t VALUES (1, NULL), (2, 'hi')").unwrap();
+        s.set_dialect(Dialect::Oracle);
+        let rows = s
+            .query(
+                "SELECT DECODE(status, 1, 'on', 2, 'off', 'other'), NVL(note, '-') \
+                 FROM t ORDER BY status",
+            )
+            .unwrap();
+        assert_eq!(rows[0].get(0).as_str(), Some("on"));
+        assert_eq!(rows[0].get(1).as_str(), Some("-"));
+        assert_eq!(rows[1].get(0).as_str(), Some("off"));
+    }
+
+    #[test]
+    fn wildcard_and_qualified_wildcard() {
+        let mut s = session();
+        s.execute("CREATE TABLE l (a INT)").unwrap();
+        s.execute("CREATE TABLE r (b INT)").unwrap();
+        s.execute("INSERT INTO l VALUES (1)").unwrap();
+        s.execute("INSERT INTO r VALUES (2)").unwrap();
+        let rows = s.query("SELECT * FROM l CROSS JOIN r").unwrap();
+        assert_eq!(rows[0].len(), 2);
+        let rows = s.query("SELECT r.* FROM l CROSS JOIN r").unwrap();
+        assert_eq!(rows[0].len(), 1);
+        assert_eq!(rows[0].get(0), &Datum::Int(2));
+    }
+}

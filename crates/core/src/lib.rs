@@ -1,0 +1,37 @@
+//! `dash-core` — the single-node dashDB Local engine facade.
+//!
+//! This crate ties the substrate crates into the system a user actually
+//! talks to:
+//!
+//! * [`catalog`] — tables, views (with their creation dialect), sequences,
+//!   DB2 aliases, temporary objects;
+//! * [`database`] — [`Database`] and [`Session`]: parse → plan → execute
+//!   for every statement kind, with per-session SQL dialect
+//!   (`SET SQL_DIALECT = ORACLE`), EXPLAIN, and result sets;
+//! * [`autoconf`] — the §II.A automatic configuration: hardware detection
+//!   and the derivation of memory/parallelism/WLM settings ("no
+//!   configuration adjustments or system tuning are required by the
+//!   user");
+//! * [`wlm`] — workload management: admission control sized by the
+//!   auto-configuration;
+//! * [`fluid`] — Fluid Query (§II.C.6): nicknames over remote data stores
+//!   through pluggable connectors;
+//! * [`monitor`] — statement counters and timing, the monitoring history
+//!   the console displays.
+//!
+//! The MPP layer (`dash-mpp`) runs one of these engines per data shard.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod autoconf;
+pub mod catalog;
+pub mod database;
+pub mod fluid;
+pub mod monitor;
+pub mod result;
+pub mod wlm;
+
+pub use autoconf::{AutoConfig, HardwareSpec};
+pub use database::{Database, Session};
+pub use result::QueryResult;

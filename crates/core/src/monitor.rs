@@ -1,0 +1,107 @@
+//! Statement monitoring counters.
+//!
+//! The Docker image ships a web console with database monitoring history;
+//! this is the counter store behind such a console: per-statement-kind
+//! counts and cumulative wall time, cheap enough to update on every
+//! statement.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One statement-kind's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KindStats {
+    /// Statements executed.
+    pub count: u64,
+    /// Statements that failed.
+    pub errors: u64,
+    /// Cumulative execution wall time.
+    pub total_time: Duration,
+    /// Slowest single statement.
+    pub max_time: Duration,
+}
+
+/// The monitoring store.
+#[derive(Clone, Default)]
+pub struct Monitor {
+    inner: Arc<Mutex<BTreeMap<&'static str, KindStats>>>,
+}
+
+impl Monitor {
+    /// Fresh store.
+    pub fn new() -> Monitor {
+        Monitor::default()
+    }
+
+    /// Record one executed statement.
+    pub fn record(&self, kind: &'static str, elapsed: Duration, ok: bool) {
+        let mut m = self.inner.lock();
+        let e = m.entry(kind).or_default();
+        e.count += 1;
+        if !ok {
+            e.errors += 1;
+        }
+        e.total_time += elapsed;
+        e.max_time = e.max_time.max(elapsed);
+    }
+
+    /// Counters for one statement kind.
+    pub fn stats(&self, kind: &str) -> KindStats {
+        self.inner.lock().get(kind).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of every kind, sorted by name.
+    pub fn snapshot(&self) -> Vec<(&'static str, KindStats)> {
+        self.inner.lock().iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Total statements across kinds.
+    pub fn total_statements(&self) -> u64 {
+        self.inner.lock().values().map(|v| v.count).sum()
+    }
+
+    /// Render the monitoring history as a small report.
+    pub fn report(&self) -> String {
+        let mut out = String::from("statement     count   errors   total_ms   max_ms\n");
+        for (k, s) in self.snapshot() {
+            out.push_str(&format!(
+                "{:<12} {:>6} {:>8} {:>10.1} {:>8.1}\n",
+                k,
+                s.count,
+                s.errors,
+                s.total_time.as_secs_f64() * 1e3,
+                s.max_time.as_secs_f64() * 1e3,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let m = Monitor::new();
+        m.record("SELECT", Duration::from_millis(10), true);
+        m.record("SELECT", Duration::from_millis(30), false);
+        m.record("INSERT", Duration::from_millis(1), true);
+        let s = m.stats("SELECT");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.max_time, Duration::from_millis(30));
+        assert_eq!(m.total_statements(), 3);
+        let rep = m.report();
+        assert!(rep.contains("SELECT"));
+        assert!(rep.contains("INSERT"));
+    }
+
+    #[test]
+    fn unknown_kind_is_zero() {
+        let m = Monitor::new();
+        assert_eq!(m.stats("DROP"), KindStats::default());
+    }
+}

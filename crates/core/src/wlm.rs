@@ -1,0 +1,165 @@
+//! Workload management.
+//!
+//! The auto-configuration sizes an admission limit for concurrent
+//! heavyweight queries (§II.A lists "workload management infrastructure"
+//! among the automatically configured subsystems). Queries above the limit
+//! queue; the concurrent-workload benchmark (Table 1, Test 2) runs its 100
+//! streams through this gate.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct WlmState {
+    running: u32,
+    queued: u32,
+    peak_running: u32,
+    peak_queued: u32,
+    admitted_total: u64,
+}
+
+/// Admission-control gate.
+#[derive(Clone)]
+pub struct WorkloadManager {
+    limit: u32,
+    state: Arc<(Mutex<WlmState>, Condvar)>,
+}
+
+/// RAII admission ticket; releases the slot on drop.
+pub struct Admission {
+    wlm: WorkloadManager,
+}
+
+impl WorkloadManager {
+    /// Gate admitting up to `limit` concurrent queries.
+    pub fn new(limit: u32) -> WorkloadManager {
+        WorkloadManager {
+            limit: limit.max(1),
+            state: Arc::new((Mutex::new(WlmState::default()), Condvar::new())),
+        }
+    }
+
+    /// The admission limit.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Block until a slot is free, then occupy it.
+    pub fn admit(&self) -> Admission {
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock();
+        st.queued += 1;
+        st.peak_queued = st.peak_queued.max(st.queued);
+        while st.running >= self.limit {
+            cv.wait(&mut st);
+        }
+        st.queued -= 1;
+        st.running += 1;
+        st.peak_running = st.peak_running.max(st.running);
+        st.admitted_total += 1;
+        Admission { wlm: self.clone() }
+    }
+
+    /// Try to occupy a slot without blocking.
+    pub fn try_admit(&self) -> Option<Admission> {
+        let (lock, _) = &*self.state;
+        let mut st = lock.lock();
+        if st.running >= self.limit {
+            return None;
+        }
+        st.running += 1;
+        st.peak_running = st.peak_running.max(st.running);
+        st.admitted_total += 1;
+        Some(Admission { wlm: self.clone() })
+    }
+
+    /// Block with a timeout; `None` if the slot never freed.
+    pub fn admit_timeout(&self, timeout: Duration) -> Option<Admission> {
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock();
+        st.queued += 1;
+        st.peak_queued = st.peak_queued.max(st.queued);
+        let deadline = std::time::Instant::now() + timeout;
+        while st.running >= self.limit {
+            if cv.wait_until(&mut st, deadline).timed_out() {
+                st.queued -= 1;
+                return None;
+            }
+        }
+        st.queued -= 1;
+        st.running += 1;
+        st.peak_running = st.peak_running.max(st.running);
+        st.admitted_total += 1;
+        Some(Admission { wlm: self.clone() })
+    }
+
+    /// (running, queued, peak_running, peak_queued, admitted_total).
+    pub fn snapshot(&self) -> (u32, u32, u32, u32, u64) {
+        let st = self.state.0.lock();
+        (
+            st.running,
+            st.queued,
+            st.peak_running,
+            st.peak_queued,
+            st.admitted_total,
+        )
+    }
+}
+
+impl Drop for Admission {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.wlm.state;
+        let mut st = lock.lock();
+        st.running -= 1;
+        cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn respects_limit_under_contention() {
+        let wlm = WorkloadManager::new(4);
+        let mut handles = Vec::new();
+        for _ in 0..32 {
+            let w = wlm.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    let _ticket = w.admit();
+                    std::hint::black_box(());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (running, queued, peak_running, _, admitted) = wlm.snapshot();
+        assert_eq!(running, 0);
+        assert_eq!(queued, 0);
+        assert!(peak_running <= 4, "peak {peak_running} exceeded the limit");
+        assert_eq!(admitted, 32 * 50);
+    }
+
+    #[test]
+    fn try_admit_fails_when_full() {
+        let wlm = WorkloadManager::new(1);
+        let t1 = wlm.try_admit().expect("first slot");
+        assert!(wlm.try_admit().is_none());
+        drop(t1);
+        assert!(wlm.try_admit().is_some());
+    }
+
+    #[test]
+    fn admit_timeout_times_out() {
+        let wlm = WorkloadManager::new(1);
+        let _hold = wlm.admit();
+        let r = wlm.admit_timeout(Duration::from_millis(20));
+        assert!(r.is_none());
+        let (_, queued, ..) = wlm.snapshot();
+        assert_eq!(queued, 0, "timed-out waiter must leave the queue");
+    }
+}

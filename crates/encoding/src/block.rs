@@ -1,0 +1,326 @@
+//! Encoded column blocks.
+//!
+//! A block is the unit of columnar storage: roughly one storage page worth
+//! of one column's values (the storage layer sizes blocks to the stride
+//! length, ~1 K tuples). Blocks are self-describing enough for the scan to
+//! operate on them without decompression:
+//!
+//! * **Minus blocks** hold a single fully-ordered code bank
+//!   ([`crate::minus::MinusBlock`]).
+//! * **Dict blocks** hold one bank per frequency partition plus a selector
+//!   vector tagging each position's partition, and an *exception bank* for
+//!   values inserted after the dictionary was built. When an entire block
+//!   falls into one partition (the common case for clustered data) the
+//!   selector vector is elided — the paper's page-local optimization.
+
+use crate::bitmap::Bitmap;
+use crate::bitpack::BitPackedVec;
+use crate::minus::MinusBlock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Values that did not exist when the column dictionary was built.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExceptionBank {
+    /// Raw orderable-u64 values, in arrival order.
+    Int(Vec<u64>),
+    /// Raw strings, in arrival order.
+    Str(Vec<Arc<str>>),
+}
+
+impl ExceptionBank {
+    /// Number of exception values.
+    pub fn len(&self) -> usize {
+        match self {
+            ExceptionBank::Int(v) => v.len(),
+            ExceptionBank::Str(v) => v.len(),
+        }
+    }
+
+    /// True if there are no exceptions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ExceptionBank::Int(v) => v.len() * 8,
+            ExceptionBank::Str(v) => v.iter().map(|s| 16 + s.len()).sum(),
+        }
+    }
+}
+
+/// The physical representation of one block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BlockRepr {
+    /// Frame-of-reference codes (fully order-preserving single bank).
+    Minus(MinusBlock),
+    /// Frequency-partitioned dictionary codes.
+    Dict {
+        /// Partition tag per position (width covers partition count plus the
+        /// exception tag). `None` when the whole block is one partition.
+        selectors: Option<BitPackedVec>,
+        /// When `selectors` is `None`: the partition every value belongs to.
+        single_part: u8,
+        /// Per-partition code banks, in arrival order within each bank.
+        banks: Vec<BitPackedVec>,
+        /// Values missing from the dictionary, in arrival order.
+        exceptions: ExceptionBank,
+    },
+}
+
+/// One encoded block of a column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedBlock {
+    /// Number of logical positions (rows) in the block.
+    pub len: usize,
+    /// Null bitmap: bit set = NULL at that position. `None` = no NULLs.
+    pub nulls: Option<Bitmap>,
+    /// The code representation.
+    pub repr: BlockRepr,
+}
+
+impl EncodedBlock {
+    /// True if position `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n.get(i))
+    }
+
+    /// Number of NULLs in the block.
+    pub fn null_count(&self) -> usize {
+        self.nulls.as_ref().map_or(0, |n| n.count_ones())
+    }
+
+    /// Compressed size in bytes (codes + selectors + null bitmap).
+    pub fn size_bytes(&self) -> usize {
+        let nulls = self.nulls.as_ref().map_or(0, |n| n.words().len() * 8);
+        let repr = match &self.repr {
+            BlockRepr::Minus(m) => m.size_bytes(),
+            BlockRepr::Dict {
+                selectors,
+                banks,
+                exceptions,
+                ..
+            } => {
+                selectors.as_ref().map_or(0, |s| s.size_bytes())
+                    + banks.iter().map(|b| b.size_bytes()).sum::<usize>()
+                    + exceptions.size_bytes()
+            }
+        };
+        nulls + repr
+    }
+
+    /// Walk positions in order, yielding `(position, PosCode)` for non-null
+    /// positions. This is the sequential access path used by decode, gather
+    /// and the fallback (non-SIMD) scan.
+    pub fn for_each_pos<F: FnMut(usize, PosCode<'_>)>(&self, mut f: F) {
+        match &self.repr {
+            BlockRepr::Minus(m) => {
+                for (i, c) in m.codes.iter().enumerate() {
+                    if !self.is_null(i) {
+                        f(i, PosCode::Minus(m.base + c));
+                    }
+                }
+            }
+            BlockRepr::Dict {
+                selectors,
+                single_part,
+                banks,
+                exceptions,
+            } => {
+                let ntags = banks.len() as u64;
+                let mut cursors = vec![0usize; banks.len()];
+                let mut exc_cursor = 0usize;
+                match selectors {
+                    Some(sel) => {
+                        for (i, tag) in sel.iter().enumerate() {
+                            if tag == ntags {
+                                let pc = match exceptions {
+                                    ExceptionBank::Int(v) => PosCode::ExcInt(v[exc_cursor]),
+                                    ExceptionBank::Str(v) => PosCode::ExcStr(&v[exc_cursor]),
+                                };
+                                exc_cursor += 1;
+                                if !self.is_null(i) {
+                                    f(i, pc);
+                                }
+                            } else {
+                                let p = tag as usize;
+                                let code = banks[p].get(cursors[p]);
+                                cursors[p] += 1;
+                                if !self.is_null(i) {
+                                    f(i, PosCode::Dict(tag as u8, code));
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        let bank = &banks[*single_part as usize];
+                        for (i, code) in bank.iter().enumerate() {
+                            if !self.is_null(i) {
+                                f(i, PosCode::Dict(*single_part, code));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Map per-bank qualifying bitmaps back to a positional bitmap.
+    ///
+    /// `bank_hits[p]` has one bit per value stored in bank `p` (in arrival
+    /// order); `exc_hits` likewise for the exception bank. The result has
+    /// one bit per block position, with NULL positions cleared.
+    ///
+    /// For minus blocks pass a single bank bitmap and an empty `exc_hits`.
+    pub fn scatter(&self, bank_hits: &[Bitmap], exc_hits: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::zeros(self.len);
+        match &self.repr {
+            BlockRepr::Minus(_) => {
+                // Single positional bank: the bank bitmap IS positional.
+                assert_eq!(bank_hits.len(), 1, "minus block has one bank");
+                out = bank_hits[0].clone();
+            }
+            BlockRepr::Dict {
+                selectors,
+                single_part,
+                banks,
+                ..
+            } => match selectors {
+                Some(sel) => {
+                    let ntags = banks.len() as u64;
+                    let mut cursors = vec![0usize; banks.len()];
+                    let mut exc_cursor = 0usize;
+                    for (i, tag) in sel.iter().enumerate() {
+                        let hit = if tag == ntags {
+                            let h = exc_hits.get(exc_cursor);
+                            exc_cursor += 1;
+                            h
+                        } else {
+                            let p = tag as usize;
+                            let h = bank_hits[p].get(cursors[p]);
+                            cursors[p] += 1;
+                            h
+                        };
+                        if hit {
+                            out.set(i);
+                        }
+                    }
+                }
+                None => {
+                    out = bank_hits[*single_part as usize].clone();
+                }
+            },
+        }
+        if let Some(nulls) = &self.nulls {
+            out.and_not_with(nulls);
+        }
+        out
+    }
+
+    /// A positional bitmap of the NULLs (for `IS NULL`).
+    pub fn null_bitmap(&self) -> Bitmap {
+        self.nulls
+            .clone()
+            .unwrap_or_else(|| Bitmap::zeros(self.len))
+    }
+}
+
+/// A decoded code at one position (borrowed view, no allocation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PosCode<'a> {
+    /// Minus-block value in the orderable-u64 domain.
+    Minus(u64),
+    /// Dictionary code: (partition, code).
+    Dict(u8, u64),
+    /// Exception value in the orderable-u64 domain.
+    ExcInt(u64),
+    /// Exception string.
+    ExcStr(&'a str),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict_block() -> EncodedBlock {
+        // Positions: [p0c1, exc, p1c0, p0c0, null(p0c0 dummy)]
+        let mut sel = BitPackedVec::new(2);
+        for tag in [0u64, 2, 1, 0, 0] {
+            sel.push(tag);
+        }
+        let bank0 = BitPackedVec::from_codes(1, &[1, 0, 0]);
+        let bank1 = BitPackedVec::from_codes(3, &[0]);
+        let mut nulls = Bitmap::zeros(5);
+        nulls.set(4);
+        EncodedBlock {
+            len: 5,
+            nulls: Some(nulls),
+            repr: BlockRepr::Dict {
+                selectors: Some(sel),
+                single_part: 0,
+                banks: vec![bank0, bank1],
+                exceptions: ExceptionBank::Int(vec![999]),
+            },
+        }
+    }
+
+    #[test]
+    fn for_each_pos_walks_banks_in_order() {
+        let block = dict_block();
+        let mut seen = Vec::new();
+        block.for_each_pos(|i, pc| seen.push((i, format!("{pc:?}"))));
+        assert_eq!(seen.len(), 4); // null position skipped
+        assert_eq!(seen[0].0, 0);
+        assert!(seen[0].1.contains("Dict(0, 1)"));
+        assert!(seen[1].1.contains("ExcInt(999)"));
+        assert!(seen[2].1.contains("Dict(1, 0)"));
+        assert!(seen[3].1.contains("Dict(0, 0)"));
+    }
+
+    #[test]
+    fn scatter_maps_bank_hits_to_positions() {
+        let block = dict_block();
+        // Qualify bank0 value #1 (position 3) and the exception.
+        let b0 = Bitmap::from_bools([false, true, false]);
+        let b1 = Bitmap::from_bools([false]);
+        let exc = Bitmap::from_bools([true]);
+        let out = block.scatter(&[b0, b1], &exc);
+        let hits: Vec<usize> = out.iter_ones().collect();
+        assert_eq!(hits, vec![1, 3]);
+    }
+
+    #[test]
+    fn scatter_clears_nulls() {
+        let block = dict_block();
+        // Qualify everything; position 4 (null) must still be cleared.
+        let b0 = Bitmap::ones(3);
+        let b1 = Bitmap::ones(1);
+        let exc = Bitmap::ones(1);
+        let out = block.scatter(&[b0, b1], &exc);
+        assert!(!out.get(4));
+        assert_eq!(out.count_ones(), 4);
+    }
+
+    #[test]
+    fn minus_scatter_passthrough() {
+        let m = MinusBlock::encode(&[Some(5), Some(6), Some(7)]);
+        let block = EncodedBlock {
+            len: 3,
+            nulls: None,
+            repr: BlockRepr::Minus(m),
+        };
+        let hits = Bitmap::from_bools([true, false, true]);
+        let out = block.scatter(std::slice::from_ref(&hits), &Bitmap::zeros(0));
+        assert_eq!(out, hits);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let block = dict_block();
+        assert!(block.size_bytes() > 0);
+        assert_eq!(block.null_count(), 1);
+    }
+}

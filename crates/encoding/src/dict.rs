@@ -1,0 +1,440 @@
+//! Frequency-partitioned, order-preserving dictionaries.
+//!
+//! This is the paper's *frequency encoding* (§II.B.1): distinct values are
+//! split into a small number of **frequency partitions**; the hottest values
+//! land in partition 0 and get the narrowest codes ("data with the highest
+//! frequency of occurrence are encoded with the shortest representation ...
+//! as small as one bit"). Within each partition, codes are assigned in
+//! *value order*, so codes are binary-comparable for `=`, `<`, `BETWEEN`
+//! **within a partition** — the order-preserving property that enables
+//! operating on compressed data (§II.B.2).
+//!
+//! Partition boundaries are chosen by a small dynamic program that minimizes
+//! total encoded bits (code bits weighted by frequency), considering
+//! boundaries at powers of two.
+
+use crate::bitpack::bits_for;
+use crate::histogram::Histogram;
+use dash_common::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+
+/// Maximum number of frequency partitions per dictionary.
+pub const MAX_PARTITIONS: usize = 4;
+
+/// One frequency partition: its values in *value order* and the code width.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition<T> {
+    /// Values in ascending value order; a value's code is its index here.
+    pub values: Vec<T>,
+    /// Code width in bits (`bits_for(values.len() - 1)`).
+    pub width: u8,
+}
+
+/// A frequency-partitioned order-preserving dictionary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FreqDict<T: Eq + Hash> {
+    partitions: Vec<Partition<T>>,
+    #[serde(skip)]
+    lookup: FxHashMap<T, (u8, u64)>,
+}
+
+/// A (partition, code) pair identifying one dictionary entry.
+pub type DictCode = (u8, u64);
+
+impl<T: Eq + Hash + Clone + Ord> FreqDict<T> {
+    /// Build a dictionary from a histogram.
+    ///
+    /// Values are tiered by frequency; each tier becomes a partition whose
+    /// codes are assigned in value order. At most [`MAX_PARTITIONS`] tiers.
+    pub fn build(hist: &Histogram<T>) -> FreqDict<T> {
+        let by_freq = hist.by_frequency();
+        let boundaries = choose_boundaries(&by_freq);
+        let mut partitions = Vec::with_capacity(boundaries.len());
+        let mut start = 0usize;
+        for &end in &boundaries {
+            let mut values: Vec<T> = by_freq[start..end].iter().map(|(v, _)| v.clone()).collect();
+            values.sort();
+            let width = bits_for(values.len().saturating_sub(1) as u64);
+            partitions.push(Partition { values, width });
+            start = end;
+        }
+        if partitions.is_empty() {
+            partitions.push(Partition {
+                values: Vec::new(),
+                width: 0,
+            });
+        }
+        let mut dict = FreqDict {
+            partitions,
+            lookup: FxHashMap::default(),
+        };
+        dict.rebuild_lookup();
+        dict
+    }
+
+    /// Rebuild the encode-side hash map (needed after deserialization since
+    /// the lookup is not serialized).
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup.clear();
+        for (p, part) in self.partitions.iter().enumerate() {
+            for (c, v) in part.values.iter().enumerate() {
+                self.lookup.insert(v.clone(), (p as u8, c as u64));
+            }
+        }
+    }
+
+    /// The partitions, hottest first.
+    pub fn partitions(&self) -> &[Partition<T>] {
+        &self.partitions
+    }
+
+    /// Number of partitions (excluding the per-block exception bank, which
+    /// is a block-level concept).
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.values.len()).sum()
+    }
+
+    /// True if the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encode a value. `None` if the value is not in the dictionary (the
+    /// block encoder will route it to the exception bank).
+    #[inline]
+    pub fn encode(&self, value: &T) -> Option<DictCode> {
+        self.lookup.get(value).copied()
+    }
+
+    /// Decode a (partition, code) pair.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range partition or code (indicates corruption).
+    #[inline]
+    pub fn decode(&self, part: u8, code: u64) -> &T {
+        &self.partitions[part as usize].values[code as usize]
+    }
+
+    /// For a range predicate `lo..=hi` (either bound optional), the
+    /// qualifying *code* range within partition `p`, or `None` if no value
+    /// of that partition qualifies. Because codes are assigned in value
+    /// order within the partition, the qualifying codes are contiguous.
+    pub fn code_bounds(
+        &self,
+        part: usize,
+        lo: Option<&T>,
+        hi: Option<&T>,
+    ) -> Option<(u64, u64)> {
+        let values = &self.partitions[part].values;
+        if values.is_empty() {
+            return None;
+        }
+        let start = match lo {
+            Some(lo) => values.partition_point(|v| v < lo),
+            None => 0,
+        };
+        let end = match hi {
+            Some(hi) => values.partition_point(|v| v <= hi),
+            None => values.len(),
+        };
+        if start >= end {
+            None
+        } else {
+            Some((start as u64, end as u64 - 1))
+        }
+    }
+
+    /// Smallest and largest value across all partitions (for synopsis use).
+    pub fn min_max(&self) -> Option<(&T, &T)> {
+        let mut min: Option<&T> = None;
+        let mut max: Option<&T> = None;
+        for p in &self.partitions {
+            if let (Some(first), Some(last)) = (p.values.first(), p.values.last()) {
+                min = Some(match min {
+                    Some(m) if m <= first => m,
+                    _ => first,
+                });
+                max = Some(match max {
+                    Some(m) if m >= last => m,
+                    _ => last,
+                });
+            }
+        }
+        min.zip(max)
+    }
+
+    /// Width of the selector vector needed to tag a value's partition,
+    /// reserving one extra tag for the block-level exception bank.
+    pub fn selector_width(&self) -> u8 {
+        bits_for(self.partitions.len() as u64) // exception tag == partitions.len()
+    }
+
+    /// Estimated in-memory dictionary size in bytes (values + lookup).
+    pub fn approx_size_bytes(&self) -> usize
+    where
+        T: DictSized,
+    {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.values.iter())
+            .map(|v| v.dict_size())
+            .sum::<usize>()
+    }
+}
+
+/// Size accounting for dictionary entries.
+pub trait DictSized {
+    /// Approximate heap bytes for one entry.
+    fn dict_size(&self) -> usize;
+}
+
+impl DictSized for u64 {
+    fn dict_size(&self) -> usize {
+        8
+    }
+}
+
+impl DictSized for std::sync::Arc<str> {
+    fn dict_size(&self) -> usize {
+        16 + self.len()
+    }
+}
+
+/// Choose partition boundaries over the frequency-sorted distinct values.
+///
+/// Dynamic program: candidate boundaries sit at powers of two (1, 2, 4, ...,
+/// D); we pick at most [`MAX_PARTITIONS`] segments minimizing
+/// `Σ_segments (code_width(segment) + selector_overhead) · occurrences`.
+/// Returns the chosen cumulative end indices (last one == D).
+fn choose_boundaries<T>(by_freq: &[(T, u64)]) -> Vec<usize> {
+    let d = by_freq.len();
+    if d == 0 {
+        return vec![];
+    }
+    // Prefix sums of occurrence counts.
+    let mut prefix = vec![0u64; d + 1];
+    for (i, (_, c)) in by_freq.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    // Candidate boundary positions: powers of two plus D itself.
+    let mut cands: Vec<usize> = Vec::new();
+    let mut p = 1usize;
+    while p < d {
+        cands.push(p);
+        p *= 2;
+    }
+    cands.push(d);
+
+    // cost(a, b): encode values [a, b) as one partition.
+    let seg_cost = |a: usize, b: usize| -> u64 {
+        let width = bits_for((b - a - 1) as u64) as u64;
+        let occurrences = prefix[b] - prefix[a];
+        width * occurrences
+    };
+
+    // DP over (#partitions used, boundary index).
+    let nc = cands.len();
+    let inf = u64::MAX;
+    // best[k][j] = min cost covering [0, cands[j]) with k+1 partitions.
+    let mut best = vec![vec![inf; nc]; MAX_PARTITIONS];
+    let mut from = vec![vec![usize::MAX; nc]; MAX_PARTITIONS];
+    for j in 0..nc {
+        best[0][j] = seg_cost(0, cands[j]);
+    }
+    for k in 1..MAX_PARTITIONS {
+        for j in 0..nc {
+            for i in 0..j {
+                if best[k - 1][i] == inf {
+                    continue;
+                }
+                let c = best[k - 1][i] + seg_cost(cands[i], cands[j]);
+                if c < best[k][j] {
+                    best[k][j] = c;
+                    from[k][j] = i;
+                }
+            }
+        }
+    }
+    // Selector overhead: with k+1 partitions the selector vector costs
+    // bits_for(k+1) bits per occurrence (the +1 reserves the exception tag).
+    let total = prefix[d];
+    let last = nc - 1;
+    let mut best_k = 0;
+    let mut best_total = inf;
+    for (k, row) in best.iter().enumerate() {
+        if row[last] == inf {
+            continue;
+        }
+        let sel = bits_for((k + 1) as u64) as u64 * total;
+        let t = row[last] + sel;
+        if t < best_total {
+            best_total = t;
+            best_k = k;
+        }
+    }
+    // Walk back the chosen boundaries.
+    let mut bounds = vec![cands[last]];
+    let mut k = best_k;
+    let mut j = last;
+    while k > 0 {
+        j = from[k][j];
+        bounds.push(cands[j]);
+        k -= 1;
+    }
+    bounds.reverse();
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn skewed_hist() -> Histogram<u64> {
+        // Two ultra-hot values, a warm tier, and a cold long tail.
+        let mut h = Histogram::new();
+        for _ in 0..5000 {
+            h.add(&100);
+        }
+        for _ in 0..4000 {
+            h.add(&50);
+        }
+        for v in 0..30u64 {
+            for _ in 0..40 {
+                h.add(&(200 + v));
+            }
+        }
+        for v in 0..500u64 {
+            h.add(&(1000 + v));
+        }
+        h
+    }
+
+    #[test]
+    fn hot_values_get_short_codes() {
+        let dict = FreqDict::build(&skewed_hist());
+        let (p_hot, _) = dict.encode(&100).unwrap();
+        let (p_cold, _) = dict.encode(&1250).unwrap();
+        assert!(p_hot < p_cold, "hot value must be in an earlier partition");
+        let hot_width = dict.partitions()[p_hot as usize].width;
+        let cold_width = dict.partitions()[p_cold as usize].width;
+        assert!(
+            hot_width < cold_width,
+            "hot width {hot_width} !< cold width {cold_width}"
+        );
+        assert!(hot_width <= 2, "two hot values should need <= 2 bits (got {hot_width})");
+    }
+
+    #[test]
+    fn order_preserving_within_partition() {
+        let dict = FreqDict::build(&skewed_hist());
+        for part in dict.partitions() {
+            for w in part.values.windows(2) {
+                assert!(w[0] < w[1], "partition values must be sorted");
+            }
+        }
+        // Codes within a partition compare like values.
+        let (p1, c1) = dict.encode(&1000).unwrap();
+        let (p2, c2) = dict.encode(&1499).unwrap();
+        if p1 == p2 {
+            assert!(c1 < c2);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_values() {
+        let h = skewed_hist();
+        let dict = FreqDict::build(&h);
+        for (v, _) in h.by_frequency() {
+            let (p, c) = dict.encode(&v).unwrap();
+            assert_eq!(*dict.decode(p, c), v);
+        }
+        assert_eq!(dict.encode(&999_999), None);
+    }
+
+    #[test]
+    fn code_bounds_semantics() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            h.add(&v);
+        }
+        let dict = FreqDict::build(&h);
+        // Sum qualifying codes across partitions for a value range.
+        let qualifying = |lo: Option<u64>, hi: Option<u64>| -> u64 {
+            (0..dict.partition_count())
+                .filter_map(|p| dict.code_bounds(p, lo.as_ref(), hi.as_ref()))
+                .map(|(a, b)| b - a + 1)
+                .sum()
+        };
+        assert_eq!(qualifying(None, None), 5);
+        assert_eq!(qualifying(Some(20), Some(40)), 3); // 20, 30, 40
+        assert_eq!(qualifying(Some(55), None), 0);
+        assert_eq!(qualifying(Some(15), Some(19)), 0);
+        // Bounds between values (25..=35) qualify only 30.
+        assert_eq!(qualifying(Some(25), Some(35)), 1);
+    }
+
+    #[test]
+    fn min_max_spans_partitions() {
+        let dict = FreqDict::build(&skewed_hist());
+        let (min, max) = dict.min_max().unwrap();
+        assert_eq!(*min, 50);
+        assert_eq!(*max, 1499);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h: Histogram<u64> = Histogram::new();
+        let dict = FreqDict::build(&h);
+        assert!(dict.is_empty());
+        assert_eq!(dict.encode(&1), None);
+        assert_eq!(dict.min_max(), None);
+    }
+
+    #[test]
+    fn single_value_zero_width() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.add(&7u64);
+        }
+        let dict = FreqDict::build(&h);
+        assert_eq!(dict.partition_count(), 1);
+        assert_eq!(dict.partitions()[0].width, 0, "single value needs 0 bits");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_roundtrip(values in prop::collection::vec(0u64..1000, 1..400)) {
+            let h = Histogram::from_values(values.iter().map(Some));
+            let dict = FreqDict::build(&h);
+            for v in &values {
+                let (p, c) = dict.encode(v).expect("value present");
+                prop_assert_eq!(dict.decode(p, c), v);
+            }
+        }
+
+        #[test]
+        fn prop_code_bounds_sound_and_complete(
+            values in prop::collection::vec(0u64..200, 1..300),
+            lo in 0u64..200,
+            span in 0u64..100,
+        ) {
+            let hi = lo + span;
+            let h = Histogram::from_values(values.iter().map(Some));
+            let dict = FreqDict::build(&h);
+            for v in &values {
+                let (p, c) = dict.encode(v).unwrap();
+                let in_range = *v >= lo && *v <= hi;
+                let bounds = dict.code_bounds(p as usize, Some(&lo), Some(&hi));
+                let qualifies = bounds.is_some_and(|(a, b)| c >= a && c <= b);
+                prop_assert_eq!(in_range, qualifies, "value {} range [{},{}]", v, lo, hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Column frequency analysis.
+//!
+//! The compressor's first step mirrors dashDB's automated statistics
+//! collection: build a value histogram, measure cardinality and skew, and
+//! hand the result to the dictionary builder which decides the frequency
+//! partitioning.
+
+use dash_common::fxhash::FxHashMap;
+use std::hash::Hash;
+
+/// A value histogram: distinct values with occurrence counts.
+#[derive(Debug, Clone)]
+pub struct Histogram<T> {
+    counts: FxHashMap<T, u64>,
+    total: u64,
+    nulls: u64,
+}
+
+impl<T: Eq + Hash + Clone + Ord> Histogram<T> {
+    /// Empty histogram.
+    pub fn new() -> Histogram<T> {
+        Histogram {
+            counts: FxHashMap::default(),
+            total: 0,
+            nulls: 0,
+        }
+    }
+
+    /// Build from an iterator of optional values (None = SQL NULL).
+    pub fn from_values<'a, I>(values: I) -> Histogram<T>
+    where
+        I: IntoIterator<Item = Option<&'a T>>,
+        T: 'a,
+    {
+        let mut h = Histogram::new();
+        for v in values {
+            match v {
+                Some(v) => h.add(v),
+                None => h.add_null(),
+            }
+        }
+        h
+    }
+
+    /// Record one occurrence of `value`.
+    pub fn add(&mut self, value: &T) {
+        *self.counts.entry(value.clone()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record one NULL.
+    pub fn add_null(&mut self) {
+        self.nulls += 1;
+    }
+
+    /// Number of distinct non-null values.
+    pub fn cardinality(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total non-null occurrences.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of NULLs seen.
+    pub fn nulls(&self) -> u64 {
+        self.nulls
+    }
+
+    /// Distinct values sorted by descending frequency (ties broken by value
+    /// order so the layout is deterministic).
+    pub fn by_frequency(&self) -> Vec<(T, u64)> {
+        let mut v: Vec<(T, u64)> = self
+            .counts
+            .iter()
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Fraction of occurrences covered by the `k` most frequent values
+    /// (the skew signal the partitioner uses).
+    pub fn top_k_coverage(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let by_freq = self.by_frequency();
+        let covered: u64 = by_freq.iter().take(k).map(|(_, c)| c).sum();
+        covered as f64 / self.total as f64
+    }
+}
+
+impl<T: Eq + Hash + Clone + Ord> Default for Histogram<T> {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_nulls() {
+        let vals = [Some(&1), Some(&1), Some(&2), None, Some(&1)];
+        let h = Histogram::from_values(vals.iter().map(|v| v.map(|x| x)));
+        assert_eq!(h.cardinality(), 2);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.nulls(), 1);
+    }
+
+    #[test]
+    fn frequency_ordering_deterministic() {
+        let data = [3, 3, 3, 1, 1, 2, 2, 5];
+        let h = Histogram::from_values(data.iter().map(Some));
+        let by_freq = h.by_frequency();
+        assert_eq!(by_freq[0], (3, 3));
+        // Ties (1 and 2, both count 2) break by value order.
+        assert_eq!(by_freq[1], (1, 2));
+        assert_eq!(by_freq[2], (2, 2));
+        assert_eq!(by_freq[3], (5, 1));
+    }
+
+    #[test]
+    fn coverage() {
+        // 90 copies of one value + 10 distinct singletons: top-1 covers 0.9.
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.add(&42);
+        }
+        for i in 0..10 {
+            h.add(&(100 + i));
+        }
+        assert!((h.top_k_coverage(1) - 0.9).abs() < 1e-9);
+        assert!((h.top_k_coverage(100) - 1.0).abs() < 1e-9);
+    }
+}

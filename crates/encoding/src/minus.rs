@@ -1,0 +1,233 @@
+//! Minus (frame-of-reference) encoding.
+//!
+//! The paper's *minus encoding* for "high cardinality numeric" columns
+//! (§II.B.1): each block stores `value - base` at the minimum width that
+//! covers the block's range. The code is **fully order preserving** across
+//! the whole block, so every comparison predicate maps to a simple code
+//! comparison. Re-basing per block is the paper's "optimized ... locally per
+//! storage page".
+
+use crate::bitpack::{bits_for, BitPackedVec};
+use serde::{Deserialize, Serialize};
+
+/// A minus-encoded code vector: `code[i] = value[i] - base`, packed at the
+/// minimal width. Values live in the orderable-u64 domain (see
+/// [`crate::order`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinusBlock {
+    /// The frame of reference (block minimum).
+    pub base: u64,
+    /// Packed offsets from `base`. NULL positions hold code 0 and are
+    /// masked by the enclosing block's null bitmap.
+    pub codes: BitPackedVec,
+}
+
+impl MinusBlock {
+    /// Encode a slice of optional orderable values.
+    ///
+    /// NULLs are stored as code 0 (the caller masks them out via the null
+    /// bitmap). Returns an all-zero block when every value is NULL.
+    pub fn encode(values: &[Option<u64>]) -> MinusBlock {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut any = false;
+        for v in values.iter().flatten() {
+            min = min.min(*v);
+            max = max.max(*v);
+            any = true;
+        }
+        if !any {
+            return MinusBlock {
+                base: 0,
+                codes: BitPackedVec::from_codes(0, &vec![0; values.len()]),
+            };
+        }
+        let width = bits_for(max - min);
+        let mut codes = BitPackedVec::with_capacity(width, values.len());
+        for v in values {
+            codes.push(match v {
+                Some(v) => v - min,
+                None => 0,
+            });
+        }
+        MinusBlock { base: min, codes }
+    }
+
+    /// Decode position `i` back to the orderable domain.
+    #[inline]
+    pub fn decode(&self, i: usize) -> u64 {
+        self.base + self.codes.get(i)
+    }
+
+    /// Decode the whole block.
+    pub fn decode_all(&self) -> Vec<u64> {
+        self.codes.iter().map(|c| self.base + c).collect()
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the block stores no values.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Map a value-domain inclusive range `[lo, hi]` onto the block's code
+    /// domain. Returns `None` if no code can qualify (whole block pruned —
+    /// this same logic powers data skipping). The returned code range is
+    /// clamped to codes that can actually occur.
+    pub fn code_range(&self, lo: Option<u64>, hi: Option<u64>) -> Option<(u64, u64)> {
+        let width = self.codes.width();
+        let max_code = if width == 0 {
+            0
+        } else if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let lo_code = match lo {
+            Some(lo) => {
+                if lo > self.base.saturating_add(max_code) {
+                    return None; // entire block below lo
+                }
+                lo.saturating_sub(self.base)
+            }
+            None => 0,
+        };
+        let hi_code = match hi {
+            Some(hi) => {
+                if hi < self.base {
+                    return None; // entire block above hi
+                }
+                (hi - self.base).min(max_code)
+            }
+            None => max_code,
+        };
+        if lo_code > hi_code {
+            None
+        } else {
+            Some((lo_code, hi_code))
+        }
+    }
+
+    /// Compressed size in bytes (codes only; base is constant overhead).
+    pub fn size_bytes(&self) -> usize {
+        8 + self.codes.size_bytes()
+    }
+
+    /// Min/max of the stored values in the orderable domain, ignoring the
+    /// positions marked in `nulls` (bit set = NULL).
+    pub fn min_max(&self, nulls: Option<&crate::bitmap::Bitmap>) -> Option<(u64, u64)> {
+        let mut min = None;
+        let mut max = None;
+        for (i, c) in self.codes.iter().enumerate() {
+            if let Some(n) = nulls {
+                if n.get(i) {
+                    continue;
+                }
+            }
+            let v = self.base + c;
+            min = Some(min.map_or(v, |m: u64| m.min(v)));
+            max = Some(max.map_or(v, |m: u64| m.max(v)));
+        }
+        min.zip(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn narrow_width_for_clustered_values() {
+        // Values in [1_000_000, 1_000_255]: 8 bits instead of 64.
+        let values: Vec<Option<u64>> = (0..256).map(|i| Some(1_000_000 + i)).collect();
+        let b = MinusBlock::encode(&values);
+        assert_eq!(b.base, 1_000_000);
+        assert_eq!(b.codes.width(), 8);
+        assert_eq!(b.decode(255), 1_000_255);
+    }
+
+    #[test]
+    fn constant_block_is_zero_width() {
+        let values = vec![Some(42u64); 100];
+        let b = MinusBlock::encode(&values);
+        assert_eq!(b.codes.width(), 0);
+        assert_eq!(b.size_bytes(), 8);
+        assert_eq!(b.decode(99), 42);
+    }
+
+    #[test]
+    fn all_null_block() {
+        let values: Vec<Option<u64>> = vec![None; 10];
+        let b = MinusBlock::encode(&values);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.min_max(None), Some((0, 0))); // dummy zeros; caller masks
+    }
+
+    #[test]
+    fn code_range_mapping() {
+        let values: Vec<Option<u64>> = (100..200).map(Some).collect();
+        let b = MinusBlock::encode(&values);
+        // Fully inside.
+        assert_eq!(b.code_range(Some(110), Some(120)), Some((10, 20)));
+        // Clamped below.
+        assert_eq!(b.code_range(Some(50), Some(120)), Some((0, 20)));
+        // Entirely below the block.
+        assert_eq!(b.code_range(Some(10), Some(50)), None);
+        // Entirely above the block.
+        assert_eq!(b.code_range(Some(500), None), None);
+        // Unbounded.
+        let (lo, hi) = b.code_range(None, None).unwrap();
+        assert_eq!(lo, 0);
+        assert!(hi >= 99);
+    }
+
+    #[test]
+    fn min_max_respects_nulls() {
+        use crate::bitmap::Bitmap;
+        let values = vec![Some(5u64), None, Some(10), Some(1)];
+        let b = MinusBlock::encode(&values);
+        let mut nulls = Bitmap::zeros(4);
+        nulls.set(1);
+        assert_eq!(b.min_max(Some(&nulls)), Some((1, 10)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(values in prop::collection::vec(any::<u64>(), 1..300)) {
+            let opt: Vec<Option<u64>> = values.iter().copied().map(Some).collect();
+            let b = MinusBlock::encode(&opt);
+            prop_assert_eq!(b.decode_all(), values);
+        }
+
+        #[test]
+        fn prop_code_range_sound(
+            values in prop::collection::vec(0u64..10_000, 1..200),
+            lo in 0u64..10_000,
+            span in 0u64..5_000,
+        ) {
+            let hi = lo + span;
+            let opt: Vec<Option<u64>> = values.iter().copied().map(Some).collect();
+            let b = MinusBlock::encode(&opt);
+            match b.code_range(Some(lo), Some(hi)) {
+                Some((clo, chi)) => {
+                    for (i, &v) in values.iter().enumerate() {
+                        let c = b.codes.get(i);
+                        let qualifies = c >= clo && c <= chi;
+                        prop_assert_eq!(v >= lo && v <= hi, qualifies,
+                            "value {} code {} range [{},{}] codes [{},{}]", v, c, lo, hi, clo, chi);
+                    }
+                }
+                None => {
+                    for &v in &values {
+                        prop_assert!(!(v >= lo && v <= hi), "{} in [{},{}] but block pruned", v, lo, hi);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1143 @@
+//! Partitioned hash aggregation and the aggregate-function suite.
+//!
+//! Grouping follows the same cache-conscious recipe as the join (§II.B.7):
+//! rows are hash-partitioned on the group key into cache-sized chunks, and
+//! each chunk is aggregated with its own small hash table. Partitions hold
+//! disjoint key sets, so results simply concatenate.
+//!
+//! The function suite covers the dialect aggregates the paper lists:
+//! `MEDIAN`, `PERCENTILE_CONT`/`_DISC`, `VAR_POP`/`VAR_SAMP`,
+//! `STDDEV_POP`/`STDDEV_SAMP`, `COVAR_POP`/`COVAR_SAMP` plus the ANSI core.
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::functions::EvalContext;
+use crate::join::PARTITION_ROWS;
+use crate::stats::ExecStats;
+use dash_common::fxhash::FxHashMap;
+use dash_common::{DashError, DataType, Datum, Result, Row, Schema};
+use std::collections::HashSet;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(expr)` — counts non-null values.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `MEDIAN(expr)` (Oracle).
+    Median,
+    /// `PERCENTILE_CONT(q)` — continuous percentile (linear interpolation).
+    PercentileCont(f64),
+    /// `PERCENTILE_DISC(q)` — discrete percentile.
+    PercentileDisc(f64),
+    /// `VAR_POP` / `VARIANCE` (population variance).
+    VarPop,
+    /// `VAR_SAMP` / `VARIANCE_SAMP`.
+    VarSamp,
+    /// `STDDEV_POP` / `STDDEV`.
+    StdDevPop,
+    /// `STDDEV_SAMP`.
+    StdDevSamp,
+    /// `COVAR_POP` / `COVARIANCE` (two arguments).
+    CovarPop,
+    /// `COVAR_SAMP` / `COVARIANCE_SAMP`.
+    CovarSamp,
+}
+
+impl AggFunc {
+    /// Resolve an aggregate by (dialect-merged) name. `None` if unknown.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" | "MEAN" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            "MEDIAN" => AggFunc::Median,
+            "VAR_POP" | "VARIANCE" => AggFunc::VarPop,
+            "VAR_SAMP" | "VARIANCE_SAMP" => AggFunc::VarSamp,
+            "STDDEV_POP" | "STDDEV" => AggFunc::StdDevPop,
+            "STDDEV_SAMP" => AggFunc::StdDevSamp,
+            "COVAR_POP" | "COVARIANCE" => AggFunc::CovarPop,
+            "COVAR_SAMP" | "COVARIANCE_SAMP" => AggFunc::CovarSamp,
+            _ => return None,
+        })
+    }
+
+    /// Number of argument expressions the function takes.
+    pub fn arg_count(&self) -> usize {
+        match self {
+            AggFunc::CountStar => 0,
+            AggFunc::CovarPop | AggFunc::CovarSamp => 2,
+            _ => 1,
+        }
+    }
+
+    /// Output type given the input type.
+    pub fn output_type(&self, input: Option<DataType>) -> DataType {
+        match self {
+            AggFunc::CountStar | AggFunc::Count => DataType::Int64,
+            AggFunc::Min | AggFunc::Max => input.unwrap_or(DataType::Float64),
+            AggFunc::Sum => match input {
+                Some(t) if t.is_integer() => DataType::Int64,
+                Some(DataType::Decimal(p, s)) => DataType::Decimal(p, s),
+                _ => DataType::Float64,
+            },
+            _ => DataType::Float64,
+        }
+    }
+}
+
+/// One aggregate expression in a GROUP BY plan node.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument expressions (empty for COUNT(*)).
+    pub args: Vec<Expr>,
+    /// DISTINCT modifier (COUNT(DISTINCT x), SUM(DISTINCT x)...).
+    pub distinct: bool,
+}
+
+/// Running state for one aggregate of one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumInt { sum: i64, any: bool },
+    SumFloat { sum: f64, any: bool },
+    Avg { sum: f64, n: i64 },
+    MinMax { current: Option<Datum>, min: bool },
+    /// Holds all values (percentiles/median need the full set).
+    Values(Vec<f64>),
+    /// Welford-style moments for variance/stddev.
+    Moments { n: i64, mean: f64, m2: f64 },
+    /// Co-moments for covariance.
+    CoMoments { n: i64, mx: f64, my: f64, cxy: f64 },
+    Distinct(HashSet<Datum>, Box<AggState>),
+}
+
+fn new_state(agg: &AggExpr, input_is_int: bool) -> AggState {
+    let base = match agg.func {
+        AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+        AggFunc::Sum if input_is_int => AggState::SumInt { sum: 0, any: false },
+        AggFunc::Sum => AggState::SumFloat { sum: 0.0, any: false },
+        AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+        AggFunc::Min => AggState::MinMax {
+            current: None,
+            min: true,
+        },
+        AggFunc::Max => AggState::MinMax {
+            current: None,
+            min: false,
+        },
+        AggFunc::Median | AggFunc::PercentileCont(_) | AggFunc::PercentileDisc(_) => {
+            AggState::Values(Vec::new())
+        }
+        AggFunc::VarPop | AggFunc::VarSamp | AggFunc::StdDevPop | AggFunc::StdDevSamp => {
+            AggState::Moments {
+                n: 0,
+                mean: 0.0,
+                m2: 0.0,
+            }
+        }
+        AggFunc::CovarPop | AggFunc::CovarSamp => AggState::CoMoments {
+            n: 0,
+            mx: 0.0,
+            my: 0.0,
+            cxy: 0.0,
+        },
+    };
+    if agg.distinct {
+        AggState::Distinct(HashSet::new(), Box::new(base))
+    } else {
+        base
+    }
+}
+
+fn update(state: &mut AggState, values: &[Datum]) -> Result<()> {
+    match state {
+        AggState::Distinct(seen, inner) => {
+            // Only single-argument distinct aggregates are supported.
+            let v = values.first().cloned().unwrap_or(Datum::Null);
+            if v.is_null() || !seen.insert(v) {
+                return Ok(());
+            }
+            update(inner, values)
+        }
+        AggState::Count(c) => {
+            if values.is_empty() || !values[0].is_null() {
+                *c += 1;
+            }
+            Ok(())
+        }
+        AggState::SumInt { sum, any } => {
+            if !values[0].is_null() {
+                let v = values[0]
+                    .as_int()
+                    .ok_or_else(|| DashError::exec("SUM over non-numeric value"))?;
+                *sum = sum
+                    .checked_add(v)
+                    .ok_or_else(|| DashError::exec("SUM overflow"))?;
+                *any = true;
+            }
+            Ok(())
+        }
+        AggState::SumFloat { sum, any } => {
+            if !values[0].is_null() {
+                *sum += values[0]
+                    .as_float()
+                    .ok_or_else(|| DashError::exec("SUM over non-numeric value"))?;
+                *any = true;
+            }
+            Ok(())
+        }
+        AggState::Avg { sum, n } => {
+            if !values[0].is_null() {
+                *sum += values[0]
+                    .as_float()
+                    .ok_or_else(|| DashError::exec("AVG over non-numeric value"))?;
+                *n += 1;
+            }
+            Ok(())
+        }
+        AggState::MinMax { current, min } => {
+            let v = &values[0];
+            if !v.is_null() {
+                let replace = match current {
+                    None => true,
+                    Some(c) => {
+                        let ord = v.sql_cmp(c);
+                        if *min {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        }
+                    }
+                };
+                if replace {
+                    *current = Some(v.clone());
+                }
+            }
+            Ok(())
+        }
+        AggState::Values(vals) => {
+            if !values[0].is_null() {
+                vals.push(
+                    values[0]
+                        .as_float()
+                        .ok_or_else(|| DashError::exec("percentile over non-numeric value"))?,
+                );
+            }
+            Ok(())
+        }
+        AggState::Moments { n, mean, m2 } => {
+            if !values[0].is_null() {
+                let x = values[0]
+                    .as_float()
+                    .ok_or_else(|| DashError::exec("variance over non-numeric value"))?;
+                *n += 1;
+                let delta = x - *mean;
+                *mean += delta / *n as f64;
+                *m2 += delta * (x - *mean);
+            }
+            Ok(())
+        }
+        AggState::CoMoments { n, mx, my, cxy } => {
+            if !values[0].is_null() && !values[1].is_null() {
+                let x = values[0]
+                    .as_float()
+                    .ok_or_else(|| DashError::exec("covariance over non-numeric value"))?;
+                let y = values[1]
+                    .as_float()
+                    .ok_or_else(|| DashError::exec("covariance over non-numeric value"))?;
+                *n += 1;
+                let dx = x - *mx;
+                *mx += dx / *n as f64;
+                *my += (y - *my) / *n as f64;
+                *cxy += dx * (y - *my);
+            }
+            Ok(())
+        }
+    }
+}
+
+fn finish(state: AggState, func: &AggFunc) -> Datum {
+    match state {
+        AggState::Distinct(_, inner) => finish(*inner, func),
+        AggState::Count(c) => Datum::Int(c),
+        AggState::SumInt { sum, any } => {
+            if any {
+                Datum::Int(sum)
+            } else {
+                Datum::Null
+            }
+        }
+        AggState::SumFloat { sum, any } => {
+            if any {
+                Datum::Float(sum)
+            } else {
+                Datum::Null
+            }
+        }
+        AggState::Avg { sum, n } => {
+            if n == 0 {
+                Datum::Null
+            } else {
+                Datum::Float(sum / n as f64)
+            }
+        }
+        AggState::MinMax { current, .. } => current.unwrap_or(Datum::Null),
+        AggState::Values(mut vals) => {
+            if vals.is_empty() {
+                return Datum::Null;
+            }
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let q = match func {
+                AggFunc::Median => 0.5,
+                AggFunc::PercentileCont(q) | AggFunc::PercentileDisc(q) => *q,
+                _ => 0.5,
+            };
+            match func {
+                AggFunc::PercentileDisc(_) => {
+                    // Smallest value whose cumulative distribution >= q.
+                    let idx = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len()) - 1;
+                    Datum::Float(vals[idx])
+                }
+                _ => {
+                    // Continuous interpolation (MEDIAN is PERCENTILE_CONT(0.5)).
+                    let pos = q * (vals.len() - 1) as f64;
+                    let lo = pos.floor() as usize;
+                    let hi = pos.ceil() as usize;
+                    let frac = pos - lo as f64;
+                    Datum::Float(vals[lo] + (vals[hi] - vals[lo]) * frac)
+                }
+            }
+        }
+        AggState::Moments { n, m2, .. } => {
+            let denom = match func {
+                AggFunc::VarSamp | AggFunc::StdDevSamp => n - 1,
+                _ => n,
+            };
+            if denom <= 0 {
+                return Datum::Null;
+            }
+            let var = m2 / denom as f64;
+            match func {
+                AggFunc::StdDevPop | AggFunc::StdDevSamp => Datum::Float(var.sqrt()),
+                _ => Datum::Float(var),
+            }
+        }
+        AggState::CoMoments { n, cxy, .. } => {
+            let denom = match func {
+                AggFunc::CovarSamp => n - 1,
+                _ => n,
+            };
+            if denom <= 0 {
+                return Datum::Null;
+            }
+            Datum::Float(cxy / denom as f64)
+        }
+    }
+}
+
+fn group_hash(key: &[Datum]) -> u64 {
+    let mut h = BuildHasherDefault::<dash_common::fxhash::FxHasher>::default().build_hasher();
+    for v in key {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Vectorized fast path: single bare-column group key with
+/// COUNT/SUM/AVG-style aggregates over bare columns. Operates on the
+/// typed column vectors directly — no per-row datum materialization —
+/// which is where the "cache efficient ... grouping and aggregation"
+/// CPU advantage lives.
+fn try_fast_aggregate(
+    input: &Batch,
+    group_exprs: &[Expr],
+    aggs: &[AggExpr],
+    out_schema: &Schema,
+) -> Option<Result<Batch>> {
+    use dash_encoding::column::ColumnValues;
+    let g = match group_exprs {
+        [Expr::Col(g)] => *g,
+        _ => return None,
+    };
+    // Each agg must be CountStar, or Count/Sum/Avg over a bare column.
+    enum FastKind {
+        CountStar,
+        Count(usize),
+        SumInt(usize),
+        SumFloat(usize),
+        Avg(usize),
+    }
+    let mut kinds = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        if a.distinct {
+            return None;
+        }
+        let col = match a.args.as_slice() {
+            [] => None,
+            [Expr::Col(c)] => Some(*c),
+            _ => return None,
+        };
+        let k = match (&a.func, col) {
+            (AggFunc::CountStar, None) => FastKind::CountStar,
+            (AggFunc::Count, Some(c)) => FastKind::Count(c),
+            (AggFunc::Sum, Some(c)) => match input.column(c) {
+                ColumnValues::Int(_) => FastKind::SumInt(c),
+                ColumnValues::Float(_) => FastKind::SumFloat(c),
+                ColumnValues::Str(_) => return None,
+            },
+            (AggFunc::Avg, Some(c)) => match input.column(c) {
+                ColumnValues::Str(_) => return None,
+                _ => FastKind::Avg(c),
+            },
+            _ => return None,
+        };
+        kinds.push(k);
+    }
+    // Map each row to a dense group id via the typed key column.
+    let n = input.len();
+    let mut group_of = vec![0u32; n];
+    let mut n_groups = 0u32;
+    let mut key_rows: Vec<usize> = Vec::new(); // representative row per group
+    match input.column(g) {
+        ColumnValues::Int(v) => {
+            let mut map: FxHashMap<Option<i64>, u32> = FxHashMap::default();
+            for (i, k) in v.iter().enumerate() {
+                let id = *map.entry(*k).or_insert_with(|| {
+                    key_rows.push(i);
+                    n_groups += 1;
+                    n_groups - 1
+                });
+                group_of[i] = id;
+            }
+        }
+        ColumnValues::Str(v) => {
+            let mut map: FxHashMap<Option<std::sync::Arc<str>>, u32> = FxHashMap::default();
+            for (i, k) in v.iter().enumerate() {
+                let id = *map.entry(k.clone()).or_insert_with(|| {
+                    key_rows.push(i);
+                    n_groups += 1;
+                    n_groups - 1
+                });
+                group_of[i] = id;
+            }
+        }
+        ColumnValues::Float(v) => {
+            let mut map: FxHashMap<Option<u64>, u32> = FxHashMap::default();
+            for (i, k) in v.iter().enumerate() {
+                let id = *map
+                    .entry(k.map(|f| f.to_bits()))
+                    .or_insert_with(|| {
+                        key_rows.push(i);
+                        n_groups += 1;
+                        n_groups - 1
+                    });
+                group_of[i] = id;
+            }
+        }
+    }
+    let ng = n_groups as usize;
+    // Accumulate each aggregate in one typed pass.
+    let mut results: Vec<Vec<Datum>> = Vec::with_capacity(aggs.len());
+    for k in &kinds {
+        match k {
+            FastKind::CountStar => {
+                let mut counts = vec![0i64; ng];
+                for &gid in &group_of {
+                    counts[gid as usize] += 1;
+                }
+                results.push(counts.into_iter().map(Datum::Int).collect());
+            }
+            FastKind::Count(c) => {
+                let mut counts = vec![0i64; ng];
+                match input.column(*c) {
+                    ColumnValues::Int(v) => {
+                        for (i, x) in v.iter().enumerate() {
+                            if x.is_some() {
+                                counts[group_of[i] as usize] += 1;
+                            }
+                        }
+                    }
+                    ColumnValues::Float(v) => {
+                        for (i, x) in v.iter().enumerate() {
+                            if x.is_some() {
+                                counts[group_of[i] as usize] += 1;
+                            }
+                        }
+                    }
+                    ColumnValues::Str(v) => {
+                        for (i, x) in v.iter().enumerate() {
+                            if x.is_some() {
+                                counts[group_of[i] as usize] += 1;
+                            }
+                        }
+                    }
+                }
+                results.push(counts.into_iter().map(Datum::Int).collect());
+            }
+            FastKind::SumInt(c) => {
+                let ColumnValues::Int(v) = input.column(*c) else {
+                    unreachable!("checked above");
+                };
+                let mut sums = vec![0i64; ng];
+                let mut any = vec![false; ng];
+                for (i, x) in v.iter().enumerate() {
+                    if let Some(x) = x {
+                        let gid = group_of[i] as usize;
+                        sums[gid] = sums[gid].wrapping_add(*x);
+                        any[gid] = true;
+                    }
+                }
+                results.push(
+                    sums.into_iter()
+                        .zip(any)
+                        .map(|(s, a)| if a { Datum::Int(s) } else { Datum::Null })
+                        .collect(),
+                );
+            }
+            FastKind::SumFloat(c) => {
+                let ColumnValues::Float(v) = input.column(*c) else {
+                    unreachable!("checked above");
+                };
+                let mut sums = vec![0.0f64; ng];
+                let mut any = vec![false; ng];
+                for (i, x) in v.iter().enumerate() {
+                    if let Some(x) = x {
+                        let gid = group_of[i] as usize;
+                        sums[gid] += *x;
+                        any[gid] = true;
+                    }
+                }
+                results.push(
+                    sums.into_iter()
+                        .zip(any)
+                        .map(|(s, a)| if a { Datum::Float(s) } else { Datum::Null })
+                        .collect(),
+                );
+            }
+            FastKind::Avg(c) => {
+                let mut sums = vec![0.0f64; ng];
+                let mut counts = vec![0i64; ng];
+                let mut add = |i: usize, x: f64| {
+                    let gid = group_of[i] as usize;
+                    sums[gid] += x;
+                    counts[gid] += 1;
+                };
+                match input.column(*c) {
+                    ColumnValues::Int(v) => {
+                        for (i, x) in v.iter().enumerate() {
+                            if let Some(x) = x {
+                                add(i, *x as f64);
+                            }
+                        }
+                    }
+                    ColumnValues::Float(v) => {
+                        for (i, x) in v.iter().enumerate() {
+                            if let Some(x) = x {
+                                add(i, *x);
+                            }
+                        }
+                    }
+                    ColumnValues::Str(_) => unreachable!("checked above"),
+                }
+                results.push(
+                    sums.into_iter()
+                        .zip(counts)
+                        .map(|(s, c)| if c > 0 { Datum::Float(s / c as f64) } else { Datum::Null })
+                        .collect(),
+                );
+            }
+        }
+    }
+    // Assemble output rows: key then aggregate columns.
+    let key_dt = input.schema().field(g).data_type;
+    let mut rows = Vec::with_capacity(ng);
+    for gi in 0..ng {
+        let mut row = Vec::with_capacity(1 + aggs.len());
+        row.push(input.column(g).datum_at(key_dt, key_rows[gi]));
+        for col in &results {
+            row.push(col[gi].clone());
+        }
+        rows.push(Row::new(row));
+    }
+    Some(Batch::from_rows(out_schema.clone(), &rows))
+}
+
+/// Fused star-join aggregation: `GROUP BY` over an inner equi-join,
+/// accumulating directly while probing — no join output is ever
+/// materialized. Used by the executor when the plan shape is
+/// `HashAggregate(group=[col], fast aggs, HashJoin(inner, single key))`,
+/// which is the dominant star-schema query shape.
+///
+/// Returns `None` when the shape does not qualify (caller falls back to
+/// the generic join-then-aggregate pipeline).
+pub fn try_fused_join_aggregate(
+    left: &Batch,
+    right: &Batch,
+    on: &[(usize, usize)],
+    group_exprs: &[Expr],
+    aggs: &[AggExpr],
+    out_schema: &Schema,
+) -> Option<Result<Batch>> {
+    let [(lk, rk)] = on else { return None };
+    let g = match group_exprs {
+        [Expr::Col(g)] => *g,
+        _ => return None,
+    };
+    let lw = left.schema().len();
+    // Validate aggregate shapes: CountStar or Count/Sum/Avg over one column.
+    enum Acc {
+        CountStar(Vec<i64>),
+        Count(usize, Vec<i64>),
+        Sum(usize, Vec<f64>, Vec<bool>, bool), // (col, sums, any, output_int)
+        Avg(usize, Vec<f64>, Vec<i64>),
+    }
+    let mut accs: Vec<Acc> = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        if a.distinct {
+            return None;
+        }
+        match (&a.func, a.args.as_slice()) {
+            (AggFunc::CountStar, []) => accs.push(Acc::CountStar(Vec::new())),
+            (AggFunc::Count, [Expr::Col(c)]) => accs.push(Acc::Count(*c, Vec::new())),
+            (AggFunc::Sum, [Expr::Col(c)]) => {
+                let side = if *c < lw { left } else { right };
+                let dt = side.schema().field(if *c < lw { *c } else { *c - lw }).data_type;
+                if !dt.is_numeric() {
+                    return None;
+                }
+                accs.push(Acc::Sum(*c, Vec::new(), Vec::new(), dt.is_integer()));
+            }
+            (AggFunc::Avg, [Expr::Col(c)]) => accs.push(Acc::Avg(*c, Vec::new(), Vec::new())),
+            _ => return None,
+        }
+    }
+    // Build the dim-side hash table.
+    let mut rmap: FxHashMap<Datum, Vec<u32>> = FxHashMap::default();
+    for ri in 0..right.len() {
+        let k = right.value(ri, *rk);
+        if !k.is_null() {
+            rmap.entry(k).or_default().push(ri as u32);
+        }
+    }
+    // Probe + accumulate.
+    let mut gid_map: FxHashMap<Datum, u32> = FxHashMap::default();
+    let mut keys: Vec<Datum> = Vec::new();
+    let value_at = |li: usize, ri: usize, c: usize| -> Datum {
+        if c < lw {
+            left.value(li, c)
+        } else {
+            right.value(ri, c - lw)
+        }
+    };
+    for li in 0..left.len() {
+        let key = left.value(li, *lk);
+        if key.is_null() {
+            continue;
+        }
+        let Some(rids) = rmap.get(&key) else { continue };
+        for &ri in rids {
+            let ri = ri as usize;
+            let gval = value_at(li, ri, g);
+            let gid = *gid_map.entry(gval.clone()).or_insert_with(|| {
+                keys.push(gval);
+                keys.len() as u32 - 1
+            }) as usize;
+            for acc in &mut accs {
+                match acc {
+                    Acc::CountStar(counts) => {
+                        if counts.len() <= gid {
+                            counts.resize(gid + 1, 0);
+                        }
+                        counts[gid] += 1;
+                    }
+                    Acc::Count(c, counts) => {
+                        if counts.len() <= gid {
+                            counts.resize(gid + 1, 0);
+                        }
+                        if !value_at(li, ri, *c).is_null() {
+                            counts[gid] += 1;
+                        }
+                    }
+                    Acc::Sum(c, sums, any, _) => {
+                        if sums.len() <= gid {
+                            sums.resize(gid + 1, 0.0);
+                            any.resize(gid + 1, false);
+                        }
+                        if let Some(f) = value_at(li, ri, *c).as_float() {
+                            sums[gid] += f;
+                            any[gid] = true;
+                        }
+                    }
+                    Acc::Avg(c, sums, counts) => {
+                        if sums.len() <= gid {
+                            sums.resize(gid + 1, 0.0);
+                            counts.resize(gid + 1, 0);
+                        }
+                        if let Some(f) = value_at(li, ri, *c).as_float() {
+                            sums[gid] += f;
+                            counts[gid] += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Emit.
+    let ng = keys.len();
+    let mut rows = Vec::with_capacity(ng);
+    for gid in 0..ng {
+        let mut row = Vec::with_capacity(1 + accs.len());
+        row.push(keys[gid].clone());
+        for acc in &accs {
+            row.push(match acc {
+                Acc::CountStar(c) | Acc::Count(_, c) => {
+                    Datum::Int(c.get(gid).copied().unwrap_or(0))
+                }
+                Acc::Sum(_, sums, any, as_int) => {
+                    if any.get(gid).copied().unwrap_or(false) {
+                        let v = sums[gid];
+                        if *as_int {
+                            Datum::Int(v as i64)
+                        } else {
+                            Datum::Float(v)
+                        }
+                    } else {
+                        Datum::Null
+                    }
+                }
+                Acc::Avg(_, sums, counts) => {
+                    let c = counts.get(gid).copied().unwrap_or(0);
+                    if c > 0 {
+                        Datum::Float(sums[gid] / c as f64)
+                    } else {
+                        Datum::Null
+                    }
+                }
+            });
+        }
+        rows.push(Row::new(row));
+    }
+    Some(Batch::from_rows(out_schema.clone(), &rows))
+}
+
+/// Hash-aggregate a batch.
+///
+/// `group_exprs` produce the key (empty = global aggregate, which always
+/// yields exactly one row); `aggs` produce the aggregate columns. The
+/// output schema is `group columns ⧺ aggregate columns` with the supplied
+/// field definitions.
+pub fn hash_aggregate(
+    input: &Batch,
+    group_exprs: &[Expr],
+    aggs: &[AggExpr],
+    out_schema: Schema,
+    ctx: &EvalContext,
+    stats: &mut ExecStats,
+) -> Result<Batch> {
+    // Vectorized fast path for the dominant shape.
+    if !group_exprs.is_empty() && !input.is_empty() {
+        if let Some(result) = try_fast_aggregate(input, group_exprs, aggs, &out_schema) {
+            return result;
+        }
+    }
+    // Evaluate group keys and aggregate arguments once per row, bucketing
+    // rows into cache-sized partitions by key hash.
+    let parts = if group_exprs.is_empty() {
+        1
+    } else {
+        (input.len() / PARTITION_ROWS + 1).next_power_of_two()
+    };
+    let mask = parts as u64 - 1;
+    let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    let mut keys: Vec<Vec<Datum>> = Vec::with_capacity(input.len());
+    for row in 0..input.len() {
+        let mut key = Vec::with_capacity(group_exprs.len());
+        for g in group_exprs {
+            key.push(g.eval(input, row, ctx)?);
+        }
+        let p = if parts == 1 {
+            0
+        } else {
+            (group_hash(&key) & mask) as usize
+        };
+        partitions[p].push(row);
+        keys.push(key);
+        if parts > 1 {
+            stats.rows_partitioned += 1;
+        }
+    }
+
+    let mut out_rows: Vec<Row> = Vec::new();
+    for part_rows in &partitions {
+        let mut groups: FxHashMap<Vec<Datum>, Vec<AggState>> = FxHashMap::default();
+        if group_exprs.is_empty() {
+            // Global aggregate: one group, present even with zero rows.
+            groups.insert(Vec::new(), init_states(aggs, input));
+        }
+        for &row in part_rows {
+            let key = keys[row].clone();
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| init_states(aggs, input));
+            for (agg, state) in aggs.iter().zip(states.iter_mut()) {
+                let mut vals = Vec::with_capacity(agg.args.len());
+                for a in &agg.args {
+                    vals.push(a.eval(input, row, ctx)?);
+                }
+                update(state, &vals)?;
+            }
+        }
+        for (key, states) in groups {
+            let mut row: Vec<Datum> = key;
+            for (agg, state) in aggs.iter().zip(states) {
+                row.push(finish(state, &agg.func));
+            }
+            out_rows.push(Row::new(row));
+        }
+    }
+    // With zero input rows and a global aggregate there is one empty-key
+    // group only if partitions[0] existed — ensure it.
+    if group_exprs.is_empty() && out_rows.is_empty() {
+        let states = init_states(aggs, input);
+        let row: Vec<Datum> = aggs
+            .iter()
+            .zip(states)
+            .map(|(agg, s)| finish(s, &agg.func))
+            .collect();
+        out_rows.push(Row::new(row));
+    }
+    Batch::from_rows(out_schema, &out_rows)
+}
+
+fn init_states(aggs: &[AggExpr], input: &Batch) -> Vec<AggState> {
+    aggs.iter()
+        .map(|a| {
+            // SUM over an integer column stays integer.
+            let is_int = a
+                .args
+                .first()
+                .and_then(|e| match e {
+                    Expr::Col(i) => Some(input.schema().field(*i).data_type.is_integer()),
+                    _ => None,
+                })
+                .unwrap_or(false);
+            new_state(a, is_int)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_common::types::DataType;
+    use dash_common::{row, Field};
+
+    fn sales() -> Batch {
+        let schema = Schema::new(vec![
+            Field::new("region", DataType::Utf8),
+            Field::new("amount", DataType::Int64),
+            Field::new("qty", DataType::Float64),
+        ])
+        .unwrap();
+        Batch::from_rows(
+            schema,
+            &[
+                row!["east", 10i64, 1.0f64],
+                row!["east", 20i64, 2.0f64],
+                row!["west", 30i64, 3.0f64],
+                row!["west", Datum::Null, 4.0f64],
+                row!["west", 30i64, 5.0f64],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn ctx() -> EvalContext {
+        EvalContext::default()
+    }
+
+    fn out_schema(n_groups: usize, n_aggs: usize) -> Schema {
+        let mut fields = Vec::new();
+        for i in 0..n_groups {
+            fields.push(Field::new(format!("g{i}"), DataType::Utf8));
+        }
+        for i in 0..n_aggs {
+            fields.push(Field::new(format!("a{i}"), DataType::Float64));
+        }
+        Schema::new(fields).unwrap()
+    }
+
+    fn agg1(func: AggFunc, col: usize) -> AggExpr {
+        AggExpr {
+            func,
+            args: vec![Expr::col(col)],
+            distinct: false,
+        }
+    }
+
+    #[test]
+    fn group_by_with_counts_and_sums() {
+        let schema = Schema::new(vec![
+            Field::new("region", DataType::Utf8),
+            Field::new("cnt", DataType::Int64),
+            Field::new("total", DataType::Int64),
+        ])
+        .unwrap();
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &sales(),
+            &[Expr::col(0)],
+            &[
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    args: vec![],
+                    distinct: false,
+                },
+                agg1(AggFunc::Sum, 1),
+            ],
+            schema,
+            &ctx(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let mut rows = out.to_rows();
+        rows.sort_by_key(|r| r.get(0).render());
+        assert_eq!(rows[0], row!["east", 2i64, 30i64]);
+        assert_eq!(rows[1], row!["west", 3i64, 60i64]);
+    }
+
+    #[test]
+    fn count_ignores_nulls_count_star_does_not() {
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &sales(),
+            &[],
+            &[
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    args: vec![],
+                    distinct: false,
+                },
+                agg1(AggFunc::Count, 1),
+            ],
+            out_schema(0, 2),
+            &ctx(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out.row(0), row![5i64, 4i64]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]).unwrap();
+        let empty = Batch::from_rows(schema, &[]).unwrap();
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &empty,
+            &[],
+            &[
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    args: vec![],
+                    distinct: false,
+                },
+                agg1(AggFunc::Sum, 0),
+            ],
+            out_schema(0, 2),
+            &ctx(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), row![0i64, Datum::Null]);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &sales(),
+            &[],
+            &[agg1(AggFunc::Min, 1), agg1(AggFunc::Max, 1), agg1(AggFunc::Avg, 1)],
+            out_schema(0, 3),
+            &ctx(),
+            &mut stats,
+        )
+        .unwrap();
+        let r = out.row(0);
+        assert_eq!(r.get(0), &Datum::Int(10));
+        assert_eq!(r.get(1), &Datum::Int(30));
+        assert_eq!(r.get(2), &Datum::Float(22.5)); // (10+20+30+30)/4
+    }
+
+    #[test]
+    fn distinct_aggregates() {
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &sales(),
+            &[],
+            &[
+                AggExpr {
+                    func: AggFunc::Count,
+                    args: vec![Expr::col(1)],
+                    distinct: true,
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    args: vec![Expr::col(1)],
+                    distinct: true,
+                },
+            ],
+            out_schema(0, 2),
+            &ctx(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out.row(0), row![3i64, 60i64]); // 10, 20, 30
+    }
+
+    #[test]
+    fn median_and_percentiles() {
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &sales(),
+            &[],
+            &[
+                agg1(AggFunc::Median, 2),
+                AggExpr {
+                    func: AggFunc::PercentileDisc(0.5),
+                    args: vec![Expr::col(2)],
+                    distinct: false,
+                },
+                AggExpr {
+                    func: AggFunc::PercentileCont(0.25),
+                    args: vec![Expr::col(2)],
+                    distinct: false,
+                },
+            ],
+            out_schema(0, 3),
+            &ctx(),
+            &mut stats,
+        )
+        .unwrap();
+        let r = out.row(0);
+        assert_eq!(r.get(0), &Datum::Float(3.0)); // median of 1..5
+        assert_eq!(r.get(1), &Datum::Float(3.0)); // disc 0.5 of 5 values
+        assert_eq!(r.get(2), &Datum::Float(2.0)); // cont 0.25
+    }
+
+    #[test]
+    fn variance_and_stddev() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Float64)]).unwrap();
+        let b = Batch::from_rows(
+            schema,
+            &[row![2.0f64], row![4.0f64], row![4.0f64], row![4.0f64], row![5.0f64], row![5.0f64], row![7.0f64], row![9.0f64]],
+        )
+        .unwrap();
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &b,
+            &[],
+            &[agg1(AggFunc::VarPop, 0), agg1(AggFunc::StdDevPop, 0), agg1(AggFunc::VarSamp, 0)],
+            out_schema(0, 3),
+            &ctx(),
+            &mut stats,
+        )
+        .unwrap();
+        let r = out.row(0);
+        assert!((r.get(0).as_float().unwrap() - 4.0).abs() < 1e-9);
+        assert!((r.get(1).as_float().unwrap() - 2.0).abs() < 1e-9);
+        assert!((r.get(2).as_float().unwrap() - 32.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covariance() {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float64),
+            Field::new("y", DataType::Float64),
+        ])
+        .unwrap();
+        let b = Batch::from_rows(
+            schema,
+            &[row![1.0f64, 2.0f64], row![2.0f64, 4.0f64], row![3.0f64, 6.0f64]],
+        )
+        .unwrap();
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &b,
+            &[],
+            &[AggExpr {
+                func: AggFunc::CovarPop,
+                args: vec![Expr::col(0), Expr::col(1)],
+                distinct: false,
+            }],
+            out_schema(0, 1),
+            &ctx(),
+            &mut stats,
+        )
+        .unwrap();
+        // cov_pop of perfectly linear y=2x over {1,2,3}: var_pop(x)*2 = (2/3)*2
+        assert!((out.row(0).get(0).as_float().unwrap() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_group_keys_group_together() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Utf8),
+            Field::new("v", DataType::Int64),
+        ])
+        .unwrap();
+        let b = Batch::from_rows(
+            schema,
+            &[row![Datum::Null, 1i64], row![Datum::Null, 2i64], row!["a", 3i64]],
+        )
+        .unwrap();
+        let out_sch = Schema::new(vec![
+            Field::new("k", DataType::Utf8),
+            Field::new("s", DataType::Int64),
+        ])
+        .unwrap();
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &b,
+            &[Expr::col(0)],
+            &[agg1(AggFunc::Sum, 1)],
+            out_sch,
+            &ctx(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2, "NULL keys form one group");
+        let null_group: Vec<Row> = out
+            .to_rows()
+            .into_iter()
+            .filter(|r| r.get(0).is_null())
+            .collect();
+        assert_eq!(null_group[0].get(1), &Datum::Int(3));
+    }
+
+    #[test]
+    fn name_resolution() {
+        assert_eq!(AggFunc::from_name("stddev"), Some(AggFunc::StdDevPop));
+        assert_eq!(AggFunc::from_name("COVARIANCE"), Some(AggFunc::CovarPop));
+        assert_eq!(AggFunc::from_name("nope"), None);
+        assert_eq!(AggFunc::CovarPop.arg_count(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Columnar batches flowing between operators.
+//!
+//! Operators exchange data as column-major batches; rows are materialized
+//! only at plan edges (results, inserts, shuffles). Batch sizes follow the
+//! stride length so a scan emits one batch per surviving stride.
+
+use dash_common::{DashError, Datum, Result, Row, Schema};
+use dash_encoding::column::ColumnValues;
+
+/// A column-major batch of rows sharing one schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    schema: Schema,
+    columns: Vec<ColumnValues>,
+    len: usize,
+}
+
+impl Batch {
+    /// Build from columns. All columns must have the same length and match
+    /// the schema's arity.
+    pub fn new(schema: Schema, columns: Vec<ColumnValues>) -> Result<Batch> {
+        if columns.len() != schema.len() {
+            return Err(DashError::internal(format!(
+                "batch has {} columns, schema has {}",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let len = columns.first().map_or(0, |c| c.len());
+        if columns.iter().any(|c| c.len() != len) {
+            return Err(DashError::internal("batch columns have unequal lengths"));
+        }
+        Ok(Batch {
+            schema,
+            columns,
+            len,
+        })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: Schema) -> Batch {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnValues::empty_for(f.data_type))
+            .collect();
+        Batch {
+            schema,
+            columns,
+            len: 0,
+        }
+    }
+
+    /// Build a batch from rows (validated against the schema).
+    pub fn from_rows(schema: Schema, rows: &[Row]) -> Result<Batch> {
+        let mut columns: Vec<ColumnValues> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnValues::empty_for(f.data_type))
+            .collect();
+        for row in rows {
+            if row.len() != schema.len() {
+                return Err(DashError::internal(format!(
+                    "row arity {} vs schema {}",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+            for (i, d) in row.values().iter().enumerate() {
+                columns[i].push_datum(schema.field(i).data_type, d)?;
+            }
+        }
+        let len = rows.len();
+        Ok(Batch {
+            schema,
+            columns,
+            len,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[ColumnValues] {
+        &self.columns
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &ColumnValues {
+        &self.columns[i]
+    }
+
+    /// The datum at (row, col).
+    pub fn value(&self, row: usize, col: usize) -> Datum {
+        self.columns[col].datum_at(self.schema.field(col).data_type, row)
+    }
+
+    /// Materialize row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        Row::new(
+            (0..self.schema.len())
+                .map(|c| self.value(i, c))
+                .collect(),
+        )
+    }
+
+    /// Materialize all rows.
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Keep only the rows at `positions` (ascending), producing a new batch.
+    pub fn take(&self, positions: &[usize]) -> Batch {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| take_column(c, positions))
+            .collect();
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            len: positions.len(),
+        }
+    }
+
+    /// Project columns by ordinal.
+    pub fn project(&self, indices: &[usize]) -> Batch {
+        Batch {
+            schema: self.schema.project(indices),
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Concatenate batches of identical schemas.
+    pub fn concat(schema: Schema, batches: &[Batch]) -> Result<Batch> {
+        let rows: Vec<Row> = batches.iter().flat_map(|b| b.to_rows()).collect();
+        Batch::from_rows(schema, &rows)
+    }
+}
+
+fn take_column(c: &ColumnValues, positions: &[usize]) -> ColumnValues {
+    match c {
+        ColumnValues::Int(v) => {
+            ColumnValues::Int(positions.iter().map(|&p| v[p]).collect())
+        }
+        ColumnValues::Float(v) => {
+            ColumnValues::Float(positions.iter().map(|&p| v[p]).collect())
+        }
+        ColumnValues::Str(v) => {
+            ColumnValues::Str(positions.iter().map(|&p| v[p].clone()).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_common::types::DataType;
+    use dash_common::{row, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::not_null("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        let rows = vec![row![1i64, "a"], row![2i64, Datum::Null]];
+        let b = Batch::from_rows(schema(), &rows).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.to_rows(), rows);
+        assert_eq!(b.value(1, 1), Datum::Null);
+    }
+
+    #[test]
+    fn take_and_project() {
+        let rows = vec![row![1i64, "a"], row![2i64, "b"], row![3i64, "c"]];
+        let b = Batch::from_rows(schema(), &rows).unwrap();
+        let t = b.take(&[0, 2]);
+        assert_eq!(t.to_rows(), vec![row![1i64, "a"], row![3i64, "c"]]);
+        let p = t.project(&[1]);
+        assert_eq!(p.schema().field(0).name, "NAME");
+        assert_eq!(p.row(1), row!["c"]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let r = Batch::from_rows(schema(), &[row![1i64]]);
+        assert!(r.is_err());
+        let cols = vec![ColumnValues::Int(vec![Some(1)])];
+        assert!(Batch::new(schema(), cols).is_err());
+    }
+
+    #[test]
+    fn unequal_columns_rejected() {
+        let cols = vec![
+            ColumnValues::Int(vec![Some(1), Some(2)]),
+            ColumnValues::Str(vec![None]),
+        ];
+        assert!(Batch::new(schema(), cols).is_err());
+    }
+
+    #[test]
+    fn concat_batches() {
+        let a = Batch::from_rows(schema(), &[row![1i64, "a"]]).unwrap();
+        let b = Batch::from_rows(schema(), &[row![2i64, "b"]]).unwrap();
+        let c = Batch::concat(schema(), &[a, b]).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,445 @@
+//! Geospatial types and functions (§II.C.5).
+//!
+//! "dashDB provides complete coverage of location data types such as
+//! points, line strings and polygons along with the full set of geospatial
+//! computation and analytic functions as defined by the SQL/MM standard."
+//!
+//! Geometries are carried as WKT (well-known text) in VARCHAR columns —
+//! the standard interchange form — and the `ST_*` function family parses,
+//! constructs, measures and tests them. The subset implemented covers the
+//! SQL/MM core: constructors (`ST_POINT`, `ST_LINESTRING`, `ST_POLYGON`
+//! via WKT), accessors (`ST_X`, `ST_Y`, `ST_NUMPOINTS`,
+//! `ST_GEOMETRYTYPE`), metrics (`ST_DISTANCE`, `ST_LENGTH`, `ST_AREA`,
+//! `ST_PERIMETER`), and predicates (`ST_CONTAINS`, `ST_WITHIN`,
+//! `ST_INTERSECTS` over bounding boxes plus exact point-in-polygon).
+
+use dash_common::{DashError, Result};
+
+/// A parsed geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Geometry {
+    /// A single point.
+    Point(f64, f64),
+    /// An open polyline with ≥ 2 vertices.
+    LineString(Vec<(f64, f64)>),
+    /// A simple polygon ring (first ring only; closed implicitly).
+    Polygon(Vec<(f64, f64)>),
+}
+
+impl Geometry {
+    /// Parse WKT: `POINT(x y)`, `LINESTRING(x y, x y, ...)`,
+    /// `POLYGON((x y, x y, ...))`. Case-insensitive, whitespace-tolerant.
+    pub fn parse_wkt(s: &str) -> Result<Geometry> {
+        let t = s.trim();
+        let upper = t.to_ascii_uppercase();
+        let coords_of = |body: &str| -> Result<Vec<(f64, f64)>> {
+            body.split(',')
+                .map(|pair| {
+                    let mut it = pair.split_whitespace();
+                    let x: f64 = it
+                        .next()
+                        .ok_or_else(|| DashError::exec(format!("bad WKT coordinate '{pair}'")))?
+                        .parse()
+                        .map_err(|_| DashError::exec(format!("bad WKT number in '{pair}'")))?;
+                    let y: f64 = it
+                        .next()
+                        .ok_or_else(|| DashError::exec(format!("bad WKT coordinate '{pair}'")))?
+                        .parse()
+                        .map_err(|_| DashError::exec(format!("bad WKT number in '{pair}'")))?;
+                    Ok((x, y))
+                })
+                .collect()
+        };
+        if let Some(rest) = upper.strip_prefix("POINT") {
+            let body = unwrap_parens(rest.trim())?;
+            let pts = coords_of(body)?;
+            if pts.len() != 1 {
+                return Err(DashError::exec("POINT takes exactly one coordinate"));
+            }
+            return Ok(Geometry::Point(pts[0].0, pts[0].1));
+        }
+        if let Some(rest) = upper.strip_prefix("LINESTRING") {
+            let body = unwrap_parens(rest.trim())?;
+            let pts = coords_of(body)?;
+            if pts.len() < 2 {
+                return Err(DashError::exec("LINESTRING needs at least two points"));
+            }
+            return Ok(Geometry::LineString(pts));
+        }
+        if let Some(rest) = upper.strip_prefix("POLYGON") {
+            let outer = unwrap_parens(rest.trim())?;
+            let ring = unwrap_parens(outer.trim())?;
+            let mut pts = coords_of(ring)?;
+            // Drop an explicit closing vertex.
+            if pts.len() >= 2 && pts.first() == pts.last() {
+                pts.pop();
+            }
+            if pts.len() < 3 {
+                return Err(DashError::exec("POLYGON needs at least three points"));
+            }
+            return Ok(Geometry::Polygon(pts));
+        }
+        Err(DashError::exec(format!("unrecognized WKT '{t}'")))
+    }
+
+    /// Render back to canonical WKT.
+    pub fn to_wkt(&self) -> String {
+        fn fmt_pts(pts: &[(f64, f64)]) -> String {
+            pts.iter()
+                .map(|(x, y)| format!("{} {}", fmt_num(*x), fmt_num(*y)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        fn fmt_num(v: f64) -> String {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.0}")
+            } else {
+                format!("{v}")
+            }
+        }
+        match self {
+            Geometry::Point(x, y) => format!("POINT({} {})", fmt_num(*x), fmt_num(*y)),
+            Geometry::LineString(pts) => format!("LINESTRING({})", fmt_pts(pts)),
+            Geometry::Polygon(pts) => {
+                let mut closed = pts.clone();
+                closed.push(pts[0]);
+                format!("POLYGON(({}))", fmt_pts(&closed))
+            }
+        }
+    }
+
+    /// The SQL/MM geometry type name.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Geometry::Point(..) => "ST_POINT",
+            Geometry::LineString(..) => "ST_LINESTRING",
+            Geometry::Polygon(..) => "ST_POLYGON",
+        }
+    }
+
+    /// Number of defining vertices.
+    pub fn num_points(&self) -> usize {
+        match self {
+            Geometry::Point(..) => 1,
+            Geometry::LineString(p) | Geometry::Polygon(p) => p.len(),
+        }
+    }
+
+    /// Axis-aligned bounding box `(min_x, min_y, max_x, max_y)`.
+    pub fn bbox(&self) -> (f64, f64, f64, f64) {
+        let pts: Vec<(f64, f64)> = match self {
+            Geometry::Point(x, y) => vec![(*x, *y)],
+            Geometry::LineString(p) | Geometry::Polygon(p) => p.clone(),
+        };
+        let mut bb = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for (x, y) in pts {
+            bb.0 = bb.0.min(x);
+            bb.1 = bb.1.min(y);
+            bb.2 = bb.2.max(x);
+            bb.3 = bb.3.max(y);
+        }
+        bb
+    }
+
+    /// Polyline length (0 for points; perimeter for polygons lives in
+    /// [`Geometry::perimeter`]).
+    pub fn length(&self) -> f64 {
+        match self {
+            Geometry::Point(..) => 0.0,
+            Geometry::LineString(p) => path_length(p, false),
+            Geometry::Polygon(p) => path_length(p, true),
+        }
+    }
+
+    /// Polygon perimeter (closed-ring length); 0 otherwise.
+    pub fn perimeter(&self) -> f64 {
+        match self {
+            Geometry::Polygon(p) => path_length(p, true),
+            _ => 0.0,
+        }
+    }
+
+    /// Polygon area via the shoelace formula; 0 for points/lines.
+    pub fn area(&self) -> f64 {
+        match self {
+            Geometry::Polygon(p) => {
+                let n = p.len();
+                let mut acc = 0.0;
+                for i in 0..n {
+                    let (x1, y1) = p[i];
+                    let (x2, y2) = p[(i + 1) % n];
+                    acc += x1 * y2 - x2 * y1;
+                }
+                acc.abs() / 2.0
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Minimum distance between two geometries (point-point exact,
+    /// point-line/line-line via segment distance, polygon treated as its
+    /// boundary unless the point is inside, in which case 0).
+    pub fn distance(&self, other: &Geometry) -> f64 {
+        use Geometry::*;
+        match (self, other) {
+            (Point(x1, y1), Point(x2, y2)) => ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt(),
+            (Point(x, y), LineString(p)) | (LineString(p), Point(x, y)) => {
+                segments(p, false)
+                    .map(|(a, b)| point_segment_distance((*x, *y), a, b))
+                    .fold(f64::INFINITY, f64::min)
+            }
+            (Point(x, y), Polygon(p)) | (Polygon(p), Point(x, y)) => {
+                if point_in_ring((*x, *y), p) {
+                    0.0
+                } else {
+                    segments(p, true)
+                        .map(|(a, b)| point_segment_distance((*x, *y), a, b))
+                        .fold(f64::INFINITY, f64::min)
+                }
+            }
+            (LineString(a), LineString(b)) => min_segset_distance(a, false, b, false),
+            (LineString(l), Polygon(p)) | (Polygon(p), LineString(l)) => {
+                if l.iter().any(|pt| point_in_ring(*pt, p)) {
+                    0.0
+                } else {
+                    min_segset_distance(l, false, p, true)
+                }
+            }
+            (Polygon(a), Polygon(b)) => {
+                if a.iter().any(|pt| point_in_ring(*pt, b))
+                    || b.iter().any(|pt| point_in_ring(*pt, a))
+                {
+                    0.0
+                } else {
+                    min_segset_distance(a, true, b, true)
+                }
+            }
+        }
+    }
+
+    /// SQL/MM `ST_Contains`: does `self` contain `other`?
+    /// Exact for polygon⊇point; polygon⊇line/polygon tests all vertices
+    /// (sufficient for convex containers; documented approximation).
+    pub fn contains(&self, other: &Geometry) -> bool {
+        match self {
+            Geometry::Polygon(ring) => match other {
+                Geometry::Point(x, y) => point_in_ring((*x, *y), ring),
+                Geometry::LineString(pts) | Geometry::Polygon(pts) => {
+                    pts.iter().all(|p| point_in_ring(*p, ring))
+                }
+            },
+            _ => false,
+        }
+    }
+
+    /// Bounding boxes overlap (the standard cheap `ST_Intersects` filter,
+    /// refined with exact tests for point operands).
+    pub fn intersects(&self, other: &Geometry) -> bool {
+        match (self, other) {
+            (Geometry::Point(x, y), Geometry::Polygon(r))
+            | (Geometry::Polygon(r), Geometry::Point(x, y)) => point_in_ring((*x, *y), r),
+            (Geometry::Point(x1, y1), Geometry::Point(x2, y2)) => x1 == x2 && y1 == y2,
+            _ => {
+                let a = self.bbox();
+                let b = other.bbox();
+                a.0 <= b.2 && b.0 <= a.2 && a.1 <= b.3 && b.1 <= a.3
+            }
+        }
+    }
+
+    /// Centroid (vertex average for lines/polygons — the SQL/MM-adjacent
+    /// simple form).
+    pub fn centroid(&self) -> (f64, f64) {
+        match self {
+            Geometry::Point(x, y) => (*x, *y),
+            Geometry::LineString(p) | Geometry::Polygon(p) => {
+                let n = p.len() as f64;
+                (
+                    p.iter().map(|(x, _)| x).sum::<f64>() / n,
+                    p.iter().map(|(_, y)| y).sum::<f64>() / n,
+                )
+            }
+        }
+    }
+}
+
+fn unwrap_parens(s: &str) -> Result<&str> {
+    let s = s.trim();
+    if s.starts_with('(') && s.ends_with(')') {
+        Ok(&s[1..s.len() - 1])
+    } else {
+        Err(DashError::exec(format!("expected parenthesized WKT body, got '{s}'")))
+    }
+}
+
+fn path_length(pts: &[(f64, f64)], closed: bool) -> f64 {
+    segments(pts, closed)
+        .map(|((x1, y1), (x2, y2))| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
+        .sum()
+}
+
+fn segments(
+    pts: &[(f64, f64)],
+    closed: bool,
+) -> impl Iterator<Item = ((f64, f64), (f64, f64))> + '_ {
+    let n = pts.len();
+    let count = if closed { n } else { n.saturating_sub(1) };
+    (0..count).map(move |i| (pts[i], pts[(i + 1) % n]))
+}
+
+fn min_segset_distance(a: &[(f64, f64)], ac: bool, b: &[(f64, f64)], bc: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for (a1, a2) in segments(a, ac) {
+        for (b1, b2) in segments(b, bc) {
+            best = best.min(segment_segment_distance(a1, a2, b1, b2));
+        }
+    }
+    best
+}
+
+fn point_segment_distance(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (px, py) = p;
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+}
+
+fn segment_segment_distance(a1: (f64, f64), a2: (f64, f64), b1: (f64, f64), b2: (f64, f64)) -> f64 {
+    if segments_intersect(a1, a2, b1, b2) {
+        return 0.0;
+    }
+    point_segment_distance(a1, b1, b2)
+        .min(point_segment_distance(a2, b1, b2))
+        .min(point_segment_distance(b1, a1, a2))
+        .min(point_segment_distance(b2, a1, a2))
+}
+
+fn segments_intersect(p1: (f64, f64), p2: (f64, f64), p3: (f64, f64), p4: (f64, f64)) -> bool {
+    fn orient(a: (f64, f64), b: (f64, f64), c: (f64, f64)) -> f64 {
+        (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0)
+    }
+    let d1 = orient(p3, p4, p1);
+    let d2 = orient(p3, p4, p2);
+    let d3 = orient(p1, p2, p3);
+    let d4 = orient(p1, p2, p4);
+    ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+}
+
+/// Ray-casting point-in-polygon (boundary counts as inside).
+fn point_in_ring(p: (f64, f64), ring: &[(f64, f64)]) -> bool {
+    let (x, y) = p;
+    let n = ring.len();
+    // Boundary check first.
+    for (a, b) in segments(ring, true) {
+        if point_segment_distance(p, a, b) < 1e-12 {
+            return true;
+        }
+    }
+    let mut inside = false;
+    let mut j = n - 1;
+    for i in 0..n {
+        let (xi, yi) = ring[i];
+        let (xj, yj) = ring[j];
+        if ((yi > y) != (yj > y)) && (x < (xj - xi) * (y - yi) / (yj - yi) + xi) {
+            inside = !inside;
+        }
+        j = i;
+    }
+    inside
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(s: &str) -> Geometry {
+        Geometry::parse_wkt(s).unwrap()
+    }
+
+    #[test]
+    fn wkt_roundtrip() {
+        for wkt in [
+            "POINT(1 2)",
+            "LINESTRING(0 0, 3 4, 6 0)",
+            "POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))",
+        ] {
+            let g = geom(wkt);
+            assert_eq!(Geometry::parse_wkt(&g.to_wkt()).unwrap(), g, "{wkt}");
+        }
+        assert!(Geometry::parse_wkt("CIRCLE(0 0, 5)").is_err());
+        assert!(Geometry::parse_wkt("POINT(1)").is_err());
+        assert!(Geometry::parse_wkt("LINESTRING(0 0)").is_err());
+    }
+
+    #[test]
+    fn measures() {
+        let line = geom("LINESTRING(0 0, 3 4)");
+        assert!((line.length() - 5.0).abs() < 1e-12);
+        let square = geom("POLYGON((0 0, 10 0, 10 10, 0 10))");
+        assert!((square.area() - 100.0).abs() < 1e-12);
+        assert!((square.perimeter() - 40.0).abs() < 1e-12);
+        assert_eq!(geom("POINT(5 5)").area(), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = geom("POINT(0 0)");
+        let b = geom("POINT(3 4)");
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        let line = geom("LINESTRING(0 10, 10 10)");
+        assert!((a.distance(&line) - 10.0).abs() < 1e-12);
+        let poly = geom("POLYGON((2 2, 8 2, 8 8, 2 8))");
+        assert!((a.distance(&poly) - (8.0f64).sqrt()).abs() < 1e-9);
+        // Point inside a polygon: distance 0.
+        assert_eq!(geom("POINT(5 5)").distance(&poly), 0.0);
+        // Crossing lines: distance 0.
+        let l1 = geom("LINESTRING(0 0, 10 10)");
+        let l2 = geom("LINESTRING(0 10, 10 0)");
+        assert_eq!(l1.distance(&l2), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let poly = geom("POLYGON((0 0, 10 0, 10 10, 0 10))");
+        assert!(poly.contains(&geom("POINT(5 5)")));
+        assert!(poly.contains(&geom("POINT(0 0)")), "boundary counts");
+        assert!(!poly.contains(&geom("POINT(15 5)")));
+        assert!(poly.contains(&geom("LINESTRING(1 1, 9 9)")));
+        assert!(!poly.contains(&geom("LINESTRING(1 1, 19 9)")));
+        assert!(!geom("POINT(1 1)").contains(&geom("POINT(1 1)")));
+        // Concave polygon: the notch is outside.
+        let concave = geom("POLYGON((0 0, 10 0, 10 10, 5 5, 0 10))");
+        assert!(!concave.contains(&geom("POINT(5 8)")));
+        assert!(concave.contains(&geom("POINT(5 3)")));
+    }
+
+    #[test]
+    fn intersects_and_bbox() {
+        let a = geom("POLYGON((0 0, 5 0, 5 5, 0 5))");
+        let b = geom("POLYGON((4 4, 9 4, 9 9, 4 9))");
+        let c = geom("POLYGON((6 6, 9 6, 9 9, 6 9))");
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.bbox(), (0.0, 0.0, 5.0, 5.0));
+        assert!(a.intersects(&geom("POINT(1 1)")));
+        assert!(!a.intersects(&geom("POINT(6 6)")));
+    }
+
+    #[test]
+    fn centroid_and_accessors() {
+        let sq = geom("POLYGON((0 0, 10 0, 10 10, 0 10))");
+        assert_eq!(sq.centroid(), (5.0, 5.0));
+        assert_eq!(sq.num_points(), 4);
+        assert_eq!(sq.type_name(), "ST_POLYGON");
+        assert_eq!(geom("POINT(3 4)").num_points(), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Cache-efficient partitioned hash join (§II.B.7).
+//!
+//! "All of the query algorithms aim to keep data in the processor's L3 or
+//! L2 caches ... by partitioning data into L3 or L2 chunks for performing
+//! joins and grouping, as pioneered in Hybrid Hash Join and MonetDB."
+//!
+//! Both inputs are first hash-partitioned on the join key into chunks
+//! sized so each build-side hash table fits in cache; each partition pair
+//! is then joined independently. NULL keys never match (SQL semantics).
+
+use crate::batch::Batch;
+use crate::stats::ExecStats;
+use dash_common::fxhash::FxHashMap;
+use dash_common::{Datum, Result, Row};
+use std::collections::hash_map::Entry;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner join.
+    Inner,
+    /// Left outer join (unmatched left rows padded with NULLs).
+    Left,
+    /// Semi join: left rows with at least one match, left columns only.
+    Semi,
+    /// Anti join: left rows with no match, left columns only.
+    Anti,
+}
+
+/// Target rows per build partition — sized so a partition's hash table
+/// stays within an L2-ish footprint (the cache-conscious chunking).
+pub const PARTITION_ROWS: usize = 8 * 1024;
+
+fn key_hash(values: &[Datum]) -> u64 {
+    let mut h = BuildHasherDefault::<dash_common::fxhash::FxHasher>::default().build_hasher();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn key_of(batch: &Batch, row: usize, cols: &[usize]) -> Option<Vec<Datum>> {
+    let mut key = Vec::with_capacity(cols.len());
+    for &c in cols {
+        let v = batch.value(row, c);
+        if v.is_null() {
+            return None; // NULL keys never join
+        }
+        key.push(v);
+    }
+    Some(key)
+}
+
+/// Execute a hash join between two materialized batches.
+///
+/// `on` pairs are (left ordinal, right ordinal). The output schema is
+/// `left ⧺ right` for Inner/Left, and just `left` for Semi/Anti.
+pub fn hash_join(
+    left: &Batch,
+    right: &Batch,
+    on: &[(usize, usize)],
+    join_type: JoinType,
+    stats: &mut ExecStats,
+) -> Result<Batch> {
+    assert!(!on.is_empty(), "hash join requires at least one key pair");
+    let left_cols: Vec<usize> = on.iter().map(|(l, _)| *l).collect();
+    let right_cols: Vec<usize> = on.iter().map(|(_, r)| *r).collect();
+
+    let out_schema = match join_type {
+        JoinType::Inner | JoinType::Left => left.schema().join(right.schema()),
+        JoinType::Semi | JoinType::Anti => left.schema().clone(),
+    };
+
+    // Choose partition count from the build (right) side.
+    let parts = (right.len() / PARTITION_ROWS + 1).next_power_of_two();
+    let mask = parts as u64 - 1;
+
+    // Partition row indices of both sides by key hash.
+    let mut right_parts: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for i in 0..right.len() {
+        if let Some(k) = key_of(right, i, &right_cols) {
+            right_parts[(key_hash(&k) & mask) as usize].push(i);
+            stats.rows_partitioned += 1;
+        }
+    }
+    let mut left_parts: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    let mut left_nullkey: Vec<usize> = Vec::new();
+    for i in 0..left.len() {
+        match key_of(left, i, &left_cols) {
+            Some(k) => {
+                left_parts[(key_hash(&k) & mask) as usize].push(i);
+                stats.rows_partitioned += 1;
+            }
+            None => left_nullkey.push(i),
+        }
+    }
+
+    let right_nulls = Row::new(vec![Datum::Null; right.schema().len()]);
+    let mut out_rows: Vec<Row> = Vec::new();
+    for p in 0..parts {
+        // Build per-partition table on the right side.
+        let mut table: FxHashMap<Vec<Datum>, Vec<usize>> = FxHashMap::default();
+        for &ri in &right_parts[p] {
+            let k = key_of(right, ri, &right_cols).expect("partitioned keys are non-null");
+            match table.entry(k) {
+                Entry::Occupied(mut e) => e.get_mut().push(ri),
+                Entry::Vacant(e) => {
+                    e.insert(vec![ri]);
+                }
+            }
+        }
+        // Probe with the left side.
+        for &li in &left_parts[p] {
+            let k = key_of(left, li, &left_cols).expect("partitioned keys are non-null");
+            let matches = table.get(&k);
+            match join_type {
+                JoinType::Inner => {
+                    if let Some(ms) = matches {
+                        for &ri in ms {
+                            out_rows.push(left.row(li).concat(&right.row(ri)));
+                        }
+                    }
+                }
+                JoinType::Left => match matches {
+                    Some(ms) => {
+                        for &ri in ms {
+                            out_rows.push(left.row(li).concat(&right.row(ri)));
+                        }
+                    }
+                    None => out_rows.push(left.row(li).concat(&right_nulls)),
+                },
+                JoinType::Semi => {
+                    if matches.is_some() {
+                        out_rows.push(left.row(li));
+                    }
+                }
+                JoinType::Anti => {
+                    if matches.is_none() {
+                        out_rows.push(left.row(li));
+                    }
+                }
+            }
+        }
+    }
+    // NULL-keyed left rows: unmatched by definition.
+    match join_type {
+        JoinType::Left => {
+            for &li in &left_nullkey {
+                out_rows.push(left.row(li).concat(&right_nulls));
+            }
+        }
+        JoinType::Anti => {
+            for &li in &left_nullkey {
+                out_rows.push(left.row(li));
+            }
+        }
+        JoinType::Inner | JoinType::Semi => {}
+    }
+
+    Batch::from_rows(out_schema, &out_rows)
+}
+
+/// Expose the partition fan-out chosen for a build side of `rows` rows
+/// (used by EXPLAIN and the join benchmarks).
+pub fn partition_count(rows: usize) -> usize {
+    (rows / PARTITION_ROWS + 1).next_power_of_two()
+}
+
+/// Cartesian product (CROSS JOIN, and the fallback for comma-lists with no
+/// connecting predicate).
+pub fn cross_join(left: &Batch, right: &Batch) -> Result<Batch> {
+    let schema = left.schema().join(right.schema());
+    let mut rows = Vec::with_capacity(left.len() * right.len());
+    for li in 0..left.len() {
+        let lrow = left.row(li);
+        for ri in 0..right.len() {
+            rows.push(lrow.concat(&right.row(ri)));
+        }
+    }
+    Batch::from_rows(schema, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_common::types::DataType;
+    use dash_common::{row, Field, Schema};
+
+    fn orders() -> Batch {
+        let schema = Schema::new(vec![
+            Field::not_null("o_id", DataType::Int64),
+            Field::new("cust", DataType::Int64),
+        ])
+        .unwrap();
+        Batch::from_rows(
+            schema,
+            &[
+                row![1i64, 10i64],
+                row![2i64, 20i64],
+                row![3i64, 10i64],
+                row![4i64, Datum::Null],
+                row![5i64, 99i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn customers() -> Batch {
+        let schema = Schema::new(vec![
+            Field::not_null("c_id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ])
+        .unwrap();
+        Batch::from_rows(
+            schema,
+            &[row![10i64, "alice"], row![20i64, "bob"], row![30i64, "carol"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_basic() {
+        let mut stats = ExecStats::default();
+        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Inner, &mut stats).unwrap();
+        assert_eq!(out.len(), 3); // o1, o2, o3 match; o4 null; o5 dangling
+        assert_eq!(out.schema().len(), 4);
+        let names: Vec<String> = out
+            .to_rows()
+            .iter()
+            .map(|r| r.get(3).render())
+            .collect();
+        assert!(names.contains(&"alice".to_string()));
+        assert!(names.contains(&"bob".to_string()));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let mut stats = ExecStats::default();
+        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Left, &mut stats).unwrap();
+        assert_eq!(out.len(), 5);
+        let unmatched: Vec<Row> = out
+            .to_rows()
+            .into_iter()
+            .filter(|r| r.get(2).is_null())
+            .collect();
+        assert_eq!(unmatched.len(), 2); // null cust + cust 99
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let mut stats = ExecStats::default();
+        let semi = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Semi, &mut stats).unwrap();
+        assert_eq!(semi.len(), 3);
+        assert_eq!(semi.schema().len(), 2, "semi keeps left columns only");
+        let anti = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Anti, &mut stats).unwrap();
+        assert_eq!(anti.len(), 2);
+        let ids: Vec<i64> = anti.to_rows().iter().map(|r| r.get(0).as_int().unwrap()).collect();
+        assert!(ids.contains(&4) && ids.contains(&5));
+    }
+
+    #[test]
+    fn duplicate_build_keys_multiply() {
+        let schema_l = Schema::new(vec![Field::new("k", DataType::Int64)]).unwrap();
+        let schema_r = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ])
+        .unwrap();
+        let l = Batch::from_rows(schema_l, &[row![1i64], row![1i64]]).unwrap();
+        let r = Batch::from_rows(
+            schema_r,
+            &[row![1i64, 100i64], row![1i64, 200i64], row![2i64, 300i64]],
+        )
+        .unwrap();
+        let mut stats = ExecStats::default();
+        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, &mut stats).unwrap();
+        assert_eq!(out.len(), 4, "2 probe x 2 build matches");
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ])
+        .unwrap();
+        let l = Batch::from_rows(
+            schema.clone(),
+            &[row![1i64, "x"], row![1i64, "y"], row![2i64, "x"]],
+        )
+        .unwrap();
+        let r = Batch::from_rows(schema, &[row![1i64, "x"], row![2i64, "y"]]).unwrap();
+        let mut stats = ExecStats::default();
+        let out = hash_join(&l, &r, &[(0, 0), (1, 1)], JoinType::Inner, &mut stats).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn large_join_spans_partitions() {
+        // Force multiple partitions and verify correctness by count.
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]).unwrap();
+        let n = PARTITION_ROWS * 3;
+        let rows: Vec<Row> = (0..n).map(|i| row![(i % 1000) as i64]).collect();
+        let l = Batch::from_rows(schema.clone(), &rows).unwrap();
+        let r_rows: Vec<Row> = (0..1000).map(|i| row![i as i64]).collect();
+        let r = Batch::from_rows(schema, &r_rows).unwrap();
+        assert!(partition_count(n) > 1);
+        let mut stats = ExecStats::default();
+        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, &mut stats).unwrap();
+        assert_eq!(out.len(), n);
+        assert!(stats.rows_partitioned >= (n + 1000) as u64);
+    }
+
+    #[test]
+    fn cross_type_numeric_keys_join() {
+        // Int 2 joins Float 2.0 (Datum equality is cross-numeric).
+        let sl = Schema::new(vec![Field::new("k", DataType::Int64)]).unwrap();
+        let sr = Schema::new(vec![Field::new("k", DataType::Float64)]).unwrap();
+        let l = Batch::from_rows(sl, &[row![2i64]]).unwrap();
+        let r = Batch::from_rows(sr, &[row![2.0f64]]).unwrap();
+        let mut stats = ExecStats::default();
+        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, &mut stats).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

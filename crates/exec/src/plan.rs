@@ -1,0 +1,648 @@
+//! The physical operator tree and its (materialized) executor.
+//!
+//! Plans are built by the SQL planner (crate `dash-sql`) or directly by
+//! embedding code, and executed bottom-up: each node materializes its
+//! output batch. At reproduction scale this is simpler than a streaming
+//! Volcano loop and the stride-based scan already bounds working memory
+//! during the expensive phase.
+
+use crate::agg::{hash_aggregate, AggExpr};
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::functions::EvalContext;
+use crate::join::{hash_join, JoinType};
+use crate::scan::{scan, ScanConfig};
+use crate::sort::{sort_batch, SortKey};
+use crate::stats::ExecStats;
+use dash_common::{Result, Row, Schema};
+use dash_storage::table::ColumnTable;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A shared handle to a column table (the catalog owns these).
+pub type SharedTable = Arc<RwLock<ColumnTable>>;
+
+/// A physical query plan.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Columnar table scan with pushed-down predicates.
+    ColumnScan {
+        /// The table.
+        table: SharedTable,
+        /// Scan configuration (predicates, projection, pool).
+        config: ScanConfig,
+    },
+    /// Literal rows (the `VALUES` clause, `SELECT ... FROM DUAL`).
+    Values {
+        /// Output schema.
+        schema: Schema,
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// Row filter by a boolean expression.
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// The predicate.
+        predicate: Expr,
+    },
+    /// Expression projection.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// One expression per output column.
+        exprs: Vec<Expr>,
+        /// Output schema (names/types decided by the planner).
+        schema: Schema,
+    },
+    /// Partitioned hash join.
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysicalPlan>,
+        /// Build side.
+        right: Box<PhysicalPlan>,
+        /// Key pairs (left ordinal, right ordinal).
+        on: Vec<(usize, usize)>,
+        /// Join type.
+        join_type: JoinType,
+    },
+    /// Partitioned hash aggregation.
+    HashAggregate {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Group key expressions.
+        group: Vec<Expr>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+        /// Output schema: group columns then aggregate columns.
+        schema: Schema,
+    },
+    /// Sort with optional LIMIT/OFFSET.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort keys (may be empty for pure LIMIT).
+        keys: Vec<SortKey>,
+        /// Row limit.
+        limit: Option<usize>,
+        /// Rows to skip.
+        offset: usize,
+    },
+    /// Concatenation of same-schema inputs (UNION ALL).
+    UnionAll {
+        /// Inputs.
+        inputs: Vec<PhysicalPlan>,
+    },
+    /// Deduplicating union / SELECT DISTINCT.
+    Distinct {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+    },
+    /// Append a 1-based BIGINT row-number column (Oracle ROWNUM).
+    RowNumber {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Name of the appended column (usually "ROWNUM").
+        name: String,
+    },
+    /// Cartesian product.
+    CrossJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Oracle hierarchical query (`START WITH ... CONNECT BY PRIOR`).
+    /// Appends a BIGINT `LEVEL` column.
+    ConnectBy {
+        /// Input rows (the whole relation).
+        input: Box<PhysicalPlan>,
+        /// Root predicate (START WITH).
+        start_with: Expr,
+        /// Parent-key column ordinal (the PRIOR side).
+        parent: usize,
+        /// Child-key column ordinal (rows join parents via
+        /// `child_row[child] = parent_row[parent]`).
+        child: usize,
+    },
+}
+
+impl PhysicalPlan {
+    /// The output schema of this plan node.
+    pub fn schema(&self) -> Schema {
+        match self {
+            PhysicalPlan::ColumnScan { table, config } => {
+                table.read().schema().project(&config.projection)
+            }
+            PhysicalPlan::Values { schema, .. } => schema.clone(),
+            PhysicalPlan::Filter { input, .. } => input.schema(),
+            PhysicalPlan::Project { schema, .. } => schema.clone(),
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                join_type,
+                ..
+            } => match join_type {
+                JoinType::Inner | JoinType::Left => left.schema().join(&right.schema()),
+                JoinType::Semi | JoinType::Anti => left.schema(),
+            },
+            PhysicalPlan::HashAggregate { schema, .. } => schema.clone(),
+            PhysicalPlan::Sort { input, .. } => input.schema(),
+            PhysicalPlan::UnionAll { inputs } => inputs[0].schema(),
+            PhysicalPlan::Distinct { input } => input.schema(),
+            PhysicalPlan::RowNumber { input, name } => {
+                let mut fields = input.schema().fields().to_vec();
+                fields.push(dash_common::Field::not_null(
+                    name.clone(),
+                    dash_common::DataType::Int64,
+                ));
+                Schema::new_unchecked(fields)
+            }
+            PhysicalPlan::CrossJoin { left, right } => left.schema().join(&right.schema()),
+            PhysicalPlan::ConnectBy { input, .. } => {
+                let mut fields = input.schema().fields().to_vec();
+                fields.push(dash_common::Field::not_null(
+                    "LEVEL",
+                    dash_common::DataType::Int64,
+                ));
+                Schema::new_unchecked(fields)
+            }
+        }
+    }
+
+    /// One-line-per-node EXPLAIN rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::ColumnScan { table, config } => {
+                let t = table.read();
+                out.push_str(&format!(
+                    "{pad}ColumnScan {} preds={} proj={:?} skipping={}\n",
+                    t.name(),
+                    config.predicates.len(),
+                    config.projection,
+                    !config.disable_skipping,
+                ));
+            }
+            PhysicalPlan::Values { rows, .. } => {
+                out.push_str(&format!("{pad}Values rows={}\n", rows.len()));
+            }
+            PhysicalPlan::Filter { input, .. } => {
+                out.push_str(&format!("{pad}Filter\n"));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                out.push_str(&format!("{pad}Project cols={}\n", exprs.len()));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
+                out.push_str(&format!("{pad}HashJoin {join_type:?} on={on:?}\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::HashAggregate { input, group, aggs, .. } => {
+                out.push_str(&format!(
+                    "{pad}HashAggregate groups={} aggs={}\n",
+                    group.len(),
+                    aggs.len()
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Sort {
+                input,
+                keys,
+                limit,
+                offset,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Sort keys={} limit={limit:?} offset={offset}\n",
+                    keys.len()
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::UnionAll { inputs } => {
+                out.push_str(&format!("{pad}UnionAll inputs={}\n", inputs.len()));
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+            PhysicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::RowNumber { input, name } => {
+                out.push_str(&format!("{pad}RowNumber as {name}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::CrossJoin { left, right } => {
+                out.push_str(&format!("{pad}CrossJoin\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::ConnectBy { input, parent, child, .. } => {
+                out.push_str(&format!("{pad}ConnectBy parent={parent} child={child}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Execute a plan to completion.
+pub fn execute(plan: &PhysicalPlan, ctx: &EvalContext) -> Result<(Batch, ExecStats)> {
+    let mut stats = ExecStats::default();
+    let batch = exec_node(plan, ctx, &mut stats)?;
+    stats.rows_out = batch.len() as u64;
+    Ok((batch, stats))
+}
+
+fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> Result<Batch> {
+    match plan {
+        PhysicalPlan::ColumnScan { table, config } => {
+            let t = table.read();
+            let (batch, s) = scan(&t, config, ctx)?;
+            *stats += s;
+            Ok(batch)
+        }
+        PhysicalPlan::Values { schema, rows } => Batch::from_rows(schema.clone(), rows),
+        PhysicalPlan::Filter { input, predicate } => {
+            let child = exec_node(input, ctx, stats)?;
+            let mut keep = Vec::new();
+            for row in 0..child.len() {
+                if predicate.eval_predicate(&child, row, ctx)? {
+                    keep.push(row);
+                }
+            }
+            Ok(child.take(&keep))
+        }
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let child = exec_node(input, ctx, stats)?;
+            let mut rows: Vec<Row> = Vec::with_capacity(child.len());
+            for row in 0..child.len() {
+                let mut vals = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    vals.push(e.eval(&child, row, ctx)?);
+                }
+                rows.push(Row::new(vals));
+            }
+            // Coerce expression outputs to the declared column types.
+            let rows: Result<Vec<Row>> = rows.into_iter().map(|r| r.coerce(schema)).collect();
+            Batch::from_rows(schema.clone(), &rows?)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
+            let l = exec_node(left, ctx, stats)?;
+            let r = exec_node(right, ctx, stats)?;
+            hash_join(&l, &r, on, *join_type, stats)
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
+            // Fused star-join aggregation: aggregate while probing instead
+            // of materializing the join output.
+            if let PhysicalPlan::HashJoin {
+                left,
+                right,
+                on,
+                join_type: JoinType::Inner,
+            } = &**input
+            {
+                let l = exec_node(left, ctx, stats)?;
+                let r = exec_node(right, ctx, stats)?;
+                if let Some(result) = crate::agg::try_fused_join_aggregate(
+                    &l,
+                    &r,
+                    on,
+                    group,
+                    aggs,
+                    schema,
+                ) {
+                    return result;
+                }
+                let joined = hash_join(&l, &r, on, JoinType::Inner, stats)?;
+                return hash_aggregate(&joined, group, aggs, schema.clone(), ctx, stats);
+            }
+            let child = exec_node(input, ctx, stats)?;
+            hash_aggregate(&child, group, aggs, schema.clone(), ctx, stats)
+        }
+        PhysicalPlan::Sort {
+            input,
+            keys,
+            limit,
+            offset,
+        } => {
+            let child = exec_node(input, ctx, stats)?;
+            sort_batch(&child, keys, *limit, *offset, ctx)
+        }
+        PhysicalPlan::UnionAll { inputs } => {
+            let schema = inputs[0].schema();
+            let batches: Result<Vec<Batch>> = inputs
+                .iter()
+                .map(|p| exec_node(p, ctx, stats))
+                .collect();
+            Batch::concat(schema, &batches?)
+        }
+        PhysicalPlan::Distinct { input } => {
+            let child = exec_node(input, ctx, stats)?;
+            let mut seen = dash_common::fxhash::FxHashSet::default();
+            let mut keep = Vec::new();
+            for i in 0..child.len() {
+                if seen.insert(child.row(i)) {
+                    keep.push(i);
+                }
+            }
+            Ok(child.take(&keep))
+        }
+        PhysicalPlan::RowNumber { input, .. } => {
+            let child = exec_node(input, ctx, stats)?;
+            let schema = plan.schema();
+            let rows: Vec<Row> = (0..child.len())
+                .map(|i| {
+                    let mut r = child.row(i);
+                    r.0.push(dash_common::Datum::Int(i as i64 + 1));
+                    r
+                })
+                .collect();
+            Batch::from_rows(schema, &rows)
+        }
+        PhysicalPlan::CrossJoin { left, right } => {
+            let l = exec_node(left, ctx, stats)?;
+            let r = exec_node(right, ctx, stats)?;
+            crate::join::cross_join(&l, &r)
+        }
+        PhysicalPlan::ConnectBy {
+            input,
+            start_with,
+            parent,
+            child,
+        } => {
+            let rows = exec_node(input, ctx, stats)?;
+            let schema = plan.schema();
+            // Parent key -> child row indices.
+            let mut by_parent: dash_common::fxhash::FxHashMap<dash_common::Datum, Vec<usize>> =
+                dash_common::fxhash::FxHashMap::default();
+            for i in 0..rows.len() {
+                let k = rows.value(i, *child);
+                if !k.is_null() {
+                    by_parent.entry(k).or_default().push(i);
+                }
+            }
+            let mut out: Vec<Row> = Vec::new();
+            let mut frontier: Vec<usize> = Vec::new();
+            let mut visited = vec![false; rows.len()];
+            for (i, seen) in visited.iter_mut().enumerate() {
+                if start_with.eval_predicate(&rows, i, ctx)? {
+                    frontier.push(i);
+                    *seen = true;
+                }
+            }
+            let mut level = 1i64;
+            while !frontier.is_empty() && level < 128 {
+                let mut next = Vec::new();
+                for &i in &frontier {
+                    let mut r = rows.row(i);
+                    r.0.push(dash_common::Datum::Int(level));
+                    out.push(r);
+                    let pk = rows.value(i, *parent);
+                    if let Some(children) = by_parent.get(&pk) {
+                        for &c in children {
+                            if !visited[c] {
+                                visited[c] = true;
+                                next.push(c);
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+                level += 1;
+            }
+            Batch::from_rows(schema, &out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::expr::CmpOp;
+    use crate::scan::ColumnPredicate;
+    use dash_common::types::DataType;
+    use dash_common::{row, Field};
+    use dash_storage::table::STRIDE;
+
+    fn make_table() -> SharedTable {
+        let schema = Schema::new(vec![
+            Field::not_null("id", DataType::Int64),
+            Field::new("grp", DataType::Utf8),
+            Field::new("amount", DataType::Float64),
+        ])
+        .unwrap();
+        let mut t = ColumnTable::new("T", schema);
+        let rows: Vec<Row> = (0..STRIDE * 2)
+            .map(|i| row![i as i64, format!("g{}", i % 3), (i % 10) as f64])
+            .collect();
+        t.load_rows(rows).unwrap();
+        Arc::new(RwLock::new(t))
+    }
+
+    fn dim_table() -> SharedTable {
+        let schema = Schema::new(vec![
+            Field::not_null("grp", DataType::Utf8),
+            Field::new("label", DataType::Utf8),
+        ])
+        .unwrap();
+        let mut t = ColumnTable::new("D", schema);
+        t.load_rows(vec![
+            row!["g0", "zero"],
+            row!["g1", "one"],
+            row!["g2", "two"],
+        ])
+        .unwrap();
+        Arc::new(RwLock::new(t))
+    }
+
+    fn ctx() -> EvalContext {
+        EvalContext::default()
+    }
+
+    #[test]
+    fn scan_filter_project_pipeline() {
+        let t = make_table();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::ColumnScan {
+                    table: t.clone(),
+                    config: ScanConfig::full(0, vec![0, 1, 2]),
+                }),
+                predicate: Expr::Cmp(
+                    CmpOp::Lt,
+                    Box::new(Expr::col(0)),
+                    Box::new(Expr::lit(10i64)),
+                ),
+            }),
+            exprs: vec![
+                Expr::col(0),
+                Expr::Arith(
+                    crate::expr::ArithOp::Mul,
+                    Box::new(Expr::col(2)),
+                    Box::new(Expr::lit(2.0f64)),
+                ),
+            ],
+            schema: Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("double_amount", DataType::Float64),
+            ])
+            .unwrap(),
+        };
+        let (batch, _) = execute(&plan, &ctx()).unwrap();
+        assert_eq!(batch.len(), 10);
+        assert_eq!(batch.row(3), row![3i64, 6.0f64]);
+    }
+
+    #[test]
+    fn join_aggregate_sort_pipeline() {
+        // SELECT d.label, count(*), sum(amount) FROM t JOIN d USING(grp)
+        // GROUP BY label ORDER BY label
+        let t = make_table();
+        let d = dim_table();
+        let join = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::ColumnScan {
+                table: t,
+                config: ScanConfig::full(0, vec![0, 1, 2]),
+            }),
+            right: Box::new(PhysicalPlan::ColumnScan {
+                table: d,
+                config: ScanConfig::full(1, vec![0, 1]),
+            }),
+            on: vec![(1, 0)],
+            join_type: JoinType::Inner,
+        };
+        let agg = PhysicalPlan::HashAggregate {
+            input: Box::new(join),
+            group: vec![Expr::col(4)], // label
+            aggs: vec![
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    args: vec![],
+                    distinct: false,
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    args: vec![Expr::col(2)],
+                    distinct: false,
+                },
+            ],
+            schema: Schema::new(vec![
+                Field::new("label", DataType::Utf8),
+                Field::new("cnt", DataType::Int64),
+                Field::new("total", DataType::Float64),
+            ])
+            .unwrap(),
+        };
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(agg),
+            keys: vec![SortKey::asc(0)],
+            limit: None,
+            offset: 0,
+        };
+        let (batch, stats) = execute(&plan, &ctx()).unwrap();
+        assert_eq!(batch.len(), 3);
+        let labels: Vec<String> = batch.to_rows().iter().map(|r| r.get(0).render()).collect();
+        assert_eq!(labels, vec!["one", "two", "zero"]);
+        let total: i64 = batch
+            .to_rows()
+            .iter()
+            .map(|r| r.get(1).as_int().unwrap())
+            .sum();
+        assert_eq!(total, (STRIDE * 2) as i64);
+        assert_eq!(stats.rows_out, 3);
+    }
+
+    #[test]
+    fn pushed_predicates_vs_filter_agree() {
+        let t = make_table();
+        let pushed = PhysicalPlan::ColumnScan {
+            table: t.clone(),
+            config: ScanConfig {
+                predicates: vec![ColumnPredicate::eq(1, "g1")],
+                ..ScanConfig::full(0, vec![0, 1])
+            },
+        };
+        let filtered = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::ColumnScan {
+                table: t,
+                config: ScanConfig::full(0, vec![0, 1]),
+            }),
+            predicate: Expr::Cmp(
+                CmpOp::Eq,
+                Box::new(Expr::col(1)),
+                Box::new(Expr::lit("g1")),
+            ),
+        };
+        let (a, _) = execute(&pushed, &ctx()).unwrap();
+        let (b, _) = execute(&filtered, &ctx()).unwrap();
+        assert_eq!(a.to_rows(), b.to_rows());
+    }
+
+    #[test]
+    fn union_and_distinct() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]).unwrap();
+        let v1 = PhysicalPlan::Values {
+            schema: schema.clone(),
+            rows: vec![row![1i64], row![2i64]],
+        };
+        let v2 = PhysicalPlan::Values {
+            schema: schema.clone(),
+            rows: vec![row![2i64], row![3i64]],
+        };
+        let union = PhysicalPlan::UnionAll {
+            inputs: vec![v1, v2],
+        };
+        let (all, _) = execute(&union, &ctx()).unwrap();
+        assert_eq!(all.len(), 4);
+        let distinct = PhysicalPlan::Distinct {
+            input: Box::new(union),
+        };
+        let (ded, _) = execute(&distinct, &ctx()).unwrap();
+        assert_eq!(ded.len(), 3);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let t = make_table();
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::ColumnScan {
+                table: t,
+                config: ScanConfig::full(0, vec![0]),
+            }),
+            keys: vec![SortKey::asc(0)],
+            limit: Some(5),
+            offset: 0,
+        };
+        let e = plan.explain();
+        assert!(e.contains("Sort"));
+        assert!(e.contains("ColumnScan T"));
+    }
+}

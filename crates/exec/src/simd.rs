@@ -1,0 +1,302 @@
+//! Software-SIMD predicate evaluation (§II.B.6).
+//!
+//! "The BLU Acceleration technology in dashDB enhances these SIMD
+//! instructions with novel software-SIMD algorithms to apply predicates
+//! simultaneously on all values in a word, for any code size."
+//!
+//! Codes are packed `k = ⌊64/w⌋` per word (see
+//! [`dash_encoding::bitpack::BitPackedVec`]). One 64-bit ALU operation
+//! therefore touches up to 64 codes (w = 1). The comparisons below are
+//! exact SWAR algorithms with **no cross-lane carry leakage**:
+//!
+//! * equality uses XOR + an in-lane OR-fold (⌈log₂ w⌉ shifts);
+//! * unsigned less-than splits each lane at its MSB — the low parts are
+//!   compared with a borrow-free subtraction (minuend is forced ≥ 2^(w-1),
+//!   subtrahend < 2^(w-1), so no lane can borrow from its neighbour) and
+//!   the MSBs resolve the rest with pure boolean logic.
+
+use dash_encoding::bitmap::Bitmap;
+use dash_encoding::bitpack::BitPackedVec;
+
+/// Per-width constant masks used by the SWAR kernels.
+#[derive(Debug, Clone, Copy)]
+struct LaneMasks {
+    /// Lanes per word.
+    k: usize,
+    /// Width in bits.
+    w: u32,
+    /// MSB of each lane.
+    high: u64,
+    /// All bits of all lanes (excludes the pad bits above lane k-1).
+    all: u64,
+}
+
+fn masks(width: u8) -> LaneMasks {
+    let w = width as u32;
+    let k = (64 / w) as usize;
+    let mut high = 0u64;
+    let mut all = 0u64;
+    let lane_mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+    for lane in 0..k {
+        high |= (1u64 << (w - 1)) << (lane as u32 * w);
+        all |= lane_mask << (lane as u32 * w);
+    }
+    LaneMasks { k, w, high, all }
+}
+
+/// Broadcast a code into every lane of a word.
+fn broadcast(m: &LaneMasks, value: u64) -> u64 {
+    let mut out = 0u64;
+    for lane in 0..m.k {
+        out |= value << (lane as u32 * m.w);
+    }
+    out
+}
+
+/// Per-lane `x == b` with the result in each lane's MSB position.
+/// Derived from the two exact less-than kernels: eq ⇔ ¬(x<b) ∧ ¬(b<x).
+#[inline]
+fn lanes_eq(m: &LaneMasks, word: u64, bcast: u64) -> u64 {
+    let lt = lanes_lt(m, word, bcast);
+    let gt = lt_rev(m, word, bcast);
+    (!(lt | gt)) & m.high
+}
+
+/// Per-lane unsigned `x < b` with the result in each lane's MSB position.
+#[inline]
+fn lanes_lt(m: &LaneMasks, word: u64, bcast: u64) -> u64 {
+    let x = word & m.all;
+    let y = bcast & m.all;
+    let xl = x & !m.high;
+    let yl = y & !m.high;
+    // Low-part compare: ((xl | H) - yl) has per-lane MSB set ⇔ xl >= yl.
+    // No borrow can cross lanes: minuend ≥ 2^(w-1) > subtrahend.
+    let ge_low = ((xl | m.high).wrapping_sub(yl)) & m.high;
+    let lt_low = (!ge_low) & m.high;
+    // Combine with the MSBs: x < y ⇔ (¬xm ∧ ym) ∨ (xm == ym ∧ xl < yl).
+    let cond1 = (!x) & y & m.high;
+    let same = !(x ^ y) & m.high;
+    cond1 | (same & lt_low)
+}
+
+/// Extract the per-lane MSB results of the first `n` lanes into a bitmap
+/// appended at `out`'s current end.
+#[inline]
+fn extract(m: &LaneMasks, result: u64, n: usize, out: &mut Bitmap) {
+    for lane in 0..n {
+        let bit = (result >> (lane as u32 * m.w + (m.w - 1))) & 1;
+        out.push(bit == 1);
+    }
+}
+
+/// Evaluate `lo <= code <= hi` (inclusive, code domain) over every code in
+/// the vector, one bit per code.
+///
+/// This is the hot kernel: for width `w` it does O(1) word operations per
+/// `⌊64/w⌋` codes instead of one compare per code.
+pub fn eval_range(codes: &BitPackedVec, lo: u64, hi: u64) -> Bitmap {
+    let width = codes.width();
+    if width == 0 {
+        // Every code is 0: the range qualifies iff it includes 0.
+        debug_assert!(lo <= hi, "caller must order the bounds");
+        return if lo == 0 {
+            Bitmap::ones(codes.len())
+        } else {
+            Bitmap::zeros(codes.len())
+        };
+    }
+    if width == 64 {
+        // One lane per word: direct compares.
+        let mut out = Bitmap::zeros(0);
+        for c in codes.iter() {
+            out.push(c >= lo && c <= hi);
+        }
+        return out;
+    }
+    let m = masks(width);
+    let max_code = (1u64 << width) - 1;
+    let lo = lo.min(max_code);
+    let hi = hi.min(max_code);
+    let mut out = Bitmap::zeros(0);
+    let bc_lo = broadcast(&m, lo);
+    let bc_hi = broadcast(&m, hi);
+    let words = codes.words();
+    let full_words = codes.len() / m.k;
+    for (wi, &word) in words.iter().enumerate() {
+        // qualify ⇔ ¬(x < lo) ∧ ¬(hi < x)
+        let below = lanes_lt(&m, word, bc_lo);
+        let above = lt_rev(&m, word, bc_hi);
+        let ok = (!(below | above)) & m.high;
+        let lanes = if wi < full_words {
+            m.k
+        } else {
+            codes.len() - full_words * m.k
+        };
+        extract(&m, ok, lanes, &mut out);
+    }
+    out
+}
+
+/// Per-lane `b < x` (i.e. x > b) in MSB position.
+#[inline]
+fn lt_rev(m: &LaneMasks, word: u64, bcast: u64) -> u64 {
+    let x = word & m.all;
+    let y = bcast & m.all;
+    let xl = x & !m.high;
+    let yl = y & !m.high;
+    let ge_low = ((yl | m.high).wrapping_sub(xl)) & m.high; // yl >= xl
+    let lt_low = (!ge_low) & m.high; // yl < xl
+    let cond1 = (!y) & x & m.high; // ym=0, xm=1
+    let same = !(x ^ y) & m.high;
+    cond1 | (same & lt_low)
+}
+
+/// Evaluate `code == value` over every code, one bit per code.
+pub fn eval_eq(codes: &BitPackedVec, value: u64) -> Bitmap {
+    let width = codes.width();
+    if width == 0 {
+        return if value == 0 {
+            Bitmap::ones(codes.len())
+        } else {
+            Bitmap::zeros(codes.len())
+        };
+    }
+    if width == 64 {
+        let mut out = Bitmap::zeros(0);
+        for c in codes.iter() {
+            out.push(c == value);
+        }
+        return out;
+    }
+    let max_code = (1u64 << width) - 1;
+    if value > max_code {
+        return Bitmap::zeros(codes.len());
+    }
+    let m = masks(width);
+    let bc = broadcast(&m, value);
+    let mut out = Bitmap::zeros(0);
+    let full_words = codes.len() / m.k;
+    for (wi, &word) in codes.words().iter().enumerate() {
+        let ok = lanes_eq(&m, word, bc);
+        let lanes = if wi < full_words {
+            m.k
+        } else {
+            codes.len() - full_words * m.k
+        };
+        extract(&m, ok, lanes, &mut out);
+    }
+    out
+}
+
+/// Scalar reference implementation (decode each code, compare) — used by
+/// tests for equivalence and by the ablation benchmark as the
+/// "decompress-then-evaluate" baseline.
+pub fn eval_range_scalar(codes: &BitPackedVec, lo: u64, hi: u64) -> Bitmap {
+    let mut out = Bitmap::zeros(0);
+    for c in codes.iter() {
+        out.push(c >= lo && c <= hi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn packed(width: u8, codes: &[u64]) -> BitPackedVec {
+        BitPackedVec::from_codes(width, codes)
+    }
+
+    #[test]
+    fn eq_small_width() {
+        let codes: Vec<u64> = (0..200).map(|i| i % 4).collect();
+        let v = packed(2, &codes);
+        let bm = eval_eq(&v, 3);
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(bm.get(i), c == 3, "at {i}");
+        }
+    }
+
+    #[test]
+    fn range_odd_width() {
+        // Width 5: 12 lanes per word — "any code size".
+        let codes: Vec<u64> = (0..100).map(|i| (i * 7) % 32).collect();
+        let v = packed(5, &codes);
+        let bm = eval_range(&v, 10, 20);
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(bm.get(i), (10..=20).contains(&c), "at {i} code {c}");
+        }
+    }
+
+    #[test]
+    fn one_bit_codes() {
+        let codes: Vec<u64> = (0..130).map(|i| i % 2).collect();
+        let v = packed(1, &codes);
+        let eq1 = eval_eq(&v, 1);
+        assert_eq!(eq1.count_ones(), 65);
+        let all = eval_range(&v, 0, 1);
+        assert_eq!(all.count_ones(), 130);
+    }
+
+    #[test]
+    fn width64_fallback() {
+        let codes = vec![0u64, u64::MAX, 42, 1 << 63];
+        let v = packed(64, &codes);
+        let bm = eval_range(&v, 42, u64::MAX);
+        assert_eq!(
+            bm.iter_ones().collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn width0_constant() {
+        let v = packed(0, &[0; 10]);
+        assert_eq!(eval_eq(&v, 0).count_ones(), 10);
+        assert_eq!(eval_eq(&v, 1).count_ones(), 0);
+        assert_eq!(eval_range(&v, 0, 5).count_ones(), 10);
+    }
+
+    #[test]
+    fn value_above_max_code() {
+        let v = packed(3, &[1, 2, 3]);
+        assert_eq!(eval_eq(&v, 99).count_ones(), 0);
+    }
+
+    #[test]
+    fn boundary_codes_extremes() {
+        // Max code in every lane, compare against max.
+        for width in [3u8, 7, 9, 13, 21, 31, 33] {
+            let max = (1u64 << width) - 1;
+            let codes = vec![max, 0, max, 1, max - 1];
+            let v = packed(width, &codes);
+            let bm = eval_eq(&v, max);
+            assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 2], "w={width}");
+            let ge = eval_range(&v, max - 1, max);
+            assert_eq!(ge.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4], "w={width}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_scalar(
+            width in 1u8..=33,
+            raw in prop::collection::vec(any::<u64>(), 1..300),
+            lo_raw in any::<u64>(),
+            hi_raw in any::<u64>(),
+        ) {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let codes: Vec<u64> = raw.iter().map(|v| v & mask).collect();
+            let v = packed(width, &codes);
+            let lo = lo_raw & mask;
+            let hi = hi_raw & mask;
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            prop_assert_eq!(eval_range(&v, lo, hi), eval_range_scalar(&v, lo, hi));
+            let eq_val = lo;
+            let simd_eq = eval_eq(&v, eq_val);
+            let scalar_eq = eval_range_scalar(&v, eq_val, eq_val);
+            prop_assert_eq!(simd_eq, scalar_eq);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Sorting, LIMIT/OFFSET, and top-k.
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::functions::EvalContext;
+use dash_common::{Datum, Result};
+use std::cmp::Ordering;
+
+/// One ORDER BY key.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    /// Key expression over the input schema.
+    pub expr: Expr,
+    /// Ascending?
+    pub asc: bool,
+    /// NULLs last? (default true, matching the engine's convention).
+    pub nulls_last: bool,
+}
+
+impl SortKey {
+    /// Ascending key on a column ordinal.
+    pub fn asc(col: usize) -> SortKey {
+        SortKey {
+            expr: Expr::col(col),
+            asc: true,
+            nulls_last: true,
+        }
+    }
+
+    /// Descending key on a column ordinal.
+    pub fn desc(col: usize) -> SortKey {
+        SortKey {
+            expr: Expr::col(col),
+            asc: false,
+            nulls_last: true,
+        }
+    }
+}
+
+fn cmp_keys(a: &[Datum], b: &[Datum], keys: &[SortKey]) -> Ordering {
+    for (i, k) in keys.iter().enumerate() {
+        let (x, y) = (&a[i], &b[i]);
+        let ord = match (x.is_null(), y.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => {
+                if k.nulls_last {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, true) => {
+                if k.nulls_last {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, false) => {
+                let o = x.sql_cmp(y);
+                if k.asc {
+                    o
+                } else {
+                    o.reverse()
+                }
+            }
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sort a batch by keys, then apply OFFSET/LIMIT.
+pub fn sort_batch(
+    input: &Batch,
+    keys: &[SortKey],
+    limit: Option<usize>,
+    offset: usize,
+    ctx: &EvalContext,
+) -> Result<Batch> {
+    let mut decorated: Vec<(Vec<Datum>, usize)> = Vec::with_capacity(input.len());
+    for row in 0..input.len() {
+        let mut kv = Vec::with_capacity(keys.len());
+        for k in keys {
+            kv.push(k.expr.eval(input, row, ctx)?);
+        }
+        decorated.push((kv, row));
+    }
+    if !keys.is_empty() {
+        // Stable sort keeps the input order for ties (deterministic results).
+        decorated.sort_by(|a, b| cmp_keys(&a.0, &b.0, keys));
+    }
+    let end = match limit {
+        Some(l) => (offset + l).min(decorated.len()),
+        None => decorated.len(),
+    };
+    let start = offset.min(decorated.len());
+    let positions: Vec<usize> = decorated[start..end].iter().map(|(_, r)| *r).collect();
+    Ok(input.take(&positions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_common::types::DataType;
+    use dash_common::{row, Field, Schema};
+
+    fn batch() -> Batch {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int64),
+            Field::new("y", DataType::Utf8),
+        ])
+        .unwrap();
+        Batch::from_rows(
+            schema,
+            &[
+                row![3i64, "c"],
+                row![1i64, "a"],
+                row![Datum::Null, "n"],
+                row![2i64, "b"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn ctx() -> EvalContext {
+        EvalContext::default()
+    }
+
+    #[test]
+    fn ascending_nulls_last() {
+        let out = sort_batch(&batch(), &[SortKey::asc(0)], None, 0, &ctx()).unwrap();
+        let xs: Vec<String> = out.to_rows().iter().map(|r| r.get(0).render()).collect();
+        assert_eq!(xs, vec!["1", "2", "3", "NULL"]);
+    }
+
+    #[test]
+    fn descending_keeps_nulls_last() {
+        let out = sort_batch(&batch(), &[SortKey::desc(0)], None, 0, &ctx()).unwrap();
+        let xs: Vec<String> = out.to_rows().iter().map(|r| r.get(0).render()).collect();
+        assert_eq!(xs, vec!["3", "2", "1", "NULL"]);
+    }
+
+    #[test]
+    fn nulls_first_option() {
+        let key = SortKey {
+            expr: Expr::col(0),
+            asc: true,
+            nulls_last: false,
+        };
+        let out = sort_batch(&batch(), &[key], None, 0, &ctx()).unwrap();
+        assert!(out.row(0).get(0).is_null());
+    }
+
+    #[test]
+    fn limit_offset() {
+        let out = sort_batch(&batch(), &[SortKey::asc(0)], Some(2), 1, &ctx()).unwrap();
+        let xs: Vec<String> = out.to_rows().iter().map(|r| r.get(0).render()).collect();
+        assert_eq!(xs, vec!["2", "3"]);
+        // Offset past the end.
+        let out = sort_batch(&batch(), &[SortKey::asc(0)], Some(2), 99, &ctx()).unwrap();
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn limit_without_sort_preserves_order() {
+        let out = sort_batch(&batch(), &[], Some(2), 0, &ctx()).unwrap();
+        assert_eq!(out.row(0).get(1).as_str(), Some("c"));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let b = Batch::from_rows(
+            schema,
+            &[row![1i64, 2i64], row![1i64, 1i64], row![0i64, 9i64]],
+        )
+        .unwrap();
+        let out = sort_batch(&b, &[SortKey::asc(0), SortKey::desc(1)], None, 0, &ctx()).unwrap();
+        assert_eq!(
+            out.to_rows(),
+            vec![row![0i64, 9i64], row![1i64, 2i64], row![1i64, 1i64]]
+        );
+    }
+}

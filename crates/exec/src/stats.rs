@@ -1,0 +1,87 @@
+//! Per-query execution statistics.
+//!
+//! These counters are how the benchmarks *measure* the architectural
+//! claims: strides skipped by the synopsis, pages served from the buffer
+//! pool vs faulted, rows touched vs returned.
+
+use std::ops::AddAssign;
+
+/// Counters accumulated during plan execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Sealed strides the table(s) hold in total.
+    pub strides_total: u64,
+    /// Strides pruned by the synopsis without touching data.
+    pub strides_skipped: u64,
+    /// Strides actually scanned.
+    pub strides_scanned: u64,
+    /// Page accesses that hit the buffer pool.
+    pub pool_hits: u64,
+    /// Page accesses that faulted (simulated I/O).
+    pub pool_misses: u64,
+    /// Rows examined (post-skipping, pre-predicate).
+    pub rows_scanned: u64,
+    /// Rows produced by the plan root.
+    pub rows_out: u64,
+    /// Rows spilled/moved by joins and aggregations (partitioning traffic).
+    pub rows_partitioned: u64,
+}
+
+impl ExecStats {
+    /// Fraction of strides skipped.
+    pub fn skip_ratio(&self) -> f64 {
+        if self.strides_total == 0 {
+            0.0
+        } else {
+            self.strides_skipped as f64 / self.strides_total as f64
+        }
+    }
+
+    /// Buffer pool hit ratio over this query.
+    pub fn pool_hit_ratio(&self) -> f64 {
+        let t = self.pool_hits + self.pool_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / t as f64
+        }
+    }
+}
+
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: ExecStats) {
+        self.strides_total += rhs.strides_total;
+        self.strides_skipped += rhs.strides_skipped;
+        self.strides_scanned += rhs.strides_scanned;
+        self.pool_hits += rhs.pool_hits;
+        self.pool_misses += rhs.pool_misses;
+        self.rows_scanned += rhs.rows_scanned;
+        self.rows_out += rhs.rows_out;
+        self.rows_partitioned += rhs.rows_partitioned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = ExecStats {
+            strides_total: 10,
+            strides_skipped: 8,
+            pool_hits: 3,
+            pool_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.skip_ratio() - 0.8).abs() < 1e-9);
+        assert!((s.pool_hit_ratio() - 0.75).abs() < 1e-9);
+        s += ExecStats {
+            strides_total: 10,
+            ..Default::default()
+        };
+        assert_eq!(s.strides_total, 20);
+        assert_eq!(ExecStats::default().skip_ratio(), 0.0);
+        assert_eq!(ExecStats::default().pool_hit_ratio(), 0.0);
+    }
+}

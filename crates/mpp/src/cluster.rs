@@ -1,0 +1,903 @@
+//! The MPP cluster: shard placement and distributed execution.
+//!
+//! Data is "sharded (hash partitioned) into the storage onto a number of
+//! shards that is several factors larger than the number of servers"
+//! (§II.E). The coordinator:
+//!
+//! * routes DDL to every shard and DML rows by hash of the distribution
+//!   key (replicated tables go everywhere — the standard MPP treatment of
+//!   dimension tables, which keeps joins co-located);
+//! * scatters SELECTs to all live shards in parallel and gathers partials,
+//!   using **two-phase aggregation** (COUNT/SUM/MIN/MAX/AVG decompose;
+//!   AVG splits into SUM+COUNT) with ORDER BY/LIMIT applied post-merge.
+
+use crate::clusterfs::ClusterFs;
+use crate::ha::{balance_assignments, RebalanceReport};
+use dash_common::dialect::Dialect;
+use dash_common::fxhash::{hash_bytes, FxHashMap};
+use dash_common::ids::{NodeId, ShardId};
+use dash_common::{DashError, Datum, Result, Row, Schema};
+use dash_core::{Database, HardwareSpec};
+use dash_exec::agg::AggFunc;
+use dash_sql::ast::{AstExpr, SelectItem, SelectStmt, Statement};
+use dash_sql::parser::parse_statement;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// How a table's rows spread across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Distribution {
+    /// Hash-partitioned on a column (by name).
+    Hash(String),
+    /// Full copy on every shard (dimension tables).
+    Replicated,
+}
+
+/// One cluster node (a host running one dashDB Local container).
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Node hardware.
+    pub hardware: HardwareSpec,
+    /// Whether the node is serving.
+    pub alive: bool,
+}
+
+/// The MPP cluster.
+pub struct Cluster {
+    fs: ClusterFs,
+    nodes: RwLock<BTreeMap<NodeId, NodeState>>,
+    /// shard → node assignment (every shard assigned to exactly one live node).
+    assignment: RwLock<BTreeMap<ShardId, NodeId>>,
+    distributions: RwLock<FxHashMap<String, Distribution>>,
+    dialect: Dialect,
+}
+
+impl Cluster {
+    /// Build a cluster of `node_count` identical nodes with
+    /// `shards_per_node` shards each (the paper provisions several shards
+    /// per server so failover can rebalance in shard-sized increments).
+    pub fn new(node_count: usize, shards_per_node: usize, hw: HardwareSpec) -> Result<Cluster> {
+        assert!(node_count > 0 && shards_per_node > 0);
+        let fs = ClusterFs::new();
+        let mut nodes = BTreeMap::new();
+        let mut assignment = BTreeMap::new();
+        let total_shards = node_count * shards_per_node;
+        for n in 0..node_count {
+            nodes.insert(
+                NodeId(n as u32),
+                NodeState {
+                    hardware: hw,
+                    alive: true,
+                },
+            );
+        }
+        for s in 0..total_shards {
+            let shard = ShardId(s as u32);
+            fs.create(shard, Database::with_hardware(hw))?;
+            assignment.insert(shard, NodeId((s % node_count) as u32));
+        }
+        Ok(Cluster {
+            fs,
+            nodes: RwLock::new(nodes),
+            assignment: RwLock::new(assignment),
+            distributions: RwLock::new(FxHashMap::default()),
+            dialect: Dialect::Ansi,
+        })
+    }
+
+    /// The clustered filesystem (exposed for portability experiments).
+    pub fn filesystem(&self) -> &ClusterFs {
+        &self.fs
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.fs.len()
+    }
+
+    /// Live node count.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.read().values().filter(|n| n.alive).count()
+    }
+
+    /// Shards per node: `(node, shard list)` for live nodes.
+    pub fn shard_distribution(&self) -> Vec<(NodeId, Vec<ShardId>)> {
+        let assignment = self.assignment.read();
+        let mut by_node: BTreeMap<NodeId, Vec<ShardId>> = BTreeMap::new();
+        for (n, st) in self.nodes.read().iter() {
+            if st.alive {
+                by_node.insert(*n, Vec::new());
+            }
+        }
+        for (&s, &n) in assignment.iter() {
+            by_node.entry(n).or_default().push(s);
+        }
+        by_node.into_iter().collect()
+    }
+
+    /// Relative scan cost of a balanced query: the max shard count on any
+    /// node (query time is gated by the busiest node; per Figure 9, losing
+    /// one of four nodes moves this from 6 to 8 → a 1.33× slowdown).
+    pub fn relative_query_cost(&self) -> f64 {
+        self.shard_distribution()
+            .iter()
+            .map(|(_, shards)| shards.len())
+            .max()
+            .unwrap_or(0) as f64
+    }
+
+    // ---- DDL / DML routing -------------------------------------------------
+
+    /// Create a table on every shard with a distribution policy.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        distribution: Distribution,
+    ) -> Result<()> {
+        if let Distribution::Hash(col) = &distribution {
+            if schema.index_of(col).is_none() {
+                return Err(DashError::not_found("distribution column", col));
+            }
+        }
+        for shard in self.fs.shards() {
+            let fsd = self.fs.mount(shard)?;
+            fsd.db.catalog().create_table(name, schema.clone(), None)?;
+        }
+        self.distributions
+            .write()
+            .insert(name.to_ascii_uppercase(), distribution);
+        Ok(())
+    }
+
+    /// Route rows to shards per the table's distribution and bulk-load.
+    pub fn load_rows(&self, table: &str, rows: Vec<Row>) -> Result<u64> {
+        let dist = self
+            .distributions
+            .read()
+            .get(&table.to_ascii_uppercase())
+            .cloned()
+            .ok_or_else(|| DashError::not_found("table", table))?;
+        let shards = self.fs.shards();
+        let n = rows.len() as u64;
+        match dist {
+            Distribution::Replicated => {
+                for shard in &shards {
+                    let fsd = self.fs.mount(*shard)?;
+                    let handle = fsd.db.catalog().table_handle(table)?;
+                    let mut t = handle.table.write();
+                    for r in &rows {
+                        t.insert(r.clone())?;
+                    }
+                }
+            }
+            Distribution::Hash(col) => {
+                // Hash on the rendered key — stable across numeric kinds.
+                let first = self.fs.mount(shards[0])?;
+                let schema = first.db.catalog().table_handle(table)?.table.read().schema().clone();
+                let key_idx = schema.resolve(&col)?;
+                let mut per_shard: Vec<Vec<Row>> = vec![Vec::new(); shards.len()];
+                for r in rows {
+                    let key = r.get(key_idx).render();
+                    let h = hash_bytes(key.as_bytes()) as usize % shards.len();
+                    per_shard[h].push(r);
+                }
+                for (i, shard_rows) in per_shard.into_iter().enumerate() {
+                    if shard_rows.is_empty() {
+                        continue;
+                    }
+                    let fsd = self.fs.mount(shards[i])?;
+                    let handle = fsd.db.catalog().table_handle(table)?;
+                    let mut t = handle.table.write();
+                    for r in shard_rows {
+                        t.insert(r)?;
+                    }
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Run a statement on every shard (DDL, UPDATE, DELETE broadcast).
+    pub fn execute_all(&self, sql: &str) -> Result<u64> {
+        let mut affected = 0;
+        for shard in self.fs.shards() {
+            let fsd = self.fs.mount(shard)?;
+            let mut session = fsd.db.connect();
+            session.set_dialect(self.dialect);
+            affected += session.execute(sql)?.affected;
+        }
+        Ok(affected)
+    }
+
+    // ---- distributed query ---------------------------------------------------
+
+    /// Execute a SELECT across the cluster: scatter to live shards in
+    /// parallel, two-phase aggregate, coordinator-side ORDER BY / LIMIT /
+    /// DISTINCT.
+    pub fn query(&self, sql: &str) -> Result<Vec<Row>> {
+        let stmt = parse_statement(sql, self.dialect)?;
+        let select = match stmt {
+            Statement::Select(s) => *s,
+            _ => {
+                return Err(DashError::analysis(
+                    "Cluster::query takes SELECT; use execute_all for DDL/DML",
+                ))
+            }
+        };
+        self.distributed_select(&select)
+    }
+
+    fn distributed_select(&self, stmt: &SelectStmt) -> Result<Vec<Row>> {
+        // Decompose aggregates if present.
+        let agg_info = analyze_aggregation(stmt)?;
+        // The statement each shard runs: partial aggregates, no
+        // ORDER BY / LIMIT / OFFSET (applied post-merge).
+        let mut shard_stmt = match &agg_info {
+            Some(info) => info.partial_stmt.clone(),
+            None => stmt.clone(),
+        };
+        // A LIMIT can be pushed as a per-shard top-k (each shard returns
+        // its best offset+limit rows under the same ordering; the
+        // coordinator re-sorts and trims the union).
+        let limit = shard_stmt.limit.take();
+        let offset = shard_stmt.offset.take();
+        if agg_info.is_none() && limit.is_some() {
+            shard_stmt.limit = Some(limit.unwrap_or(0) + offset.unwrap_or(0));
+            // keep shard-side ORDER BY so the top-k is meaningful
+        } else {
+            shard_stmt.order_by.clear();
+        }
+
+        // Scatter to live shards in parallel.
+        let shards = self.fs.shards();
+        let dialect = self.dialect;
+        let mut partials: Vec<Vec<Row>> = Vec::with_capacity(shards.len());
+        let results: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for shard in &shards {
+                let fsd = self.fs.mount(*shard);
+                let stmt_ref = &shard_stmt;
+                handles.push(scope.spawn(move |_| -> Result<Vec<Row>> {
+                    let fsd = fsd?;
+                    let ctx = dash_exec::functions::EvalContext {
+                        now_micros: 0,
+                        sequences: None,
+                    };
+                    let plan = dash_sql::planner::plan_select(
+                        stmt_ref,
+                        fsd.db.catalog().as_ref(),
+                        dialect,
+                        &ctx,
+                    )?;
+                    let (batch, _) = dash_exec::plan::execute(&plan, &ctx)?;
+                    Ok(batch.to_rows())
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        })
+        .expect("scope");
+        for r in results {
+            partials.push(r?);
+        }
+
+        // Merge.
+        let mut merged: Vec<Row> = match &agg_info {
+            Some(info) => merge_partials(partials, info)?,
+            None => partials.into_iter().flatten().collect(),
+        };
+
+        // Coordinator-side DISTINCT (shards already deduped locally).
+        if stmt.distinct {
+            let mut seen = dash_common::fxhash::FxHashSet::default();
+            merged.retain(|r| seen.insert(r.clone()));
+        }
+        // Coordinator-side ORDER BY.
+        if !stmt.order_by.is_empty() {
+            let keys = resolve_order_keys(stmt, &merged)?;
+            merged.sort_by(|a, b| {
+                for &(idx, asc) in &keys {
+                    let ord = a.get(idx).sql_cmp(b.get(idx));
+                    let ord = if asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        // LIMIT/OFFSET.
+        let off = stmt.offset.unwrap_or(0) as usize;
+        let merged: Vec<Row> = match stmt.limit {
+            Some(l) => merged.into_iter().skip(off).take(l as usize).collect(),
+            None if off > 0 => merged.into_iter().skip(off).collect(),
+            None => merged,
+        };
+        Ok(merged)
+    }
+
+    // ---- HA & elasticity -------------------------------------------------------
+
+    /// Simulate a node failure: its shards re-associate with survivors
+    /// (Figure 9). Returns the rebalance report.
+    pub fn fail_node(&self, node: NodeId) -> Result<RebalanceReport> {
+        {
+            let mut nodes = self.nodes.write();
+            let st = nodes
+                .get_mut(&node)
+                .ok_or_else(|| DashError::not_found("node", node.to_string()))?;
+            if !st.alive {
+                return Err(DashError::Cluster(format!("{node} is already down")));
+            }
+            st.alive = false;
+        }
+        self.rebalance()
+    }
+
+    /// Elastic growth: add a node and rebalance shards onto it.
+    pub fn add_node(&self, hw: HardwareSpec) -> Result<(NodeId, RebalanceReport)> {
+        let id = {
+            let mut nodes = self.nodes.write();
+            let id = NodeId(nodes.keys().map(|n| n.0 + 1).max().unwrap_or(0));
+            nodes.insert(
+                id,
+                NodeState {
+                    hardware: hw,
+                    alive: true,
+                },
+            );
+            id
+        };
+        Ok((id, self.rebalance()?))
+    }
+
+    /// Elastic contraction: deliberately remove a node (same path as
+    /// failure, but planned).
+    pub fn remove_node(&self, node: NodeId) -> Result<RebalanceReport> {
+        self.fail_node(node)
+    }
+
+    /// Reinstate a repaired node.
+    pub fn restore_node(&self, node: NodeId) -> Result<RebalanceReport> {
+        {
+            let mut nodes = self.nodes.write();
+            let st = nodes
+                .get_mut(&node)
+                .ok_or_else(|| DashError::not_found("node", node.to_string()))?;
+            st.alive = true;
+        }
+        self.rebalance()
+    }
+
+    fn rebalance(&self) -> Result<RebalanceReport> {
+        let live: Vec<NodeId> = self
+            .nodes
+            .read()
+            .iter()
+            .filter(|(_, st)| st.alive)
+            .map(|(n, _)| *n)
+            .collect();
+        if live.is_empty() {
+            return Err(DashError::Cluster("no live nodes remain".into()));
+        }
+        let mut assignment = self.assignment.write();
+        let report = balance_assignments(&mut assignment, &live);
+        Ok(report)
+    }
+}
+
+// ---- two-phase aggregation ---------------------------------------------------
+
+/// How one original aggregate merges from partials.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum MergeOp {
+    /// SUM the partials (COUNT and SUM both merge this way).
+    Sum,
+    /// MIN of partials.
+    Min,
+    /// MAX of partials.
+    Max,
+    /// AVG = SUM(sum partial at `.0`) / SUM(count partial at `.1`).
+    Avg(usize, usize),
+}
+
+pub(crate) struct AggInfo {
+    /// The statement shards run: projected group columns, then partial
+    /// aggregates, then hidden group-by columns not in the projection.
+    pub partial_stmt: SelectStmt,
+    /// Number of leading (projected) group columns in the partial output.
+    pub group_cols: usize,
+    /// Merge op per original output column (group columns are `None`).
+    pub merges: Vec<Option<MergeOp>>,
+    /// All partial ordinals that form the grouping key (projected group
+    /// columns plus hidden trailing ones).
+    pub key_ordinals: Vec<usize>,
+}
+
+/// Inspect a SELECT: if it aggregates, build the partial statement and the
+/// merge plan. Returns `None` for non-aggregating queries. Errors on
+/// aggregates that do not decompose (MEDIAN, STDDEV, ...) or on expressions
+/// *around* aggregates (supported shape: each projected item is a bare
+/// group column or a bare aggregate call).
+fn analyze_aggregation(stmt: &SelectStmt) -> Result<Option<AggInfo>> {
+    let has_aggs = stmt
+        .projection
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
+    if !has_aggs && stmt.group_by.is_empty() {
+        return Ok(None);
+    }
+    if stmt.having.is_some() {
+        return Err(DashError::unsupported(
+            "HAVING in distributed aggregation (filter in a subquery instead)",
+        ));
+    }
+    let mut partial = stmt.clone();
+    partial.projection = Vec::new();
+    partial.order_by.clear();
+    partial.limit = None;
+    partial.offset = None;
+    // Resolve GROUP BY ordinals against the *original* projection now —
+    // the partial projection reorders columns.
+    let mut group_exprs: Vec<AstExpr> = Vec::new();
+    for g in &stmt.group_by {
+        let resolved = match g {
+            AstExpr::Lit(Datum::Int(n)) => {
+                let idx = *n as usize;
+                match stmt.projection.get(idx.wrapping_sub(1)) {
+                    Some(SelectItem::Expr { expr, .. }) => expr.clone(),
+                    _ => {
+                        return Err(DashError::analysis(format!(
+                            "GROUP BY position {idx} is out of range"
+                        )))
+                    }
+                }
+            }
+            other => other.clone(),
+        };
+        group_exprs.push(resolved);
+    }
+    partial.group_by = group_exprs.clone();
+
+    let mut merges: Vec<Option<MergeOp>> = Vec::new();
+    let mut group_cols = 0usize;
+    // First pass: group columns keep their position at the front.
+    for item in &stmt.projection {
+        let SelectItem::Expr { expr, alias } = item else {
+            return Err(DashError::unsupported(
+                "wildcards in distributed aggregation",
+            ));
+        };
+        if !expr.contains_aggregate() {
+            partial.projection.push(SelectItem::Expr {
+                expr: expr.clone(),
+                alias: alias.clone(),
+            });
+            merges.push(None);
+            group_cols += 1;
+        } else {
+            merges.push(Some(MergeOp::Sum)); // placeholder, fixed below
+        }
+    }
+    // Second pass: append partial aggregates after the group columns.
+    let mut next_out = group_cols;
+    for (i, item) in stmt.projection.iter().enumerate() {
+        let SelectItem::Expr { expr, .. } = item else {
+            unreachable!("checked above");
+        };
+        if !expr.contains_aggregate() {
+            continue;
+        }
+        let AstExpr::Func {
+            name,
+            args,
+            distinct,
+            star,
+        } = expr
+        else {
+            return Err(DashError::unsupported(
+                "expressions around aggregates in distributed queries",
+            ));
+        };
+        if *distinct {
+            return Err(DashError::unsupported(
+                "DISTINCT aggregates in distributed queries",
+            ));
+        }
+        let func = if *star {
+            AggFunc::CountStar
+        } else {
+            AggFunc::from_name(name)
+                .ok_or_else(|| DashError::not_found("aggregate function", name))?
+        };
+        let push_partial = |partial: &mut SelectStmt, e: AstExpr| {
+            partial.projection.push(SelectItem::Expr {
+                expr: e,
+                alias: None,
+            });
+        };
+        match func {
+            AggFunc::CountStar | AggFunc::Count | AggFunc::Sum => {
+                push_partial(&mut partial, expr.clone());
+                merges[i] = Some(MergeOp::Sum);
+                next_out += 1;
+            }
+            AggFunc::Min => {
+                push_partial(&mut partial, expr.clone());
+                merges[i] = Some(MergeOp::Min);
+                next_out += 1;
+            }
+            AggFunc::Max => {
+                push_partial(&mut partial, expr.clone());
+                merges[i] = Some(MergeOp::Max);
+                next_out += 1;
+            }
+            AggFunc::Avg => {
+                // AVG(x) → SUM(x), COUNT(x).
+                push_partial(
+                    &mut partial,
+                    AstExpr::Func {
+                        name: "SUM".into(),
+                        args: args.clone(),
+                        distinct: false,
+                        star: false,
+                    },
+                );
+                push_partial(
+                    &mut partial,
+                    AstExpr::Func {
+                        name: "COUNT".into(),
+                        args: args.clone(),
+                        distinct: false,
+                        star: false,
+                    },
+                );
+                merges[i] = Some(MergeOp::Avg(next_out, next_out + 1));
+                next_out += 2;
+            }
+            other => {
+                return Err(DashError::unsupported(format!(
+                    "{other:?} does not decompose for distributed execution"
+                )))
+            }
+        }
+    }
+    // Hidden group columns: GROUP BY expressions not already projected.
+    let mut key_ordinals: Vec<usize> = (0..group_cols).collect();
+    for g in &group_exprs {
+        let projected = stmt.projection.iter().any(
+            |p| matches!(p, SelectItem::Expr { expr, .. } if expr == g),
+        );
+        if !projected {
+            partial.projection.push(SelectItem::Expr {
+                expr: g.clone(),
+                alias: None,
+            });
+            key_ordinals.push(next_out);
+            next_out += 1;
+        }
+    }
+    Ok(Some(AggInfo {
+        partial_stmt: partial,
+        group_cols,
+        merges,
+        key_ordinals,
+    }))
+}
+
+fn merge_partials(partials: Vec<Vec<Row>>, info: &AggInfo) -> Result<Vec<Row>> {
+    // Group partial rows by the full grouping key (projected + hidden).
+    let mut groups: FxHashMap<Vec<Datum>, Vec<Row>> = FxHashMap::default();
+    for row in partials.into_iter().flatten() {
+        let key: Vec<Datum> = info
+            .key_ordinals
+            .iter()
+            .map(|&i| row.get(i).clone())
+            .collect();
+        groups.entry(key).or_default().push(row);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for rows in groups.into_values() {
+        let mut result: Vec<Datum> = Vec::with_capacity(info.merges.len());
+        // The j-th projected group column sits at partial ordinal j.
+        let mut group_pos = 0usize;
+        // Partial column index for each non-group output is encoded in the
+        // merge op ordering: walk them in output order.
+        let mut partial_idx = info.group_cols;
+        for m in &info.merges {
+            match m {
+                None => {
+                    result.push(rows[0].get(group_pos).clone());
+                    group_pos += 1;
+                }
+                Some(MergeOp::Sum) => {
+                    result.push(fold_sum(&rows, partial_idx));
+                    partial_idx += 1;
+                }
+                Some(MergeOp::Min) => {
+                    result.push(fold_minmax(&rows, partial_idx, true));
+                    partial_idx += 1;
+                }
+                Some(MergeOp::Max) => {
+                    result.push(fold_minmax(&rows, partial_idx, false));
+                    partial_idx += 1;
+                }
+                Some(MergeOp::Avg(sum_i, cnt_i)) => {
+                    let sum = fold_sum(&rows, *sum_i);
+                    let cnt = fold_sum(&rows, *cnt_i);
+                    let v = match (sum.as_float(), cnt.as_int()) {
+                        (Some(s), Some(c)) if c > 0 => Datum::Float(s / c as f64),
+                        _ => Datum::Null,
+                    };
+                    result.push(v);
+                    partial_idx += 2;
+                }
+            }
+        }
+        out.push(Row::new(result));
+    }
+    Ok(out)
+}
+
+fn fold_sum(rows: &[Row], idx: usize) -> Datum {
+    let mut int_sum = 0i64;
+    let mut float_sum = 0.0f64;
+    let mut saw_int = false;
+    let mut saw_float = false;
+    for r in rows {
+        match r.get(idx) {
+            Datum::Int(v) => {
+                int_sum += v;
+                saw_int = true;
+            }
+            Datum::Float(f) => {
+                float_sum += f;
+                saw_float = true;
+            }
+            Datum::Null => {}
+            other => {
+                if let Some(f) = other.as_float() {
+                    float_sum += f;
+                    saw_float = true;
+                }
+            }
+        }
+    }
+    if saw_float {
+        Datum::Float(float_sum + int_sum as f64)
+    } else if saw_int {
+        Datum::Int(int_sum)
+    } else {
+        Datum::Null
+    }
+}
+
+fn fold_minmax(rows: &[Row], idx: usize, min: bool) -> Datum {
+    let mut best: Option<Datum> = None;
+    for r in rows {
+        let v = r.get(idx);
+        if v.is_null() {
+            continue;
+        }
+        best = Some(match best {
+            None => v.clone(),
+            Some(b) => {
+                let take = if min {
+                    v.sql_cmp(&b) == std::cmp::Ordering::Less
+                } else {
+                    v.sql_cmp(&b) == std::cmp::Ordering::Greater
+                };
+                if take {
+                    v.clone()
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best.unwrap_or(Datum::Null)
+}
+
+/// Resolve ORDER BY items to merged-output ordinals (ordinals and
+/// projection positions only — coordinator sorting is positional).
+fn resolve_order_keys(stmt: &SelectStmt, merged: &[Row]) -> Result<Vec<(usize, bool)>> {
+    let width = merged.first().map_or(0, |r| r.len());
+    let mut keys = Vec::new();
+    for item in &stmt.order_by {
+        let idx = match &item.expr {
+            AstExpr::Lit(Datum::Int(n)) => (*n as usize).checked_sub(1),
+            AstExpr::Column { name, .. } => stmt.projection.iter().position(|p| match p {
+                SelectItem::Expr { alias: Some(a), .. } => a.eq_ignore_ascii_case(name),
+                SelectItem::Expr {
+                    expr: AstExpr::Column { name: cn, .. },
+                    ..
+                } => cn.eq_ignore_ascii_case(name),
+                _ => false,
+            }),
+            _ => None,
+        };
+        match idx {
+            Some(i) if width == 0 || i < width => keys.push((i, item.asc)),
+            _ => {
+                return Err(DashError::unsupported(
+                    "distributed ORDER BY supports output ordinals and projected columns",
+                ))
+            }
+        }
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_common::types::DataType;
+    use dash_common::{row, Field};
+
+    fn sales_cluster(nodes: usize, shards_per_node: usize, rows: usize) -> Cluster {
+        let c = Cluster::new(nodes, shards_per_node, HardwareSpec::laptop()).unwrap();
+        let schema = Schema::new(vec![
+            Field::not_null("id", DataType::Int64),
+            Field::new("region", DataType::Utf8),
+            Field::new("amount", DataType::Float64),
+        ])
+        .unwrap();
+        c.create_table("sales", schema, Distribution::Hash("id".into()))
+            .unwrap();
+        let data: Vec<Row> = (0..rows)
+            .map(|i| row![i as i64, format!("r{}", i % 3), (i % 10) as f64])
+            .collect();
+        c.load_rows("sales", data).unwrap();
+        c
+    }
+
+    #[test]
+    fn hash_distribution_spreads_rows() {
+        let c = sales_cluster(4, 3, 12_000);
+        // Every shard should hold a reasonable share.
+        let mut counts = Vec::new();
+        for shard in c.filesystem().shards() {
+            let db = c.filesystem().mount(shard).unwrap().db;
+            let mut s = db.connect();
+            let n = s.query("SELECT COUNT(*) FROM sales").unwrap()[0]
+                .get(0)
+                .as_int()
+                .unwrap();
+            counts.push(n);
+        }
+        let total: i64 = counts.iter().sum();
+        assert_eq!(total, 12_000);
+        let expected = 12_000 / 12;
+        for &n in &counts {
+            assert!(
+                (n - expected).abs() < expected / 2,
+                "imbalanced shard: {n} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_scan_and_filter() {
+        let c = sales_cluster(2, 4, 5000);
+        let rows = c
+            .query("SELECT id FROM sales WHERE id >= 4990 ORDER BY 1")
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].get(0), &Datum::Int(4990));
+    }
+
+    #[test]
+    fn two_phase_aggregation() {
+        let c = sales_cluster(3, 2, 3000);
+        let rows = c
+            .query(
+                "SELECT region, COUNT(*), SUM(amount), AVG(amount), MIN(id), MAX(id) \
+                 FROM sales GROUP BY region ORDER BY region",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.get(1), &Datum::Int(1000));
+            // amounts cycle 0..9 => avg 4.5 per region ± regional skew.
+            let avg = r.get(3).as_float().unwrap();
+            assert!((avg - 4.5).abs() < 1.0, "avg {avg}");
+        }
+        let total_min = rows.iter().map(|r| r.get(4).as_int().unwrap()).min().unwrap();
+        assert_eq!(total_min, 0);
+        let total_max = rows.iter().map(|r| r.get(5).as_int().unwrap()).max().unwrap();
+        assert_eq!(total_max, 2999);
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let c = sales_cluster(2, 2, 1000);
+        let rows = c.query("SELECT COUNT(*), SUM(amount) FROM sales").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Datum::Int(1000));
+    }
+
+    #[test]
+    fn replicated_tables_join_colocated() {
+        let c = sales_cluster(2, 2, 1000);
+        let dim = Schema::new(vec![
+            Field::new("region", DataType::Utf8),
+            Field::new("label", DataType::Utf8),
+        ])
+        .unwrap();
+        c.create_table("regions", dim, Distribution::Replicated)
+            .unwrap();
+        c.load_rows(
+            "regions",
+            vec![row!["r0", "zero"], row!["r1", "one"], row!["r2", "two"]],
+        )
+        .unwrap();
+        let rows = c
+            .query(
+                "SELECT label, COUNT(*) FROM sales JOIN regions ON sales.region = regions.region \
+                 GROUP BY label ORDER BY label",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        let total: i64 = rows.iter().map(|r| r.get(1).as_int().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn limit_pushdown_and_merge() {
+        let c = sales_cluster(2, 2, 1000);
+        let mut rows = c.query("SELECT id FROM sales ORDER BY 1 DESC FETCH FIRST 5 ROWS ONLY").unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.remove(0).get(0), &Datum::Int(999));
+    }
+
+    #[test]
+    fn failover_rebalances_like_figure_9() {
+        // Figure 9: four servers, six shards each; losing server D leaves
+        // A, B, C with eight shards each.
+        let c = sales_cluster(4, 6, 0);
+        assert_eq!(c.relative_query_cost(), 6.0);
+        let report = c.fail_node(NodeId(3)).unwrap();
+        assert_eq!(report.moved_shards, 6);
+        let dist = c.shard_distribution();
+        assert_eq!(dist.len(), 3);
+        for (_, shards) in &dist {
+            assert_eq!(shards.len(), 8, "8 shards each after failover");
+        }
+        assert_eq!(c.relative_query_cost(), 8.0);
+        // Queries still return complete results.
+        let c2 = sales_cluster(4, 6, 2400);
+        c2.fail_node(NodeId(3)).unwrap();
+        let rows = c2.query("SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(rows[0].get(0), &Datum::Int(2400));
+    }
+
+    #[test]
+    fn elastic_growth_and_restore() {
+        let c = sales_cluster(3, 8, 0); // 24 shards on 3 nodes
+        let (new_node, report) = c.add_node(HardwareSpec::laptop()).unwrap();
+        assert!(report.moved_shards > 0);
+        let dist = c.shard_distribution();
+        assert_eq!(dist.len(), 4);
+        for (_, shards) in &dist {
+            assert_eq!(shards.len(), 6, "24 shards over 4 nodes");
+        }
+        // Contract again.
+        c.remove_node(new_node).unwrap();
+        for (_, shards) in c.shard_distribution() {
+            assert_eq!(shards.len(), 8);
+        }
+    }
+
+    #[test]
+    fn failing_last_node_errors() {
+        let c = Cluster::new(1, 2, HardwareSpec::laptop()).unwrap();
+        assert!(c.fail_node(NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn unsupported_distributed_median_reports_cleanly() {
+        let c = sales_cluster(2, 2, 100);
+        let e = c.query("SELECT MEDIAN(amount) FROM sales").unwrap_err();
+        assert!(e.to_string().contains("decompose"), "{e}");
+    }
+}

@@ -1,0 +1,190 @@
+//! The deployment simulator (§II.A).
+//!
+//! "Combining the simplified deployment from Docker with the automatic
+//! configuration to [the] hardware target system, we find dashDB is
+//! consistently able to deploy to large clusters in under 30 minutes,
+//! fully configured and instantiated."
+//!
+//! The simulator models each automated step with nominal timings (image
+//! pull, container start, clustered-FS mount, hardware detection,
+//! auto-configuration, engine start — which the paper notes takes "a few
+//! minutes ... on large memory configurations" — and cluster join), and a
+//! manual-install comparator that prices the DBA work the automation
+//! replaces. Pull steps run in parallel across nodes; the critical path is
+//! the slowest node plus the serial cluster-join tail.
+
+use dash_core::{AutoConfig, HardwareSpec};
+use serde::{Deserialize, Serialize};
+
+/// Deployment scenario parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploySpec {
+    /// Per-node hardware.
+    pub nodes: Vec<HardwareSpec>,
+    /// Container image size in GB (the dashDB stack is a multi-GB image).
+    pub image_gb: f64,
+    /// Registry/network bandwidth per node, MB/s.
+    pub pull_bandwidth_mb_s: f64,
+}
+
+impl DeploySpec {
+    /// A homogeneous cluster of `n` nodes.
+    pub fn homogeneous(n: usize, hw: HardwareSpec) -> DeploySpec {
+        DeploySpec {
+            nodes: vec![hw; n],
+            image_gb: 4.0,
+            pull_bandwidth_mb_s: 100.0,
+        }
+    }
+}
+
+/// Per-step and total deployment timings, in seconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentReport {
+    /// Image pull (parallel across nodes; slowest node counts).
+    pub pull_s: f64,
+    /// Container create/start ("seconds to start container").
+    pub container_start_s: f64,
+    /// Clustered filesystem mount and validation.
+    pub fs_mount_s: f64,
+    /// Hardware detection + configuration derivation (fast — it is just
+    /// the [`AutoConfig::derive`] function).
+    pub autoconf_s: f64,
+    /// Engine start — scales with RAM ("few minutes ... on large memory
+    /// configurations").
+    pub engine_start_s: f64,
+    /// Serial cluster join / catalog sync tail.
+    pub cluster_join_s: f64,
+    /// Derived configuration of the first node (so callers can inspect
+    /// what the automation chose).
+    pub config: AutoConfig,
+    /// Node count.
+    pub nodes: usize,
+}
+
+impl DeploymentReport {
+    /// Total wall-clock deployment time in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.pull_s
+            + self.container_start_s
+            + self.fs_mount_s
+            + self.autoconf_s
+            + self.engine_start_s
+            + self.cluster_join_s
+    }
+
+    /// Total in minutes (the paper's headline unit).
+    pub fn total_minutes(&self) -> f64 {
+        self.total_s() / 60.0
+    }
+}
+
+/// Simulate deploying dashDB Local onto the cluster described by `spec`.
+pub fn simulate_deployment(spec: &DeploySpec) -> DeploymentReport {
+    assert!(!spec.nodes.is_empty(), "deployment needs at least one node");
+    let n = spec.nodes.len();
+    // Image pull: parallel; all nodes pull concurrently from the registry,
+    // which saturates past 8 concurrent pulls (bandwidth shared).
+    let effective_bw = spec.pull_bandwidth_mb_s / (n as f64 / 8.0).max(1.0);
+    let pull_s = spec.image_gb * 1024.0 / effective_bw;
+    // Container start: seconds, independent of cluster size (parallel).
+    let container_start_s = 8.0;
+    // Cluster FS mount: slight growth with node count (mount storms).
+    let fs_mount_s = 10.0 + (n as f64).log2().max(0.0) * 5.0;
+    // Hardware detection + AutoConfig::derive: sub-second per node,
+    // parallel.
+    let autoconf_s = 1.0;
+    // Engine start: buffer pool allocation & warmup scale with RAM; the
+    // paper: "few minutes to start dashDB engine on large memory
+    // configurations". ~20 s per 256 GB, floor 15 s.
+    let max_ram_gb = spec
+        .nodes
+        .iter()
+        .map(|h| h.ram_mb as f64 / 1024.0)
+        .fold(0.0, f64::max);
+    let engine_start_s = 15.0 + max_ram_gb / 256.0 * 20.0;
+    // Cluster join: a short serial handshake per node.
+    let cluster_join_s = 5.0 + 1.5 * n as f64;
+    DeploymentReport {
+        pull_s,
+        container_start_s,
+        fs_mount_s,
+        autoconf_s,
+        engine_start_s,
+        cluster_join_s,
+        config: AutoConfig::derive(&spec.nodes[0]),
+        nodes: n,
+    }
+}
+
+/// The manual alternative the automation replaces: OS prep, software
+/// install, and per-knob tuning of every subsystem the auto-configuration
+/// covers, per node, with only limited parallelism (a DBA drives it).
+/// Returns seconds. Nominal industry figures: ~2.5 h for the first node,
+/// ~45 min for each additional node (scripted but supervised).
+pub fn manual_install_estimate_s(nodes: usize) -> f64 {
+    assert!(nodes > 0);
+    2.5 * 3600.0 + (nodes as f64 - 1.0) * 45.0 * 60.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_laptop_deploys_in_minutes() {
+        let r = simulate_deployment(&DeploySpec::homogeneous(1, HardwareSpec::laptop()));
+        assert!(
+            r.total_minutes() < 5.0,
+            "laptop deploy should take a couple of minutes, got {:.1}",
+            r.total_minutes()
+        );
+    }
+
+    #[test]
+    fn large_cluster_under_30_minutes() {
+        // The paper's claim at a 24-node, big-memory cluster.
+        let r = simulate_deployment(&DeploySpec::homogeneous(24, HardwareSpec::xeon_e7()));
+        assert!(
+            r.total_minutes() < 30.0,
+            "24 x 6TB nodes must deploy <30 min, got {:.1}",
+            r.total_minutes()
+        );
+        // And a 64-node commodity cluster too.
+        let r = simulate_deployment(&DeploySpec::homogeneous(
+            64,
+            HardwareSpec::new(20, 256 * 1024),
+        ));
+        assert!(r.total_minutes() < 30.0, "got {:.1}", r.total_minutes());
+    }
+
+    #[test]
+    fn big_memory_slows_engine_start_only() {
+        let small = simulate_deployment(&DeploySpec::homogeneous(4, HardwareSpec::laptop()));
+        let big = simulate_deployment(&DeploySpec::homogeneous(4, HardwareSpec::xeon_e7()));
+        assert!(big.engine_start_s > small.engine_start_s * 5.0);
+        assert_eq!(big.container_start_s, small.container_start_s);
+        assert!(
+            big.engine_start_s > 120.0,
+            "'a few minutes' on 6 TB RAM: {:.0} s",
+            big.engine_start_s
+        );
+    }
+
+    #[test]
+    fn automation_beats_manual_by_an_order_of_magnitude() {
+        let auto = simulate_deployment(&DeploySpec::homogeneous(16, HardwareSpec::xeon_e7()));
+        let manual = manual_install_estimate_s(16);
+        assert!(manual / auto.total_s() > 5.0);
+    }
+
+    #[test]
+    fn report_sums_steps() {
+        let r = simulate_deployment(&DeploySpec::homogeneous(2, HardwareSpec::laptop()));
+        let sum = r.pull_s + r.container_start_s + r.fs_mount_s + r.autoconf_s
+            + r.engine_start_s + r.cluster_join_s;
+        assert!((r.total_s() - sum).abs() < 1e-9);
+        assert_eq!(r.nodes, 2);
+        assert!(r.config.bufferpool_pages > 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Shard rebalancing for HA and elasticity (§II.E, Figure 9).
+//!
+//! When a node dies (or is deliberately removed, or a new one joins), the
+//! shard → node assignment is adjusted so every live node carries an even
+//! share, moving as few shards as possible: surviving assignments stay put
+//! and only the overflow re-associates. "The cluster continues as a
+//! well-balanced unit, albeit with fewer total cores and less total RAM
+//! per byte of user data."
+
+use dash_common::ids::{NodeId, ShardId};
+use std::collections::BTreeMap;
+
+/// Outcome of one rebalance pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Shards whose assignment changed.
+    pub moved_shards: usize,
+    /// Shards per live node after the pass (sorted by node id).
+    pub shards_per_node: Vec<(NodeId, usize)>,
+}
+
+impl RebalanceReport {
+    /// Max/min shard count imbalance after the pass (≤ 1 when balanced).
+    pub fn imbalance(&self) -> usize {
+        let max = self.shards_per_node.iter().map(|(_, n)| *n).max().unwrap_or(0);
+        let min = self.shards_per_node.iter().map(|(_, n)| *n).min().unwrap_or(0);
+        max - min
+    }
+}
+
+/// Rebalance `assignment` onto exactly the `live` nodes, minimizing moves.
+///
+/// Shards assigned to dead nodes must move; shards on overloaded live
+/// nodes move until every node holds `⌊S/N⌋` or `⌈S/N⌉` shards.
+pub fn balance_assignments(
+    assignment: &mut BTreeMap<ShardId, NodeId>,
+    live: &[NodeId],
+) -> RebalanceReport {
+    assert!(!live.is_empty(), "caller guarantees at least one live node");
+    let total = assignment.len();
+    let mut sorted_live = live.to_vec();
+    sorted_live.sort_unstable();
+    let base = total / sorted_live.len();
+    let extra = total % sorted_live.len();
+    // Target per node: the first `extra` nodes (by id) take one more.
+    let target: BTreeMap<NodeId, usize> = sorted_live
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (*n, base + usize::from(i < extra)))
+        .collect();
+
+    // Keep up to `target` lowest-id shards per live node; everything else
+    // (shards on dead nodes, plus overflow) re-associates.
+    let mut new_assignment: BTreeMap<ShardId, NodeId> = BTreeMap::new();
+    let mut holding: BTreeMap<NodeId, usize> =
+        sorted_live.iter().map(|n| (*n, 0)).collect();
+    for n in &sorted_live {
+        let mut held: Vec<ShardId> = assignment
+            .iter()
+            .filter(|(_, node)| **node == *n)
+            .map(|(s, _)| *s)
+            .collect();
+        held.sort_unstable();
+        for s in held.into_iter().take(target[n]) {
+            new_assignment.insert(s, *n);
+            *holding.get_mut(n).expect("live node") += 1;
+        }
+    }
+    let movers: Vec<ShardId> = assignment
+        .keys()
+        .filter(|s| !new_assignment.contains_key(s))
+        .copied()
+        .collect();
+    let moved_shards = movers.len();
+    // Refill nodes below target, round-robin in id order.
+    let mut fill = sorted_live.iter().cycle();
+    for shard in movers {
+        loop {
+            let n = *fill.next().expect("cycle never ends");
+            let h = holding.get_mut(&n).expect("live node");
+            if *h < target[&n] {
+                *h += 1;
+                new_assignment.insert(shard, n);
+                break;
+            }
+        }
+    }
+    *assignment = new_assignment;
+    RebalanceReport {
+        moved_shards,
+        shards_per_node: holding.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn make(n_shards: usize, nodes: usize) -> BTreeMap<ShardId, NodeId> {
+        (0..n_shards)
+            .map(|s| (ShardId(s as u32), NodeId((s % nodes) as u32)))
+            .collect()
+    }
+
+    #[test]
+    fn figure_9_failover() {
+        // 24 shards over 4 nodes (6 each); node 3 dies → 8 each.
+        let mut a = make(24, 4);
+        let live = [NodeId(0), NodeId(1), NodeId(2)];
+        let r = balance_assignments(&mut a, &live);
+        assert_eq!(r.moved_shards, 6, "only the dead node's shards move");
+        assert_eq!(r.imbalance(), 0);
+        for (_, n) in &r.shards_per_node {
+            assert_eq!(*n, 8);
+        }
+        // Every shard is assigned to a live node.
+        assert!(a.values().all(|n| live.contains(n)));
+        assert_eq!(a.len(), 24);
+    }
+
+    #[test]
+    fn growth_moves_minimum() {
+        // 24 shards over 3 nodes (8 each); add node 3 → 6 each, 6 moves.
+        let mut a: BTreeMap<ShardId, NodeId> = (0..24)
+            .map(|s| (ShardId(s as u32), NodeId((s % 3) as u32)))
+            .collect();
+        let live = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let r = balance_assignments(&mut a, &live);
+        assert_eq!(r.moved_shards, 6, "exactly the overflow moves");
+        assert_eq!(r.imbalance(), 0);
+    }
+
+    #[test]
+    fn uneven_division_stays_within_one() {
+        let mut a = make(25, 4);
+        let live = [NodeId(0), NodeId(1), NodeId(2)];
+        let r = balance_assignments(&mut a, &live);
+        assert!(r.imbalance() <= 1);
+        let total: usize = r.shards_per_node.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn noop_when_already_balanced() {
+        let mut a = make(12, 3);
+        let live = [NodeId(0), NodeId(1), NodeId(2)];
+        let r = balance_assignments(&mut a, &live);
+        assert_eq!(r.moved_shards, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_always_balanced_and_complete(
+            n_shards in 1usize..60,
+            n_nodes in 1usize..8,
+            kill in 0usize..8,
+        ) {
+            let mut a = make(n_shards, n_nodes);
+            let live: Vec<NodeId> = (0..n_nodes)
+                .filter(|i| *i != kill % n_nodes || n_nodes == 1)
+                .map(|i| NodeId(i as u32))
+                .collect();
+            prop_assume!(!live.is_empty());
+            let r = balance_assignments(&mut a, &live);
+            prop_assert_eq!(a.len(), n_shards, "no shard lost");
+            prop_assert!(a.values().all(|n| live.contains(n)));
+            prop_assert!(r.imbalance() <= 1);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The shared-nothing MPP layer (§II.E, Figure 2, Figure 9).
+//!
+//! A [`cluster::Cluster`] runs one `dash-core` engine per hash shard, with
+//! the number of shards "several factors larger than the number of
+//! servers". Shard file sets live on a simulated clustered filesystem
+//! ([`clusterfs`]), so shards re-associate freely across nodes — the
+//! mechanism behind both HA failover (Figure 9) and elastic grow/shrink.
+//!
+//! * [`cluster`] — shard placement, distributed DDL/DML routing, the
+//!   scatter/gather query path with two-phase aggregation;
+//! * [`clusterfs`] — the host-independent shard storage;
+//! * [`deploy`] — the §II.A deployment simulator: container pull, engine
+//!   start and auto-configuration timing, reproducing the "<30 minutes to
+//!   a fully configured cluster" claim;
+//! * [`ha`] — failover and elasticity bookkeeping (Figure 9's 6/6/6/6 →
+//!   8/8/8 rebalance).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cluster;
+pub mod clusterfs;
+pub mod deploy;
+pub mod ha;
+
+pub use cluster::{Cluster, Distribution};
+pub use deploy::{simulate_deployment, DeploySpec, DeploymentReport};

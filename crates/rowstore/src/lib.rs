@@ -1,0 +1,28 @@
+//! Baseline engines for the paper's comparisons.
+//!
+//! Table 1 compares dashDB Local against (a) a hardware appliance whose
+//! software architecture is the classical *row-organized table + secondary
+//! B-tree indexes + LRU buffer pool* design, and (b) an anonymous cloud
+//! MPP column store without BLU's operate-on-compressed machinery. This
+//! crate implements both comparators for real:
+//!
+//! * [`heap`] — slotted-page row tables;
+//! * [`btree`] — a from-scratch B+tree used for secondary indexes;
+//! * [`engine`] — a row-at-a-time executor (index selection, index
+//!   nested-loop joins, per-row aggregation) with page-level buffer-pool
+//!   accounting;
+//! * [`naive`] — the "naive columnar" engine: column layout, but
+//!   uncompressed values, no synopsis, no software-SIMD, no frequency
+//!   dictionaries — isolating exactly the deltas the paper credits.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod btree;
+pub mod engine;
+pub mod heap;
+pub mod naive;
+
+pub use btree::BPlusTree;
+pub use engine::RowEngine;
+pub use heap::{HeapTable, Rid};

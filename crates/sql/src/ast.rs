@@ -1,0 +1,532 @@
+//! The SQL abstract syntax tree.
+//!
+//! One AST serves all dialects; the parser decides which constructs are
+//! *reachable* under the session dialect, and the planner decides how the
+//! dialect-specific nodes (ROWNUM, `(+)` markers, sequences, CONNECT BY)
+//! lower onto the engine.
+
+use dash_common::dialect::Dialect;
+use dash_common::Datum;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// SELECT query.
+    Select(Box<SelectStmt>),
+    /// INSERT.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list (empty = positional).
+        columns: Vec<String>,
+        /// Row source.
+        source: InsertSource,
+    },
+    /// UPDATE.
+    Update {
+        /// Target table.
+        table: String,
+        /// SET assignments.
+        assignments: Vec<(String, AstExpr)>,
+        /// WHERE clause.
+        selection: Option<AstExpr>,
+    },
+    /// DELETE.
+    Delete {
+        /// Target table.
+        table: String,
+        /// WHERE clause.
+        selection: Option<AstExpr>,
+    },
+    /// CREATE TABLE (regular, `CREATE TEMP TABLE`, `CREATE GLOBAL
+    /// TEMPORARY TABLE`, `DECLARE GLOBAL TEMPORARY TABLE`).
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+        /// Session-scoped temporary table.
+        temporary: bool,
+        /// IF NOT EXISTS.
+        if_not_exists: bool,
+        /// CREATE TABLE ... AS SELECT.
+        as_select: Option<Box<SelectStmt>>,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// IF EXISTS.
+        if_exists: bool,
+    },
+    /// TRUNCATE TABLE (Oracle / ANSI).
+    Truncate {
+        /// Table name.
+        name: String,
+    },
+    /// CREATE VIEW (records the defining text; the defining dialect is
+    /// attached at execution time, per the paper's dialect-stickiness).
+    CreateView {
+        /// View name.
+        name: String,
+        /// The SELECT body.
+        select: Box<SelectStmt>,
+        /// Original SQL of the body, for catalog storage.
+        text: String,
+    },
+    /// DROP VIEW.
+    DropView {
+        /// View name.
+        name: String,
+        /// IF EXISTS.
+        if_exists: bool,
+    },
+    /// CREATE SEQUENCE (backs NEXTVAL/CURRVAL and NEXT VALUE FOR).
+    CreateSequence {
+        /// Sequence name.
+        name: String,
+        /// START WITH.
+        start: i64,
+        /// INCREMENT BY.
+        increment: i64,
+    },
+    /// DROP SEQUENCE.
+    DropSequence {
+        /// Sequence name.
+        name: String,
+    },
+    /// CREATE ALIAS name FOR table (DB2).
+    CreateAlias {
+        /// Alias name.
+        name: String,
+        /// Target object.
+        target: String,
+    },
+    /// EXPLAIN wrapping another statement.
+    Explain(Box<Statement>),
+    /// SET SQL_DIALECT = <dialect> (the session variable of §II.C.2).
+    SetDialect(Dialect),
+    /// DB2 standalone `VALUES (...), (...)` statement.
+    Values(Vec<Vec<AstExpr>>),
+    /// `BEGIN stmt; stmt; ... END` — DB2 compound SQL (inlined) and the
+    /// SQL-statement subset of Oracle anonymous blocks.
+    Block(Vec<Statement>),
+}
+
+/// INSERT row source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// `VALUES (..), (..)`.
+    Values(Vec<Vec<AstExpr>>),
+    /// `INSERT ... SELECT`.
+    Select(Box<SelectStmt>),
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name (folded).
+    pub name: String,
+    /// Type name as written (`INT4`, `VARCHAR2`, `NUMBER`...).
+    pub type_name: String,
+    /// Type arguments (`VARCHAR(20)` → `[20]`).
+    pub type_args: Vec<i64>,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+    /// UNIQUE / PRIMARY KEY (the only index kind BLU permits).
+    pub unique: bool,
+}
+
+/// A SELECT statement (one query block plus optional set operation tail).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// WITH common table expressions.
+    pub ctes: Vec<(String, SelectStmt)>,
+    /// SELECT DISTINCT.
+    pub distinct: bool,
+    /// Projection.
+    pub projection: Vec<SelectItem>,
+    /// FROM (comma list; joins nest inside items).
+    pub from: Vec<TableRef>,
+    /// WHERE.
+    pub selection: Option<AstExpr>,
+    /// GROUP BY (expressions; integer literals = ordinals, bare names may
+    /// refer to output columns under Netezza).
+    pub group_by: Vec<AstExpr>,
+    /// HAVING.
+    pub having: Option<AstExpr>,
+    /// ORDER BY.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT (PostgreSQL/Netezza) or FETCH FIRST (ANSI/DB2).
+    pub limit: Option<u64>,
+    /// OFFSET.
+    pub offset: Option<u64>,
+    /// Oracle hierarchical query: START WITH predicate.
+    pub start_with: Option<AstExpr>,
+    /// Oracle hierarchical query: CONNECT BY (prior_col, child_col) —
+    /// the parser normalizes `PRIOR a = b` / `a = PRIOR b` to this form.
+    pub connect_by: Option<(String, String)>,
+    /// Set operation tail: (op, rhs).
+    pub set_op: Option<(SetOp, Box<SelectStmt>)>,
+}
+
+/// One projected item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// `alias.*`.
+    QualifiedWildcard(String),
+    /// Expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: AstExpr,
+        /// AS alias.
+        alias: Option<String>,
+    },
+}
+
+/// Set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// UNION (deduplicating).
+    Union,
+    /// UNION ALL.
+    UnionAll,
+}
+
+/// A FROM-clause table reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table or view by name.
+    Named {
+        /// Object name.
+        name: String,
+        /// Alias.
+        alias: Option<String>,
+    },
+    /// Oracle's one-row DUAL table.
+    Dual,
+    /// Parenthesized subquery.
+    Subquery {
+        /// The subquery.
+        select: Box<SelectStmt>,
+        /// Mandatory alias.
+        alias: String,
+    },
+    /// Explicit JOIN.
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join kind.
+        kind: JoinKind,
+        /// ON / USING constraint.
+        constraint: JoinConstraint,
+    },
+}
+
+/// Join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// INNER JOIN.
+    Inner,
+    /// LEFT [OUTER] JOIN.
+    Left,
+    /// RIGHT [OUTER] JOIN (planned as a flipped LEFT).
+    Right,
+    /// CROSS JOIN.
+    Cross,
+}
+
+/// Join constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinConstraint {
+    /// ON <predicate>.
+    On(AstExpr),
+    /// USING (col, ...) — Netezza/PostgreSQL extension.
+    Using(Vec<String>),
+    /// No constraint (CROSS JOIN).
+    None,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Key expression (integer literal = output ordinal).
+    pub expr: AstExpr,
+    /// ASC?
+    pub asc: bool,
+    /// NULLS LAST? (None = dialect default: last).
+    pub nulls_last: Option<bool>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `||` string concatenation.
+    Concat,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// AND
+    And,
+    /// OR
+    Or,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference `[qualifier.]name`. `ROWNUM` and `LEVEL` arrive as
+    /// unqualified columns and are resolved as pseudo-columns by the
+    /// planner when the dialect allows.
+    Column {
+        /// Table qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal.
+    Lit(Datum),
+    /// Unary minus.
+    Neg(Box<AstExpr>),
+    /// NOT.
+    Not(Box<AstExpr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Oracle `(+)` outer-join marker attached to a column.
+    OuterJoinMarker(Box<AstExpr>),
+    /// IS [NOT] NULL; also Netezza postfix `ISNULL` / `NOTNULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+    /// Netezza `ISTRUE` / `ISFALSE` (also `IS [NOT] TRUE/FALSE`).
+    IsBool {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Value tested against.
+        value: bool,
+        /// Negated form.
+        negated: bool,
+    },
+    /// BETWEEN.
+    Between {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Low bound.
+        low: Box<AstExpr>,
+        /// High bound.
+        high: Box<AstExpr>,
+        /// NOT BETWEEN.
+        negated: bool,
+    },
+    /// IN (literal list).
+    InList {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Candidates.
+        list: Vec<AstExpr>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// IN (subquery).
+    InSubquery {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// The subquery.
+        subquery: Box<SelectStmt>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// EXISTS (subquery).
+    Exists {
+        /// The subquery.
+        subquery: Box<SelectStmt>,
+        /// NOT EXISTS.
+        negated: bool,
+    },
+    /// Scalar subquery.
+    ScalarSubquery(Box<SelectStmt>),
+    /// LIKE.
+    Like {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Pattern (must evaluate to a literal string).
+        pattern: Box<AstExpr>,
+        /// NOT LIKE.
+        negated: bool,
+    },
+    /// Function call (scalar or aggregate; resolved by the planner).
+    Func {
+        /// Function name (folded).
+        name: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+        /// DISTINCT modifier inside an aggregate.
+        distinct: bool,
+        /// `*` argument (COUNT(*)).
+        star: bool,
+    },
+    /// CAST(expr AS type) and PostgreSQL `expr::type`.
+    Cast {
+        /// Operand.
+        expr: Box<AstExpr>,
+        /// Target type name as written.
+        type_name: String,
+        /// Type arguments.
+        type_args: Vec<i64>,
+    },
+    /// CASE expression.
+    Case {
+        /// Simple-CASE operand.
+        operand: Option<Box<AstExpr>>,
+        /// WHEN/THEN pairs.
+        branches: Vec<(AstExpr, AstExpr)>,
+        /// ELSE.
+        otherwise: Option<Box<AstExpr>>,
+    },
+    /// `seq.NEXTVAL` (Oracle) / `NEXT VALUE FOR seq` (DB2).
+    NextVal(String),
+    /// `seq.CURRVAL` (Oracle) / `PREVIOUS VALUE FOR seq` (DB2).
+    CurrVal(String),
+    /// `(s1, e1) OVERLAPS (s2, e2)` — Netezza/PostgreSQL period overlap.
+    Overlaps {
+        /// First period.
+        left: (Box<AstExpr>, Box<AstExpr>),
+        /// Second period.
+        right: (Box<AstExpr>, Box<AstExpr>),
+    },
+    /// Oracle `PRIOR col` inside CONNECT BY (only valid there).
+    Prior(Box<AstExpr>),
+}
+
+impl AstExpr {
+    /// Column shorthand.
+    pub fn column(name: &str) -> AstExpr {
+        AstExpr::Column {
+            qualifier: None,
+            name: name.to_ascii_uppercase(),
+        }
+    }
+
+    /// True if the expression contains an aggregate function call
+    /// (resolved by name against the aggregate catalogue).
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::Func { name, args, .. } => {
+                dash_exec::agg::AggFunc::from_name(name).is_some()
+                    || args.iter().any(|a| a.contains_aggregate())
+            }
+            AstExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            AstExpr::Neg(e) | AstExpr::Not(e) | AstExpr::Prior(e) => e.contains_aggregate(),
+            AstExpr::IsNull { expr, .. }
+            | AstExpr::IsBool { expr, .. }
+            | AstExpr::OuterJoinMarker(expr) => expr.contains_aggregate(),
+            AstExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            AstExpr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            AstExpr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            AstExpr::Cast { expr, .. } => expr.contains_aggregate(),
+            AstExpr::Case {
+                operand,
+                branches,
+                otherwise,
+            } => {
+                operand.as_ref().is_some_and(|o| o.contains_aggregate())
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || otherwise.as_ref().is_some_and(|o| o.contains_aggregate())
+            }
+            AstExpr::Overlaps { left, right } => {
+                left.0.contains_aggregate()
+                    || left.1.contains_aggregate()
+                    || right.0.contains_aggregate()
+                    || right.1.contains_aggregate()
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = AstExpr::Func {
+            name: "SUM".into(),
+            args: vec![AstExpr::column("x")],
+            distinct: false,
+            star: false,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = AstExpr::Binary {
+            op: BinOp::Add,
+            left: Box::new(agg),
+            right: Box::new(AstExpr::Lit(Datum::Int(1))),
+        };
+        assert!(nested.contains_aggregate());
+        let scalar = AstExpr::Func {
+            name: "UPPER".into(),
+            args: vec![AstExpr::column("x")],
+            distinct: false,
+            star: false,
+        };
+        assert!(!scalar.contains_aggregate());
+    }
+
+    #[test]
+    fn column_folds() {
+        assert_eq!(
+            AstExpr::column("abc"),
+            AstExpr::Column {
+                qualifier: None,
+                name: "ABC".into()
+            }
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! SQL tokenizer.
+
+use dash_common::{DashError, Result};
+
+/// A lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset into the source text.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Unquoted identifier or keyword, folded to upper case.
+    Ident(String),
+    /// `"quoted"` identifier, case preserved.
+    QuotedIdent(String),
+    /// `'string'` literal (with `''` escapes resolved).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float/decimal literal (kept as text for exact decimal parsing).
+    NumberLit(String),
+    /// Any operator or punctuation: `(`, `)`, `,`, `.`, `;`, `=`, `<>`,
+    /// `<=`, `>=`, `<`, `>`, `!=`, `+`, `-`, `*`, `/`, `%`, `::`, `:`,
+    /// `||`, `(+)`.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier text if this is an (unquoted) identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment.
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(DashError::parse("unterminated block comment", start));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        let offset = i;
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(sql[start..i].to_ascii_uppercase()),
+                offset,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+        {
+            let start = i;
+            let mut saw_dot = false;
+            let mut saw_exp = false;
+            while i < bytes.len() {
+                let b = bytes[i] as char;
+                if b.is_ascii_digit() {
+                    i += 1;
+                } else if b == '.' && !saw_dot && !saw_exp {
+                    // Don't consume `..` or `.e`.
+                    saw_dot = true;
+                    i += 1;
+                } else if (b == 'e' || b == 'E')
+                    && !saw_exp
+                    && bytes.get(i + 1).is_some_and(|n| {
+                        n.is_ascii_digit() || *n == b'+' || *n == b'-'
+                    })
+                {
+                    saw_exp = true;
+                    i += 2; // consume e and sign/digit
+                } else {
+                    break;
+                }
+            }
+            let text = &sql[start..i];
+            let kind = if !saw_dot && !saw_exp {
+                match text.parse::<i64>() {
+                    Ok(v) => TokenKind::IntLit(v),
+                    Err(_) => TokenKind::NumberLit(text.to_string()),
+                }
+            } else {
+                TokenKind::NumberLit(text.to_string())
+            };
+            tokens.push(Token { kind, offset });
+            continue;
+        }
+        // String literals.
+        if c == '\'' {
+            let start = i;
+            i += 1;
+            let mut out = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(DashError::parse("unterminated string literal", start));
+                }
+                if bytes[i] == b'\'' {
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        out.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    // Multi-byte safe: push the char at this position.
+                    let ch_str = &sql[i..];
+                    let ch = ch_str.chars().next().expect("in range");
+                    out.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::StringLit(out),
+                offset,
+            });
+            continue;
+        }
+        // Quoted identifiers.
+        if c == '"' {
+            let start = i;
+            i += 1;
+            let mut out = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(DashError::parse("unterminated quoted identifier", start));
+                }
+                if bytes[i] == b'"' {
+                    if bytes.get(i + 1) == Some(&b'"') {
+                        out.push('"');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    let ch = sql[i..].chars().next().expect("in range");
+                    out.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::QuotedIdent(out),
+                offset,
+            });
+            continue;
+        }
+        // `(+)` — the Oracle outer join marker.
+        if c == '(' && i + 2 < bytes.len() && bytes[i + 1] == b'+' && bytes[i + 2] == b')' {
+            tokens.push(Token {
+                kind: TokenKind::Symbol("(+)"),
+                offset,
+            });
+            i += 3;
+            continue;
+        }
+        // Multi-char operators.
+        let two = if i + 1 < bytes.len() {
+            &sql[i..i + 2]
+        } else {
+            ""
+        };
+        let sym2: Option<&'static str> = match two {
+            "::" => Some("::"),
+            "<>" => Some("<>"),
+            "!=" => Some("!="),
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "||" => Some("||"),
+            _ => None,
+        };
+        if let Some(s) = sym2 {
+            tokens.push(Token {
+                kind: TokenKind::Symbol(s),
+                offset,
+            });
+            i += 2;
+            continue;
+        }
+        let sym1: Option<&'static str> = match c {
+            '(' => Some("("),
+            ')' => Some(")"),
+            ',' => Some(","),
+            '.' => Some("."),
+            ';' => Some(";"),
+            '=' => Some("="),
+            '<' => Some("<"),
+            '>' => Some(">"),
+            '+' => Some("+"),
+            '-' => Some("-"),
+            '*' => Some("*"),
+            '/' => Some("/"),
+            '%' => Some("%"),
+            ':' => Some(":"),
+            '?' => Some("?"),
+            _ => None,
+        };
+        match sym1 {
+            Some(s) => {
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(s),
+                    offset,
+                });
+                i += 1;
+            }
+            None => {
+                return Err(DashError::parse(
+                    format!("unexpected character '{c}'"),
+                    offset,
+                ))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: sql.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_fold_upper() {
+        let k = kinds("select Foo from bar");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(k[1], TokenKind::Ident("FOO".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers_preserve_case() {
+        let k = kinds(r#""MixedCase" "with""quote""#);
+        assert_eq!(k[0], TokenKind::QuotedIdent("MixedCase".into()));
+        assert_eq!(k[1], TokenKind::QuotedIdent("with\"quote".into()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::StringLit("it's".into()));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("42 3.14 1e6 2.5e-3 .5");
+        assert_eq!(k[0], TokenKind::IntLit(42));
+        assert_eq!(k[1], TokenKind::NumberLit("3.14".into()));
+        assert_eq!(k[2], TokenKind::NumberLit("1e6".into()));
+        assert_eq!(k[3], TokenKind::NumberLit("2.5e-3".into()));
+        assert_eq!(k[4], TokenKind::NumberLit(".5".into()));
+    }
+
+    #[test]
+    fn operators_and_cast() {
+        let k = kinds("a::int4 <> b || c");
+        assert_eq!(k[1], TokenKind::Symbol("::"));
+        assert_eq!(k[3], TokenKind::Symbol("<>"));
+        assert_eq!(k[5], TokenKind::Symbol("||"));
+    }
+
+    #[test]
+    fn oracle_outer_join_marker() {
+        let k = kinds("a.id = b.id (+)");
+        assert!(k.contains(&TokenKind::Symbol("(+)")));
+        // Parenthesized plus is NOT the marker when followed by expr.
+        let k = kinds("(+ 1)");
+        assert_eq!(k[0], TokenKind::Symbol("("));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let k = kinds("select -- a comment\n 1 /* block\nspanning */ + 2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::IntLit(1),
+                TokenKind::Symbol("+"),
+                TokenKind::IntLit(2),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("/* open").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn unexpected_char() {
+        let e = tokenize("select @").unwrap_err();
+        assert!(matches!(e, DashError::Parse { offset: 7, .. }));
+    }
+}

@@ -1,0 +1,27 @@
+//! The polyglot SQL front-end (§II.C of the paper).
+//!
+//! "We began with an ANSI standard compliant SQL compiler, and added
+//! extensions for Oracle, PostgreSQL, Netezza, and DB2."
+//!
+//! * [`lexer`] — tokenizer (handles `::` casts, `(+)` outer-join markers,
+//!   quoted identifiers, `--`/`/* */` comments).
+//! * [`ast`] — the statement and expression AST.
+//! * [`parser`] — recursive-descent parser, parameterized by the session
+//!   [`dash_common::dialect::Dialect`]: `LIMIT/OFFSET` and `expr::type`
+//!   parse only under Netezza/PostgreSQL, `ROWNUM`/`DUAL`/`(+)` only under
+//!   Oracle, `FETCH FIRST n ROWS ONLY` under ANSI/DB2, and so on.
+//! * [`planner`] — name resolution, type checking, predicate pushdown into
+//!   the columnar scan, join planning, aggregation/ordering lowering onto
+//!   [`dash_exec::PhysicalPlan`].
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::Statement;
+pub use parser::parse_statement;
+pub use planner::{plan_select, SchemaProvider, TableHandle};

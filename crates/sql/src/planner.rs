@@ -1,0 +1,2333 @@
+//! Analyzer and planner: AST → `dash_exec::PhysicalPlan`.
+//!
+//! Responsibilities:
+//! * name resolution against the catalog (tables, views — with the view's
+//!   *creation* dialect, per §II.C.2 — CTEs, aliases);
+//! * column pruning (scans project only referenced columns — where the
+//!   columnar architecture's I/O advantage comes from);
+//! * predicate pushdown into [`dash_exec::scan::ScanConfig`] so simple
+//!   comparisons run on compressed codes;
+//! * join planning: explicit JOIN ... ON/USING, comma-lists joined through
+//!   WHERE equalities, Oracle `(+)` outer-join markers;
+//! * aggregation, HAVING, DISTINCT, ORDER BY (ordinals, aliases),
+//!   LIMIT/OFFSET/FETCH FIRST, ROWNUM, CONNECT BY, sequences;
+//! * scalar/IN/EXISTS subqueries (uncorrelated; evaluated eagerly at plan
+//!   time).
+
+use crate::ast::*;
+use dash_common::dialect::Dialect;
+use dash_common::{DashError, DataType, Datum, Field, Result, Row, Schema};
+use dash_exec::agg::{AggExpr, AggFunc};
+use dash_exec::expr::{ArithOp, CmpOp, Expr};
+use dash_exec::functions::{EvalContext, FunctionRegistry};
+use dash_exec::join::JoinType;
+use dash_exec::plan::{PhysicalPlan, SharedTable};
+use dash_exec::scan::{ColumnPredicate, ScanConfig};
+use dash_exec::sort::SortKey;
+use dash_storage::bufferpool::BufferPool;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A resolved table: catalog id plus the shared storage handle.
+#[derive(Clone)]
+pub struct TableHandle {
+    /// Catalog table id (used for buffer-pool page keys).
+    pub id: u32,
+    /// The storage object.
+    pub table: SharedTable,
+}
+
+/// What the planner needs from the catalog.
+pub trait SchemaProvider {
+    /// Resolve a base table (following DB2 aliases).
+    fn table(&self, name: &str) -> Result<TableHandle>;
+
+    /// Resolve a view: its defining SQL and the dialect it was created
+    /// under (views keep their creation dialect, §II.C.2).
+    fn view(&self, name: &str) -> Option<(String, Dialect)>;
+
+    /// The shared buffer pool, if the session tracks one.
+    fn pool(&self) -> Option<Arc<Mutex<BufferPool>>> {
+        None
+    }
+
+    /// Look up a user-defined extension function (§II.C.4). UDXes shadow
+    /// builtins of the same name. Default: no UDXes.
+    fn udx(&self, _name: &str) -> Option<Arc<dash_exec::functions::ScalarFunction>> {
+        None
+    }
+
+    /// Intra-query scan parallelism (strides scheduled across threads,
+    /// §II.B.6). Default: serial.
+    fn parallelism(&self) -> usize {
+        1
+    }
+}
+
+/// Plan a SELECT statement into a physical plan.
+pub fn plan_select(
+    stmt: &SelectStmt,
+    provider: &dyn SchemaProvider,
+    dialect: Dialect,
+    ctx: &EvalContext,
+) -> Result<PhysicalPlan> {
+    let mut planner = Planner {
+        provider,
+        dialect,
+        registry: dash_exec::functions::builtin_registry(),
+        ctx,
+        ctes: HashMap::new(),
+        depth: 0,
+    };
+    let (plan, _) = planner.plan_query(stmt)?;
+    Ok(pushdown(plan))
+}
+
+/// Lower a standalone expression (no table scope) — used by INSERT VALUES
+/// and UPDATE assignments in `dash-core`.
+pub fn lower_standalone_expr(
+    ast: &AstExpr,
+    provider: &dyn SchemaProvider,
+    dialect: Dialect,
+    ctx: &EvalContext,
+) -> Result<Expr> {
+    let mut planner = Planner {
+        provider,
+        dialect,
+        registry: dash_exec::functions::builtin_registry(),
+        ctx,
+        ctes: HashMap::new(),
+        depth: 0,
+    };
+    let (e, _) = planner.lower(ast, &Scope::default())?;
+    Ok(e)
+}
+
+/// Lower an expression against a single table's schema (used by UPDATE /
+/// DELETE WHERE clauses in `dash-core`). Column ordinals reference the
+/// table schema directly.
+pub fn lower_table_expr(
+    ast: &AstExpr,
+    schema: &Schema,
+    provider: &dyn SchemaProvider,
+    dialect: Dialect,
+    ctx: &EvalContext,
+) -> Result<Expr> {
+    let mut planner = Planner {
+        provider,
+        dialect,
+        registry: dash_exec::functions::builtin_registry(),
+        ctx,
+        ctes: HashMap::new(),
+        depth: 0,
+    };
+    let scope = Scope::from_schema(None, schema);
+    let (e, _) = planner.lower(ast, &scope)?;
+    Ok(e)
+}
+
+// ---- scopes -------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct ScopeCol {
+    qualifier: Option<String>,
+    name: String,
+    dt: DataType,
+    nullable: bool,
+}
+
+/// A name-resolution scope: one entry per output ordinal of the current
+/// plan node.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    cols: Vec<ScopeCol>,
+}
+
+impl Scope {
+    fn from_schema(qualifier: Option<&str>, schema: &Schema) -> Scope {
+        Scope {
+            cols: schema
+                .fields()
+                .iter()
+                .map(|f| ScopeCol {
+                    qualifier: qualifier.map(|q| q.to_ascii_uppercase()),
+                    name: f.name.clone(),
+                    dt: f.data_type,
+                    nullable: f.nullable,
+                })
+                .collect(),
+        }
+    }
+
+    fn join(&self, other: &Scope) -> Scope {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        Scope { cols }
+    }
+
+    /// Resolve a column reference. Unqualified names resolve to the
+    /// leftmost match (permissive resolution: JOIN USING and self-joins
+    /// with identical column names pick the left input).
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
+        let name = name.to_ascii_uppercase();
+        let q = qualifier.map(|s| s.to_ascii_uppercase());
+        self.cols.iter().position(|c| {
+            c.name == name
+                && match &q {
+                    Some(q) => c.qualifier.as_deref() == Some(q.as_str()),
+                    None => true,
+                }
+        })
+    }
+
+    fn to_schema(&self) -> Schema {
+        Schema::new_unchecked(
+            self.cols
+                .iter()
+                .map(|c| Field {
+                    name: c.name.clone(),
+                    data_type: c.dt,
+                    nullable: c.nullable,
+                })
+                .collect(),
+        )
+    }
+}
+
+// ---- the planner ----------------------------------------------------------
+
+struct Planner<'a> {
+    provider: &'a dyn SchemaProvider,
+    dialect: Dialect,
+    registry: &'static FunctionRegistry,
+    ctx: &'a EvalContext,
+    /// CTEs visible in the current query (name → (plan, scope)).
+    ctes: HashMap<String, (PhysicalPlan, Scope)>,
+    depth: usize,
+}
+
+const MAX_SUBQUERY_DEPTH: usize = 16;
+
+impl Planner<'_> {
+    fn plan_query(&mut self, stmt: &SelectStmt) -> Result<(PhysicalPlan, Scope)> {
+        self.depth += 1;
+        if self.depth > MAX_SUBQUERY_DEPTH {
+            return Err(DashError::analysis("query nesting too deep"));
+        }
+        let result = self.plan_query_inner(stmt);
+        self.depth -= 1;
+        result
+    }
+
+    fn plan_query_inner(&mut self, stmt: &SelectStmt) -> Result<(PhysicalPlan, Scope)> {
+        // CTEs: plan each and register (restored on exit via clone).
+        let saved_ctes = self.ctes.clone();
+        for (name, body) in &stmt.ctes {
+            let (plan, scope) = self.plan_query(body)?;
+            // Re-qualify the CTE's columns under its name.
+            let scope = Scope {
+                cols: scope
+                    .cols
+                    .iter()
+                    .map(|c| ScopeCol {
+                        qualifier: Some(name.clone()),
+                        ..c.clone()
+                    })
+                    .collect(),
+            };
+            self.ctes.insert(name.clone(), (plan, scope));
+        }
+        let out = self.plan_block(stmt);
+        self.ctes = saved_ctes;
+        let (mut plan, mut scope) = out?;
+
+        // Set operations.
+        if let Some((op, rhs)) = &stmt.set_op {
+            let (rplan, rscope) = self.plan_query(rhs)?;
+            if rscope.cols.len() != scope.cols.len() {
+                return Err(DashError::analysis(format!(
+                    "UNION arms have {} vs {} columns",
+                    scope.cols.len(),
+                    rscope.cols.len()
+                )));
+            }
+            // Promote per-column types to a common supertype and coerce
+            // each arm (standard UNION typing).
+            let merged: Vec<DataType> = scope
+                .cols
+                .iter()
+                .zip(&rscope.cols)
+                .map(|(l, r)| union_supertype(l.dt, r.dt))
+                .collect();
+            let plan_l = coerce_arm(plan, &scope, &merged);
+            let plan_r = coerce_arm(rplan, &rscope, &merged);
+            for (c, dt) in scope.cols.iter_mut().zip(&merged) {
+                c.dt = *dt;
+            }
+            plan = PhysicalPlan::UnionAll {
+                inputs: vec![plan_l, plan_r],
+            };
+            if *op == SetOp::Union {
+                plan = PhysicalPlan::Distinct {
+                    input: Box::new(plan),
+                };
+            }
+            // Column names come from the left arm.
+            scope = Scope {
+                cols: scope
+                    .cols
+                    .iter()
+                    .map(|c| ScopeCol {
+                        qualifier: None,
+                        ..c.clone()
+                    })
+                    .collect(),
+            };
+        }
+        Ok((plan, scope))
+    }
+
+    /// Plan one query block (no CTEs/set ops).
+    fn plan_block(&mut self, stmt: &SelectStmt) -> Result<(PhysicalPlan, Scope)> {
+        // ---- FROM ----
+        let (mut plan, mut scope) = self.plan_from(stmt)?;
+
+        // ---- CONNECT BY (before WHERE, Oracle semantics) ----
+        if let Some((parent, child)) = &stmt.connect_by {
+            let start = match &stmt.start_with {
+                Some(e) => self.lower(e, &scope)?.0,
+                None => Expr::lit(true),
+            };
+            let p = scope
+                .resolve(None, parent)
+                .ok_or_else(|| DashError::not_found("column", parent))?;
+            let c = scope
+                .resolve(None, child)
+                .ok_or_else(|| DashError::not_found("column", child))?;
+            plan = PhysicalPlan::ConnectBy {
+                input: Box::new(plan),
+                start_with: start,
+                parent: p,
+                child: c,
+            };
+            scope.cols.push(ScopeCol {
+                qualifier: None,
+                name: "LEVEL".into(),
+                dt: DataType::Int64,
+                nullable: false,
+            });
+        }
+
+        // ---- WHERE ----
+        let mut rownum_conjuncts: Vec<AstExpr> = Vec::new();
+        if let Some(selection) = &stmt.selection {
+            let mut conjuncts = Vec::new();
+            split_conjuncts(selection, &mut conjuncts);
+            // Oracle ROWNUM conjuncts apply after the rest of the WHERE.
+            let mut normal = Vec::new();
+            for c in conjuncts {
+                if self.dialect == Dialect::Oracle && references_rownum(&c) {
+                    rownum_conjuncts.push(c);
+                } else {
+                    normal.push(c);
+                }
+            }
+            if !normal.is_empty() {
+                let lowered = self.lower_conjuncts(&normal, &scope)?;
+                plan = PhysicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate: lowered,
+                };
+            }
+        }
+        // ROWNUM support: materialize the pseudo-column if referenced.
+        let needs_rownum = !rownum_conjuncts.is_empty()
+            || (self.dialect == Dialect::Oracle && block_references_rownum(stmt));
+        if needs_rownum {
+            plan = PhysicalPlan::RowNumber {
+                input: Box::new(plan),
+                name: "ROWNUM".into(),
+            };
+            scope.cols.push(ScopeCol {
+                qualifier: None,
+                name: "ROWNUM".into(),
+                dt: DataType::Int64,
+                nullable: false,
+            });
+            if !rownum_conjuncts.is_empty() {
+                let lowered = self.lower_conjuncts(&rownum_conjuncts, &scope)?;
+                plan = PhysicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate: lowered,
+                };
+            }
+        }
+
+        // ---- aggregation ----
+        let has_agg = stmt.group_by.is_empty()
+            && (stmt
+                .projection
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+                || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate()));
+        let grouped = !stmt.group_by.is_empty() || has_agg;
+
+        let mut projection_asts: Vec<(AstExpr, Option<String>)> = Vec::new();
+        for item in &stmt.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    for c in &scope.cols {
+                        if c.name == "_TSN" {
+                            continue;
+                        }
+                        projection_asts.push((
+                            AstExpr::Column {
+                                qualifier: c.qualifier.clone(),
+                                name: c.name.clone(),
+                            },
+                            Some(c.name.clone()),
+                        ));
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let qu = q.to_ascii_uppercase();
+                    let mut any = false;
+                    for c in &scope.cols {
+                        if c.qualifier.as_deref() == Some(qu.as_str()) {
+                            projection_asts.push((
+                                AstExpr::Column {
+                                    qualifier: c.qualifier.clone(),
+                                    name: c.name.clone(),
+                                },
+                                Some(c.name.clone()),
+                            ));
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        return Err(DashError::not_found("table alias", q));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    projection_asts.push((expr.clone(), alias.clone()));
+                }
+            }
+        }
+
+        // Output column names derive from the *original* projection (the
+        // aggregation rewrite below replaces expressions with internal
+        // _AGGn references, which must not leak into result schemas).
+        let display_names: Vec<String> = projection_asts
+            .iter()
+            .enumerate()
+            .map(|(i, (ast, alias))| {
+                alias.clone().unwrap_or_else(|| derive_name(ast, i))
+            })
+            .collect();
+        let mut having_ast = stmt.having.clone();
+        let mut order_asts: Vec<AstExpr> =
+            stmt.order_by.iter().map(|o| o.expr.clone()).collect();
+        if grouped {
+            let (new_plan, new_scope, rewritten_proj, rewritten_having, rewritten_order) = self
+                .plan_aggregation(
+                    plan,
+                    &scope,
+                    &stmt.group_by,
+                    &projection_asts,
+                    having_ast.as_ref(),
+                    &order_asts,
+                )?;
+            plan = new_plan;
+            scope = new_scope;
+            projection_asts = rewritten_proj;
+            having_ast = rewritten_having;
+            order_asts = rewritten_order;
+            if let Some(h) = &having_ast {
+                let (pred, _) = self.lower(h, &scope)?;
+                plan = PhysicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate: pred,
+                };
+            }
+        } else if stmt.having.is_some() {
+            return Err(DashError::analysis("HAVING requires GROUP BY or aggregates"));
+        }
+
+        // ---- projection ----
+        let mut exprs = Vec::with_capacity(projection_asts.len());
+        let mut out_cols = Vec::with_capacity(projection_asts.len());
+        for (i, (ast, _)) in projection_asts.iter().enumerate() {
+            let (e, dt) = self.lower(ast, &scope)?;
+            out_cols.push(ScopeCol {
+                qualifier: None,
+                name: display_names[i].to_ascii_uppercase(),
+                dt,
+                nullable: true,
+            });
+            exprs.push(e);
+        }
+        let out_scope = Scope { cols: out_cols };
+        let out_schema = out_scope.to_schema();
+        // Pure pass-through projection elision: `SELECT *` keeps the child.
+        let passthrough = exprs.len() == scope.cols.len()
+            && exprs
+                .iter()
+                .enumerate()
+                .all(|(i, e)| matches!(e, Expr::Col(j) if *j == i))
+            && out_schema
+                .fields()
+                .iter()
+                .zip(scope.cols.iter())
+                .all(|(f, c)| f.name == c.name);
+
+        // ---- resolve ORDER BY keys ----
+        // Resolution order: output ordinal → output column (exact, then
+        // name-only so `ORDER BY d.label` finds the output column LABEL) →
+        // input column (becomes a hidden sort column appended to the
+        // projection and stripped after the sort).
+        enum KeySource {
+            Out(Expr),
+            Hidden(Expr, DataType),
+        }
+        let mut key_sources: Vec<(KeySource, bool, bool)> = Vec::new();
+        for (item, ast) in stmt.order_by.iter().zip(&order_asts) {
+            let asc = item.asc;
+            let nl = item.nulls_last.unwrap_or(true);
+            let src = match ast {
+                AstExpr::Lit(Datum::Int(n)) => {
+                    let idx = *n as usize;
+                    if idx == 0 || idx > out_scope.cols.len() {
+                        return Err(DashError::analysis(format!(
+                            "ORDER BY position {idx} is out of range"
+                        )));
+                    }
+                    KeySource::Out(Expr::col(idx - 1))
+                }
+                ast => {
+                    if let Ok((e, _)) = self.lower(ast, &out_scope) {
+                        KeySource::Out(e)
+                    } else if let AstExpr::Column {
+                        qualifier: Some(_),
+                        name,
+                    } = ast
+                    {
+                        // Qualified reference: retry name-only on the output.
+                        let bare = AstExpr::Column {
+                            qualifier: None,
+                            name: name.clone(),
+                        };
+                        match self.lower(&bare, &out_scope) {
+                            Ok((e, _)) => KeySource::Out(e),
+                            Err(_) => {
+                                let (e, dt) = self.lower(ast, &scope)?;
+                                KeySource::Hidden(e, dt)
+                            }
+                        }
+                    } else {
+                        let (e, dt) = self.lower(ast, &scope)?;
+                        KeySource::Hidden(e, dt)
+                    }
+                }
+            };
+            key_sources.push((src, asc, nl));
+        }
+        let needs_hidden = key_sources
+            .iter()
+            .any(|(s, ..)| matches!(s, KeySource::Hidden(..)));
+        if needs_hidden && stmt.distinct {
+            return Err(DashError::analysis(
+                "ORDER BY column must appear in the SELECT DISTINCT list",
+            ));
+        }
+
+        let out_width = out_scope.cols.len();
+        let mut keys: Vec<SortKey> = Vec::new();
+        if needs_hidden && !passthrough {
+            // Extend the projection with the hidden key expressions.
+            let mut ext_exprs = exprs.clone();
+            let mut ext_fields = out_schema.fields().to_vec();
+            for (i, (src, asc, nl)) in key_sources.into_iter().enumerate() {
+                match src {
+                    KeySource::Out(e) => keys.push(SortKey {
+                        expr: e,
+                        asc,
+                        nulls_last: nl,
+                    }),
+                    KeySource::Hidden(e, dt) => {
+                        ext_exprs.push(e);
+                        ext_fields.push(Field::new(format!("_SORT{i}"), dt));
+                        keys.push(SortKey {
+                            expr: Expr::col(ext_fields.len() - 1),
+                            asc,
+                            nulls_last: nl,
+                        });
+                    }
+                }
+            }
+            plan = PhysicalPlan::Project {
+                input: Box::new(plan),
+                exprs: ext_exprs,
+                schema: Schema::new_unchecked(ext_fields),
+            };
+            plan = PhysicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+                limit: stmt.limit.map(|l| l as usize),
+                offset: stmt.offset.unwrap_or(0) as usize,
+            };
+            // Strip the hidden columns.
+            plan = PhysicalPlan::Project {
+                input: Box::new(plan),
+                exprs: (0..out_width).map(Expr::col).collect(),
+                schema: out_schema,
+            };
+            return Ok((plan, out_scope));
+        }
+
+        // No hidden keys (or pass-through projection where input == output).
+        for (src, asc, nl) in key_sources {
+            let expr = match src {
+                KeySource::Out(e) | KeySource::Hidden(e, _) => e,
+            };
+            keys.push(SortKey {
+                expr,
+                asc,
+                nulls_last: nl,
+            });
+        }
+        if !passthrough {
+            plan = PhysicalPlan::Project {
+                input: Box::new(plan),
+                exprs,
+                schema: out_schema,
+            };
+        }
+        if stmt.distinct {
+            plan = PhysicalPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+        if !keys.is_empty() || stmt.limit.is_some() || stmt.offset.is_some() {
+            plan = PhysicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+                limit: stmt.limit.map(|l| l as usize),
+                offset: stmt.offset.unwrap_or(0) as usize,
+            };
+        }
+        Ok((plan, out_scope))
+    }
+
+    // ---- FROM clause ------------------------------------------------------
+
+    fn plan_from(&mut self, stmt: &SelectStmt) -> Result<(PhysicalPlan, Scope)> {
+        if stmt.from.is_empty() {
+            // SELECT without FROM: one empty row.
+            return Ok((
+                PhysicalPlan::Values {
+                    schema: Schema::empty(),
+                    rows: vec![Row::new(vec![])],
+                },
+                Scope::default(),
+            ));
+        }
+        // Column pruning needs the set of referenced names for this block.
+        let referenced = collect_block_columns(stmt);
+        let mut items: Vec<(PhysicalPlan, Scope)> = Vec::new();
+        for tr in &stmt.from {
+            items.push(self.plan_table_ref(tr, &referenced)?);
+        }
+        if items.len() == 1 {
+            return Ok(items.pop().expect("one item"));
+        }
+        // Comma-list: connect through WHERE equalities (including Oracle
+        // `(+)` markers); fall back to cross joins.
+        let mut conjuncts = Vec::new();
+        if let Some(sel) = &stmt.selection {
+            split_conjuncts(sel, &mut conjuncts);
+        }
+        let (mut plan, mut scope) = items.remove(0);
+        while !items.is_empty() {
+            // Find a conjunct that links the current scope to some item.
+            let mut linked: Option<(usize, usize, usize, bool)> = None; // (item, left_ord, right_ord, outer)
+            'search: for (idx, (_, iscope)) in items.iter().enumerate() {
+                for c in &conjuncts {
+                    if let Some((lq, ln, rq, rn, outer_on_right)) = equi_pair(c) {
+                        // left side resolves in current scope, right in item?
+                        let combos = [
+                            ((lq.as_deref(), ln.as_str()), (rq.as_deref(), rn.as_str()), outer_on_right),
+                            ((rq.as_deref(), rn.as_str()), (lq.as_deref(), ln.as_str()), !outer_on_right && equi_has_marker(c)),
+                        ];
+                        for ((aq, an), (bq, bn), outer) in combos {
+                            if let (Some(l), Some(r)) =
+                                (scope.resolve(aq, an), iscope.resolve(bq, bn))
+                            {
+                                // Make sure the "b" side doesn't also resolve in
+                                // the current scope with the same qualifier
+                                // (self-join safety): qualified refs are exact.
+                                let _ = r;
+                                linked = Some((idx, l, r, outer));
+                                break 'search;
+                            }
+                        }
+                    }
+                }
+            }
+            match linked {
+                Some((idx, l, r, outer)) => {
+                    let (rplan, rscope) = items.remove(idx);
+                    let jt = if outer { JoinType::Left } else { JoinType::Inner };
+                    plan = PhysicalPlan::HashJoin {
+                        left: Box::new(plan),
+                        right: Box::new(rplan),
+                        on: vec![(l, r)],
+                        join_type: jt,
+                    };
+                    scope = scope.join(&rscope);
+                }
+                None => {
+                    let (rplan, rscope) = items.remove(0);
+                    plan = PhysicalPlan::CrossJoin {
+                        left: Box::new(plan),
+                        right: Box::new(rplan),
+                    };
+                    scope = scope.join(&rscope);
+                }
+            }
+        }
+        Ok((plan, scope))
+    }
+
+    fn plan_table_ref(
+        &mut self,
+        tr: &TableRef,
+        referenced: &Option<Vec<(Option<String>, String)>>,
+    ) -> Result<(PhysicalPlan, Scope)> {
+        match tr {
+            TableRef::Dual => Ok((
+                PhysicalPlan::Values {
+                    schema: Schema::new_unchecked(vec![Field::new("DUMMY", DataType::Utf8)]),
+                    rows: vec![Row::new(vec![Datum::str("X")])],
+                },
+                Scope::from_schema(Some("DUAL"), &Schema::new_unchecked(vec![Field::new(
+                    "DUMMY",
+                    DataType::Utf8,
+                )])),
+            )),
+            TableRef::Named { name, alias } => {
+                let qualifier = alias.clone().unwrap_or_else(|| name.clone());
+                // CTE?
+                if let Some((plan, scope)) = self.ctes.get(name) {
+                    let scope = Scope {
+                        cols: scope
+                            .cols
+                            .iter()
+                            .map(|c| ScopeCol {
+                                qualifier: Some(qualifier.clone()),
+                                ..c.clone()
+                            })
+                            .collect(),
+                    };
+                    return Ok((plan.clone(), scope));
+                }
+                // View? Parse under its creation dialect.
+                if let Some((text, view_dialect)) = self.provider.view(name) {
+                    let stmt = crate::parser::parse_statement(&text, view_dialect)?;
+                    let select = match stmt {
+                        Statement::Select(s) => s,
+                        _ => return Err(DashError::internal("view body is not a SELECT")),
+                    };
+                    let saved = self.dialect;
+                    self.dialect = view_dialect;
+                    let out = self.plan_query(&select);
+                    self.dialect = saved;
+                    let (plan, scope) = out?;
+                    let scope = Scope {
+                        cols: scope
+                            .cols
+                            .iter()
+                            .map(|c| ScopeCol {
+                                qualifier: Some(qualifier.clone()),
+                                ..c.clone()
+                            })
+                            .collect(),
+                    };
+                    return Ok((plan, scope));
+                }
+                // Base table.
+                let handle = self.provider.table(name)?;
+                let schema = handle.table.read().schema().clone();
+                // Column pruning: keep referenced columns only.
+                let projection: Vec<usize> = match referenced {
+                    None => (0..schema.len()).collect(),
+                    Some(refs) => {
+                        let mut keep: Vec<usize> = Vec::new();
+                        for (q, n) in refs {
+                            let applies = match q {
+                                Some(q) => q.eq_ignore_ascii_case(&qualifier),
+                                None => true,
+                            };
+                            if applies {
+                                if let Some(i) = schema.index_of(n) {
+                                    if !keep.contains(&i) {
+                                        keep.push(i);
+                                    }
+                                }
+                            }
+                        }
+                        keep.sort_unstable();
+                        if keep.is_empty() {
+                            // e.g. COUNT(*): still need one column to scan.
+                            vec![0]
+                        } else {
+                            keep
+                        }
+                    }
+                };
+                let scan_schema = schema.project(&projection);
+                let config = ScanConfig {
+                    pool: self.provider.pool(),
+                    parallelism: self.provider.parallelism(),
+                    ..ScanConfig::full(handle.id, projection)
+                };
+                Ok((
+                    PhysicalPlan::ColumnScan {
+                        table: handle.table,
+                        config,
+                    },
+                    Scope::from_schema(Some(&qualifier), &scan_schema),
+                ))
+            }
+            TableRef::Subquery { select, alias } => {
+                let (plan, scope) = self.plan_query(select)?;
+                let scope = Scope {
+                    cols: scope
+                        .cols
+                        .iter()
+                        .map(|c| ScopeCol {
+                            qualifier: Some(alias.to_ascii_uppercase()),
+                            ..c.clone()
+                        })
+                        .collect(),
+                };
+                Ok((plan, scope))
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                constraint,
+            } => {
+                let (lplan, lscope) = self.plan_table_ref(left, referenced)?;
+                let (rplan, rscope) = self.plan_table_ref(right, referenced)?;
+                let combined = lscope.join(&rscope);
+                match kind {
+                    JoinKind::Cross => Ok((
+                        PhysicalPlan::CrossJoin {
+                            left: Box::new(lplan),
+                            right: Box::new(rplan),
+                        },
+                        combined,
+                    )),
+                    JoinKind::Inner | JoinKind::Left | JoinKind::Right => {
+                        let (on, residual) = self.join_keys(
+                            constraint, &lscope, &rscope, &combined,
+                        )?;
+                        let (mut plan, scope) = if *kind == JoinKind::Right {
+                            // RIGHT JOIN = LEFT JOIN with sides swapped, then
+                            // re-project into the original column order.
+                            let flipped: Vec<(usize, usize)> =
+                                on.iter().map(|&(l, r)| (r, l)).collect();
+                            let inner = PhysicalPlan::HashJoin {
+                                left: Box::new(rplan),
+                                right: Box::new(lplan),
+                                on: flipped,
+                                join_type: JoinType::Left,
+                            };
+                            let nl = lscope.cols.len();
+                            let nr = rscope.cols.len();
+                            let reorder: Vec<Expr> = (0..nl)
+                                .map(|i| Expr::col(nr + i))
+                                .chain((0..nr).map(Expr::col))
+                                .collect();
+                            let plan = PhysicalPlan::Project {
+                                input: Box::new(inner),
+                                exprs: reorder,
+                                schema: combined.to_schema(),
+                            };
+                            (plan, combined)
+                        } else {
+                            let jt = if *kind == JoinKind::Left {
+                                JoinType::Left
+                            } else {
+                                JoinType::Inner
+                            };
+                            (
+                                PhysicalPlan::HashJoin {
+                                    left: Box::new(lplan),
+                                    right: Box::new(rplan),
+                                    on,
+                                    join_type: jt,
+                                },
+                                combined,
+                            )
+                        };
+                        if let Some(res) = residual {
+                            plan = PhysicalPlan::Filter {
+                                input: Box::new(plan),
+                                predicate: res,
+                            };
+                        }
+                        Ok((plan, scope))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Extract hash-join key pairs from a join constraint; non-equi parts
+    /// become a residual filter over the combined scope.
+    #[allow(clippy::type_complexity)]
+    fn join_keys(
+        &mut self,
+        constraint: &JoinConstraint,
+        lscope: &Scope,
+        rscope: &Scope,
+        combined: &Scope,
+    ) -> Result<(Vec<(usize, usize)>, Option<Expr>)> {
+        match constraint {
+            JoinConstraint::None => Err(DashError::analysis("join requires a condition")),
+            JoinConstraint::Using(cols) => {
+                let mut on = Vec::new();
+                for c in cols {
+                    let l = lscope
+                        .resolve(None, c)
+                        .ok_or_else(|| DashError::not_found("column", c))?;
+                    let r = rscope
+                        .resolve(None, c)
+                        .ok_or_else(|| DashError::not_found("column", c))?;
+                    on.push((l, r));
+                }
+                Ok((on, None))
+            }
+            JoinConstraint::On(expr) => {
+                let mut conjuncts = Vec::new();
+                split_conjuncts(expr, &mut conjuncts);
+                let mut on = Vec::new();
+                let mut residual = Vec::new();
+                for c in &conjuncts {
+                    let mut matched = false;
+                    if let Some((lq, ln, rq, rn, _)) = equi_pair(c) {
+                        if let (Some(l), Some(r)) = (
+                            lscope.resolve(lq.as_deref(), &ln),
+                            rscope.resolve(rq.as_deref(), &rn),
+                        ) {
+                            on.push((l, lscope.cols.len() + r - lscope.cols.len()));
+                            // r is an ordinal within rscope already.
+                            let last = on.len() - 1;
+                            on[last] = (l, r);
+                            matched = true;
+                        } else if let (Some(r), Some(l)) = (
+                            rscope.resolve(lq.as_deref(), &ln),
+                            lscope.resolve(rq.as_deref(), &rn),
+                        ) {
+                            on.push((l, r));
+                            matched = true;
+                        }
+                    }
+                    if !matched {
+                        residual.push((*c).clone());
+                    }
+                }
+                if on.is_empty() {
+                    return Err(DashError::analysis(
+                        "join condition must include at least one equality between the two inputs",
+                    ));
+                }
+                let residual = if residual.is_empty() {
+                    None
+                } else {
+                    Some(self.lower_conjuncts(&residual, combined)?)
+                };
+                Ok((on, residual))
+            }
+        }
+    }
+
+    fn lower_conjuncts(&mut self, conjuncts: &[AstExpr], scope: &Scope) -> Result<Expr> {
+        let mut parts = Vec::with_capacity(conjuncts.len());
+        for c in conjuncts {
+            let (e, _) = self.lower(c, scope)?;
+            parts.push(e);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Expr::And(parts)
+        })
+    }
+
+    // ---- aggregation --------------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn plan_aggregation(
+        &mut self,
+        input: PhysicalPlan,
+        scope: &Scope,
+        group_by: &[AstExpr],
+        projection: &[(AstExpr, Option<String>)],
+        having: Option<&AstExpr>,
+        order_by: &[AstExpr],
+    ) -> Result<(
+        PhysicalPlan,
+        Scope,
+        Vec<(AstExpr, Option<String>)>,
+        Option<AstExpr>,
+        Vec<AstExpr>,
+    )> {
+        // Resolve GROUP BY items: ordinals and output-name references
+        // (Netezza) map onto projection expressions.
+        let mut group_asts: Vec<AstExpr> = Vec::new();
+        for g in group_by {
+            let resolved = match g {
+                AstExpr::Lit(Datum::Int(n)) => {
+                    let idx = *n as usize;
+                    if idx == 0 || idx > projection.len() {
+                        return Err(DashError::analysis(format!(
+                            "GROUP BY position {idx} is out of range"
+                        )));
+                    }
+                    projection[idx - 1].0.clone()
+                }
+                AstExpr::Column { qualifier: None, name }
+                    if scope.resolve(None, name).is_none() =>
+                {
+                    // Output-column-name grouping (Netezza/PostgreSQL).
+                    if !matches!(self.dialect, Dialect::Netezza | Dialect::PostgreSql) {
+                        return Err(DashError::not_found("column", name));
+                    }
+                    let found = projection.iter().find(|(_, alias)| {
+                        alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(name))
+                    });
+                    match found {
+                        Some((e, _)) => e.clone(),
+                        None => return Err(DashError::not_found("column", name)),
+                    }
+                }
+                other => other.clone(),
+            };
+            group_asts.push(resolved);
+        }
+
+        // Collect aggregate calls from projection + having + order by.
+        let mut agg_calls: Vec<AstExpr> = Vec::new();
+        for (e, _) in projection {
+            collect_aggregates(e, &mut agg_calls);
+        }
+        if let Some(h) = having {
+            collect_aggregates(h, &mut agg_calls);
+        }
+        for o in order_by {
+            collect_aggregates(o, &mut agg_calls);
+        }
+
+        // Lower group keys.
+        let mut group_exprs = Vec::new();
+        let mut out_cols: Vec<ScopeCol> = Vec::new();
+        for (i, g) in group_asts.iter().enumerate() {
+            let (e, dt) = self.lower(g, scope)?;
+            let name = match g {
+                AstExpr::Column { name, .. } => name.clone(),
+                _ => format!("_GROUP{i}"),
+            };
+            out_cols.push(ScopeCol {
+                qualifier: None,
+                name,
+                dt,
+                nullable: true,
+            });
+            group_exprs.push(e);
+        }
+        // Lower aggregates.
+        let mut aggs = Vec::new();
+        for (i, call) in agg_calls.iter().enumerate() {
+            let AstExpr::Func {
+                name,
+                args,
+                distinct,
+                star,
+            } = call
+            else {
+                return Err(DashError::internal("non-func aggregate call"));
+            };
+            let (func, arg_asts): (AggFunc, Vec<AstExpr>) = if *star {
+                (AggFunc::CountStar, Vec::new())
+            } else if name == "PERCENTILE_CONT" || name == "PERCENTILE_DISC" {
+                // Simplified 2-arg form: PERCENTILE_CONT(q, x).
+                if args.len() != 2 {
+                    return Err(DashError::analysis(format!(
+                        "{name} takes (fraction, expression)"
+                    )));
+                }
+                let q = match &args[0] {
+                    AstExpr::Lit(d) => d.as_float().ok_or_else(|| {
+                        DashError::analysis(format!("{name} fraction must be numeric"))
+                    })?,
+                    _ => {
+                        return Err(DashError::analysis(format!(
+                            "{name} fraction must be a literal"
+                        )))
+                    }
+                };
+                let f = if name == "PERCENTILE_CONT" {
+                    AggFunc::PercentileCont(q)
+                } else {
+                    AggFunc::PercentileDisc(q)
+                };
+                (f, vec![args[1].clone()])
+            } else {
+                let f = AggFunc::from_name(name)
+                    .ok_or_else(|| DashError::not_found("aggregate function", name))?;
+                if args.len() != f.arg_count() {
+                    return Err(DashError::analysis(format!(
+                        "{name} takes {} argument(s), got {}",
+                        f.arg_count(),
+                        args.len()
+                    )));
+                }
+                (f, args.clone())
+            };
+            let mut lowered_args = Vec::new();
+            let mut arg_dt = None;
+            for a in &arg_asts {
+                let (e, dt) = self.lower(a, scope)?;
+                if arg_dt.is_none() {
+                    arg_dt = Some(dt);
+                }
+                lowered_args.push(e);
+            }
+            let out_dt = func.output_type(arg_dt);
+            out_cols.push(ScopeCol {
+                qualifier: None,
+                name: format!("_AGG{i}"),
+                dt: out_dt,
+                nullable: true,
+            });
+            aggs.push(AggExpr {
+                func,
+                args: lowered_args,
+                distinct: *distinct,
+            });
+        }
+        let agg_scope = Scope { cols: out_cols };
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(input),
+            group: group_exprs,
+            aggs,
+            schema: agg_scope.to_schema(),
+        };
+
+        // Rewrite projection/having to reference the aggregate output.
+        let rewritten_proj: Vec<(AstExpr, Option<String>)> = projection
+            .iter()
+            .map(|(e, a)| {
+                (
+                    rewrite_post_agg(e, &group_asts, &agg_calls),
+                    a.clone(),
+                )
+            })
+            .collect();
+        let rewritten_having = having.map(|h| rewrite_post_agg(h, &group_asts, &agg_calls));
+        let rewritten_order = order_by
+            .iter()
+            .map(|o| rewrite_post_agg(o, &group_asts, &agg_calls))
+            .collect();
+        Ok((plan, agg_scope, rewritten_proj, rewritten_having, rewritten_order))
+    }
+
+    // ---- expression lowering ------------------------------------------------
+
+    fn lower(&mut self, ast: &AstExpr, scope: &Scope) -> Result<(Expr, DataType)> {
+        match ast {
+            AstExpr::Column { qualifier, name } => {
+                match scope.resolve(qualifier.as_deref(), name) {
+                    Some(i) => Ok((Expr::col(i), scope.cols[i].dt)),
+                    None => Err(DashError::not_found("column", name)),
+                }
+            }
+            AstExpr::Lit(d) => {
+                let dt = d.data_type().unwrap_or(DataType::Utf8);
+                Ok((Expr::Lit(d.clone()), dt))
+            }
+            AstExpr::Neg(e) => {
+                let (inner, dt) = self.lower(e, scope)?;
+                Ok((Expr::Neg(Box::new(inner)), dt))
+            }
+            AstExpr::Not(e) => {
+                let (inner, _) = self.lower(e, scope)?;
+                Ok((Expr::Not(Box::new(inner)), DataType::Bool))
+            }
+            AstExpr::Binary { op, left, right } => self.lower_binary(*op, left, right, scope),
+            AstExpr::OuterJoinMarker(e) => {
+                // Markers are consumed by join planning; one surviving here
+                // (e.g. inside a one-table query) degrades to its operand.
+                self.lower(e, scope)
+            }
+            AstExpr::IsNull { expr, negated } => {
+                let (inner, _) = self.lower(expr, scope)?;
+                Ok((
+                    Expr::IsNull {
+                        expr: Box::new(inner),
+                        negated: *negated,
+                    },
+                    DataType::Bool,
+                ))
+            }
+            AstExpr::IsBool {
+                expr,
+                value,
+                negated,
+            } => {
+                let (inner, _) = self.lower(expr, scope)?;
+                // x ISTRUE ⇔ COALESCE(x = true, false).
+                let cmp = Expr::Cmp(
+                    CmpOp::Eq,
+                    Box::new(inner),
+                    Box::new(Expr::lit(*value)),
+                );
+                let coalesce = self.registry.resolve("COALESCE", Dialect::Ansi)?;
+                let base = Expr::Func(coalesce, vec![cmp, Expr::lit(false)]);
+                let e = if *negated {
+                    Expr::Not(Box::new(base))
+                } else {
+                    base
+                };
+                Ok((e, DataType::Bool))
+            }
+            AstExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let (v, _) = self.lower(expr, scope)?;
+                let (lo, _) = self.lower(low, scope)?;
+                let (hi, _) = self.lower(high, scope)?;
+                let range = Expr::And(vec![
+                    Expr::Cmp(CmpOp::Ge, Box::new(v.clone()), Box::new(lo)),
+                    Expr::Cmp(CmpOp::Le, Box::new(v), Box::new(hi)),
+                ]);
+                let e = if *negated {
+                    Expr::Not(Box::new(range))
+                } else {
+                    range
+                };
+                Ok((e, DataType::Bool))
+            }
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let (v, _) = self.lower(expr, scope)?;
+                let mut datums = Vec::with_capacity(list.len());
+                for item in list {
+                    match self.lower(item, scope)? {
+                        (Expr::Lit(d), _) => datums.push(d),
+                        _ => {
+                            // Non-literal IN items: expand to OR of equalities.
+                            let mut ors = Vec::with_capacity(list.len());
+                            for item in list {
+                                let (rhs, _) = self.lower(item, scope)?;
+                                ors.push(Expr::Cmp(
+                                    CmpOp::Eq,
+                                    Box::new(v.clone()),
+                                    Box::new(rhs),
+                                ));
+                            }
+                            let e = Expr::Or(ors);
+                            let e = if *negated { Expr::Not(Box::new(e)) } else { e };
+                            return Ok((e, DataType::Bool));
+                        }
+                    }
+                }
+                Ok((
+                    Expr::InList {
+                        expr: Box::new(v),
+                        list: datums,
+                        negated: *negated,
+                    },
+                    DataType::Bool,
+                ))
+            }
+            AstExpr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                let (v, _) = self.lower(expr, scope)?;
+                let rows = self.execute_subquery(subquery, 1)?;
+                let list: Vec<Datum> = rows.into_iter().map(|mut r| r.0.remove(0)).collect();
+                Ok((
+                    Expr::InList {
+                        expr: Box::new(v),
+                        list,
+                        negated: *negated,
+                    },
+                    DataType::Bool,
+                ))
+            }
+            AstExpr::Exists { subquery, negated } => {
+                let rows = self.execute_subquery(subquery, usize::MAX)?;
+                Ok((Expr::lit(rows.is_empty() == *negated), DataType::Bool))
+            }
+            AstExpr::ScalarSubquery(subquery) => {
+                let mut rows = self.execute_subquery(subquery, 1)?;
+                if rows.len() > 1 {
+                    return Err(DashError::exec(
+                        "scalar subquery returned more than one row",
+                    ));
+                }
+                let d = rows
+                    .pop()
+                    .map(|mut r| r.0.remove(0))
+                    .unwrap_or(Datum::Null);
+                let dt = d.data_type().unwrap_or(DataType::Utf8);
+                Ok((Expr::Lit(d), dt))
+            }
+            AstExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let (v, _) = self.lower(expr, scope)?;
+                let pattern = match self.lower(pattern, scope)? {
+                    (Expr::Lit(Datum::Str(s)), _) => s.to_string(),
+                    _ => {
+                        return Err(DashError::analysis(
+                            "LIKE pattern must be a string literal",
+                        ))
+                    }
+                };
+                Ok((
+                    Expr::Like {
+                        expr: Box::new(v),
+                        pattern,
+                        negated: *negated,
+                    },
+                    DataType::Bool,
+                ))
+            }
+            AstExpr::Func {
+                name,
+                args,
+                distinct,
+                star,
+            } => {
+                if *star || AggFunc::from_name(name).is_some() {
+                    return Err(DashError::analysis(format!(
+                        "aggregate {name} is not allowed in this context"
+                    )));
+                }
+                if *distinct {
+                    return Err(DashError::analysis(
+                        "DISTINCT is only valid inside aggregates",
+                    ));
+                }
+                let f = match self.provider.udx(name) {
+                    Some(udx) if udx.dialects.contains(self.dialect) => udx,
+                    _ => self.registry.resolve(name, self.dialect)?,
+                };
+                let mut lowered = Vec::with_capacity(args.len());
+                let mut arg_types = Vec::with_capacity(args.len());
+                for a in args {
+                    let (e, dt) = self.lower(a, scope)?;
+                    lowered.push(e);
+                    arg_types.push(dt);
+                }
+                if lowered.len() < f.min_args || lowered.len() > f.max_args {
+                    return Err(DashError::analysis(format!(
+                        "{} takes {}..{} arguments, got {}",
+                        f.name,
+                        f.min_args,
+                        if f.max_args == usize::MAX {
+                            "N".to_string()
+                        } else {
+                            f.max_args.to_string()
+                        },
+                        lowered.len()
+                    )));
+                }
+                let dt = f
+                    .return_type
+                    .unwrap_or_else(|| function_return_type(name, &arg_types));
+                Ok((Expr::Func(f, lowered), dt))
+            }
+            AstExpr::Cast {
+                expr,
+                type_name,
+                type_args,
+            } => {
+                let (inner, _) = self.lower(expr, scope)?;
+                let dt = DataType::from_sql_name(type_name, type_args).ok_or_else(|| {
+                    DashError::analysis(format!("unknown type {type_name}"))
+                })?;
+                Ok((Expr::Cast(Box::new(inner), dt), dt))
+            }
+            AstExpr::Case {
+                operand,
+                branches,
+                otherwise,
+            } => {
+                let op = match operand {
+                    Some(o) => Some(Box::new(self.lower(o, scope)?.0)),
+                    None => None,
+                };
+                let mut lowered = Vec::with_capacity(branches.len());
+                let mut result_dt = None;
+                for (w, t) in branches {
+                    let (we, _) = self.lower(w, scope)?;
+                    let (te, tdt) = self.lower(t, scope)?;
+                    if result_dt.is_none() && !matches!(t, AstExpr::Lit(Datum::Null)) {
+                        result_dt = Some(tdt);
+                    }
+                    lowered.push((we, te));
+                }
+                let otherwise = match otherwise {
+                    Some(o) => {
+                        let (oe, odt) = self.lower(o, scope)?;
+                        if result_dt.is_none() {
+                            result_dt = Some(odt);
+                        }
+                        Some(Box::new(oe))
+                    }
+                    None => None,
+                };
+                Ok((
+                    Expr::Case {
+                        operand: op,
+                        branches: lowered,
+                        otherwise,
+                    },
+                    result_dt.unwrap_or(DataType::Utf8),
+                ))
+            }
+            AstExpr::NextVal(seq) => Ok((Expr::SeqNext(seq.clone()), DataType::Int64)),
+            AstExpr::CurrVal(seq) => Ok((Expr::SeqCurr(seq.clone()), DataType::Int64)),
+            AstExpr::Overlaps { left, right } => {
+                // (s1, e1) OVERLAPS (s2, e2) ⇔ s1 < e2 AND s2 < e1.
+                let (s1, _) = self.lower(&left.0, scope)?;
+                let (e1, _) = self.lower(&left.1, scope)?;
+                let (s2, _) = self.lower(&right.0, scope)?;
+                let (e2, _) = self.lower(&right.1, scope)?;
+                Ok((
+                    Expr::And(vec![
+                        Expr::Cmp(CmpOp::Lt, Box::new(s1), Box::new(e2)),
+                        Expr::Cmp(CmpOp::Lt, Box::new(s2), Box::new(e1)),
+                    ]),
+                    DataType::Bool,
+                ))
+            }
+            AstExpr::Prior(_) => Err(DashError::analysis(
+                "PRIOR is only valid inside CONNECT BY",
+            )),
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: BinOp,
+        left: &AstExpr,
+        right: &AstExpr,
+        scope: &Scope,
+    ) -> Result<(Expr, DataType)> {
+        let (l, ldt) = self.lower(left, scope)?;
+        let (r, rdt) = self.lower(right, scope)?;
+        let cmp = |c: CmpOp, l: Expr, r: Expr| (Expr::Cmp(c, Box::new(l), Box::new(r)), DataType::Bool);
+        Ok(match op {
+            BinOp::Eq => cmp(CmpOp::Eq, l, r),
+            BinOp::Ne => cmp(CmpOp::Ne, l, r),
+            BinOp::Lt => cmp(CmpOp::Lt, l, r),
+            BinOp::Le => cmp(CmpOp::Le, l, r),
+            BinOp::Gt => cmp(CmpOp::Gt, l, r),
+            BinOp::Ge => cmp(CmpOp::Ge, l, r),
+            BinOp::And => (Expr::And(vec![l, r]), DataType::Bool),
+            BinOp::Or => (Expr::Or(vec![l, r]), DataType::Bool),
+            BinOp::Concat => {
+                let f = self.registry.resolve("CONCAT", Dialect::Ansi)?;
+                (Expr::Func(f, vec![l, r]), DataType::Utf8)
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                let aop = match op {
+                    BinOp::Add => ArithOp::Add,
+                    BinOp::Sub => ArithOp::Sub,
+                    BinOp::Mul => ArithOp::Mul,
+                    BinOp::Div => ArithOp::Div,
+                    _ => ArithOp::Rem,
+                };
+                let dt = arith_type(aop, ldt, rdt);
+                (Expr::Arith(aop, Box::new(l), Box::new(r)), dt)
+            }
+        })
+    }
+
+    /// Plan and run an uncorrelated subquery, returning up to... all rows
+    /// (`max_cols` validates the column count).
+    fn execute_subquery(&mut self, subquery: &SelectStmt, max_cols: usize) -> Result<Vec<Row>> {
+        let (plan, scope) = self.plan_query(subquery)?;
+        if max_cols != usize::MAX && scope.cols.len() != max_cols {
+            return Err(DashError::analysis(format!(
+                "subquery must return {max_cols} column(s), returned {}",
+                scope.cols.len()
+            )));
+        }
+        let plan = pushdown(plan);
+        let (batch, _) = dash_exec::plan::execute(&plan, self.ctx)?;
+        Ok(batch.to_rows())
+    }
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+/// The common supertype two UNION arms promote to.
+fn union_supertype(l: DataType, r: DataType) -> DataType {
+    if l == r {
+        return l;
+    }
+    if l.is_numeric() && r.is_numeric() {
+        if l.is_integer() && r.is_integer() {
+            return DataType::Int64;
+        }
+        return DataType::Float64;
+    }
+    if l.is_temporal() && r.is_temporal() {
+        return DataType::Timestamp;
+    }
+    DataType::Utf8
+}
+
+/// Wrap a UNION arm in casts where its column types differ from the merged
+/// schema.
+fn coerce_arm(plan: PhysicalPlan, scope: &Scope, merged: &[DataType]) -> PhysicalPlan {
+    let needs = scope.cols.iter().zip(merged).any(|(c, m)| c.dt != *m);
+    if !needs {
+        return plan;
+    }
+    let exprs: Vec<Expr> = scope
+        .cols
+        .iter()
+        .zip(merged)
+        .enumerate()
+        .map(|(i, (c, m))| {
+            if c.dt == *m {
+                Expr::col(i)
+            } else {
+                Expr::Cast(Box::new(Expr::col(i)), *m)
+            }
+        })
+        .collect();
+    let fields: Vec<Field> = scope
+        .cols
+        .iter()
+        .zip(merged)
+        .map(|(c, m)| Field {
+            name: c.name.clone(),
+            data_type: *m,
+            nullable: true,
+        })
+        .collect();
+    PhysicalPlan::Project {
+        input: Box::new(plan),
+        exprs,
+        schema: Schema::new_unchecked(fields),
+    }
+}
+
+fn arith_type(op: ArithOp, l: DataType, r: DataType) -> DataType {
+    use DataType::*;
+    match (op, l, r) {
+        (ArithOp::Add, Date, t) | (ArithOp::Sub, Date, t) if t.is_integer() => Date,
+        (ArithOp::Add, t, Date) if t.is_integer() => Date,
+        (ArithOp::Sub, Date, Date) => Int64,
+        _ => l.arithmetic_result(r).unwrap_or(Float64),
+    }
+}
+
+/// Return type of a scalar function given argument types. Falls back to
+/// Float64 (numeric) which is compatible with any numeric runtime value.
+fn function_return_type(name: &str, args: &[DataType]) -> DataType {
+    let upper = name.to_ascii_uppercase();
+    match upper.as_str() {
+        "UPPER" | "LOWER" | "SUBSTR" | "SUBSTR2" | "SUBSTR4" | "SUBSTRB" | "SUBSTRING"
+        | "LPAD" | "RPAD" | "TRIM" | "LTRIM" | "RTRIM" | "BTRIM" | "REPLACE" | "INITCAP"
+        | "CONCAT" | "TO_CHAR" | "TO_HEX" | "HEXTORAW" | "RAWTOHEX" | "STRLEFT" | "STRLFT"
+        | "STRRIGHT" => DataType::Utf8,
+        "LENGTH" | "INSTR" | "STRPOS" | "SIGN" | "MOD" | "DATE_PART" | "EXTRACT"
+        | "DAYS_BETWEEN" | "HOURS_BETWEEN" | "SECONDS_BETWEEN" | "WEEKS_BETWEEN" | "AGE"
+        | "HASH" | "HASH4" | "HASH8" | "COMPARE_DECFLOAT" => DataType::Int64,
+        n if n.starts_with("INT") && (n.ends_with("AND") || n.ends_with("OR") || n.ends_with("XOR") || n.ends_with("NOT")) => {
+            DataType::Int64
+        }
+        "TO_DATE" | "CURRENT_DATE" | "SYSDATE" | "ADD_MONTHS" | "LAST_DAY" | "NEXT_MONTH" => {
+            DataType::Date
+        }
+        "NOW" | "CURRENT_TIMESTAMP" | "TO_TIMESTAMP" => DataType::Timestamp,
+        "ST_POINT" | "ST_GEOMFROMTEXT" | "ST_ASTEXT" | "ST_GEOMETRYTYPE" | "ST_CENTROID" => {
+            DataType::Utf8
+        }
+        "ST_NUMPOINTS" => DataType::Int64,
+        "ST_CONTAINS" | "ST_WITHIN" | "ST_INTERSECTS" => DataType::Bool,
+        "TRUNC" if args.first().is_some_and(|t| t.is_temporal()) => DataType::Date,
+        "COALESCE" | "NVL" | "IFNULL" | "GREATEST" | "LEAST" | "NULLIF" => {
+            args.first().copied().unwrap_or(DataType::Utf8)
+        }
+        "NVL2" => args.get(1).copied().unwrap_or(DataType::Utf8),
+        "DECODE" => args.get(2).copied().unwrap_or(DataType::Utf8),
+        "ABS" | "ROUND" => args.first().copied().unwrap_or(DataType::Float64),
+        "NORMALIZE_DECFLOAT" => args.first().copied().unwrap_or(DataType::Decimal(31, 6)),
+        _ => DataType::Float64,
+    }
+}
+
+fn derive_name(ast: &AstExpr, i: usize) -> String {
+    match ast {
+        AstExpr::Column { name, .. } => name.clone(),
+        AstExpr::Func { name, .. } => name.clone(),
+        AstExpr::NextVal(_) => "NEXTVAL".to_string(),
+        AstExpr::CurrVal(_) => "CURRVAL".to_string(),
+        _ => format!("COL{}", i + 1),
+    }
+}
+
+fn split_conjuncts(e: &AstExpr, out: &mut Vec<AstExpr>) {
+    match e {
+        AstExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            split_conjuncts(left, out);
+            split_conjuncts(right, out);
+        }
+        other => out.push(other.clone()),
+    }
+    let _ = e;
+}
+
+/// If the conjunct is `col = col` (possibly with an Oracle `(+)` marker),
+/// return (left qualifier, left name, right qualifier, right name,
+/// outer_marker_on_right).
+#[allow(clippy::type_complexity)]
+fn equi_pair(
+    e: &AstExpr,
+) -> Option<(Option<String>, String, Option<String>, String, bool)> {
+    let AstExpr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = e
+    else {
+        return None;
+    };
+    fn unwrap_col(e: &AstExpr) -> Option<(Option<String>, String, bool)> {
+        match e {
+            AstExpr::Column { qualifier, name } => {
+                Some((qualifier.clone(), name.clone(), false))
+            }
+            AstExpr::OuterJoinMarker(inner) => {
+                let (q, n, _) = unwrap_col(inner)?;
+                Some((q, n, true))
+            }
+            _ => None,
+        }
+    }
+    let (lq, ln, lmark) = unwrap_col(left)?;
+    let (rq, rn, rmark) = unwrap_col(right)?;
+    let _ = lmark;
+    Some((lq, ln, rq, rn, rmark))
+}
+
+fn equi_has_marker(e: &AstExpr) -> bool {
+    if let AstExpr::Binary { left, right, .. } = e {
+        matches!(**left, AstExpr::OuterJoinMarker(_))
+            || matches!(**right, AstExpr::OuterJoinMarker(_))
+    } else {
+        false
+    }
+}
+
+fn references_rownum(e: &AstExpr) -> bool {
+    match e {
+        AstExpr::Column { name, .. } => name == "ROWNUM",
+        AstExpr::Binary { left, right, .. } => {
+            references_rownum(left) || references_rownum(right)
+        }
+        AstExpr::Neg(i) | AstExpr::Not(i) => references_rownum(i),
+        _ => false,
+    }
+}
+
+fn block_references_rownum(stmt: &SelectStmt) -> bool {
+    stmt.projection.iter().any(|item| match item {
+        SelectItem::Expr { expr, .. } => references_rownum(expr),
+        _ => false,
+    })
+}
+
+fn collect_aggregates(e: &AstExpr, out: &mut Vec<AstExpr>) {
+    match e {
+        AstExpr::Func { name, args, star, .. } => {
+            if *star || AggFunc::from_name(name).is_some() {
+                if !out.contains(e) {
+                    out.push(e.clone());
+                }
+                return; // nested aggregates are invalid anyway
+            }
+            for a in args {
+                collect_aggregates(a, out);
+            }
+        }
+        AstExpr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        AstExpr::Neg(i) | AstExpr::Not(i) | AstExpr::Prior(i) => collect_aggregates(i, out),
+        AstExpr::IsNull { expr, .. }
+        | AstExpr::IsBool { expr, .. }
+        | AstExpr::OuterJoinMarker(expr) => collect_aggregates(expr, out),
+        AstExpr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(low, out);
+            collect_aggregates(high, out);
+        }
+        AstExpr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for l in list {
+                collect_aggregates(l, out);
+            }
+        }
+        AstExpr::Like { expr, pattern, .. } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(pattern, out);
+        }
+        AstExpr::Cast { expr, .. } => collect_aggregates(expr, out),
+        AstExpr::Case {
+            operand,
+            branches,
+            otherwise,
+        } => {
+            if let Some(o) = operand {
+                collect_aggregates(o, out);
+            }
+            for (w, t) in branches {
+                collect_aggregates(w, out);
+                collect_aggregates(t, out);
+            }
+            if let Some(o) = otherwise {
+                collect_aggregates(o, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Rewrite an expression after aggregation: group-by expressions become
+/// references to the group columns, aggregate calls become references to
+/// the aggregate columns.
+fn rewrite_post_agg(e: &AstExpr, groups: &[AstExpr], aggs: &[AstExpr]) -> AstExpr {
+    if let Some(i) = aggs.iter().position(|a| a == e) {
+        return AstExpr::Column {
+            qualifier: None,
+            name: format!("_AGG{i}"),
+        };
+    }
+    if let Some(i) = groups.iter().position(|g| g == e) {
+        return match e {
+            AstExpr::Column { name, .. } => AstExpr::Column {
+                qualifier: None,
+                name: name.clone(),
+            },
+            _ => AstExpr::Column {
+                qualifier: None,
+                name: format!("_GROUP{i}"),
+            },
+        };
+    }
+    match e {
+        AstExpr::Binary { op, left, right } => AstExpr::Binary {
+            op: *op,
+            left: Box::new(rewrite_post_agg(left, groups, aggs)),
+            right: Box::new(rewrite_post_agg(right, groups, aggs)),
+        },
+        AstExpr::Neg(i) => AstExpr::Neg(Box::new(rewrite_post_agg(i, groups, aggs))),
+        AstExpr::Not(i) => AstExpr::Not(Box::new(rewrite_post_agg(i, groups, aggs))),
+        AstExpr::IsNull { expr, negated } => AstExpr::IsNull {
+            expr: Box::new(rewrite_post_agg(expr, groups, aggs)),
+            negated: *negated,
+        },
+        AstExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => AstExpr::Between {
+            expr: Box::new(rewrite_post_agg(expr, groups, aggs)),
+            low: Box::new(rewrite_post_agg(low, groups, aggs)),
+            high: Box::new(rewrite_post_agg(high, groups, aggs)),
+            negated: *negated,
+        },
+        AstExpr::InList {
+            expr,
+            list,
+            negated,
+        } => AstExpr::InList {
+            expr: Box::new(rewrite_post_agg(expr, groups, aggs)),
+            list: list
+                .iter()
+                .map(|l| rewrite_post_agg(l, groups, aggs))
+                .collect(),
+            negated: *negated,
+        },
+        AstExpr::Cast {
+            expr,
+            type_name,
+            type_args,
+        } => AstExpr::Cast {
+            expr: Box::new(rewrite_post_agg(expr, groups, aggs)),
+            type_name: type_name.clone(),
+            type_args: type_args.clone(),
+        },
+        AstExpr::Func {
+            name,
+            args,
+            distinct,
+            star,
+        } => AstExpr::Func {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| rewrite_post_agg(a, groups, aggs))
+                .collect(),
+            distinct: *distinct,
+            star: *star,
+        },
+        AstExpr::Case {
+            operand,
+            branches,
+            otherwise,
+        } => AstExpr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| Box::new(rewrite_post_agg(o, groups, aggs))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    (
+                        rewrite_post_agg(w, groups, aggs),
+                        rewrite_post_agg(t, groups, aggs),
+                    )
+                })
+                .collect(),
+            otherwise: otherwise
+                .as_ref()
+                .map(|o| Box::new(rewrite_post_agg(o, groups, aggs))),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Collect every column referenced in a query block (its own clauses, not
+/// nested subquery bodies). `None` when a wildcard makes pruning unsafe.
+fn collect_block_columns(stmt: &SelectStmt) -> Option<Vec<(Option<String>, String)>> {
+    let mut out = Vec::new();
+    for item in &stmt.projection {
+        match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => return None,
+            SelectItem::Expr { expr, .. } => collect_expr_columns(expr, &mut out),
+        }
+    }
+    if let Some(w) = &stmt.selection {
+        collect_expr_columns(w, &mut out);
+    }
+    for g in &stmt.group_by {
+        collect_expr_columns(g, &mut out);
+    }
+    if let Some(h) = &stmt.having {
+        collect_expr_columns(h, &mut out);
+    }
+    for o in &stmt.order_by {
+        collect_expr_columns(&o.expr, &mut out);
+    }
+    if let Some(sw) = &stmt.start_with {
+        collect_expr_columns(sw, &mut out);
+    }
+    if let Some((p, c)) = &stmt.connect_by {
+        out.push((None, p.clone()));
+        out.push((None, c.clone()));
+    }
+    // JOIN constraints reference columns too.
+    fn walk_tr(tr: &TableRef, out: &mut Vec<(Option<String>, String)>) {
+        if let TableRef::Join {
+            left,
+            right,
+            constraint,
+            ..
+        } = tr
+        {
+            walk_tr(left, out);
+            walk_tr(right, out);
+            match constraint {
+                JoinConstraint::On(e) => collect_expr_columns(e, out),
+                JoinConstraint::Using(cols) => {
+                    for c in cols {
+                        out.push((None, c.clone()));
+                    }
+                }
+                JoinConstraint::None => {}
+            }
+        }
+    }
+    for tr in &stmt.from {
+        walk_tr(tr, &mut out);
+    }
+    Some(out)
+}
+
+fn collect_expr_columns(e: &AstExpr, out: &mut Vec<(Option<String>, String)>) {
+    match e {
+        AstExpr::Column { qualifier, name } => out.push((qualifier.clone(), name.clone())),
+        AstExpr::Binary { left, right, .. } => {
+            collect_expr_columns(left, out);
+            collect_expr_columns(right, out);
+        }
+        AstExpr::Neg(i) | AstExpr::Not(i) | AstExpr::Prior(i) | AstExpr::OuterJoinMarker(i) => {
+            collect_expr_columns(i, out)
+        }
+        AstExpr::IsNull { expr, .. } | AstExpr::IsBool { expr, .. } => {
+            collect_expr_columns(expr, out)
+        }
+        AstExpr::Between {
+            expr, low, high, ..
+        } => {
+            collect_expr_columns(expr, out);
+            collect_expr_columns(low, out);
+            collect_expr_columns(high, out);
+        }
+        AstExpr::InList { expr, list, .. } => {
+            collect_expr_columns(expr, out);
+            for l in list {
+                collect_expr_columns(l, out);
+            }
+        }
+        AstExpr::InSubquery { expr, .. } => collect_expr_columns(expr, out),
+        AstExpr::Like { expr, pattern, .. } => {
+            collect_expr_columns(expr, out);
+            collect_expr_columns(pattern, out);
+        }
+        AstExpr::Func { args, .. } => {
+            for a in args {
+                collect_expr_columns(a, out);
+            }
+        }
+        AstExpr::Cast { expr, .. } => collect_expr_columns(expr, out),
+        AstExpr::Case {
+            operand,
+            branches,
+            otherwise,
+        } => {
+            if let Some(o) = operand {
+                collect_expr_columns(o, out);
+            }
+            for (w, t) in branches {
+                collect_expr_columns(w, out);
+                collect_expr_columns(t, out);
+            }
+            if let Some(o) = otherwise {
+                collect_expr_columns(o, out);
+            }
+        }
+        AstExpr::Overlaps { left, right } => {
+            collect_expr_columns(&left.0, out);
+            collect_expr_columns(&left.1, out);
+            collect_expr_columns(&right.0, out);
+            collect_expr_columns(&right.1, out);
+        }
+        _ => {}
+    }
+}
+
+// ---- predicate pushdown -----------------------------------------------------
+
+/// Push simple filter conjuncts into column scans so they evaluate on
+/// compressed codes with synopsis pruning. Applied bottom-up.
+pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::Filter { input, predicate } => {
+            // Push conjuncts through inner/cross joins toward the side
+            // whose columns they reference, then recurse so they can merge
+            // into the scans.
+            let input = match *input {
+                PhysicalPlan::HashJoin {
+                    left,
+                    right,
+                    on,
+                    join_type: JoinType::Inner,
+                } => {
+                    let lw = left.schema().len();
+                    let mut conjuncts = Vec::new();
+                    flatten_and(predicate, &mut conjuncts);
+                    let (mut lpreds, mut rpreds, mut keep) = (Vec::new(), Vec::new(), Vec::new());
+                    for c in conjuncts {
+                        let mut cols = Vec::new();
+                        c.referenced_columns(&mut cols);
+                        if !cols.is_empty() && cols.iter().all(|&i| i < lw) {
+                            lpreds.push(c);
+                        } else if !cols.is_empty() && cols.iter().all(|&i| i >= lw) {
+                            rpreds.push(shift_cols(c, lw));
+                        } else {
+                            keep.push(c);
+                        }
+                    }
+                    let wrap = |child: PhysicalPlan, preds: Vec<Expr>| {
+                        if preds.is_empty() {
+                            child
+                        } else {
+                            PhysicalPlan::Filter {
+                                input: Box::new(child),
+                                predicate: if preds.len() == 1 {
+                                    preds.into_iter().next().expect("one")
+                                } else {
+                                    Expr::And(preds)
+                                },
+                            }
+                        }
+                    };
+                    let join = PhysicalPlan::HashJoin {
+                        left: Box::new(pushdown(wrap(*left, lpreds))),
+                        right: Box::new(pushdown(wrap(*right, rpreds))),
+                        on,
+                        join_type: JoinType::Inner,
+                    };
+                    if keep.is_empty() {
+                        return join;
+                    }
+                    return PhysicalPlan::Filter {
+                        input: Box::new(join),
+                        predicate: if keep.len() == 1 {
+                            keep.into_iter().next().expect("one")
+                        } else {
+                            Expr::And(keep)
+                        },
+                    };
+                }
+                other => pushdown(other),
+            };
+            if let PhysicalPlan::ColumnScan { table, mut config } = input {
+                let mut conjuncts = Vec::new();
+                flatten_and(predicate, &mut conjuncts);
+                let mut residual: Vec<Expr> = Vec::new();
+                for c in conjuncts {
+                    match to_column_predicate(&c, &config.projection, &table) {
+                        Some(p) => config.predicates.push(p),
+                        None => residual.push(c),
+                    }
+                }
+                if !residual.is_empty() {
+                    // Residual expressions inside the scan reference table
+                    // ordinals; remap from scan-output ordinals.
+                    let remapped: Vec<Expr> = residual
+                        .into_iter()
+                        .map(|e| remap_cols(e, &config.projection))
+                        .collect();
+                    let combined = if remapped.len() == 1 {
+                        remapped.into_iter().next().expect("one")
+                    } else {
+                        Expr::And(remapped)
+                    };
+                    config.residual = Some(match config.residual.take() {
+                        Some(prev) => Expr::And(vec![prev, combined]),
+                        None => combined,
+                    });
+                }
+                PhysicalPlan::ColumnScan { table, config }
+            } else {
+                PhysicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
+            }
+        }
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => PhysicalPlan::Project {
+            input: Box::new(pushdown(*input)),
+            exprs,
+            schema,
+        },
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            on,
+            join_type,
+        } => PhysicalPlan::HashJoin {
+            left: Box::new(pushdown(*left)),
+            right: Box::new(pushdown(*right)),
+            on,
+            join_type,
+        },
+        PhysicalPlan::CrossJoin { left, right } => PhysicalPlan::CrossJoin {
+            left: Box::new(pushdown(*left)),
+            right: Box::new(pushdown(*right)),
+        },
+        PhysicalPlan::HashAggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => PhysicalPlan::HashAggregate {
+            input: Box::new(pushdown(*input)),
+            group,
+            aggs,
+            schema,
+        },
+        PhysicalPlan::Sort {
+            input,
+            keys,
+            limit,
+            offset,
+        } => PhysicalPlan::Sort {
+            input: Box::new(pushdown(*input)),
+            keys,
+            limit,
+            offset,
+        },
+        PhysicalPlan::UnionAll { inputs } => PhysicalPlan::UnionAll {
+            inputs: inputs.into_iter().map(pushdown).collect(),
+        },
+        PhysicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(pushdown(*input)),
+        },
+        PhysicalPlan::RowNumber { input, name } => PhysicalPlan::RowNumber {
+            input: Box::new(pushdown(*input)),
+            name,
+        },
+        PhysicalPlan::ConnectBy {
+            input,
+            start_with,
+            parent,
+            child,
+        } => PhysicalPlan::ConnectBy {
+            input: Box::new(pushdown(*input)),
+            start_with,
+            parent,
+            child,
+        },
+        leaf @ (PhysicalPlan::ColumnScan { .. } | PhysicalPlan::Values { .. }) => leaf,
+    }
+}
+
+fn flatten_and(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::And(parts) => {
+            for p in parts {
+                flatten_and(p, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+/// Try converting a lowered conjunct over scan *output* ordinals into a
+/// pushable [`ColumnPredicate`] over *table* ordinals.
+fn to_column_predicate(
+    e: &Expr,
+    projection: &[usize],
+    table: &SharedTable,
+) -> Option<ColumnPredicate> {
+    let schema = table.read().schema().clone();
+    match e {
+        Expr::IsNull { expr, negated } => {
+            if let Expr::Col(i) = **expr {
+                Some(ColumnPredicate::IsNull {
+                    col: projection[i],
+                    negated: *negated,
+                })
+            } else {
+                None
+            }
+        }
+        Expr::Cmp(op, l, r) => {
+            let (col, lit, op) = match (&**l, &**r) {
+                (Expr::Col(i), Expr::Lit(d)) => (*i, d.clone(), *op),
+                (Expr::Lit(d), Expr::Col(i)) => (*i, d.clone(), op.flip()),
+                _ => return None,
+            };
+            if lit.is_null() {
+                // `col = NULL` is never true; leave as residual (correctly
+                // evaluates to no rows).
+                return None;
+            }
+            let table_col = projection[col];
+            let dt = schema.field(table_col).data_type;
+            let (lo, hi) = match op {
+                CmpOp::Eq => (Some(lit.clone()), Some(lit)),
+                CmpOp::Le => (None, Some(lit)),
+                CmpOp::Ge => (Some(lit), None),
+                CmpOp::Lt => (None, Some(exclusive_to_inclusive(lit, dt, false)?)),
+                CmpOp::Gt => (Some(exclusive_to_inclusive(lit, dt, true)?), None),
+                CmpOp::Ne => return None,
+            };
+            Some(ColumnPredicate::Range {
+                col: table_col,
+                lo,
+                hi,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Convert an exclusive bound to an inclusive one where the domain allows
+/// (`x < 5` ⇔ `x <= 4` for integers/dates; floats use next_down/up;
+/// strings cannot be adjusted).
+fn exclusive_to_inclusive(d: Datum, dt: DataType, lower: bool) -> Option<Datum> {
+    match (dt.is_integer_encodable(), d) {
+        (true, Datum::Int(v)) => Some(Datum::Int(if lower { v.checked_add(1)? } else { v.checked_sub(1)? })),
+        (true, Datum::Date(v)) => Some(Datum::Date(if lower { v.checked_add(1)? } else { v.checked_sub(1)? })),
+        (true, Datum::Timestamp(v)) => {
+            Some(Datum::Timestamp(if lower { v.checked_add(1)? } else { v.checked_sub(1)? }))
+        }
+        (_, Datum::Float(f)) => Some(Datum::Float(if lower { f.next_up() } else { f.next_down() })),
+        (true, Datum::Str(s)) if dt == DataType::Date => {
+            let days = dash_common::date::parse_date(&s)?;
+            Some(Datum::Date(if lower { days + 1 } else { days - 1 }))
+        }
+        _ => None,
+    }
+}
+
+/// Shift column ordinals down by `lw` (right-side conjuncts pushed below a
+/// join reference the right child's own ordinals).
+fn shift_cols(e: Expr, lw: usize) -> Expr {
+    remap_with(e, &|i| i - lw)
+}
+
+fn remap_with(e: Expr, f: &dyn Fn(usize) -> usize) -> Expr {
+    match e {
+        Expr::Col(i) => Expr::Col(f(i)),
+        Expr::Cmp(op, l, r) => Expr::Cmp(op, Box::new(remap_with(*l, f)), Box::new(remap_with(*r, f))),
+        Expr::Arith(op, l, r) => {
+            Expr::Arith(op, Box::new(remap_with(*l, f)), Box::new(remap_with(*r, f)))
+        }
+        Expr::Neg(i) => Expr::Neg(Box::new(remap_with(*i, f))),
+        Expr::Not(i) => Expr::Not(Box::new(remap_with(*i, f))),
+        Expr::And(v) => Expr::And(v.into_iter().map(|x| remap_with(x, f)).collect()),
+        Expr::Or(v) => Expr::Or(v.into_iter().map(|x| remap_with(x, f)).collect()),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(remap_with(*expr, f)),
+            negated,
+        },
+        Expr::Func(func, args) => {
+            Expr::Func(func, args.into_iter().map(|a| remap_with(a, f)).collect())
+        }
+        Expr::Case {
+            operand,
+            branches,
+            otherwise,
+        } => Expr::Case {
+            operand: operand.map(|o| Box::new(remap_with(*o, f))),
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| (remap_with(w, f), remap_with(t, f)))
+                .collect(),
+            otherwise: otherwise.map(|o| Box::new(remap_with(*o, f))),
+        },
+        Expr::Cast(i, t) => Expr::Cast(Box::new(remap_with(*i, f)), t),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(remap_with(*expr, f)),
+            pattern,
+            negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(remap_with(*expr, f)),
+            list,
+            negated,
+        },
+        leaf @ (Expr::Lit(_) | Expr::SeqNext(_) | Expr::SeqCurr(_)) => leaf,
+    }
+}
+
+/// Remap scan-output column ordinals back to table ordinals for residual
+/// evaluation inside the scan.
+fn remap_cols(e: Expr, projection: &[usize]) -> Expr {
+    match e {
+        Expr::Col(i) => Expr::Col(projection[i]),
+        Expr::Cmp(op, l, r) => Expr::Cmp(
+            op,
+            Box::new(remap_cols(*l, projection)),
+            Box::new(remap_cols(*r, projection)),
+        ),
+        Expr::Arith(op, l, r) => Expr::Arith(
+            op,
+            Box::new(remap_cols(*l, projection)),
+            Box::new(remap_cols(*r, projection)),
+        ),
+        Expr::Neg(i) => Expr::Neg(Box::new(remap_cols(*i, projection))),
+        Expr::Not(i) => Expr::Not(Box::new(remap_cols(*i, projection))),
+        Expr::And(v) => Expr::And(v.into_iter().map(|x| remap_cols(x, projection)).collect()),
+        Expr::Or(v) => Expr::Or(v.into_iter().map(|x| remap_cols(x, projection)).collect()),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(remap_cols(*expr, projection)),
+            negated,
+        },
+        Expr::Func(f, args) => Expr::Func(
+            f,
+            args.into_iter().map(|a| remap_cols(a, projection)).collect(),
+        ),
+        Expr::Case {
+            operand,
+            branches,
+            otherwise,
+        } => Expr::Case {
+            operand: operand.map(|o| Box::new(remap_cols(*o, projection))),
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| (remap_cols(w, projection), remap_cols(t, projection)))
+                .collect(),
+            otherwise: otherwise.map(|o| Box::new(remap_cols(*o, projection))),
+        },
+        Expr::Cast(i, t) => Expr::Cast(Box::new(remap_cols(*i, projection)), t),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(remap_cols(*expr, projection)),
+            pattern,
+            negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(remap_cols(*expr, projection)),
+            list,
+            negated,
+        },
+        leaf @ (Expr::Lit(_) | Expr::SeqNext(_) | Expr::SeqCurr(_)) => leaf,
+    }
+}

@@ -1,0 +1,32 @@
+//! Columnar storage for dashdb-local-rs.
+//!
+//! Implements the storage half of the BLU reproduction:
+//!
+//! * [`table`] — column-organized tables. Rows are appended into an open
+//!   *stride* (1 K tuples, §II.B.4); sealed strides are encoded per column
+//!   with the codecs from `dash-encoding`, and deletes are tracked in a
+//!   per-stride visibility bitmap (column stores update via delete+append).
+//! * [`synopsis`] — the data-skipping metadata: per-stride min/max per
+//!   column, itself stored compressed. "The metadata is generally three
+//!   orders of magnitude smaller than the user data."
+//! * [`bufferpool`] — page cache policy simulation: LRU/MRU baselines, the
+//!   randomized-page-weight algorithm of US patent 9,037,803 (§II.B.5),
+//!   and a Belady-optimal replay oracle for the "within a few percentiles
+//!   of optimal" claim.
+//! * [`iodevice`] — simulated storage devices (HDD appliance disks vs the
+//!   SSDs in Table 1's dashDB rows) so benchmarks can convert page misses
+//!   into simulated time.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bufferpool;
+pub mod iodevice;
+pub mod stats;
+pub mod synopsis;
+pub mod table;
+
+pub use bufferpool::{BufferPool, PageKey, Policy};
+pub use iodevice::DeviceModel;
+pub use synopsis::Synopsis;
+pub use table::{ColumnTable, STRIDE};

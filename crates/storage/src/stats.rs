@@ -1,0 +1,60 @@
+//! Table statistics consumed by the planner and the monitoring console.
+
+/// Snapshot of a column table's physical statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Rows visible to scans.
+    pub live_rows: u64,
+    /// Rows ever appended (TSN high-water mark).
+    pub total_rows: u64,
+    /// Sealed strides.
+    pub sealed_strides: usize,
+    /// Compressed bytes across all sealed blocks.
+    pub compressed_bytes: usize,
+    /// Bytes of data-skipping metadata.
+    pub synopsis_bytes: usize,
+    /// Per-column number of distinct values, where the encoding knows it
+    /// (dictionary columns); `None` for minus-encoded columns.
+    pub column_ndv: Vec<Option<u64>>,
+}
+
+impl TableStats {
+    /// Estimated selectivity of an equality predicate on `col`, defaulting
+    /// to 10% when distinct counts are unknown.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        match self.column_ndv.get(col).copied().flatten() {
+            Some(ndv) if ndv > 0 => 1.0 / ndv as f64,
+            _ => 0.1,
+        }
+    }
+
+    /// Ratio of synopsis size to user data size (the "three orders of
+    /// magnitude" claim is about this number).
+    pub fn synopsis_ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            0.0
+        } else {
+            self.synopsis_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_defaults() {
+        let s = TableStats {
+            live_rows: 100,
+            total_rows: 100,
+            sealed_strides: 0,
+            compressed_bytes: 1000,
+            synopsis_bytes: 10,
+            column_ndv: vec![Some(4), None],
+        };
+        assert!((s.eq_selectivity(0) - 0.25).abs() < 1e-9);
+        assert!((s.eq_selectivity(1) - 0.1).abs() < 1e-9);
+        assert!((s.synopsis_ratio() - 0.01).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! The BD Insight-style throughput workload (Table 1, Test 4).
+//!
+//! "A throughput test ... executing a 5-stream workload ... and compared
+//! these results to a popular cloud data warehouse ... on the same
+//! platform with identical hardware", measured in queries per hour (QpH).
+//! Each stream runs the same mixed analytic query set in a rotated order
+//! (the standard multi-stream throughput discipline).
+
+use crate::spec::{Pred, QuerySpec, TableDef};
+use crate::tpcds;
+use dash_common::Datum;
+
+/// The paper's stream count.
+pub const STREAMS: usize = 5;
+
+/// The generated workload: tables plus per-stream query sequences.
+pub struct BdInsightWorkload {
+    /// Tables to load.
+    pub tables: Vec<TableDef>,
+    /// `STREAMS` query sequences (same set, rotated start offsets).
+    pub streams: Vec<Vec<QuerySpec>>,
+}
+
+/// Generate at `scale` fact rows.
+pub fn generate(scale: usize) -> BdInsightWorkload {
+    // Reuse the TPC-DS-like star and extend the query set with
+    // shorter interactive slices so streams interleave heavy and light.
+    let base = tpcds::generate(scale);
+    let recent = crate::gen::recent_window_start();
+    let mut queries = base.queries.clone();
+    for week in 0..4 {
+        queries.push(QuerySpec::GroupAgg {
+            table: "store_sales".into(),
+            predicates: vec![Pred::between(
+                "ss_sold_date",
+                Datum::Date(recent + week * 7),
+                Datum::Date(recent + week * 7 + 6),
+            )],
+            key: "ss_store_sk".into(),
+            value: "ss_sales_price".into(),
+        });
+    }
+    let streams = (0..STREAMS)
+        .map(|s| {
+            let mut q = queries.clone();
+            q.rotate_left(s * queries.len() / STREAMS);
+            q
+        })
+        .collect();
+    BdInsightWorkload {
+        tables: base.tables,
+        streams,
+    }
+}
+
+/// Queries-per-hour given total queries executed and elapsed seconds.
+pub fn qph(total_queries: usize, elapsed_s: f64) -> f64 {
+    if elapsed_s <= 0.0 {
+        return 0.0;
+    }
+    total_queries as f64 * 3600.0 / elapsed_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_rotated_streams() {
+        let w = generate(1000);
+        assert_eq!(w.streams.len(), STREAMS);
+        let len = w.streams[0].len();
+        assert!(len >= 12);
+        for s in &w.streams {
+            assert_eq!(s.len(), len);
+        }
+        // Rotations differ: first queries of stream 0 and 2 are different.
+        assert_ne!(w.streams[0][0].to_sql(), w.streams[2][0].to_sql());
+    }
+
+    #[test]
+    fn qph_math() {
+        assert_eq!(qph(100, 3600.0), 100.0);
+        assert_eq!(qph(50, 1800.0), 100.0);
+        assert_eq!(qph(10, 0.0), 0.0);
+    }
+}

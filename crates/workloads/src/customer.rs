@@ -1,0 +1,431 @@
+//! The customer financial workload (Table 1, Tests 1 & 2).
+//!
+//! The paper's Test 1 workload: "a customer workload over 25TB of data
+//! including several thousand customer provided queries used for a
+//! large-scale financial analytics. The database had 9 schemas with 1,640
+//! tables ... The workload selected comprised of over 250K queries"
+//! with the statement mix reproduced in [`MIX`]. We scale the volume down
+//! (the `scale` parameter) but keep the *shape*: multiple schemas, a hot
+//! fact table with seven years of skewed data, dimension tables, a
+//! DDL-heavy work-table churn (the CREATE/DROP/INSERT traffic), and an
+//! analytic query set with a long tail — the source of the avg-27× /
+//! median-6.3× asymmetry.
+
+use crate::gen::{history_start, rng, Zipf, CATEGORIES, HISTORY_DAYS, REGIONS};
+use crate::spec::{Pred, QuerySpec, TableDef};
+use dash_common::types::DataType;
+use dash_common::{row, Datum, Field, Row, Schema};
+use rand::Rng;
+
+/// The paper's exact statement-mix proportions (counts in the original
+/// 250K-statement workload).
+pub const MIX: [(&str, u64); 9] = [
+    ("INSERT", 86_537),
+    ("UPDATE", 55_873),
+    ("DROP", 46_383),
+    ("SELECT", 44_914),
+    ("CREATE", 25_572),
+    ("DELETE", 2_453),
+    ("WITH", 12),
+    ("EXPLAIN", 12),
+    ("TRUNCATE", 5),
+];
+
+/// The generated workload bundle.
+pub struct CustomerWorkload {
+    /// Base tables to load before running (fact + dimensions).
+    pub tables: Vec<TableDef>,
+    /// The mixed statement stream (Test 2's concurrent workload).
+    pub statements: Vec<Statement>,
+    /// The analytic query set (Test 1 measures "the 3,500 longest
+    /// running" — these are the heavyweight long-tail queries).
+    pub analytic_queries: Vec<QuerySpec>,
+}
+
+/// One statement of the mixed stream: SQL for the dashDB engine plus a
+/// structured op the (SQL-less) baseline engines execute programmatically,
+/// so Test 2 compares execution architecture rather than parsing.
+#[derive(Debug, Clone)]
+pub struct Statement {
+    /// Statement kind (matches [`MIX`] keys).
+    pub kind: &'static str,
+    /// SQL text.
+    pub sql: String,
+    /// The structured equivalent.
+    pub op: MixedOp,
+}
+
+/// Structured form of one mixed-workload statement.
+#[derive(Debug, Clone)]
+pub enum MixedOp {
+    /// Create a work table (k BIGINT, v DOUBLE, note VARCHAR).
+    CreateWork(String),
+    /// Drop a work table if it exists.
+    DropWork(String),
+    /// Insert into a work table: (table, k, v, note).
+    InsertWork(String, i64, f64, String),
+    /// Append one row to the fact table.
+    InsertTxn(Row),
+    /// `UPDATE <work> SET v = v + 1 WHERE k = <k>`.
+    UpdateWork(String, i64),
+    /// `UPDATE txn SET status = <v> WHERE txn_id = <id>`.
+    UpdateTxn(i64, i64),
+    /// `DELETE FROM <work> WHERE k = <k>`.
+    DeleteWork(String, i64),
+    /// `DELETE FROM txn WHERE txn_id = <id>`.
+    DeleteTxn(i64),
+    /// Run an analytic query.
+    Analytic(QuerySpec),
+    /// EXPLAIN (plan-only; negligible work on any engine).
+    Explain,
+    /// Truncate a work table.
+    TruncateWork(String),
+}
+
+/// Generate the workload at a scale factor: `scale` = rows in the fact
+/// table (the paper ran ~25 TB; benchmarks run 10⁴–10⁶ rows).
+/// Statements use unprefixed work-table names; concurrent streams should
+/// call [`statement_stream`] with a per-stream prefix instead.
+pub fn generate(scale: usize, statement_count: usize) -> CustomerWorkload {
+    let mut r = rng(0xF1DA);
+    let acct_zipf = Zipf::new((scale / 50).max(10), 1.1);
+    let cat_zipf = Zipf::new(CATEGORIES.len(), 1.0);
+
+    // ---- base tables ----
+    let txn_schema = Schema::new(vec![
+        Field::not_null("txn_id", DataType::Int64),
+        Field::not_null("acct_id", DataType::Int64),
+        Field::not_null("txn_date", DataType::Date),
+        Field::new("amount", DataType::Float64),
+        Field::new("category", DataType::Utf8),
+        Field::new("region", DataType::Utf8),
+        Field::new("status", DataType::Int32),
+    ])
+    .expect("schema");
+    let mut txn_rows = Vec::with_capacity(scale);
+    for i in 0..scale {
+        // Dates grow monotonically over 7 years (natural insert order) —
+        // the clustering the synopsis exploits.
+        let day = history_start() + ((i as i64 * HISTORY_DAYS as i64) / scale as i64) as i32;
+        txn_rows.push(row![
+            i as i64,
+            acct_zipf.sample(&mut r) as i64,
+            Datum::Date(day),
+            (r.gen_range(0..100_000) as f64) / 100.0,
+            CATEGORIES[cat_zipf.sample(&mut r)],
+            REGIONS[r.gen_range(0..REGIONS.len())],
+            (r.gen_range(0..5)) as i64
+        ]);
+    }
+    let acct_schema = Schema::new(vec![
+        Field::not_null("acct_id", DataType::Int64),
+        Field::new("branch", DataType::Utf8),
+        Field::new("open_date", DataType::Date),
+        Field::new("tier", DataType::Int32),
+    ])
+    .expect("schema");
+    let n_accts = (scale / 50).max(10);
+    let acct_rows: Vec<Row> = (0..n_accts)
+        .map(|i| {
+            row![
+                i as i64,
+                format!("branch-{:03}", i % 40),
+                Datum::Date(history_start() + (i % 2000) as i32),
+                (i % 4) as i64
+            ]
+        })
+        .collect();
+
+    let tables = vec![
+        TableDef {
+            name: "txn".into(),
+            schema: txn_schema,
+            indexed: vec![0, 2], // txn_id, txn_date — the appliance's indexes
+            rows: txn_rows,
+        },
+        TableDef {
+            name: "acct".into(),
+            schema: acct_schema,
+            indexed: vec![0],
+            rows: acct_rows,
+        },
+    ];
+
+    // ---- the analytic long-tail query set ----
+    // Every query is distinct (different date windows / filters), like the
+    // paper's 3,500 distinct longest-running queries — so neither engine
+    // gets to answer from a previous identical query's cache footprint.
+    let mut analytic_queries = Vec::new();
+    let recent = crate::gen::recent_window_start();
+    let start = history_start();
+    // Mix: ~60% scan-parity queries (full-history rollups and joins, where
+    // the appliance streams sequentially and the speedup is modest — these
+    // set the median) and ~40% windowed queries (where data skipping
+    // demolishes the appliance's index-random-I/O plan — these set the
+    // mean). The paper's avg-27×/median-6.3× asymmetry is exactly this
+    // long-tail structure.
+    for q in 0..32usize {
+        let offset = (q as i32 * 211) % (HISTORY_DAYS - 400);
+        let spec = match q % 8 {
+            // Quarter-window grouped rollups at shifting report dates.
+            0 | 1 => QuerySpec::GroupAgg {
+                table: "txn".into(),
+                predicates: vec![Pred::between(
+                    "txn_date",
+                    Datum::Date(start + offset),
+                    Datum::Date(start + offset + 90),
+                )],
+                key: "category".into(),
+                value: "amount".into(),
+            },
+            // Full-history rollups by region / status (heavyweight scans).
+            2 | 3 => QuerySpec::GroupAgg {
+                table: "txn".into(),
+                predicates: vec![Pred::eq("region", REGIONS[q % REGIONS.len()])],
+                key: "category".into(),
+                value: "amount".into(),
+            },
+            4 => QuerySpec::GroupAgg {
+                table: "txn".into(),
+                predicates: vec![Pred::eq("status", (q % 5) as i64)],
+                key: "region".into(),
+                value: "amount".into(),
+            },
+            // Full-history star joins to accounts.
+            5 | 6 => QuerySpec::JoinAgg {
+                fact: "txn".into(),
+                dim: "acct".into(),
+                fact_key: "acct_id".into(),
+                dim_key: "acct_id".into(),
+                dim_label: "branch".into(),
+                value: "amount".into(),
+                predicates: vec![Pred::eq("status", (q % 5) as i64)],
+            },
+            // Selective category slices over a shifting half-year window.
+            _ => QuerySpec::FilterScan {
+                table: "txn".into(),
+                predicates: vec![
+                    Pred::eq("category", CATEGORIES[q % CATEGORIES.len()]),
+                    Pred::between(
+                        "txn_date",
+                        Datum::Date(start + offset),
+                        Datum::Date(start + offset + 180),
+                    ),
+                ],
+                projection: vec!["txn_id".into(), "amount".into()],
+            },
+        };
+        analytic_queries.push(spec);
+    }
+    let _ = recent;
+
+    // ---- the mixed statement stream ----
+    let statements = statement_stream("work", scale, n_accts, statement_count, &analytic_queries);
+    CustomerWorkload {
+        tables,
+        statements,
+        analytic_queries,
+    }
+}
+
+/// Generate a deterministic statement stream with the paper's mix
+/// proportions. `prefix` namespaces the work tables so concurrent streams
+/// do not collide (each customer stream churned its own work set).
+pub fn statement_stream(
+    prefix: &str,
+    scale: usize,
+    n_accts: usize,
+    statement_count: usize,
+    analytic_queries: &[QuerySpec],
+) -> Vec<Statement> {
+    let recent = crate::gen::recent_window_start();
+    let total: u64 = MIX.iter().map(|(_, c)| c).sum();
+    let mut statements = Vec::with_capacity(statement_count);
+    let mut work_table_seq = 0usize;
+    let mut live_work_tables: Vec<String> = Vec::new();
+    for i in 0..statement_count {
+        // Deterministic pick proportional to the paper's mix.
+        let ticket = (i as u64 * 7919) % total;
+        let mut acc = 0u64;
+        let mut kind = "SELECT";
+        for (k, c) in MIX {
+            acc += c;
+            if ticket < acc {
+                kind = k;
+                break;
+            }
+        }
+        let (sql, op) = match kind {
+            "CREATE" => {
+                work_table_seq += 1;
+                let name = format!("{prefix}_{work_table_seq}");
+                live_work_tables.push(name.clone());
+                (
+                    format!("CREATE TABLE {name} (k BIGINT, v DOUBLE, note VARCHAR(20))"),
+                    MixedOp::CreateWork(name),
+                )
+            }
+            "DROP" => {
+                let name = live_work_tables
+                    .pop()
+                    .unwrap_or_else(|| format!("{prefix}_none"));
+                (
+                    format!("DROP TABLE IF EXISTS {name}"),
+                    MixedOp::DropWork(name),
+                )
+            }
+            "INSERT" => match live_work_tables.last() {
+                Some(name) => {
+                    let (k, v, note) = (i as i64 % 1000, (i % 97) as f64, format!("n{}", i % 10));
+                    (
+                        format!("INSERT INTO {name} VALUES ({k}, {v}, '{note}')"),
+                        MixedOp::InsertWork(name.clone(), k, v, note),
+                    )
+                }
+                None => {
+                    let row = row![
+                        (scale + i) as i64,
+                        (i % n_accts.max(1)) as i64,
+                        Datum::Date(recent + 89),
+                        (i % 5000) as f64 / 10.0,
+                        CATEGORIES[i % CATEGORIES.len()],
+                        REGIONS[i % REGIONS.len()],
+                        (i % 5) as i64
+                    ];
+                    (
+                        format!(
+                            "INSERT INTO txn VALUES ({}, {}, DATE '{}', {}, '{}', '{}', {})",
+                            scale + i,
+                            i % n_accts.max(1),
+                            dash_common::date::format_date(recent + 89),
+                            (i % 5000) as f64 / 10.0,
+                            CATEGORIES[i % CATEGORIES.len()],
+                            REGIONS[i % REGIONS.len()],
+                            i % 5
+                        ),
+                        MixedOp::InsertTxn(row),
+                    )
+                }
+            },
+            "UPDATE" => match live_work_tables.last() {
+                Some(name) => (
+                    format!("UPDATE {name} SET v = v + 1 WHERE k = {}", i % 1000),
+                    MixedOp::UpdateWork(name.clone(), i as i64 % 1000),
+                ),
+                None => (
+                    format!(
+                        "UPDATE txn SET status = {} WHERE txn_id = {}",
+                        i % 5,
+                        i % scale.max(1)
+                    ),
+                    MixedOp::UpdateTxn((i % scale.max(1)) as i64, (i % 5) as i64),
+                ),
+            },
+            "DELETE" => match live_work_tables.last() {
+                Some(name) => (
+                    format!("DELETE FROM {name} WHERE k = {}", i % 1000),
+                    MixedOp::DeleteWork(name.clone(), i as i64 % 1000),
+                ),
+                None => (
+                    format!("DELETE FROM txn WHERE txn_id = {}", i % scale.max(1)),
+                    MixedOp::DeleteTxn((i % scale.max(1)) as i64),
+                ),
+            },
+            "SELECT" => {
+                let spec = analytic_queries[i % analytic_queries.len()].clone();
+                (spec.to_sql(), MixedOp::Analytic(spec))
+            }
+            "WITH" => {
+                let spec = QuerySpec::GroupAgg {
+                    table: "txn".into(),
+                    predicates: vec![Pred::ge("txn_date", Datum::Date(recent))],
+                    key: "category".into(),
+                    value: "amount".into(),
+                };
+                (
+                    format!(
+                        "WITH recent AS (SELECT category, amount FROM txn WHERE txn_date >= DATE '{}') \
+                         SELECT category, COUNT(*), SUM(amount) FROM recent GROUP BY category",
+                        dash_common::date::format_date(recent)
+                    ),
+                    MixedOp::Analytic(spec),
+                )
+            }
+            "EXPLAIN" => (
+                "EXPLAIN SELECT region, COUNT(*) FROM txn GROUP BY region".to_string(),
+                MixedOp::Explain,
+            ),
+            "TRUNCATE" => {
+                let name = live_work_tables
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| format!("{prefix}_none"));
+                (
+                    format!("TRUNCATE TABLE {name}"),
+                    MixedOp::TruncateWork(name),
+                )
+            }
+            _ => unreachable!("mix covers all kinds"),
+        };
+        statements.push(Statement { kind, sql, op });
+    }
+    statements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn mix_proportions_hold() {
+        let w = generate(2000, 20_000);
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for s in &w.statements {
+            *counts.entry(s.kind).or_insert(0) += 1;
+        }
+        let total: u64 = MIX.iter().map(|(_, c)| c).sum();
+        for (kind, expected) in MIX.iter().take(6) {
+            let got = counts.get(kind).copied().unwrap_or(0);
+            let want = *expected as f64 / total as f64 * 20_000.0;
+            assert!(
+                (got as f64 - want).abs() < want * 0.15 + 20.0,
+                "{kind}: got {got}, want ~{want:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn fact_dates_are_monotone() {
+        let w = generate(1000, 10);
+        let txn = &w.tables[0];
+        let mut prev = i32::MIN;
+        for r in &txn.rows {
+            let Datum::Date(d) = r.get(2) else { panic!() };
+            assert!(*d >= prev);
+            prev = *d;
+        }
+        assert_eq!(txn.rows.len(), 1000);
+    }
+
+    #[test]
+    fn analytic_queries_render() {
+        let w = generate(500, 10);
+        assert!(w.analytic_queries.len() >= 20);
+        for q in &w.analytic_queries {
+            let sql = q.to_sql();
+            assert!(sql.starts_with("SELECT"), "{sql}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(300, 100);
+        let b = generate(300, 100);
+        assert_eq!(a.tables[0].rows, b.tables[0].rows);
+        assert_eq!(
+            a.statements.iter().map(|s| &s.sql).collect::<Vec<_>>(),
+            b.statements.iter().map(|s| &s.sql).collect::<Vec<_>>()
+        );
+    }
+}

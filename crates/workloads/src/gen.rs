@@ -1,0 +1,122 @@
+//! Deterministic data-generation utilities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator (all workloads are reproducible run to run).
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A Zipf-distributed sampler over `0..n` with exponent `s` — Big Data
+/// value frequencies are heavily skewed, which is what gives frequency
+/// encoding its bite.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with skew `s` (s=0 → uniform).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0);
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Sample a rank in `0..n` (0 = most frequent).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The region vocabulary used across workloads.
+pub const REGIONS: [&str; 8] = [
+    "northeast",
+    "southeast",
+    "midwest",
+    "southwest",
+    "west",
+    "mountain",
+    "pacific",
+    "international",
+];
+
+/// Product category vocabulary.
+pub const CATEGORIES: [&str; 12] = [
+    "electronics",
+    "grocery",
+    "apparel",
+    "home",
+    "sports",
+    "automotive",
+    "health",
+    "garden",
+    "toys",
+    "office",
+    "jewelry",
+    "music",
+];
+
+/// Days since epoch for the synthetic history start (2010-01-01) — seven
+/// years of data ending 2016-12-31, matching the paper's "data for seven
+/// years but most queries ask about the most recent few months".
+pub fn history_start() -> i32 {
+    dash_common::date::parse_date("2010-01-01").expect("valid")
+}
+
+/// Days in the seven-year history.
+pub const HISTORY_DAYS: i32 = 2557;
+
+/// The first day of the "recent few months" window (last 90 days).
+pub fn recent_window_start() -> i32 {
+    history_start() + HISTORY_DAYS - 90
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let z = Zipf::new(100, 1.2);
+        let mut r1 = rng(42);
+        let mut r2 = rng(42);
+        let a: Vec<usize> = (0..1000).map(|_| z.sample(&mut r1)).collect();
+        let b: Vec<usize> = (0..1000).map(|_| z.sample(&mut r2)).collect();
+        assert_eq!(a, b, "seeded generation is reproducible");
+        let rank0 = a.iter().filter(|&&x| x == 0).count();
+        let rank50 = a.iter().filter(|&&x| x == 50).count();
+        assert!(rank0 > rank50 * 5, "rank 0 ({rank0}) should dwarf rank 50 ({rank50})");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng(7);
+        let samples: Vec<usize> = (0..10_000).map(|_| z.sample(&mut r)).collect();
+        for rank in 0..10 {
+            let c = samples.iter().filter(|&&x| x == rank).count();
+            assert!((800..1200).contains(&c), "rank {rank}: {c}");
+        }
+    }
+
+    #[test]
+    fn history_window() {
+        assert!(recent_window_start() > history_start());
+        assert_eq!(
+            dash_common::date::format_date(history_start()),
+            "2010-01-01"
+        );
+        // End of history ~ end of 2016.
+        let end = history_start() + HISTORY_DAYS - 1;
+        assert!(dash_common::date::format_date(end).starts_with("2016-12"));
+    }
+}

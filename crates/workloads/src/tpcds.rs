@@ -1,0 +1,234 @@
+//! TPC-DS-like star schema and query set (Table 1, Test 3).
+//!
+//! A scaled-down rendition of the decision-support benchmark's core star:
+//! a `store_sales` fact with the usual surrogate keys and measures, and
+//! the `date_dim` / `item` / `store` dimensions. The query set covers the
+//! benchmark's dominant shapes: date-windowed rollups, star joins with
+//! dimension filters, and selective reporting slices.
+
+use crate::gen::{history_start, rng, Zipf, CATEGORIES, HISTORY_DAYS};
+use crate::spec::{Pred, QuerySpec, TableDef};
+use dash_common::types::DataType;
+use dash_common::{row, Datum, Field, Row, Schema};
+use rand::Rng;
+
+/// The generated benchmark bundle.
+pub struct TpcdsWorkload {
+    /// Tables to load (fact first).
+    pub tables: Vec<TableDef>,
+    /// The query set.
+    pub queries: Vec<QuerySpec>,
+}
+
+/// Items in the item dimension per 1000 fact rows (min 20).
+fn item_count(scale: usize) -> usize {
+    (scale / 50).clamp(20, 20_000)
+}
+
+/// Stores in the store dimension.
+fn store_count(scale: usize) -> usize {
+    (scale / 2000).clamp(5, 500)
+}
+
+/// Generate at `scale` = store_sales row count.
+pub fn generate(scale: usize) -> TpcdsWorkload {
+    let mut r = rng(0xDECADE);
+    let n_items = item_count(scale);
+    let n_stores = store_count(scale);
+    let item_zipf = Zipf::new(n_items, 1.05);
+
+    // ---- store_sales ----
+    let ss_schema = Schema::new(vec![
+        Field::not_null("ss_ticket", DataType::Int64),
+        Field::not_null("ss_sold_date", DataType::Date),
+        Field::not_null("ss_item_sk", DataType::Int64),
+        Field::not_null("ss_store_sk", DataType::Int64),
+        Field::new("ss_quantity", DataType::Int32),
+        Field::new("ss_sales_price", DataType::Float64),
+        Field::new("ss_ext_discount", DataType::Float64),
+        Field::new("ss_net_profit", DataType::Float64),
+    ])
+    .expect("schema");
+    let mut ss_rows = Vec::with_capacity(scale);
+    for i in 0..scale {
+        let day = history_start() + ((i as i64 * HISTORY_DAYS as i64) / scale as i64) as i32;
+        let price = r.gen_range(100..20_000) as f64 / 100.0;
+        let qty = r.gen_range(1..20) as i64;
+        ss_rows.push(row![
+            i as i64,
+            Datum::Date(day),
+            item_zipf.sample(&mut r) as i64,
+            r.gen_range(0..n_stores) as i64,
+            qty,
+            price,
+            if i % 7 == 0 { price * 0.1 } else { 0.0 },
+            price * qty as f64 * 0.2
+        ]);
+    }
+
+    // ---- dimensions ----
+    let item_schema = Schema::new(vec![
+        Field::not_null("i_item_sk", DataType::Int64),
+        Field::new("i_category", DataType::Utf8),
+        Field::new("i_brand", DataType::Utf8),
+        Field::new("i_current_price", DataType::Float64),
+    ])
+    .expect("schema");
+    let item_rows: Vec<Row> = (0..n_items)
+        .map(|i| {
+            row![
+                i as i64,
+                CATEGORIES[i % CATEGORIES.len()],
+                format!("brand-{:04}", i % 200),
+                (i % 500) as f64 / 5.0
+            ]
+        })
+        .collect();
+    let store_schema = Schema::new(vec![
+        Field::not_null("s_store_sk", DataType::Int64),
+        Field::new("s_state", DataType::Utf8),
+        Field::new("s_market", DataType::Int32),
+    ])
+    .expect("schema");
+    let states = ["CA", "TX", "NY", "FL", "WA", "IL", "GA", "OH"];
+    let store_rows: Vec<Row> = (0..n_stores)
+        .map(|i| row![i as i64, states[i % states.len()], (i % 10) as i64])
+        .collect();
+
+    let tables = vec![
+        TableDef {
+            name: "store_sales".into(),
+            schema: ss_schema,
+            indexed: vec![0, 1], // ticket + date, the appliance's choices
+            rows: ss_rows,
+        },
+        TableDef {
+            name: "item".into(),
+            schema: item_schema,
+            indexed: vec![0],
+            rows: item_rows,
+        },
+        TableDef {
+            name: "store".into(),
+            schema: store_schema,
+            indexed: vec![0],
+            rows: store_rows,
+        },
+    ];
+
+    // ---- queries ----
+    let recent = crate::gen::recent_window_start();
+    let q4_start = history_start() + HISTORY_DAYS - 365;
+    let queries = vec![
+        // Q1: recent-quarter revenue by item category (star join).
+        QuerySpec::JoinAgg {
+            fact: "store_sales".into(),
+            dim: "item".into(),
+            fact_key: "ss_item_sk".into(),
+            dim_key: "i_item_sk".into(),
+            dim_label: "i_category".into(),
+            value: "ss_sales_price".into(),
+            predicates: vec![Pred::ge("ss_sold_date", Datum::Date(recent))],
+        },
+        // Q2: yearly profit by store state.
+        QuerySpec::JoinAgg {
+            fact: "store_sales".into(),
+            dim: "store".into(),
+            fact_key: "ss_store_sk".into(),
+            dim_key: "s_store_sk".into(),
+            dim_label: "s_state".into(),
+            value: "ss_net_profit".into(),
+            predicates: vec![Pred::ge("ss_sold_date", Datum::Date(q4_start))],
+        },
+        // Q3: full-history rollup by store (the heavy scan).
+        QuerySpec::GroupAgg {
+            table: "store_sales".into(),
+            predicates: vec![],
+            key: "ss_store_sk".into(),
+            value: "ss_sales_price".into(),
+        },
+        // Q4: discount audit — selective predicate on a measure.
+        QuerySpec::FilterScan {
+            table: "store_sales".into(),
+            predicates: vec![
+                Pred::ge("ss_ext_discount", 10.0f64),
+                Pred::ge("ss_sold_date", Datum::Date(recent)),
+            ],
+            projection: vec!["ss_ticket".into(), "ss_ext_discount".into()],
+        },
+        // Q5: one month's sales by item.
+        QuerySpec::GroupAgg {
+            table: "store_sales".into(),
+            predicates: vec![Pred::between(
+                "ss_sold_date",
+                Datum::Date(recent),
+                Datum::Date(recent + 30),
+            )],
+            key: "ss_item_sk".into(),
+            value: "ss_quantity".into(),
+        },
+        // Q6: big-basket tickets (quantity slice over full history).
+        QuerySpec::FilterScan {
+            table: "store_sales".into(),
+            predicates: vec![Pred::ge("ss_quantity", 18i64)],
+            projection: vec!["ss_ticket".into(), "ss_quantity".into()],
+        },
+        // Q7: store revenue in the recent window (no join).
+        QuerySpec::GroupAgg {
+            table: "store_sales".into(),
+            predicates: vec![Pred::ge("ss_sold_date", Datum::Date(recent))],
+            key: "ss_store_sk".into(),
+            value: "ss_net_profit".into(),
+        },
+        // Q8: category revenue across the full history (heavy star join).
+        QuerySpec::JoinAgg {
+            fact: "store_sales".into(),
+            dim: "item".into(),
+            fact_key: "ss_item_sk".into(),
+            dim_key: "i_item_sk".into(),
+            dim_label: "i_category".into(),
+            value: "ss_net_profit".into(),
+            predicates: vec![],
+        },
+    ];
+    TpcdsWorkload { tables, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_sizes() {
+        let w = generate(5000);
+        assert_eq!(w.tables.len(), 3);
+        assert_eq!(w.tables[0].rows.len(), 5000);
+        assert!(w.tables[1].rows.len() >= 20);
+        assert_eq!(w.queries.len(), 8);
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let w = generate(2000);
+        let n_items = w.tables[1].rows.len() as i64;
+        let n_stores = w.tables[2].rows.len() as i64;
+        for r in &w.tables[0].rows {
+            let item = r.get(2).as_int().unwrap();
+            let store = r.get(3).as_int().unwrap();
+            assert!((0..n_items).contains(&item));
+            assert!((0..n_stores).contains(&store));
+        }
+    }
+
+    #[test]
+    fn item_popularity_is_skewed() {
+        let w = generate(20_000);
+        let mut counts = std::collections::HashMap::new();
+        for r in &w.tables[0].rows {
+            *counts.entry(r.get(2).as_int().unwrap()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let avg = 20_000 / counts.len() as u32;
+        assert!(max > avg * 5, "hot item {max} vs avg {avg}");
+    }
+}

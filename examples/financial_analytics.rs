@@ -1,0 +1,72 @@
+//! The paper's motivating scenario: large-scale financial analytics over
+//! seven years of transactions, queried through several SQL dialects —
+//! the §III Test 1 workload in miniature.
+//!
+//! ```sh
+//! cargo run --release --example financial_analytics
+//! ```
+
+use dashdb_local::common::dialect::Dialect;
+use dashdb_local::core::{Database, HardwareSpec};
+use dashdb_local::workloads::customer;
+
+fn main() -> dashdb_local::common::Result<()> {
+    let db = Database::with_hardware(HardwareSpec::detect());
+    println!("generating 7 years of transactions...");
+    let w = customer::generate(200_000, 0);
+    for t in &w.tables {
+        let handle = db.catalog().create_table(&t.name, t.schema.clone(), None)?;
+        handle.write().load_rows(t.rows.clone())?;
+        let stats = handle.read().stats();
+        println!(
+            "  {}: {} rows, {} KB compressed, {} KB synopsis",
+            t.name,
+            stats.live_rows,
+            stats.compressed_bytes / 1024,
+            stats.synopsis_bytes / 1024
+        );
+    }
+
+    let mut session = db.connect();
+
+    println!("\n-- recent-quarter rollup (data skipping does the work)");
+    let r = session.execute(
+        "SELECT category, COUNT(*) txns, SUM(amount) total
+         FROM txn WHERE txn_date >= DATE '2016-10-01'
+         GROUP BY category ORDER BY total DESC FETCH FIRST 5 ROWS ONLY",
+    )?;
+    print!("{}", r.to_table());
+    println!(
+        "  [{} of {} strides skipped by the synopsis]",
+        r.stats.strides_skipped, r.stats.strides_total
+    );
+
+    println!("\n-- branch league table (star join, fused aggregation)");
+    let r = session.execute(
+        "SELECT acct.branch, COUNT(*) txns, SUM(txn.amount) volume
+         FROM txn JOIN acct ON txn.acct_id = acct.acct_id
+         WHERE txn.status = 1
+         GROUP BY acct.branch ORDER BY volume DESC FETCH FIRST 5 ROWS ONLY",
+    )?;
+    print!("{}", r.to_table());
+
+    println!("\n-- an Oracle-dialect session against the same data");
+    session.set_dialect(Dialect::Oracle);
+    let r = session.execute(
+        "SELECT region, NVL(TO_CHAR(SUM(amount)), '-') total
+         FROM txn WHERE ROWNUM <= 50000
+         GROUP BY region ORDER BY region",
+    )?;
+    print!("{}", r.to_table());
+
+    println!("\n-- and a Netezza-dialect one");
+    session.set_dialect(Dialect::Netezza);
+    let r = session.execute(
+        "SELECT DATE_PART('year', txn_date)::INT4 yr, COUNT(*) n
+         FROM txn GROUP BY yr ORDER BY yr LIMIT 7",
+    )?;
+    print!("{}", r.to_table());
+
+    println!("\nmonitoring history:\n{}", db.monitor().report());
+    Ok(())
+}

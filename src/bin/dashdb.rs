@@ -1,0 +1,84 @@
+//! `dashdb` — a minimal interactive console for the engine (the
+//! command-line face of the paper's web console).
+//!
+//! ```sh
+//! cargo run --release --bin dashdb
+//! ```
+//!
+//! Reads `;`-terminated SQL from stdin. Meta-commands: `\d` lists tables,
+//! `\dialect <name>` switches dialect, `\monitor` prints the statement
+//! history, `\config` shows the auto-configuration, `\q` quits.
+
+use dashdb_local::common::dialect::Dialect;
+use dashdb_local::core::{Database, HardwareSpec};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let hw = HardwareSpec::detect();
+    let db = Database::with_hardware(hw);
+    let mut session = db.connect();
+    println!(
+        "dashdb-local-rs console — {} cores / {} MB detected, dialect {} (\\q to quit)",
+        hw.cores,
+        hw.ram_mb,
+        session.dialect()
+    );
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            let mut parts = trimmed.split_whitespace();
+            match parts.next().unwrap_or("") {
+                "\\q" => break,
+                "\\d" => {
+                    for t in db.catalog().table_names() {
+                        println!("  {t}");
+                    }
+                }
+                "\\dialect" => match parts.next().and_then(Dialect::parse) {
+                    Some(d) => {
+                        session.set_dialect(d);
+                        println!("dialect set to {d}");
+                    }
+                    None => eprintln!("usage: \\dialect ANSI|ORACLE|NETEZZA|POSTGRESQL|DB2"),
+                },
+                "\\monitor" => print!("{}", db.monitor().report()),
+                "\\config" => println!("{:#?}", db.config()),
+                other => eprintln!("unknown command {other}"),
+            }
+            prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Execute once the statement terminates (outside BEGIN...END the
+        // splitter treats inner semicolons correctly).
+        if trimmed.ends_with(';') {
+            let script = std::mem::take(&mut buffer);
+            match session.execute_script(&script) {
+                Ok(results) => {
+                    for r in results {
+                        print!("{}", r.to_table());
+                    }
+                }
+                Err(e) => eprintln!("error [{}]: {e}", e.class()),
+            }
+        }
+        prompt(&buffer);
+    }
+}
+
+fn prompt(buffer: &str) {
+    if buffer.is_empty() {
+        print!("dashdb> ");
+    } else {
+        print!("   ...> ");
+    }
+    let _ = std::io::stdout().flush();
+}

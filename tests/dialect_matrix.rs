@@ -1,0 +1,148 @@
+//! The polyglot matrix: which syntax parses under which dialect (§II.C).
+//!
+//! One assertion per (feature, dialect) cell that the paper's dialect lists
+//! imply — the "colliding syntaxes" behaviour.
+
+use dashdb_local::common::dialect::Dialect;
+use dashdb_local::sql::parser::parse_statement;
+
+fn accepts(sql: &str, d: Dialect) -> bool {
+    parse_statement(sql, d).is_ok()
+}
+
+#[test]
+fn limit_offset_matrix() {
+    let sql = "SELECT a FROM t LIMIT 5 OFFSET 2";
+    assert!(accepts(sql, Dialect::Netezza));
+    assert!(accepts(sql, Dialect::PostgreSql));
+    assert!(!accepts(sql, Dialect::Ansi));
+    assert!(!accepts(sql, Dialect::Oracle));
+    assert!(!accepts(sql, Dialect::Db2));
+}
+
+#[test]
+fn fetch_first_matrix() {
+    let sql = "SELECT a FROM t FETCH FIRST 5 ROWS ONLY";
+    assert!(accepts(sql, Dialect::Ansi));
+    assert!(accepts(sql, Dialect::Db2));
+    assert!(!accepts(sql, Dialect::Oracle));
+    assert!(!accepts(sql, Dialect::Netezza));
+}
+
+#[test]
+fn cast_operator_matrix() {
+    let sql = "SELECT a::INT4 FROM t";
+    assert!(accepts(sql, Dialect::Netezza));
+    assert!(accepts(sql, Dialect::PostgreSql));
+    assert!(!accepts(sql, Dialect::Ansi));
+    assert!(!accepts(sql, Dialect::Oracle));
+    assert!(!accepts(sql, Dialect::Db2));
+    // CAST(... AS ...) works everywhere.
+    for d in Dialect::ALL {
+        assert!(accepts("SELECT CAST(a AS INTEGER) FROM t", d), "{d}");
+    }
+}
+
+#[test]
+fn oracle_features_matrix() {
+    for (sql, name) in [
+        ("SELECT 1 FROM DUAL", "DUAL"),
+        ("SELECT * FROM a, b WHERE a.x = b.x (+)", "(+) join"),
+        ("SELECT s.NEXTVAL FROM DUAL", "NEXTVAL"),
+        (
+            "SELECT e FROM o START WITH m IS NULL CONNECT BY PRIOR e = m",
+            "CONNECT BY",
+        ),
+        ("CREATE GLOBAL TEMPORARY TABLE g (x INT)", "GLOBAL TEMP"),
+    ] {
+        assert!(accepts(sql, Dialect::Oracle), "oracle should accept {name}");
+        assert!(!accepts(sql, Dialect::Ansi), "ansi should reject {name}");
+        assert!(!accepts(sql, Dialect::Netezza), "netezza should reject {name}");
+    }
+}
+
+#[test]
+fn netezza_pg_features_matrix() {
+    for (sql, name) in [
+        ("SELECT a FROM t WHERE a ISNULL", "ISNULL"),
+        ("SELECT a FROM t WHERE a NOTNULL", "NOTNULL"),
+        ("SELECT a FROM t WHERE b ISTRUE", "ISTRUE"),
+        ("SELECT 1 FROM t WHERE (a, b) OVERLAPS (c, d)", "OVERLAPS"),
+        ("CREATE TEMP TABLE w (x INT)", "CREATE TEMP"),
+    ] {
+        assert!(accepts(sql, Dialect::Netezza), "netezza should accept {name}");
+        assert!(accepts(sql, Dialect::PostgreSql), "pg should accept {name}");
+        assert!(!accepts(sql, Dialect::Oracle), "oracle should reject {name}");
+        assert!(!accepts(sql, Dialect::Db2), "db2 should reject {name}");
+    }
+}
+
+#[test]
+fn db2_features_matrix() {
+    for (sql, name) in [
+        ("VALUES (1, 'a'), (2, 'b')", "standalone VALUES"),
+        ("SELECT NEXT VALUE FOR s FROM t", "NEXT VALUE FOR"),
+        ("SELECT PREVIOUS VALUE FOR s FROM t", "PREVIOUS VALUE FOR"),
+        ("CREATE ALIAS a FOR b", "CREATE ALIAS"),
+        ("DECLARE GLOBAL TEMPORARY TABLE g (x INT)", "DECLARE GTT"),
+    ] {
+        assert!(accepts(sql, Dialect::Db2), "db2 should accept {name}");
+        assert!(!accepts(sql, Dialect::Oracle), "oracle should reject {name}");
+        assert!(!accepts(sql, Dialect::Netezza), "netezza should reject {name}");
+    }
+}
+
+#[test]
+fn function_visibility_follows_dialect() {
+    use dashdb_local::core::{Database, HardwareSpec};
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut s = db.connect();
+    s.execute("CREATE TABLE t (x INT, s VARCHAR(10))").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
+    // NVL is Oracle-only.
+    assert!(s.query("SELECT NVL(s, '-') FROM t").is_err());
+    s.set_dialect(Dialect::Oracle);
+    assert!(s.query("SELECT NVL(s, '-') FROM t").is_ok());
+    // DATE_PART is Netezza/PG-only.
+    assert!(s
+        .query("SELECT DATE_PART('year', CURRENT_TIMESTAMP) FROM DUAL")
+        .is_err());
+    s.set_dialect(Dialect::Netezza);
+    assert!(s
+        .query("SELECT DATE_PART('year', NOW()) FROM t")
+        .is_ok());
+    // COMPARE_DECFLOAT is DB2-only.
+    assert!(s.query("SELECT COMPARE_DECFLOAT(x, x) FROM t").is_err());
+    s.set_dialect(Dialect::Db2);
+    assert!(s.query("SELECT COMPARE_DECFLOAT(x, x) FROM t").is_ok());
+}
+
+#[test]
+fn set_dialect_statement_switches_session() {
+    use dashdb_local::core::{Database, HardwareSpec};
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut s = db.connect();
+    assert!(s.execute("SELECT 1 FROM DUAL").is_err());
+    s.execute("SET SQL_DIALECT = ORACLE").unwrap();
+    assert!(s.execute("SELECT 1 FROM DUAL").is_ok());
+    assert_eq!(s.dialect(), Dialect::Oracle);
+}
+
+#[test]
+fn dialect_type_names() {
+    use dashdb_local::core::{Database, HardwareSpec};
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut s = db.connect();
+    // INT2/4/8, FLOAT4/8, BOOLEAN (Netezza/PG names), VARCHAR2 and NUMBER
+    // (Oracle), DECFLOAT (DB2) all resolve regardless of session dialect —
+    // type-name union is how the engine stays load-compatible.
+    s.execute(
+        "CREATE TABLE types_t (a INT2, b INT4, c INT8, d FLOAT4, e FLOAT8, \
+         f BOOLEAN, g VARCHAR2(10), h NUMBER(10,2), i DECFLOAT, j DATE)",
+    )
+    .unwrap();
+    s.execute("INSERT INTO types_t VALUES (1, 2, 3, 1.5, 2.5, TRUE, 'x', 9.25, 1.0, '2017-01-01')")
+        .unwrap();
+    let rows = s.query("SELECT a, f, g, h FROM types_t").unwrap();
+    assert_eq!(rows[0].get(3).render(), "9.25");
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration: the MPP layer against a single-node oracle,
+//! plus failover/elasticity under a running workload.
+
+use dashdb_local::common::ids::NodeId;
+use dashdb_local::common::types::DataType;
+use dashdb_local::common::{row, Datum, Field, Row, Schema};
+use dashdb_local::core::{Database, HardwareSpec};
+use dashdb_local::mpp::{Cluster, Distribution};
+
+fn fact_schema() -> Schema {
+    Schema::new(vec![
+        Field::not_null("id", DataType::Int64),
+        Field::new("grp", DataType::Utf8),
+        Field::new("v", DataType::Float64),
+    ])
+    .unwrap()
+}
+
+fn fact_rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| row![i as i64, format!("g{}", i % 5), (i % 40) as f64])
+        .collect()
+}
+
+/// Run the same queries on the cluster and a single-node engine; results
+/// must match (the distributed plan is semantically invisible).
+#[test]
+fn cluster_matches_single_node() {
+    let n = 20_000;
+    let cluster = Cluster::new(3, 4, HardwareSpec::laptop()).unwrap();
+    cluster
+        .create_table("f", fact_schema(), Distribution::Hash("id".into()))
+        .unwrap();
+    cluster.load_rows("f", fact_rows(n)).unwrap();
+
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let handle = db.catalog().create_table("f", fact_schema(), None).unwrap();
+    handle.write().load_rows(fact_rows(n)).unwrap();
+    let mut single = db.connect();
+
+    for sql in [
+        "SELECT COUNT(*) FROM f",
+        "SELECT grp, COUNT(*), SUM(v), AVG(v), MIN(id), MAX(id) FROM f GROUP BY grp ORDER BY grp",
+        "SELECT id FROM f WHERE id BETWEEN 700 AND 720 ORDER BY 1",
+        "SELECT COUNT(*) FROM f WHERE v >= 20.0",
+        "SELECT id FROM f ORDER BY 1 DESC FETCH FIRST 7 ROWS ONLY",
+        "SELECT DISTINCT grp FROM f ORDER BY grp",
+    ] {
+        let mut a = cluster.query(sql).unwrap();
+        let mut b = single.query(sql).unwrap();
+        // Unordered queries: compare as sets.
+        if !sql.contains("ORDER BY") {
+            a.sort();
+            b.sort();
+        }
+        assert_eq!(a, b, "cluster and single node differ on: {sql}");
+    }
+}
+
+#[test]
+fn queries_survive_failover_and_growth() {
+    let cluster = Cluster::new(4, 6, HardwareSpec::laptop()).unwrap();
+    cluster
+        .create_table("f", fact_schema(), Distribution::Hash("id".into()))
+        .unwrap();
+    cluster.load_rows("f", fact_rows(9000)).unwrap();
+    let baseline = cluster
+        .query("SELECT grp, COUNT(*), SUM(v) FROM f GROUP BY grp ORDER BY grp")
+        .unwrap();
+
+    cluster.fail_node(NodeId(1)).unwrap();
+    assert_eq!(cluster.live_nodes(), 3);
+    let after_fail = cluster
+        .query("SELECT grp, COUNT(*), SUM(v) FROM f GROUP BY grp ORDER BY grp")
+        .unwrap();
+    assert_eq!(baseline, after_fail);
+
+    cluster.restore_node(NodeId(1)).unwrap();
+    let (_, _) = cluster.add_node(HardwareSpec::laptop()).unwrap();
+    let after_grow = cluster
+        .query("SELECT grp, COUNT(*), SUM(v) FROM f GROUP BY grp ORDER BY grp")
+        .unwrap();
+    assert_eq!(baseline, after_grow);
+    // Balance invariant after every transition.
+    let dist = cluster.shard_distribution();
+    let max = dist.iter().map(|(_, s)| s.len()).max().unwrap();
+    let min = dist.iter().map(|(_, s)| s.len()).min().unwrap();
+    assert!(max - min <= 1, "unbalanced after growth: {dist:?}");
+}
+
+#[test]
+fn replicated_dimension_joins() {
+    let cluster = Cluster::new(2, 3, HardwareSpec::laptop()).unwrap();
+    cluster
+        .create_table("f", fact_schema(), Distribution::Hash("id".into()))
+        .unwrap();
+    cluster.load_rows("f", fact_rows(3000)).unwrap();
+    let dim = Schema::new(vec![
+        Field::new("grp", DataType::Utf8),
+        Field::new("label", DataType::Utf8),
+    ])
+    .unwrap();
+    cluster
+        .create_table("d", dim, Distribution::Replicated)
+        .unwrap();
+    cluster
+        .load_rows(
+            "d",
+            (0..5).map(|i| row![format!("g{i}"), format!("Group {i}")]).collect(),
+        )
+        .unwrap();
+    let rows = cluster
+        .query(
+            "SELECT label, COUNT(*) FROM f JOIN d ON f.grp = d.grp GROUP BY label ORDER BY label",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 5);
+    let total: i64 = rows.iter().map(|r| r.get(1).as_int().unwrap()).sum();
+    assert_eq!(total, 3000);
+}
+
+#[test]
+fn broadcast_dml_updates_every_shard() {
+    let cluster = Cluster::new(2, 2, HardwareSpec::laptop()).unwrap();
+    cluster
+        .create_table("f", fact_schema(), Distribution::Hash("id".into()))
+        .unwrap();
+    cluster.load_rows("f", fact_rows(1000)).unwrap();
+    let affected = cluster.execute_all("UPDATE f SET v = 0.0 WHERE id < 100").unwrap();
+    assert_eq!(affected, 100, "each matching row lives on exactly one shard");
+    let rows = cluster
+        .query("SELECT COUNT(*) FROM f WHERE v = 0.0")
+        .unwrap();
+    let zeroes = rows[0].get(0).as_int().unwrap();
+    // ids < 100 now zero plus the naturally-zero v values (i % 40 == 0).
+    assert!(zeroes >= 100);
+    let affected = cluster.execute_all("DELETE FROM f WHERE id >= 900").unwrap();
+    assert_eq!(affected, 100);
+    let rows = cluster.query("SELECT COUNT(*) FROM f").unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(900));
+}
+
+#[test]
+fn relative_cost_tracks_max_load() {
+    let cluster = Cluster::new(4, 6, HardwareSpec::laptop()).unwrap();
+    assert_eq!(cluster.relative_query_cost(), 6.0);
+    cluster.fail_node(NodeId(0)).unwrap();
+    assert_eq!(cluster.relative_query_cost(), 8.0);
+    cluster.fail_node(NodeId(2)).unwrap();
+    assert_eq!(cluster.relative_query_cost(), 12.0);
+}

@@ -1,0 +1,193 @@
+//! Fast, assertable versions of the paper's quantitative claims — the
+//! reproduction's regression suite (the full-size runs live in the
+//! `repro_*` binaries).
+
+use dashdb_local::common::{row, Datum, Field, Row, Schema};
+use dashdb_local::core::{AutoConfig, Database, HardwareSpec};
+use dashdb_local::encoding::baseline::{total_raw, RowCompressor};
+use dashdb_local::exec::functions::EvalContext;
+use dashdb_local::exec::scan::{scan, ColumnPredicate, ScanConfig};
+use dashdb_local::mpp::deploy::{simulate_deployment, DeploySpec};
+use dashdb_local::storage::bufferpool::{optimal_hit_ratio, simulate, PageKey, Policy};
+use dashdb_local::storage::table::ColumnTable;
+use dashdb_local::workloads::customer;
+
+/// §II.B.1: columnar compression ≥2x better than classic row compression.
+#[test]
+fn claim_compression_beats_previous_generation() {
+    let w = customer::generate(30_000, 0);
+    let t = &w.tables[0];
+    let classic = RowCompressor::train(&t.rows).total_compressed(&t.rows);
+    let mut col = ColumnTable::new("t", t.schema.clone());
+    col.load_rows(t.rows.clone()).unwrap();
+    let columnar = col.compressed_bytes();
+    assert!(
+        columnar * 2 <= classic,
+        "columnar {columnar} should be <= half of classic {classic}"
+    );
+    // And both beat raw.
+    assert!(classic < total_raw(&t.rows));
+}
+
+/// §II.B.4: synopsis ~3 orders of magnitude smaller than user data, and a
+/// recent-window query skips >90% of strides.
+#[test]
+fn claim_data_skipping() {
+    let w = customer::generate(120_000, 0);
+    let t = &w.tables[0];
+    let mut col = ColumnTable::new("t", t.schema.clone());
+    col.load_rows(t.rows.clone()).unwrap();
+    let stats = col.stats();
+    let raw = 120_000 * t.schema.len() * 8;
+    assert!(
+        raw / stats.synopsis_bytes.max(1) >= 500,
+        "synopsis ratio {}",
+        raw / stats.synopsis_bytes.max(1)
+    );
+    let recent = dashdb_local::workloads::gen::recent_window_start();
+    let cfg = ScanConfig {
+        predicates: vec![ColumnPredicate::Range {
+            col: 2,
+            lo: Some(Datum::Date(recent)),
+            hi: None,
+        }],
+        ..ScanConfig::full(0, vec![0])
+    };
+    let (_, s) = scan(&col, &cfg, &EvalContext::default()).unwrap();
+    assert!(s.skip_ratio() > 0.9, "skip ratio {}", s.skip_ratio());
+}
+
+/// §II.B.5: randomized-weight replacement within a few points of Belady on
+/// scanning workloads, while LRU collapses.
+#[test]
+fn claim_bufferpool_near_optimal() {
+    let mut trace = Vec::new();
+    for _ in 0..10 {
+        for p in 0..1000u32 {
+            trace.push(PageKey::new(0, 0, p));
+        }
+    }
+    let opt = optimal_hit_ratio(&trace, 400);
+    let rw = simulate(&trace, 400, Policy::RandomizedWeight).hit_ratio();
+    let lru = simulate(&trace, 400, Policy::Lru).hit_ratio();
+    assert!(opt - rw <= 0.08, "gap {:.3}", opt - rw);
+    assert!(lru < 0.01, "LRU should thrash, got {lru}");
+}
+
+/// §II.A: every deployment lands under 30 minutes; configuration derives
+/// deterministically from hardware.
+#[test]
+fn claim_deployment_under_30_minutes() {
+    for nodes in [1, 8, 24, 64] {
+        for hw in [HardwareSpec::laptop(), HardwareSpec::xeon_e7()] {
+            let r = simulate_deployment(&DeploySpec::homogeneous(nodes, hw));
+            assert!(
+                r.total_minutes() < 30.0,
+                "{nodes} nodes took {:.1} min",
+                r.total_minutes()
+            );
+        }
+    }
+    let a = AutoConfig::derive(&HardwareSpec::xeon_e7());
+    let b = AutoConfig::derive(&HardwareSpec::xeon_e7());
+    assert_eq!(a, b);
+}
+
+/// Figure 9: 4 nodes x 6 shards, node D dies, survivors carry 8 each and
+/// query results are unchanged.
+#[test]
+fn claim_figure_9_failover() {
+    use dashdb_local::common::ids::NodeId;
+    use dashdb_local::mpp::{Cluster, Distribution};
+    let cluster = Cluster::new(4, 6, HardwareSpec::laptop()).unwrap();
+    let schema = Schema::new(vec![
+        Field::not_null("id", dashdb_local::common::DataType::Int64),
+        Field::new("v", dashdb_local::common::DataType::Float64),
+    ])
+    .unwrap();
+    cluster
+        .create_table("f", schema, Distribution::Hash("id".into()))
+        .unwrap();
+    let rows: Vec<Row> = (0..6000).map(|i| row![i as i64, (i % 10) as f64]).collect();
+    cluster.load_rows("f", rows).unwrap();
+    let before = cluster.query("SELECT COUNT(*), SUM(v) FROM f").unwrap();
+    let report = cluster.fail_node(NodeId(3)).unwrap();
+    assert_eq!(report.moved_shards, 6);
+    for (_, n) in report.shards_per_node {
+        assert_eq!(n, 8);
+    }
+    let after = cluster.query("SELECT COUNT(*), SUM(v) FROM f").unwrap();
+    assert_eq!(before, after);
+}
+
+/// §II.B.7: column-organized beats the row+index baseline on the analytic
+/// workload (directional check at test scale).
+#[test]
+fn claim_columnar_beats_row_with_index() {
+    use dashdb_local::rowstore::engine::RowEngine;
+    use dashdb_local::workloads::spec::normalize_sql_groups;
+    let w = customer::generate(40_000, 0);
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut row = RowEngine::new(None);
+    for t in &w.tables {
+        let h = db.catalog().create_table(&t.name, t.schema.clone(), None).unwrap();
+        h.write().load_rows(t.rows.clone()).unwrap();
+        row.create_table(&t.name, t.schema.clone()).unwrap();
+        row.load(&t.name, t.rows.clone()).unwrap();
+        for &c in &t.indexed {
+            row.create_index(&t.name, c).unwrap();
+        }
+    }
+    let mut session = db.connect();
+    // Aggregate wall times over the query set (both warm, CPU only —
+    // at this scale the architectural difference shows in CPU).
+    let mut db_total = 0.0;
+    let mut row_total = 0.0;
+    for q in &w.analytic_queries {
+        let start = std::time::Instant::now();
+        let a = normalize_sql_groups(session.query(&q.to_sql()).unwrap());
+        db_total += start.elapsed().as_secs_f64();
+        let start = std::time::Instant::now();
+        let (b, _) = q.run_row(&row).unwrap();
+        row_total += start.elapsed().as_secs_f64();
+        if matches!(q, dashdb_local::workloads::QuerySpec::FilterScan { .. }) {
+            continue; // normalization differs; equivalence covered elsewhere
+        }
+        assert_eq!(a, b, "{}", q.to_sql());
+    }
+    // The wall-clock claim is meaningful only for optimized code — a
+    // debug build measures abstraction overhead, not architecture.
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "debug build: skipping timing assertion (columnar {db_total:.3}s, row {row_total:.3}s)"
+        );
+    } else {
+        assert!(
+            db_total < row_total,
+            "columnar {db_total:.3}s should beat row {row_total:.3}s"
+        );
+    }
+}
+
+/// The statement mix matches the paper's proportions end to end on the
+/// real engine (every statement kind executes successfully).
+#[test]
+fn claim_statement_mix_executes() {
+    let w = customer::generate(3000, 600);
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    for t in &w.tables {
+        let h = db.catalog().create_table(&t.name, t.schema.clone(), None).unwrap();
+        h.write().load_rows(t.rows.clone()).unwrap();
+    }
+    let mut session = db.connect();
+    for st in &w.statements {
+        session
+            .execute(&st.sql)
+            .unwrap_or_else(|e| panic!("{} failed: {e}\n{}", st.kind, st.sql));
+    }
+    let m = db.monitor();
+    for kind in ["INSERT", "UPDATE", "SELECT", "CREATE", "DROP"] {
+        assert!(m.stats(kind).count > 0, "no {kind} executed");
+        assert_eq!(m.stats(kind).errors, 0, "{kind} had errors");
+    }
+}

@@ -1,0 +1,331 @@
+//! Edge cases for the analyzer/planner: the shapes that break naive SQL
+//! implementations.
+
+use dashdb_local::common::dialect::Dialect;
+use dashdb_local::common::Datum;
+use dashdb_local::core::{Database, HardwareSpec, Session};
+
+fn session() -> Session {
+    Database::with_hardware(HardwareSpec::laptop()).connect()
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let mut s = session();
+    s.execute("CREATE TABLE emp (id INT, mgr INT, name VARCHAR(10))").unwrap();
+    s.execute(
+        "INSERT INTO emp VALUES (1, NULL, 'ceo'), (2, 1, 'vp'), (3, 2, 'eng')",
+    )
+    .unwrap();
+    let rows = s
+        .query(
+            "SELECT e.name, m.name FROM emp e JOIN emp m ON e.mgr = m.id ORDER BY e.id",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(0).as_str(), Some("vp"));
+    assert_eq!(rows[0].get(1).as_str(), Some("ceo"));
+}
+
+#[test]
+fn empty_tables_everywhere() {
+    let mut s = session();
+    s.execute("CREATE TABLE e (x INT, y VARCHAR(5))").unwrap();
+    assert_eq!(s.query("SELECT * FROM e").unwrap().len(), 0);
+    assert_eq!(
+        s.query("SELECT COUNT(*), SUM(x) FROM e").unwrap()[0],
+        dashdb_local::common::row![0i64, Datum::Null]
+    );
+    assert_eq!(s.query("SELECT x FROM e GROUP BY x").unwrap().len(), 0);
+    assert_eq!(
+        s.query("SELECT * FROM e a JOIN e b ON a.x = b.x").unwrap().len(),
+        0
+    );
+    assert_eq!(
+        s.query("SELECT x FROM e UNION SELECT x FROM e").unwrap().len(),
+        0
+    );
+    assert_eq!(s.query("SELECT x FROM e ORDER BY y DESC").unwrap().len(), 0);
+    // DML on empty tables.
+    assert_eq!(s.execute("UPDATE e SET x = 1").unwrap().affected, 0);
+    assert_eq!(s.execute("DELETE FROM e").unwrap().affected, 0);
+}
+
+#[test]
+fn group_by_expression_and_multi_key() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (a INT, b INT, v DOUBLE)").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 1, 10), (1, 2, 20), (2, 1, 30), (13, 1, 40)")
+        .unwrap();
+    // Expression key (generic agg path).
+    let rows = s
+        .query("SELECT MOD(a, 12), SUM(v) FROM t GROUP BY MOD(a, 12) ORDER BY 1")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(1), &Datum::Float(70.0)); // a=1 and a=13
+    // Multi-column key.
+    let rows = s
+        .query("SELECT a, b, COUNT(*) FROM t GROUP BY a, b ORDER BY a, b")
+        .unwrap();
+    assert_eq!(rows.len(), 4);
+}
+
+#[test]
+fn rownum_in_projection_and_where() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (x INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (30), (10), (20)").unwrap();
+    s.set_dialect(Dialect::Oracle);
+    let rows = s.query("SELECT ROWNUM, x FROM t WHERE ROWNUM <= 2").unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(0), &Datum::Int(1));
+    assert_eq!(rows[1].get(0), &Datum::Int(2));
+    // ROWNUM after a real filter numbers the passing rows.
+    let rows = s
+        .query("SELECT ROWNUM, x FROM t WHERE x > 10 AND ROWNUM <= 1")
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(0), &Datum::Int(1));
+}
+
+#[test]
+fn connect_by_cycle_terminates() {
+    let mut s = session();
+    s.execute("CREATE TABLE g (node VARCHAR(2), parent VARCHAR(2))").unwrap();
+    // a -> b -> c -> a cycle plus a root.
+    s.execute("INSERT INTO g VALUES ('r', NULL), ('a', 'r'), ('b', 'a'), ('c', 'b'), ('a2', 'c')")
+        .unwrap();
+    s.set_dialect(Dialect::Oracle);
+    let rows = s
+        .query(
+            "SELECT node, LEVEL FROM g START WITH parent IS NULL \
+             CONNECT BY PRIOR node = parent ORDER BY LEVEL",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 5, "visited-set must stop re-expansion");
+    assert_eq!(rows[4].get(1), &Datum::Int(5));
+}
+
+#[test]
+fn union_mixed_numeric_types() {
+    let mut s = session();
+    s.execute("CREATE TABLE a (x INT)").unwrap();
+    s.execute("CREATE TABLE b (x DOUBLE)").unwrap();
+    s.execute("INSERT INTO a VALUES (1)").unwrap();
+    s.execute("INSERT INTO b VALUES (1.0), (2.5)").unwrap();
+    let rows = s
+        .query("SELECT x FROM a UNION SELECT x FROM b ORDER BY 1")
+        .unwrap();
+    // 1 and 1.0 compare equal -> dedup to 2 rows.
+    assert_eq!(rows.len(), 2);
+    // Arity mismatch rejected.
+    assert!(s.query("SELECT x FROM a UNION SELECT x, x FROM b").is_err());
+}
+
+#[test]
+fn in_subquery_empty_and_not_in() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (x INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    s.execute("CREATE TABLE keep (x INT)").unwrap();
+    assert_eq!(
+        s.query("SELECT x FROM t WHERE x IN (SELECT x FROM keep)").unwrap().len(),
+        0,
+        "IN over an empty subquery matches nothing"
+    );
+    assert_eq!(
+        s.query("SELECT x FROM t WHERE x NOT IN (SELECT x FROM keep)").unwrap().len(),
+        3,
+        "NOT IN over an empty subquery matches everything"
+    );
+    s.execute("INSERT INTO keep VALUES (2), (NULL)").unwrap();
+    // NOT IN with NULL in the list: three-valued logic rejects everything.
+    assert_eq!(
+        s.query("SELECT x FROM t WHERE x NOT IN (SELECT x FROM keep)").unwrap().len(),
+        0
+    );
+}
+
+#[test]
+fn scalar_subquery_cardinality_enforced() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (x INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    let e = s.query("SELECT (SELECT x FROM t) FROM t").unwrap_err();
+    assert!(e.to_string().contains("more than one row"), "{e}");
+    // Empty scalar subquery is NULL.
+    s.execute("CREATE TABLE empty_t (x INT)").unwrap();
+    let rows = s.query("SELECT (SELECT x FROM empty_t) FROM t").unwrap();
+    assert!(rows[0].get(0).is_null());
+}
+
+#[test]
+fn qualified_wildcards_in_joins() {
+    let mut s = session();
+    s.execute("CREATE TABLE l (a INT, b INT)").unwrap();
+    s.execute("CREATE TABLE r (a INT, c INT)").unwrap();
+    s.execute("INSERT INTO l VALUES (1, 2)").unwrap();
+    s.execute("INSERT INTO r VALUES (1, 3)").unwrap();
+    let rows = s.query("SELECT l.*, r.c FROM l JOIN r ON l.a = r.a").unwrap();
+    assert_eq!(rows[0].len(), 3);
+    // Unknown alias in a qualified wildcard errors.
+    assert!(s.query("SELECT z.* FROM l JOIN r ON l.a = r.a").is_err());
+}
+
+#[test]
+fn case_without_else_and_nested_functions() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (x INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1), (5)").unwrap();
+    let rows = s
+        .query(
+            "SELECT CASE WHEN x > 3 THEN UPPER(CONCAT('big', '!')) END FROM t ORDER BY x",
+        )
+        .unwrap();
+    assert!(rows[0].get(0).is_null());
+    assert_eq!(rows[1].get(0).as_str(), Some("BIG!"));
+}
+
+#[test]
+fn order_by_with_limit_stability() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 1), (1, 2), (1, 3), (2, 4)").unwrap();
+    // Stable sort: ties keep insertion order.
+    let rows = s.query("SELECT v FROM t ORDER BY k FETCH FIRST 3 ROWS ONLY").unwrap();
+    assert_eq!(
+        rows.iter().map(|r| r.get(0).as_int().unwrap()).collect::<Vec<_>>(),
+        vec![1, 2, 3]
+    );
+}
+
+#[test]
+fn where_clause_type_errors_are_clean() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (x INT, s VARCHAR(5))").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
+    // Comparing string to int never matches (deterministic type-tag order)
+    // but must not panic or error.
+    let r = s.query("SELECT x FROM t WHERE s = 1");
+    assert!(r.is_ok());
+    // LIKE on an integer column is an execution error, not a panic.
+    assert!(s.query("SELECT x FROM t WHERE x LIKE 'a%'").is_err());
+}
+
+#[test]
+fn deeply_nested_subqueries_bounded() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (x INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1)").unwrap();
+    let mut q = "SELECT x FROM t".to_string();
+    for _ in 0..20 {
+        q = format!("SELECT x FROM ({q}) d");
+    }
+    let e = s.query(&q).unwrap_err();
+    assert!(e.to_string().contains("nesting"), "{e}");
+}
+
+#[test]
+fn compound_block_executes_atomically_in_order() {
+    let mut s = session();
+    s.set_dialect(Dialect::Db2);
+    s.execute("CREATE TABLE t (x INT)").unwrap();
+    let r = s
+        .execute(
+            "BEGIN INSERT INTO t VALUES (1); INSERT INTO t VALUES (2); \
+             UPDATE t SET x = x * 10; END",
+        )
+        .unwrap();
+    assert_eq!(r.affected, 2, "block returns the last statement's result");
+    let rows = s.query("SELECT x FROM t ORDER BY 1").unwrap();
+    assert_eq!(
+        rows.iter().map(|r| r.get(0).as_int().unwrap()).collect::<Vec<_>>(),
+        vec![10, 20]
+    );
+}
+
+#[test]
+fn date_arithmetic_in_sql() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (d DATE)").unwrap();
+    s.execute("INSERT INTO t VALUES ('2016-12-25')").unwrap();
+    let rows = s
+        .query("SELECT d + 7, d - 360, d - DATE '2016-01-01' FROM t")
+        .unwrap();
+    assert_eq!(rows[0].get(0).render(), "2017-01-01");
+    assert_eq!(rows[0].get(1).render(), "2015-12-31");
+    assert_eq!(rows[0].get(2), &Datum::Int(359));
+}
+
+#[test]
+fn syscat_introspection_views() {
+    let mut s = session();
+    s.execute("CREATE TABLE inv (sku BIGINT NOT NULL, qty INT, label VARCHAR(10))")
+        .unwrap();
+    s.execute("INSERT INTO inv VALUES (1, 5, 'a'), (2, 6, 'b')").unwrap();
+    let rows = s
+        .query("SELECT name, live_rows FROM syscat_tables WHERE name = 'INV'")
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(1), &Datum::Int(2));
+    let rows = s
+        .query(
+            "SELECT column_name, type_name, nullable FROM syscat_columns \
+             WHERE table_name = 'INV' ORDER BY ordinal",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].get(0).as_str(), Some("SKU"));
+    assert_eq!(rows[0].get(1).as_str(), Some("BIGINT"));
+    assert_eq!(rows[0].get(2), &Datum::Bool(false));
+    // Functions view includes builtins and UDXes.
+    let rows = s
+        .query("SELECT COUNT(*) FROM syscat_functions WHERE kind = 'builtin'")
+        .unwrap();
+    assert!(rows[0].get(0).as_int().unwrap() > 80);
+    s.database().catalog().register_udx(
+        "my_fn",
+        dashdb_local::common::dialect::DialectSet::ALL,
+        1,
+        1,
+        dashdb_local::common::DataType::Int64,
+        std::sync::Arc::new(|a, _| Ok(a[0].clone())),
+    );
+    let rows = s
+        .query("SELECT name FROM syscat_functions WHERE kind = 'udx'")
+        .unwrap();
+    assert_eq!(rows[0].get(0).as_str(), Some("MY_FN"));
+    // A user table may still shadow the SYSCAT name.
+    s.execute("CREATE TABLE syscat_tables (x INT)").unwrap();
+    let rows = s.query("SELECT * FROM syscat_tables").unwrap();
+    assert!(rows.is_empty(), "user table shadows the view");
+}
+
+#[test]
+fn temp_tables_are_session_private() {
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut s1 = db.connect();
+    let mut s2 = db.connect();
+    s1.set_dialect(Dialect::Netezza);
+    s2.set_dialect(Dialect::Netezza);
+    // Both sessions declare the same temp name without collision.
+    s1.execute("CREATE TEMP TABLE scratch (x INT)").unwrap();
+    s2.execute("CREATE TEMP TABLE scratch (x INT)").unwrap();
+    s1.execute("INSERT INTO scratch VALUES (1)").unwrap();
+    s2.execute("INSERT INTO scratch VALUES (2), (3)").unwrap();
+    assert_eq!(s1.query("SELECT COUNT(*) FROM scratch").unwrap()[0].get(0), &Datum::Int(1));
+    assert_eq!(s2.query("SELECT COUNT(*) FROM scratch").unwrap()[0].get(0), &Datum::Int(2));
+    // A temp table shadows a same-named permanent table for its session.
+    let mut s3 = db.connect();
+    s3.execute("CREATE TABLE shadowed (x INT)").unwrap();
+    s3.execute("INSERT INTO shadowed VALUES (9)").unwrap();
+    s1.execute("CREATE TEMP TABLE shadowed (x INT)").unwrap();
+    assert_eq!(s1.query("SELECT COUNT(*) FROM shadowed").unwrap()[0].get(0), &Datum::Int(0));
+    assert_eq!(s3.query("SELECT COUNT(*) FROM shadowed").unwrap()[0].get(0), &Datum::Int(1));
+    // DROP removes the temp first, revealing the permanent one.
+    s1.execute("DROP TABLE shadowed").unwrap();
+    assert_eq!(s1.query("SELECT COUNT(*) FROM shadowed").unwrap()[0].get(0), &Datum::Int(1));
+    // Session close cleans up.
+    s1.close();
+    assert_eq!(s2.query("SELECT COUNT(*) FROM scratch").unwrap()[0].get(0), &Datum::Int(2));
+}

@@ -1,0 +1,266 @@
+//! Cross-crate integration: the full SQL surface through the facade.
+
+use dashdb_local::common::dialect::Dialect;
+use dashdb_local::common::Datum;
+use dashdb_local::core::{Database, HardwareSpec, Session};
+
+fn session() -> Session {
+    Database::with_hardware(HardwareSpec::laptop()).connect()
+}
+
+#[test]
+fn full_lifecycle_script() {
+    let mut s = session();
+    s.execute_script(
+        "CREATE TABLE dept (id INT PRIMARY KEY, name VARCHAR(20));
+         CREATE TABLE emp (id INT, dept_id INT, salary DOUBLE, hired DATE);
+         INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'empty');
+         INSERT INTO emp VALUES
+           (1, 1, 100.0, '2015-01-01'),
+           (2, 1, 120.0, '2016-06-15'),
+           (3, 2, 90.0, '2014-03-20'),
+           (4, 2, 95.0, '2016-11-30'),
+           (5, 1, 130.0, '2016-12-01');",
+    )
+    .unwrap();
+    let rows = s
+        .query(
+            "SELECT d.name, COUNT(*), AVG(e.salary) FROM emp e JOIN dept d ON e.dept_id = d.id \
+             WHERE e.hired >= DATE '2015-01-01' GROUP BY d.name ORDER BY d.name",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(0).as_str(), Some("eng"));
+    assert_eq!(rows[0].get(1), &Datum::Int(3));
+    assert!((rows[0].get(2).as_float().unwrap() - 116.666).abs() < 0.01);
+    assert_eq!(rows[1].get(1), &Datum::Int(1));
+}
+
+#[test]
+fn left_join_and_having() {
+    let mut s = session();
+    s.execute_script(
+        "CREATE TABLE a (k INT, v INT);
+         CREATE TABLE b (k INT, w INT);
+         INSERT INTO a VALUES (1, 10), (2, 20), (3, 30);
+         INSERT INTO b VALUES (1, 100), (1, 101);",
+    )
+    .unwrap();
+    let rows = s
+        .query("SELECT a.k, b.w FROM a LEFT JOIN b ON a.k = b.k ORDER BY a.k, b.w")
+        .unwrap();
+    assert_eq!(rows.len(), 4);
+    assert!(rows[2].get(1).is_null() && rows[3].get(1).is_null());
+    let rows = s
+        .query(
+            "SELECT k, SUM(v) FROM a GROUP BY k HAVING SUM(v) > 15 ORDER BY 1",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn subqueries_union_distinct() {
+    let mut s = session();
+    s.execute_script(
+        "CREATE TABLE t (x INT, tag VARCHAR(5));
+         INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'a'), (4, 'c');",
+    )
+    .unwrap();
+    // IN subquery.
+    let rows = s
+        .query("SELECT x FROM t WHERE x IN (SELECT x FROM t WHERE tag = 'a') ORDER BY x")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    // Scalar subquery.
+    let rows = s
+        .query("SELECT x FROM t WHERE x = (SELECT MAX(x) FROM t)")
+        .unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(4));
+    // EXISTS.
+    let rows = s
+        .query("SELECT COUNT(*) FROM t WHERE EXISTS (SELECT 1 FROM t WHERE tag = 'zzz')")
+        .unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(0));
+    // UNION and UNION ALL.
+    let rows = s
+        .query("SELECT tag FROM t UNION SELECT tag FROM t")
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    let rows = s
+        .query("SELECT tag FROM t UNION ALL SELECT tag FROM t")
+        .unwrap();
+    assert_eq!(rows.len(), 8);
+    // DISTINCT.
+    let rows = s.query("SELECT DISTINCT tag FROM t ORDER BY tag").unwrap();
+    assert_eq!(rows.len(), 3);
+}
+
+#[test]
+fn ctes_and_derived_tables() {
+    let mut s = session();
+    s.execute_script(
+        "CREATE TABLE sales (region VARCHAR(10), amt DOUBLE);
+         INSERT INTO sales VALUES ('east', 10), ('east', 20), ('west', 5);",
+    )
+    .unwrap();
+    let rows = s
+        .query(
+            "WITH totals AS (SELECT region, SUM(amt) AS total FROM sales GROUP BY region) \
+             SELECT region FROM totals WHERE total > 10",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(0).as_str(), Some("east"));
+    let rows = s
+        .query(
+            "SELECT t.region, t.total FROM \
+             (SELECT region, SUM(amt) AS total FROM sales GROUP BY region) t \
+             ORDER BY t.total DESC",
+        )
+        .unwrap();
+    assert_eq!(rows[0].get(0).as_str(), Some("east"));
+}
+
+#[test]
+fn aggregate_function_breadth() {
+    let mut s = session();
+    s.execute("CREATE TABLE n (x DOUBLE, y DOUBLE)").unwrap();
+    s.execute(
+        "INSERT INTO n VALUES (2, 4), (4, 8), (4, 8), (4, 8), (5, 10), (5, 10), (7, 14), (9, 18)",
+    )
+    .unwrap();
+    let rows = s
+        .query(
+            "SELECT COUNT(*), COUNT(DISTINCT x), MEDIAN(x), VAR_POP(x), STDDEV(x), \
+             COVARIANCE(x, y) FROM n",
+        )
+        .unwrap();
+    let r = &rows[0];
+    assert_eq!(r.get(0), &Datum::Int(8));
+    assert_eq!(r.get(1), &Datum::Int(5));
+    assert_eq!(r.get(2).as_float(), Some(4.5));
+    assert!((r.get(3).as_float().unwrap() - 4.0).abs() < 1e-9);
+    assert!((r.get(4).as_float().unwrap() - 2.0).abs() < 1e-9);
+    assert!((r.get(5).as_float().unwrap() - 8.0).abs() < 1e-9);
+}
+
+#[test]
+fn expressions_and_functions_in_queries() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (s VARCHAR(20), n INT)").unwrap();
+    s.execute("INSERT INTO t VALUES ('hello world', -5), (NULL, 12)")
+        .unwrap();
+    let rows = s
+        .query(
+            "SELECT UPPER(s), ABS(n), COALESCE(s, 'missing'), \
+             CASE WHEN n < 0 THEN 'neg' ELSE 'pos' END FROM t ORDER BY n",
+        )
+        .unwrap();
+    assert_eq!(rows[0].get(0).as_str(), Some("HELLO WORLD"));
+    assert_eq!(rows[0].get(1), &Datum::Int(5));
+    assert_eq!(rows[1].get(2).as_str(), Some("missing"));
+    assert_eq!(rows[0].get(3).as_str(), Some("neg"));
+    // LIKE, BETWEEN, IN.
+    let rows = s
+        .query(
+            "SELECT COUNT(*) FROM t WHERE s LIKE 'hello%' OR n BETWEEN 10 AND 20 OR n IN (1, 2)",
+        )
+        .unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(2));
+}
+
+#[test]
+fn sequences_views_aliases_across_dialects() {
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut ora = db.connect();
+    ora.set_dialect(Dialect::Oracle);
+    ora.execute("CREATE SEQUENCE ids START WITH 1000").unwrap();
+    ora.execute("CREATE TABLE log (id INT, msg VARCHAR(30))").unwrap();
+    ora.execute("INSERT INTO log VALUES (ids.NEXTVAL, 'first'), (ids.NEXTVAL, 'second')")
+        .unwrap();
+    let rows = ora.query("SELECT id FROM log ORDER BY id").unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(1000));
+    assert_eq!(rows[1].get(0), &Datum::Int(1001));
+    // A view created under Oracle is usable from a DB2 session.
+    ora.execute("CREATE VIEW latest AS SELECT MAX(id) m FROM log")
+        .unwrap();
+    let mut db2 = db.connect();
+    db2.set_dialect(Dialect::Db2);
+    db2.execute("CREATE ALIAS l FOR log").unwrap();
+    assert_eq!(
+        db2.query("SELECT m FROM latest").unwrap()[0].get(0),
+        &Datum::Int(1001)
+    );
+    db2.execute("INSERT INTO l VALUES (NEXT VALUE FOR ids, 'third')")
+        .unwrap();
+    assert_eq!(
+        db2.query("SELECT m FROM latest").unwrap()[0].get(0),
+        &Datum::Int(1002)
+    );
+}
+
+#[test]
+fn large_table_scan_correctness() {
+    // Crosses many strides; exercises pushdown + skipping + late
+    // materialization through plain SQL.
+    let mut s = session();
+    s.execute("CREATE TABLE big (id BIGINT, grp INT, v DOUBLE)").unwrap();
+    let mut values = Vec::new();
+    for i in 0..30_000 {
+        values.push(format!("({}, {}, {})", i, i % 7, (i % 1000) as f64 / 10.0));
+        if values.len() == 1000 {
+            s.execute(&format!("INSERT INTO big VALUES {}", values.join(",")))
+                .unwrap();
+            values.clear();
+        }
+    }
+    let rows = s
+        .query("SELECT COUNT(*), SUM(v) FROM big WHERE id >= 29000")
+        .unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(1000));
+    let rows = s
+        .query("SELECT grp, COUNT(*) FROM big GROUP BY grp ORDER BY grp")
+        .unwrap();
+    assert_eq!(rows.len(), 7);
+    let total: i64 = rows.iter().map(|r| r.get(1).as_int().unwrap()).sum();
+    assert_eq!(total, 30_000);
+    // Deletes + update visibility at scale.
+    let affected = s.execute("DELETE FROM big WHERE grp = 3").unwrap().affected;
+    assert!(affected > 4000);
+    let rows = s.query("SELECT COUNT(*) FROM big").unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(30_000 - affected as i64));
+}
+
+#[test]
+fn order_by_variants() {
+    let mut s = session();
+    s.execute("CREATE TABLE t (a INT, b VARCHAR(5))").unwrap();
+    s.execute("INSERT INTO t VALUES (3, 'c'), (1, 'a'), (2, 'b'), (NULL, 'n')")
+        .unwrap();
+    // Ordinal, alias, hidden column, NULLS FIRST.
+    let rows = s.query("SELECT b FROM t ORDER BY a").unwrap();
+    assert_eq!(rows[0].get(0).as_str(), Some("a"));
+    assert_eq!(rows[3].get(0).as_str(), Some("n"), "NULLs last by default");
+    let rows = s
+        .query("SELECT a AS sort_me FROM t ORDER BY sort_me DESC NULLS FIRST")
+        .unwrap();
+    assert!(rows[0].get(0).is_null());
+    let rows = s.query("SELECT b FROM t ORDER BY 1 DESC").unwrap();
+    assert_eq!(rows[0].get(0).as_str(), Some("n"));
+}
+
+#[test]
+fn errors_are_structured() {
+    let mut s = session();
+    let e = s.execute("SELECT * FROM nope").unwrap_err();
+    assert_eq!(e.class(), "42704");
+    let e = s.execute("SELEC 1").unwrap_err();
+    assert_eq!(e.class(), "42601");
+    s.execute("CREATE TABLE t (x INT NOT NULL)").unwrap();
+    let e = s.execute("INSERT INTO t VALUES (NULL)").unwrap_err();
+    assert_eq!(e.class(), "23505");
+    s.execute("INSERT INTO t VALUES (1)").unwrap();
+    let e = s.execute("SELECT x + 'abc' FROM t").unwrap_err();
+    assert_eq!(e.class(), "22000");
+}

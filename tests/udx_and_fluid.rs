@@ -1,0 +1,200 @@
+//! Integration: the UDX framework (§II.C.4), Fluid Query nicknames
+//! (§II.C.6), and the geospatial function family (§II.C.5) — all through
+//! plain SQL sessions.
+
+use dashdb_local::common::dialect::{Dialect, DialectSet};
+use dashdb_local::common::types::DataType;
+use dashdb_local::common::{DashError, Datum, Field, Schema};
+use dashdb_local::core::fluid::{CsvConnector, DashConnector};
+use dashdb_local::core::{Database, HardwareSpec};
+use std::sync::Arc;
+
+#[test]
+fn udx_registers_and_runs_in_sql() {
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    // "extend the set of built-in functions with custom ones" — a custom
+    // risk-scoring function, visible in every dialect.
+    db.catalog().register_udx(
+        "risk_score",
+        DialectSet::ALL,
+        2,
+        2,
+        DataType::Float64,
+        Arc::new(|args, _ctx| {
+            let amount = args[0].as_float().unwrap_or(0.0);
+            let tier = args[1].as_int().unwrap_or(0) as f64;
+            Ok(Datum::Float(amount / (tier + 1.0)))
+        }),
+    );
+    let mut s = db.connect();
+    s.execute("CREATE TABLE acct (amount DOUBLE, tier INT)").unwrap();
+    s.execute("INSERT INTO acct VALUES (100.0, 1), (90.0, 0)").unwrap();
+    let rows = s
+        .query("SELECT RISK_SCORE(amount, tier) FROM acct ORDER BY 1")
+        .unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Float(50.0));
+    assert_eq!(rows[1].get(0), &Datum::Float(90.0));
+    // UDX in WHERE and GROUP BY contexts.
+    let rows = s
+        .query("SELECT COUNT(*) FROM acct WHERE RISK_SCORE(amount, tier) > 60")
+        .unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(1));
+    // Arity enforced.
+    assert!(s.query("SELECT RISK_SCORE(amount) FROM acct").is_err());
+    // Drop it.
+    assert!(db.catalog().drop_udx("risk_score"));
+    assert!(matches!(
+        s.query("SELECT RISK_SCORE(amount, tier) FROM acct").unwrap_err(),
+        DashError::NotFound { .. }
+    ));
+}
+
+#[test]
+fn udx_shadows_builtin_and_respects_dialects() {
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    // Oracle-only UDX.
+    db.catalog().register_udx(
+        "branding",
+        DialectSet::of(&[Dialect::Oracle]),
+        0,
+        0,
+        DataType::Utf8,
+        Arc::new(|_, _| Ok(Datum::str("custom"))),
+    );
+    let mut s = db.connect();
+    s.execute("CREATE TABLE t (x INT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert!(s.query("SELECT BRANDING() FROM t").is_err(), "ANSI session");
+    s.set_dialect(Dialect::Oracle);
+    assert_eq!(
+        s.query("SELECT BRANDING() FROM t").unwrap()[0].get(0).as_str(),
+        Some("custom")
+    );
+    // Shadow a builtin: UPPER that reverses instead.
+    db.catalog().register_udx(
+        "upper",
+        DialectSet::ALL,
+        1,
+        1,
+        DataType::Utf8,
+        Arc::new(|args, _| {
+            Ok(Datum::str(
+                args[0].as_str().unwrap_or("").chars().rev().collect::<String>(),
+            ))
+        }),
+    );
+    let rows = s.query("SELECT UPPER('abc') FROM t").unwrap();
+    assert_eq!(rows[0].get(0).as_str(), Some("cba"));
+}
+
+#[test]
+fn nickname_to_remote_dashdb() {
+    // "bridges to RDBMS islands": a second engine is the remote store.
+    let remote = Database::with_hardware(HardwareSpec::laptop());
+    let mut rs = remote.connect();
+    rs.execute("CREATE TABLE warehouse_inv (sku INT, qty INT)").unwrap();
+    rs.execute("INSERT INTO warehouse_inv VALUES (1, 10), (2, 0), (3, 25)")
+        .unwrap();
+
+    let local = Database::with_hardware(HardwareSpec::laptop());
+    local
+        .catalog()
+        .create_nickname(
+            "inv",
+            Arc::new(DashConnector::new(remote.clone())),
+            "warehouse_inv",
+        )
+        .unwrap();
+    let mut ls = local.connect();
+    // Plain SQL against the nickname, including joins with local tables.
+    let rows = ls.query("SELECT COUNT(*) FROM inv WHERE qty > 0").unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(2));
+    ls.execute("CREATE TABLE sku_names (sku INT, name VARCHAR(10))").unwrap();
+    ls.execute("INSERT INTO sku_names VALUES (1, 'bolt'), (3, 'nut')").unwrap();
+    let rows = ls
+        .query(
+            "SELECT n.name, i.qty FROM inv i JOIN sku_names n ON i.sku = n.sku ORDER BY n.name",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(0).as_str(), Some("bolt"));
+
+    // Remote changes propagate on next access (version-stamped refresh).
+    rs.execute("INSERT INTO warehouse_inv VALUES (4, 7)").unwrap();
+    let rows = ls.query("SELECT COUNT(*) FROM inv").unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Int(4));
+
+    // Drop the nickname.
+    assert!(local.catalog().drop_nickname("inv"));
+    assert!(ls.query("SELECT * FROM inv").is_err());
+}
+
+#[test]
+fn nickname_to_csv_external_data() {
+    let dir = std::env::temp_dir().join("dash_fluid_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ext.csv");
+    std::fs::write(&path, "1|2016-12-01|east|10.5\n2|2016-12-02|west|4.0\n").unwrap();
+    let schema = Schema::new(vec![
+        Field::not_null("id", DataType::Int64),
+        Field::new("d", DataType::Date),
+        Field::new("region", DataType::Utf8),
+        Field::new("amt", DataType::Float64),
+    ])
+    .unwrap();
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    db.catalog()
+        .create_nickname("ext", Arc::new(CsvConnector::new(&path, schema, '|')), "ext")
+        .unwrap();
+    let mut s = db.connect();
+    let rows = s
+        .query("SELECT region, SUM(amt) FROM ext GROUP BY region ORDER BY region")
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(0).as_str(), Some("east"));
+    // Name collisions with nicknames are rejected.
+    assert!(s.execute("CREATE TABLE ext (x INT)").is_err());
+}
+
+#[test]
+fn geospatial_functions_in_sql() {
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut s = db.connect();
+    s.execute("CREATE TABLE stores (name VARCHAR(10), loc VARCHAR(60))").unwrap();
+    s.execute(
+        "INSERT INTO stores VALUES \
+         ('downtown', 'POINT(1 1)'), ('airport', 'POINT(9 9)'), ('mall', 'POINT(4 5)')",
+    )
+    .unwrap();
+    // Which stores fall inside the delivery zone?
+    let rows = s
+        .query(
+            "SELECT name FROM stores \
+             WHERE ST_WITHIN(loc, 'POLYGON((0 0, 6 0, 6 6, 0 6))') ORDER BY name",
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(0).as_str(), Some("downtown"));
+    // Distance ordering from a point.
+    let rows = s
+        .query(
+            "SELECT name, ST_DISTANCE(loc, ST_POINT(0, 0)) d FROM stores ORDER BY d",
+        )
+        .unwrap();
+    assert_eq!(rows[0].get(0).as_str(), Some("downtown"));
+    assert!((rows[0].get(1).as_float().unwrap() - 2f64.sqrt()).abs() < 1e-9);
+    // Constructors/measures.
+    let rows = s
+        .query(
+            "SELECT ST_AREA('POLYGON((0 0, 10 0, 10 10, 0 10))'), \
+             ST_LENGTH('LINESTRING(0 0, 3 4)'), \
+             ST_GEOMETRYTYPE(ST_CENTROID('POLYGON((0 0, 2 0, 2 2, 0 2))')) FROM stores \
+             FETCH FIRST 1 ROW ONLY",
+        )
+        .unwrap();
+    assert_eq!(rows[0].get(0), &Datum::Float(100.0));
+    assert_eq!(rows[0].get(1), &Datum::Float(5.0));
+    assert_eq!(rows[0].get(2).as_str(), Some("ST_POINT"));
+    // Malformed WKT errors cleanly.
+    assert!(s.query("SELECT ST_AREA('TRIANGLE(0 0)') FROM stores").is_err());
+}
