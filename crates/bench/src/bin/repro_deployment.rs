@@ -22,12 +22,15 @@ fn main() {
     );
     let mut all_under_30 = true;
     for nodes in [1usize, 2, 4, 8, 16, 24, 32, 64] {
-        let laptop = simulate_deployment(&DeploySpec::homogeneous(nodes, HardwareSpec::laptop()));
+        let laptop = simulate_deployment(&DeploySpec::homogeneous(nodes, HardwareSpec::laptop()))
+            .expect("nonempty");
         let mid = simulate_deployment(&DeploySpec::homogeneous(
             nodes,
             HardwareSpec::new(20, 256 * 1024),
-        ));
-        let big = simulate_deployment(&DeploySpec::homogeneous(nodes, HardwareSpec::xeon_e7()));
+        ))
+        .expect("nonempty");
+        let big = simulate_deployment(&DeploySpec::homogeneous(nodes, HardwareSpec::xeon_e7()))
+            .expect("nonempty");
         all_under_30 &= big.total_minutes() < 30.0 && mid.total_minutes() < 30.0;
         println!(
             "  {:>6} {:>12.1} {:>12.1} {:>12.1} {:>10.0}",
@@ -35,7 +38,7 @@ fn main() {
             laptop.total_minutes(),
             mid.total_minutes(),
             big.total_minutes(),
-            manual_install_estimate_s(nodes) / 60.0
+            manual_install_estimate_s(nodes).expect("nonempty") / 60.0
         );
     }
     report(
@@ -44,7 +47,8 @@ fn main() {
     );
 
     section("step breakdown, 24 x 6TB nodes");
-    let r = simulate_deployment(&DeploySpec::homogeneous(24, HardwareSpec::xeon_e7()));
+    let r = simulate_deployment(&DeploySpec::homogeneous(24, HardwareSpec::xeon_e7()))
+        .expect("nonempty");
     report("image pull", format!("{:.1} min", r.pull_s / 60.0));
     report("container start", format!("{:.1} s", r.container_start_s));
     report("cluster FS mount", format!("{:.1} s", r.fs_mount_s));

@@ -16,6 +16,7 @@ pub mod datum;
 pub mod date;
 pub mod dialect;
 pub mod error;
+pub mod faults;
 pub mod fxhash;
 pub mod ids;
 pub mod row;

@@ -81,6 +81,15 @@ impl Database {
         })
     }
 
+    /// Route this engine's buffer-pool page reads through `reg`'s
+    /// failpoints (no-op for untracked engines). Used by the MPP layer so
+    /// one cluster-wide registry reaches every shard's storage.
+    pub fn set_fault_registry(&self, reg: dash_common::faults::FaultRegistry) {
+        if let Some(pool) = &self.catalog.pool {
+            pool.lock().set_fault_registry(reg);
+        }
+    }
+
     /// Open a session (default ANSI dialect).
     pub fn connect(self: &Arc<Self>) -> Session {
         Session {

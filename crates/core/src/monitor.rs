@@ -23,10 +23,33 @@ pub struct KindStats {
     pub max_time: Duration,
 }
 
+/// Recovery-path counters: what the resilient scatter-gather did to keep
+/// a statement alive (retries, failovers) or to kill it cleanly
+/// (deadline). The console view behind the Figure 9 repro.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Per-shard attempts retried after a transient fault.
+    pub shard_retries: u64,
+    /// Nodes declared dead and failed over mid-statement.
+    pub failovers: u64,
+    /// Shard attempts that stalled (injected or real stragglers).
+    pub stragglers: u64,
+    /// Statements cancelled because the per-statement deadline passed.
+    pub deadline_kills: u64,
+}
+
+impl RecoveryStats {
+    /// True when no recovery action was ever taken.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
 /// The monitoring store.
 #[derive(Clone, Default)]
 pub struct Monitor {
     inner: Arc<Mutex<BTreeMap<&'static str, KindStats>>>,
+    recovery: Arc<Mutex<RecoveryStats>>,
 }
 
 impl Monitor {
@@ -62,6 +85,31 @@ impl Monitor {
         self.inner.lock().values().map(|v| v.count).sum()
     }
 
+    /// Record a retried shard attempt.
+    pub fn record_shard_retry(&self) {
+        self.recovery.lock().shard_retries += 1;
+    }
+
+    /// Record a mid-statement node failover.
+    pub fn record_failover(&self) {
+        self.recovery.lock().failovers += 1;
+    }
+
+    /// Record a stalled (straggling) shard attempt.
+    pub fn record_straggler(&self) {
+        self.recovery.lock().stragglers += 1;
+    }
+
+    /// Record a statement killed by the per-statement deadline.
+    pub fn record_deadline_kill(&self) {
+        self.recovery.lock().deadline_kills += 1;
+    }
+
+    /// Snapshot of the recovery counters.
+    pub fn recovery(&self) -> RecoveryStats {
+        *self.recovery.lock()
+    }
+
     /// Render the monitoring history as a small report.
     pub fn report(&self) -> String {
         let mut out = String::from("statement     count   errors   total_ms   max_ms\n");
@@ -73,6 +121,13 @@ impl Monitor {
                 s.errors,
                 s.total_time.as_secs_f64() * 1e3,
                 s.max_time.as_secs_f64() * 1e3,
+            ));
+        }
+        let r = self.recovery();
+        if !r.is_clean() {
+            out.push_str(&format!(
+                "recovery: {} shard retries, {} failovers, {} stragglers, {} deadline kills\n",
+                r.shard_retries, r.failovers, r.stragglers, r.deadline_kills,
             ));
         }
         out
@@ -103,5 +158,23 @@ mod tests {
     fn unknown_kind_is_zero() {
         let m = Monitor::new();
         assert_eq!(m.stats("DROP"), KindStats::default());
+    }
+
+    #[test]
+    fn recovery_counters_accumulate_and_share() {
+        let m = Monitor::new();
+        assert!(m.recovery().is_clean());
+        let clone = m.clone();
+        clone.record_shard_retry();
+        clone.record_shard_retry();
+        m.record_failover();
+        m.record_straggler();
+        m.record_deadline_kill();
+        let r = m.recovery();
+        assert_eq!(r.shard_retries, 2);
+        assert_eq!(r.failovers, 1);
+        assert_eq!(r.stragglers, 1);
+        assert_eq!(r.deadline_kills, 1);
+        assert!(m.report().contains("recovery:"));
     }
 }

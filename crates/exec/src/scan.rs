@@ -254,7 +254,7 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
         if let Some(pool) = &config.pool {
             let mut pool = pool.lock();
             for &col in &config.projection {
-                charge(&mut pool, &mut stats, config.table_id, col, *stride);
+                charge(&mut pool, &mut stats, config.table_id, col, *stride)?;
             }
         }
         for (oi, &col) in config.projection.iter().enumerate() {
@@ -347,7 +347,7 @@ fn eval_stride(
     if let Some(pool) = &config.pool {
         let mut pool = pool.lock();
         for p in &config.predicates {
-            charge(&mut pool, stats, config.table_id, p.column(), stride);
+            charge(&mut pool, stats, config.table_id, p.column(), stride)?;
         }
     }
     let block0 = table.block(touched.first().copied().unwrap_or(0), stride);
@@ -391,12 +391,19 @@ fn eval_stride(
     Ok(Some((stride, positions)))
 }
 
-fn charge(pool: &mut BufferPool, stats: &mut ExecStats, table: u32, col: usize, stride: usize) {
-    if pool.access(PageKey::new(table, col as u32, stride as u32)) {
+fn charge(
+    pool: &mut BufferPool,
+    stats: &mut ExecStats,
+    table: u32,
+    col: usize,
+    stride: usize,
+) -> Result<()> {
+    if pool.try_access(PageKey::new(table, col as u32, stride as u32))? {
         stats.pool_hits += 1;
     } else {
         stats.pool_misses += 1;
     }
+    Ok(())
 }
 
 fn decode_columns(

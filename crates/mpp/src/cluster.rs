@@ -14,15 +14,64 @@
 use crate::clusterfs::ClusterFs;
 use crate::ha::{balance_assignments, RebalanceReport};
 use dash_common::dialect::Dialect;
+use dash_common::faults::{FaultAction, FaultRegistry, NODE_CRASH, SHARD_EXEC, SHARD_MOVE};
 use dash_common::fxhash::{hash_bytes, FxHashMap};
 use dash_common::ids::{NodeId, ShardId};
 use dash_common::{DashError, Datum, Result, Row, Schema};
+use dash_core::monitor::Monitor;
 use dash_core::{Database, HardwareSpec};
 use dash_exec::agg::AggFunc;
 use dash_sql::ast::{AstExpr, SelectItem, SelectStmt, Statement};
 use dash_sql::parser::parse_statement;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Per-shard attempts before the coordinator stops blaming the statement
+/// and declares the assigned node dead.
+const SHARD_MAX_ATTEMPTS: u32 = 3;
+
+/// Granularity at which stalled (straggler) shard attempts re-check the
+/// cancellation flag, so a deadline kill never waits on a full stall.
+const STALL_CHUNK: Duration = Duration::from_millis(2);
+
+/// Sleep `total`, waking every [`STALL_CHUNK`] to honour `cancel`.
+/// Returns `true` when the sleep was cut short by cancellation.
+fn chunked_sleep(total: Duration, cancel: &AtomicBool) -> bool {
+    let end = Instant::now() + total;
+    loop {
+        if cancel.load(Ordering::Relaxed) {
+            return true;
+        }
+        let now = Instant::now();
+        if now >= end {
+            return false;
+        }
+        std::thread::sleep(STALL_CHUNK.min(end - now));
+    }
+}
+
+/// Errors worth retrying on the same shard: storage hiccups (mount, page
+/// read) and injected cluster transients. Planner/semantic errors are
+/// deterministic and re-running them only wastes the retry budget.
+fn is_transient(e: &DashError) -> bool {
+    matches!(e.class(), "58030" | "57011")
+}
+
+/// What one shard attempt (with its internal retry loop) produced.
+enum ShardOutcome {
+    /// Partial rows, ready to merge.
+    Rows(Vec<Row>),
+    /// Deterministic failure — propagate to the caller unchanged.
+    Fatal(DashError),
+    /// Retries exhausted or the node crashed: the assigned node is dead,
+    /// fail over and re-drive this shard elsewhere.
+    NodeDown(NodeId, DashError),
+    /// The statement deadline fired while this shard was in flight.
+    Cancelled,
+}
 
 /// How a table's rows spread across shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +99,13 @@ pub struct Cluster {
     assignment: RwLock<BTreeMap<ShardId, NodeId>>,
     distributions: RwLock<FxHashMap<String, Distribution>>,
     dialect: Dialect,
+    /// Shared failpoint registry: every layer (mounts, shard execution,
+    /// buffer pools, rebalance moves) evaluates the same instance.
+    faults: FaultRegistry,
+    monitor: Monitor,
+    /// Optional per-statement wall-clock budget for distributed SELECTs;
+    /// exceeding it cancels in-flight shard work and returns `Cancelled`.
+    deadline: RwLock<Option<Duration>>,
 }
 
 impl Cluster {
@@ -57,8 +113,25 @@ impl Cluster {
     /// `shards_per_node` shards each (the paper provisions several shards
     /// per server so failover can rebalance in shard-sized increments).
     pub fn new(node_count: usize, shards_per_node: usize, hw: HardwareSpec) -> Result<Cluster> {
-        assert!(node_count > 0 && shards_per_node > 0);
-        let fs = ClusterFs::new();
+        Cluster::with_faults(node_count, shards_per_node, hw, FaultRegistry::new())
+    }
+
+    /// Like [`Cluster::new`], but every layer of the cluster evaluates the
+    /// given (typically seeded) failpoint registry — the entry point for
+    /// deterministic chaos tests.
+    pub fn with_faults(
+        node_count: usize,
+        shards_per_node: usize,
+        hw: HardwareSpec,
+        faults: FaultRegistry,
+    ) -> Result<Cluster> {
+        if node_count == 0 || shards_per_node == 0 {
+            return Err(DashError::Cluster(format!(
+                "cluster needs at least one node and one shard per node \
+                 (got {node_count} nodes x {shards_per_node} shards)"
+            )));
+        }
+        let fs = ClusterFs::with_faults(faults.clone());
         let mut nodes = BTreeMap::new();
         let mut assignment = BTreeMap::new();
         let total_shards = node_count * shards_per_node;
@@ -73,8 +146,12 @@ impl Cluster {
         }
         for s in 0..total_shards {
             let shard = ShardId(s as u32);
-            fs.create(shard, Database::with_hardware(hw))?;
-            assignment.insert(shard, NodeId((s % node_count) as u32));
+            let node = NodeId((s % node_count) as u32);
+            let db = Database::with_hardware(hw);
+            db.set_fault_registry(faults.clone());
+            fs.create(shard, db)?;
+            fs.mount_for(shard, node)?;
+            assignment.insert(shard, node);
         }
         Ok(Cluster {
             fs,
@@ -82,12 +159,31 @@ impl Cluster {
             assignment: RwLock::new(assignment),
             distributions: RwLock::new(FxHashMap::default()),
             dialect: Dialect::Ansi,
+            faults,
+            monitor: Monitor::new(),
+            deadline: RwLock::new(None),
         })
     }
 
     /// The clustered filesystem (exposed for portability experiments).
     pub fn filesystem(&self) -> &ClusterFs {
         &self.fs
+    }
+
+    /// The cluster-wide failpoint registry (shared with every shard's
+    /// buffer pool and the clustered filesystem).
+    pub fn faults(&self) -> &FaultRegistry {
+        &self.faults
+    }
+
+    /// The coordinator's monitoring store (statement + recovery counters).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Set (or clear) the per-statement deadline for distributed SELECTs.
+    pub fn set_statement_deadline(&self, deadline: Option<Duration>) {
+        *self.deadline.write() = deadline;
     }
 
     /// Number of shards.
@@ -249,37 +345,9 @@ impl Cluster {
             shard_stmt.order_by.clear();
         }
 
-        // Scatter to live shards in parallel.
-        let shards = self.fs.shards();
-        let dialect = self.dialect;
-        let mut partials: Vec<Vec<Row>> = Vec::with_capacity(shards.len());
-        let results: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for shard in &shards {
-                let fsd = self.fs.mount(*shard);
-                let stmt_ref = &shard_stmt;
-                handles.push(scope.spawn(move |_| -> Result<Vec<Row>> {
-                    let fsd = fsd?;
-                    let ctx = dash_exec::functions::EvalContext {
-                        now_micros: 0,
-                        sequences: None,
-                    };
-                    let plan = dash_sql::planner::plan_select(
-                        stmt_ref,
-                        fsd.db.catalog().as_ref(),
-                        dialect,
-                        &ctx,
-                    )?;
-                    let (batch, _) = dash_exec::plan::execute(&plan, &ctx)?;
-                    Ok(batch.to_rows())
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
-        })
-        .expect("scope");
-        for r in results {
-            partials.push(r?);
-        }
+        // Scatter to live shards in parallel, surviving shard faults and
+        // node deaths along the way.
+        let partials = self.scatter(&shard_stmt)?;
 
         // Merge.
         let mut merged: Vec<Row> = match &agg_info {
@@ -316,22 +384,270 @@ impl Cluster {
         Ok(merged)
     }
 
+    // ---- resilient scatter-gather ---------------------------------------------
+
+    /// Drive `shard_stmt` on every shard across a scoped worker pool,
+    /// re-driving lost shards after failover, until every shard has
+    /// reported or the statement dies (fatal error, quorum loss, or
+    /// deadline). Returns per-shard partials in shard-id order.
+    fn scatter(&self, shard_stmt: &SelectStmt) -> Result<Vec<Vec<Row>>> {
+        let deadline = self.deadline.read().map(|d| Instant::now() + d);
+        let initial_live = self.live_nodes();
+        let mut pending: Vec<ShardId> = self.fs.shards();
+        let mut collected: BTreeMap<ShardId, Vec<Row>> = BTreeMap::new();
+        let mut round = 0usize;
+        while !pending.is_empty() {
+            round += 1;
+            // Every extra round is preceded by at least one node death, so
+            // a statement can never need more rounds than it had nodes.
+            if round > initial_live + 1 {
+                return Err(DashError::Cluster(format!(
+                    "scatter-gather did not converge after {} failover rounds",
+                    round - 1
+                )));
+            }
+            let work: Vec<(ShardId, NodeId)> = {
+                let a = self.assignment.read();
+                pending
+                    .iter()
+                    .map(|s| {
+                        a.get(s)
+                            .copied()
+                            .map(|n| (*s, n))
+                            .ok_or_else(|| DashError::Cluster(format!("{s} has no assignment")))
+                    })
+                    .collect::<Result<_>>()?
+            };
+            let (outcomes, timed_out) = self.run_round(shard_stmt, &work, deadline);
+            if timed_out {
+                self.monitor.record_deadline_kill();
+                return Err(DashError::Cancelled);
+            }
+            let mut requeue: Vec<ShardId> = Vec::new();
+            let mut dead: Vec<(NodeId, DashError)> = Vec::new();
+            for ((shard, _), out) in work.iter().zip(outcomes) {
+                match out {
+                    Some(ShardOutcome::Rows(rows)) => {
+                        collected.insert(*shard, rows);
+                    }
+                    Some(ShardOutcome::Fatal(e)) => return Err(e),
+                    Some(ShardOutcome::NodeDown(n, cause)) => {
+                        if !dead.iter().any(|(d, _)| *d == n) {
+                            dead.push((n, cause));
+                        }
+                        requeue.push(*shard);
+                    }
+                    Some(ShardOutcome::Cancelled) | None => requeue.push(*shard),
+                }
+            }
+            for (n, cause) in dead {
+                // Quorum loss aborts the statement here; a node another
+                // shard already reported is simply skipped.
+                match self.declare_dead(n) {
+                    Ok(Some(_)) => self.monitor.record_failover(),
+                    Ok(None) => {}
+                    Err(e) => {
+                        return Err(DashError::Cluster(format!("{e}; first failure: {cause}")))
+                    }
+                }
+            }
+            pending = requeue;
+        }
+        Ok(collected.into_values().collect())
+    }
+
+    /// One scatter round: run `work` across a scoped worker pool, gathering
+    /// outcomes until done or `deadline`. On deadline the cancel flag stops
+    /// in-flight workers (stalls wake every [`STALL_CHUNK`]); the scope
+    /// still joins every thread before returning.
+    fn run_round(
+        &self,
+        shard_stmt: &SelectStmt,
+        work: &[(ShardId, NodeId)],
+        deadline: Option<Instant>,
+    ) -> (Vec<Option<ShardOutcome>>, bool) {
+        let cancel = AtomicBool::new(false);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, ShardOutcome)>();
+        let width = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, 8);
+        let n_workers = work.len().min(width);
+        crossbeam::thread::scope(|scope| {
+            let cancel = &cancel;
+            let next = &next;
+            for _ in 0..n_workers {
+                let tx = tx.clone();
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= work.len() || cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let (shard, node) = work[i];
+                    let out = self.attempt_shard(shard_stmt, shard, node, cancel);
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut outs: Vec<Option<ShardOutcome>> = (0..work.len()).map(|_| None).collect();
+            let mut got = 0usize;
+            let mut timed_out = false;
+            while got < work.len() {
+                let msg = match deadline {
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            timed_out = true;
+                            break;
+                        }
+                        match rx.recv_timeout(d - now) {
+                            Ok(m) => m,
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                timed_out = true;
+                                break;
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    None => match rx.recv() {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    },
+                };
+                outs[msg.0] = Some(msg.1);
+                got += 1;
+            }
+            if timed_out {
+                cancel.store(true, Ordering::SeqCst);
+            }
+            (outs, timed_out)
+        })
+        .expect("scatter workers do not panic")
+    }
+
+    /// Run one shard's statement on its assigned node, retrying transient
+    /// faults with a short backoff. Exhausting the retry budget indicts
+    /// the node, not the statement.
+    fn attempt_shard(
+        &self,
+        stmt: &SelectStmt,
+        shard: ShardId,
+        node: NodeId,
+        cancel: &AtomicBool,
+    ) -> ShardOutcome {
+        let mut last_err: Option<DashError> = None;
+        for attempt in 0..SHARD_MAX_ATTEMPTS {
+            if cancel.load(Ordering::Relaxed) {
+                return ShardOutcome::Cancelled;
+            }
+            if attempt > 0 {
+                self.monitor.record_shard_retry();
+                std::thread::sleep(Duration::from_micros(200 * u64::from(attempt)));
+            }
+            // Simulated node crash: the whole node is gone, not just this
+            // work unit — no local retry can help.
+            if let Some(action) = self.faults.evaluate_scoped(NODE_CRASH, node.0) {
+                match action {
+                    FaultAction::Error(msg) => {
+                        return ShardOutcome::NodeDown(
+                            node,
+                            DashError::Cluster(format!(
+                                "{node} crashed while running {shard}: {msg}"
+                            )),
+                        )
+                    }
+                    FaultAction::Stall(d) => {
+                        self.monitor.record_straggler();
+                        if chunked_sleep(d, cancel) {
+                            return ShardOutcome::Cancelled;
+                        }
+                    }
+                }
+            }
+            // Per-shard transient fault (flaky interconnect, lost work
+            // unit): consume a retry.
+            match self.faults.evaluate_scoped(SHARD_EXEC, shard.0) {
+                Some(FaultAction::Error(msg)) => {
+                    last_err = Some(DashError::Cluster(format!(
+                        "transient fault executing {shard} on {node}: {msg}"
+                    )));
+                    continue;
+                }
+                Some(FaultAction::Stall(d)) => {
+                    self.monitor.record_straggler();
+                    if chunked_sleep(d, cancel) {
+                        return ShardOutcome::Cancelled;
+                    }
+                }
+                None => {}
+            }
+            match self.execute_on_shard(stmt, shard, node) {
+                Ok(rows) => return ShardOutcome::Rows(rows),
+                Err(e) if is_transient(&e) => last_err = Some(e),
+                Err(e) => return ShardOutcome::Fatal(e),
+            }
+        }
+        let err = last_err
+            .unwrap_or_else(|| DashError::Cluster(format!("{shard} failed with no error recorded")));
+        ShardOutcome::NodeDown(node, err)
+    }
+
+    /// Mount a shard on its node and execute the partial statement.
+    fn execute_on_shard(&self, stmt: &SelectStmt, shard: ShardId, node: NodeId) -> Result<Vec<Row>> {
+        let fsd = self.fs.mount_for(shard, node)?;
+        let ctx = dash_exec::functions::EvalContext {
+            now_micros: 0,
+            sequences: None,
+        };
+        let plan =
+            dash_sql::planner::plan_select(stmt, fsd.db.catalog().as_ref(), self.dialect, &ctx)?;
+        let (batch, _) = dash_exec::plan::execute(&plan, &ctx)?;
+        Ok(batch.to_rows())
+    }
+
     // ---- HA & elasticity -------------------------------------------------------
+
+    /// Mark `node` dead (if it is a live member), release its mounts, and
+    /// rebalance. `Ok(None)` when the node is unknown or already down;
+    /// quorum loss is an error *before* any state changes.
+    fn declare_dead(&self, node: NodeId) -> Result<Option<RebalanceReport>> {
+        {
+            let mut nodes = self.nodes.write();
+            let live = nodes.values().filter(|s| s.alive).count();
+            let Some(st) = nodes.get_mut(&node) else {
+                return Ok(None);
+            };
+            if !st.alive {
+                return Ok(None);
+            }
+            if live <= 1 {
+                return Err(DashError::Cluster(format!(
+                    "cannot fail {node}: it is the last live node (quorum loss)"
+                )));
+            }
+            st.alive = false;
+        }
+        self.fs.release_node(node);
+        self.rebalance().map(Some)
+    }
 
     /// Simulate a node failure: its shards re-associate with survivors
     /// (Figure 9). Returns the rebalance report.
     pub fn fail_node(&self, node: NodeId) -> Result<RebalanceReport> {
         {
-            let mut nodes = self.nodes.write();
+            let nodes = self.nodes.read();
             let st = nodes
-                .get_mut(&node)
+                .get(&node)
                 .ok_or_else(|| DashError::not_found("node", node.to_string()))?;
             if !st.alive {
                 return Err(DashError::Cluster(format!("{node} is already down")));
             }
-            st.alive = false;
         }
-        self.rebalance()
+        self.declare_dead(node)?
+            .ok_or_else(|| DashError::Cluster(format!("{node} vanished during failover")))
     }
 
     /// Elastic growth: add a node and rebalance shards onto it.
@@ -351,13 +667,30 @@ impl Cluster {
         Ok((id, self.rebalance()?))
     }
 
-    /// Elastic contraction: deliberately remove a node (same path as
-    /// failure, but planned).
+    /// Elastic contraction: deliberately decommission a node. Unlike
+    /// [`Cluster::fail_node`] (which keeps the dead node as a member so it
+    /// can be repaired and restored), removal drops it from the membership
+    /// map and releases its clustered-filesystem mounts — a later
+    /// [`Cluster::restore_node`] cannot resurrect it.
     pub fn remove_node(&self, node: NodeId) -> Result<RebalanceReport> {
-        self.fail_node(node)
+        {
+            let mut nodes = self.nodes.write();
+            let st = nodes
+                .get(&node)
+                .ok_or_else(|| DashError::not_found("node", node.to_string()))?;
+            let live_after = nodes.values().filter(|s| s.alive).count() - usize::from(st.alive);
+            if live_after == 0 {
+                return Err(DashError::Cluster(format!(
+                    "cannot remove {node}: no live nodes would remain (quorum loss)"
+                )));
+            }
+            nodes.remove(&node);
+        }
+        self.fs.release_node(node);
+        self.rebalance()
     }
 
-    /// Reinstate a repaired node.
+    /// Reinstate a repaired node (errors for removed/unknown nodes).
     pub fn restore_node(&self, node: NodeId) -> Result<RebalanceReport> {
         {
             let mut nodes = self.nodes.write();
@@ -369,6 +702,10 @@ impl Cluster {
         self.rebalance()
     }
 
+    /// Recompute the shard → node assignment over the live membership and
+    /// re-associate moved shards through the clustered filesystem. Each
+    /// move passes the [`SHARD_MOVE`] failpoint; nothing commits on
+    /// failure (the assignment map is only swapped at the end).
     fn rebalance(&self) -> Result<RebalanceReport> {
         let live: Vec<NodeId> = self
             .nodes
@@ -377,11 +714,25 @@ impl Cluster {
             .filter(|(_, st)| st.alive)
             .map(|(n, _)| *n)
             .collect();
-        if live.is_empty() {
-            return Err(DashError::Cluster("no live nodes remain".into()));
-        }
         let mut assignment = self.assignment.write();
-        let report = balance_assignments(&mut assignment, &live);
+        let mut next = assignment.clone();
+        let report = balance_assignments(&mut next, &live)?;
+        for (shard, node) in &next {
+            if assignment.get(shard) == Some(node) {
+                continue;
+            }
+            match self.faults.evaluate_scoped(SHARD_MOVE, shard.0) {
+                Some(FaultAction::Error(msg)) => {
+                    return Err(DashError::Cluster(format!(
+                        "re-association of {shard} to {node} failed: {msg}"
+                    )))
+                }
+                Some(FaultAction::Stall(d)) => std::thread::sleep(d),
+                None => {}
+            }
+            self.fs.mount_for(*shard, *node)?;
+        }
+        *assignment = next;
         Ok(report)
     }
 }
@@ -891,7 +1242,40 @@ mod tests {
     #[test]
     fn failing_last_node_errors() {
         let c = Cluster::new(1, 2, HardwareSpec::laptop()).unwrap();
-        assert!(c.fail_node(NodeId(0)).is_err());
+        let err = c.fail_node(NodeId(0)).unwrap_err();
+        assert_eq!(err.class(), "57011", "quorum loss is a cluster error: {err}");
+        assert_eq!(c.live_nodes(), 1, "refused failover leaves the node up");
+    }
+
+    #[test]
+    fn zero_sized_cluster_is_an_error_not_a_panic() {
+        let e = Cluster::new(0, 4, HardwareSpec::laptop())
+            .err()
+            .expect("zero nodes must fail");
+        assert_eq!(e.class(), "57011");
+        let e = Cluster::new(3, 0, HardwareSpec::laptop())
+            .err()
+            .expect("zero shards must fail");
+        assert_eq!(e.class(), "57011");
+    }
+
+    #[test]
+    fn removed_node_is_decommissioned_for_good() {
+        let c = sales_cluster(3, 2, 600);
+        c.remove_node(NodeId(2)).unwrap();
+        assert_eq!(c.live_nodes(), 2);
+        // Membership entry is gone: restore cannot resurrect it.
+        assert!(c.restore_node(NodeId(2)).is_err());
+        // Its clustered-filesystem mounts were released and re-associated.
+        for s in c.filesystem().shards() {
+            assert_ne!(c.filesystem().mounted_by(s), Some(NodeId(2)));
+        }
+        // Data survives on the survivors.
+        let rows = c.query("SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(rows[0].get(0), &Datum::Int(600));
+        // Removing down to the last node is refused.
+        c.remove_node(NodeId(1)).unwrap();
+        assert!(c.remove_node(NodeId(0)).is_err());
     }
 
     #[test]

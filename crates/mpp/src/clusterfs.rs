@@ -9,8 +9,15 @@
 //! any node can mount any shard — exactly the property that makes
 //! failover, elasticity, and whole-cluster portability (copy the
 //! filesystem, `docker run` elsewhere) work.
+//!
+//! The filesystem tracks which node currently holds each shard's mount
+//! ([`ClusterFs::mount_for`]), so decommissioning a node can release its
+//! file sets ([`ClusterFs::release_node`]) and a later mount by another
+//! node is an explicit re-association, not an accident. Mount operations
+//! pass through the [`dash_common::faults::CLUSTERFS_MOUNT`] failpoint.
 
-use dash_common::ids::ShardId;
+use dash_common::faults::{FaultAction, FaultRegistry, CLUSTERFS_MOUNT};
+use dash_common::ids::{NodeId, ShardId};
 use dash_common::{DashError, Result};
 use dash_core::Database;
 use parking_lot::RwLock;
@@ -24,58 +31,132 @@ pub struct ShardFileSet {
     pub db: Arc<Database>,
 }
 
+impl std::fmt::Debug for ShardFileSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardFileSet").finish_non_exhaustive()
+    }
+}
+
+#[derive(Default)]
+struct FsState {
+    sets: BTreeMap<ShardId, ShardFileSet>,
+    /// Which node currently holds each shard's mount (advisory — a mount
+    /// by another node re-associates the shard, mirroring the paper's
+    /// clustered-FS semantics).
+    mounts: BTreeMap<ShardId, NodeId>,
+}
+
 /// The shared clustered filesystem: shard id → file set.
 #[derive(Clone, Default)]
 pub struct ClusterFs {
-    sets: Arc<RwLock<BTreeMap<ShardId, ShardFileSet>>>,
+    state: Arc<RwLock<FsState>>,
+    faults: FaultRegistry,
 }
 
 impl ClusterFs {
-    /// An empty filesystem.
+    /// An empty filesystem with a disarmed fault registry.
     pub fn new() -> ClusterFs {
         ClusterFs::default()
     }
 
+    /// An empty filesystem whose mounts evaluate `faults`.
+    pub fn with_faults(faults: FaultRegistry) -> ClusterFs {
+        ClusterFs {
+            state: Arc::default(),
+            faults,
+        }
+    }
+
     /// Create a shard's file set. Errors if it already exists.
     pub fn create(&self, shard: ShardId, db: Arc<Database>) -> Result<()> {
-        let mut sets = self.sets.write();
-        if sets.contains_key(&shard) {
+        let mut st = self.state.write();
+        if st.sets.contains_key(&shard) {
             return Err(DashError::already_exists("shard file set", shard.to_string()));
         }
-        sets.insert(shard, ShardFileSet { db });
+        st.sets.insert(shard, ShardFileSet { db });
         Ok(())
     }
 
-    /// Mount a shard's file set (any node may call this).
+    fn check_mount_fault(&self, shard: ShardId) -> Result<()> {
+        match self.faults.evaluate_scoped(CLUSTERFS_MOUNT, shard.0) {
+            Some(FaultAction::Error(msg)) => Err(DashError::Storage(format!(
+                "mount of {shard} failed: {msg}"
+            ))),
+            Some(FaultAction::Stall(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Mount a shard's file set anonymously (console tools, snapshots).
     pub fn mount(&self, shard: ShardId) -> Result<ShardFileSet> {
-        self.sets
+        self.check_mount_fault(shard)?;
+        self.state
             .read()
+            .sets
             .get(&shard)
             .cloned()
             .ok_or_else(|| DashError::not_found("shard file set", shard.to_string()))
     }
 
+    /// Mount a shard's file set on behalf of `node`, recording (or
+    /// re-associating) the mount.
+    pub fn mount_for(&self, shard: ShardId, node: NodeId) -> Result<ShardFileSet> {
+        self.check_mount_fault(shard)?;
+        let mut st = self.state.write();
+        let set = st
+            .sets
+            .get(&shard)
+            .cloned()
+            .ok_or_else(|| DashError::not_found("shard file set", shard.to_string()))?;
+        st.mounts.insert(shard, node);
+        Ok(set)
+    }
+
+    /// The node currently holding `shard`'s mount, if any.
+    pub fn mounted_by(&self, shard: ShardId) -> Option<NodeId> {
+        self.state.read().mounts.get(&shard).copied()
+    }
+
+    /// Release every mount held by `node` (decommission). Returns how many
+    /// file sets were released. The file sets themselves stay on the
+    /// filesystem — that is the whole point of shared storage.
+    pub fn release_node(&self, node: NodeId) -> usize {
+        let mut st = self.state.write();
+        let before = st.mounts.len();
+        st.mounts.retain(|_, n| *n != node);
+        before - st.mounts.len()
+    }
+
     /// All shard ids present on the filesystem.
     pub fn shards(&self) -> Vec<ShardId> {
-        self.sets.read().keys().copied().collect()
+        self.state.read().sets.keys().copied().collect()
     }
 
     /// Number of file sets.
     pub fn len(&self) -> usize {
-        self.sets.read().len()
+        self.state.read().sets.len()
     }
 
     /// True when no shards exist.
     pub fn is_empty(&self) -> bool {
-        self.sets.read().is_empty()
+        self.state.read().sets.is_empty()
     }
 
     /// Snapshot the filesystem (cheap Arc clones — models the paper's
     /// "Cloud snapshot/availability zones" portability: the snapshot can
-    /// seed a brand-new cluster with a different topology).
+    /// seed a brand-new cluster with a different topology). Mount records
+    /// are not copied — the new cluster mounts from scratch — and the
+    /// snapshot's failpoints are disarmed.
     pub fn snapshot(&self) -> ClusterFs {
         ClusterFs {
-            sets: Arc::new(RwLock::new(self.sets.read().clone())),
+            state: Arc::new(RwLock::new(FsState {
+                sets: self.state.read().sets.clone(),
+                mounts: BTreeMap::new(),
+            })),
+            faults: FaultRegistry::new(),
         }
     }
 }
@@ -83,6 +164,7 @@ impl ClusterFs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dash_common::faults::FaultPolicy;
     use dash_core::HardwareSpec;
 
     #[test]
@@ -97,6 +179,45 @@ mod tests {
     }
 
     #[test]
+    fn mount_tracking_and_release() {
+        let fs = ClusterFs::new();
+        for s in 0..4 {
+            fs.create(ShardId(s), Database::with_hardware(HardwareSpec::laptop()))
+                .unwrap();
+        }
+        assert_eq!(fs.mounted_by(ShardId(0)), None, "anonymous until mounted");
+        fs.mount_for(ShardId(0), NodeId(1)).unwrap();
+        fs.mount_for(ShardId(1), NodeId(1)).unwrap();
+        fs.mount_for(ShardId(2), NodeId(2)).unwrap();
+        assert_eq!(fs.mounted_by(ShardId(0)), Some(NodeId(1)));
+        // Re-association steals the mount.
+        fs.mount_for(ShardId(0), NodeId(2)).unwrap();
+        assert_eq!(fs.mounted_by(ShardId(0)), Some(NodeId(2)));
+        // Decommission node 1: only its remaining mount is released.
+        assert_eq!(fs.release_node(NodeId(1)), 1);
+        assert_eq!(fs.mounted_by(ShardId(1)), None);
+        assert_eq!(fs.mounted_by(ShardId(2)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn injected_mount_fault_is_a_storage_error() {
+        let reg = FaultRegistry::new();
+        let fs = ClusterFs::with_faults(reg.clone());
+        fs.create(ShardId(0), Database::with_hardware(HardwareSpec::laptop()))
+            .unwrap();
+        reg.arm(
+            CLUSTERFS_MOUNT,
+            FaultPolicy::OneShot,
+            FaultAction::Error("stale NFS handle".into()),
+        );
+        let err = fs.mount_for(ShardId(0), NodeId(0)).unwrap_err();
+        assert_eq!(err.class(), "58030", "{err}");
+        assert_eq!(fs.mounted_by(ShardId(0)), None, "failed mount not recorded");
+        // One-shot: the retry succeeds.
+        assert!(fs.mount_for(ShardId(0), NodeId(0)).is_ok());
+    }
+
+    #[test]
     fn snapshot_shares_data_but_not_structure() {
         let fs = ClusterFs::new();
         let db = Database::with_hardware(HardwareSpec::laptop());
@@ -104,11 +225,13 @@ mod tests {
         s.execute("CREATE TABLE t (x INT)").unwrap();
         s.execute("INSERT INTO t VALUES (42)").unwrap();
         fs.create(ShardId(0), db).unwrap();
+        fs.mount_for(ShardId(0), NodeId(3)).unwrap();
         let snap = fs.snapshot();
         // New file sets on the original don't appear in the snapshot.
         fs.create(ShardId(1), Database::with_hardware(HardwareSpec::laptop()))
             .unwrap();
         assert_eq!(snap.len(), 1);
+        assert_eq!(snap.mounted_by(ShardId(0)), None, "mounts are not copied");
         // But the snapshot sees the shard's data.
         let mounted = snap.mount(ShardId(0)).unwrap();
         let mut s2 = mounted.db.connect();

@@ -13,6 +13,7 @@
 //! replaces. Pull steps run in parallel across nodes; the critical path is
 //! the slowest node plus the serial cluster-join tail.
 
+use dash_common::{DashError, Result};
 use dash_core::{AutoConfig, HardwareSpec};
 use serde::{Deserialize, Serialize};
 
@@ -80,8 +81,13 @@ impl DeploymentReport {
 }
 
 /// Simulate deploying dashDB Local onto the cluster described by `spec`.
-pub fn simulate_deployment(spec: &DeploySpec) -> DeploymentReport {
-    assert!(!spec.nodes.is_empty(), "deployment needs at least one node");
+/// An empty node list is a configuration error, not a panic.
+pub fn simulate_deployment(spec: &DeploySpec) -> Result<DeploymentReport> {
+    if spec.nodes.is_empty() {
+        return Err(DashError::Cluster(
+            "deployment needs at least one node".into(),
+        ));
+    }
     let n = spec.nodes.len();
     // Image pull: parallel; all nodes pull concurrently from the registry,
     // which saturates past 8 concurrent pulls (bandwidth shared).
@@ -105,7 +111,7 @@ pub fn simulate_deployment(spec: &DeploySpec) -> DeploymentReport {
     let engine_start_s = 15.0 + max_ram_gb / 256.0 * 20.0;
     // Cluster join: a short serial handshake per node.
     let cluster_join_s = 5.0 + 1.5 * n as f64;
-    DeploymentReport {
+    Ok(DeploymentReport {
         pull_s,
         container_start_s,
         fs_mount_s,
@@ -114,7 +120,7 @@ pub fn simulate_deployment(spec: &DeploySpec) -> DeploymentReport {
         cluster_join_s,
         config: AutoConfig::derive(&spec.nodes[0]),
         nodes: n,
-    }
+    })
 }
 
 /// The manual alternative the automation replaces: OS prep, software
@@ -122,9 +128,13 @@ pub fn simulate_deployment(spec: &DeploySpec) -> DeploymentReport {
 /// covers, per node, with only limited parallelism (a DBA drives it).
 /// Returns seconds. Nominal industry figures: ~2.5 h for the first node,
 /// ~45 min for each additional node (scripted but supervised).
-pub fn manual_install_estimate_s(nodes: usize) -> f64 {
-    assert!(nodes > 0);
-    2.5 * 3600.0 + (nodes as f64 - 1.0) * 45.0 * 60.0
+pub fn manual_install_estimate_s(nodes: usize) -> Result<f64> {
+    if nodes == 0 {
+        return Err(DashError::Cluster(
+            "manual install estimate needs at least one node".into(),
+        ));
+    }
+    Ok(2.5 * 3600.0 + (nodes as f64 - 1.0) * 45.0 * 60.0)
 }
 
 #[cfg(test)]
@@ -132,8 +142,15 @@ mod tests {
     use super::*;
 
     #[test]
+    fn empty_cluster_is_an_error_not_a_panic() {
+        let e = simulate_deployment(&DeploySpec::homogeneous(0, HardwareSpec::laptop())).unwrap_err();
+        assert_eq!(e.class(), "57011");
+        assert!(manual_install_estimate_s(0).is_err());
+    }
+
+    #[test]
     fn single_laptop_deploys_in_minutes() {
-        let r = simulate_deployment(&DeploySpec::homogeneous(1, HardwareSpec::laptop()));
+        let r = simulate_deployment(&DeploySpec::homogeneous(1, HardwareSpec::laptop())).unwrap();
         assert!(
             r.total_minutes() < 5.0,
             "laptop deploy should take a couple of minutes, got {:.1}",
@@ -144,7 +161,7 @@ mod tests {
     #[test]
     fn large_cluster_under_30_minutes() {
         // The paper's claim at a 24-node, big-memory cluster.
-        let r = simulate_deployment(&DeploySpec::homogeneous(24, HardwareSpec::xeon_e7()));
+        let r = simulate_deployment(&DeploySpec::homogeneous(24, HardwareSpec::xeon_e7())).unwrap();
         assert!(
             r.total_minutes() < 30.0,
             "24 x 6TB nodes must deploy <30 min, got {:.1}",
@@ -154,14 +171,15 @@ mod tests {
         let r = simulate_deployment(&DeploySpec::homogeneous(
             64,
             HardwareSpec::new(20, 256 * 1024),
-        ));
+        ))
+        .unwrap();
         assert!(r.total_minutes() < 30.0, "got {:.1}", r.total_minutes());
     }
 
     #[test]
     fn big_memory_slows_engine_start_only() {
-        let small = simulate_deployment(&DeploySpec::homogeneous(4, HardwareSpec::laptop()));
-        let big = simulate_deployment(&DeploySpec::homogeneous(4, HardwareSpec::xeon_e7()));
+        let small = simulate_deployment(&DeploySpec::homogeneous(4, HardwareSpec::laptop())).unwrap();
+        let big = simulate_deployment(&DeploySpec::homogeneous(4, HardwareSpec::xeon_e7())).unwrap();
         assert!(big.engine_start_s > small.engine_start_s * 5.0);
         assert_eq!(big.container_start_s, small.container_start_s);
         assert!(
@@ -173,14 +191,14 @@ mod tests {
 
     #[test]
     fn automation_beats_manual_by_an_order_of_magnitude() {
-        let auto = simulate_deployment(&DeploySpec::homogeneous(16, HardwareSpec::xeon_e7()));
-        let manual = manual_install_estimate_s(16);
+        let auto = simulate_deployment(&DeploySpec::homogeneous(16, HardwareSpec::xeon_e7())).unwrap();
+        let manual = manual_install_estimate_s(16).unwrap();
         assert!(manual / auto.total_s() > 5.0);
     }
 
     #[test]
     fn report_sums_steps() {
-        let r = simulate_deployment(&DeploySpec::homogeneous(2, HardwareSpec::laptop()));
+        let r = simulate_deployment(&DeploySpec::homogeneous(2, HardwareSpec::laptop())).unwrap();
         let sum = r.pull_s + r.container_start_s + r.fs_mount_s + r.autoconf_s
             + r.engine_start_s + r.cluster_join_s;
         assert!((r.total_s() - sum).abs() < 1e-9);

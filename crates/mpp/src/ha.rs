@@ -8,6 +8,7 @@
 //! per byte of user data."
 
 use dash_common::ids::{NodeId, ShardId};
+use dash_common::{DashError, Result};
 use std::collections::BTreeMap;
 
 /// Outcome of one rebalance pass.
@@ -32,11 +33,18 @@ impl RebalanceReport {
 ///
 /// Shards assigned to dead nodes must move; shards on overloaded live
 /// nodes move until every node holds `⌊S/N⌋` or `⌈S/N⌉` shards.
+///
+/// With no live nodes there is nowhere to put the shards: that is quorum
+/// loss, reported as [`DashError::Cluster`] (the assignment is untouched).
 pub fn balance_assignments(
     assignment: &mut BTreeMap<ShardId, NodeId>,
     live: &[NodeId],
-) -> RebalanceReport {
-    assert!(!live.is_empty(), "caller guarantees at least one live node");
+) -> Result<RebalanceReport> {
+    if live.is_empty() {
+        return Err(DashError::Cluster(
+            "rebalance impossible: no live nodes remain (quorum loss)".into(),
+        ));
+    }
     let total = assignment.len();
     let mut sorted_live = live.to_vec();
     sorted_live.sort_unstable();
@@ -86,10 +94,10 @@ pub fn balance_assignments(
         }
     }
     *assignment = new_assignment;
-    RebalanceReport {
+    Ok(RebalanceReport {
         moved_shards,
         shards_per_node: holding.into_iter().collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -108,7 +116,7 @@ mod tests {
         // 24 shards over 4 nodes (6 each); node 3 dies → 8 each.
         let mut a = make(24, 4);
         let live = [NodeId(0), NodeId(1), NodeId(2)];
-        let r = balance_assignments(&mut a, &live);
+        let r = balance_assignments(&mut a, &live).unwrap();
         assert_eq!(r.moved_shards, 6, "only the dead node's shards move");
         assert_eq!(r.imbalance(), 0);
         for (_, n) in &r.shards_per_node {
@@ -126,7 +134,7 @@ mod tests {
             .map(|s| (ShardId(s as u32), NodeId((s % 3) as u32)))
             .collect();
         let live = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
-        let r = balance_assignments(&mut a, &live);
+        let r = balance_assignments(&mut a, &live).unwrap();
         assert_eq!(r.moved_shards, 6, "exactly the overflow moves");
         assert_eq!(r.imbalance(), 0);
     }
@@ -135,17 +143,26 @@ mod tests {
     fn uneven_division_stays_within_one() {
         let mut a = make(25, 4);
         let live = [NodeId(0), NodeId(1), NodeId(2)];
-        let r = balance_assignments(&mut a, &live);
+        let r = balance_assignments(&mut a, &live).unwrap();
         assert!(r.imbalance() <= 1);
         let total: usize = r.shards_per_node.iter().map(|(_, n)| n).sum();
         assert_eq!(total, 25);
     }
 
     #[test]
+    fn no_live_nodes_is_quorum_loss_not_panic() {
+        let mut a = make(8, 2);
+        let before = a.clone();
+        let err = balance_assignments(&mut a, &[]).unwrap_err();
+        assert_eq!(err.class(), "57011", "cluster SQLSTATE class: {err}");
+        assert_eq!(a, before, "failed rebalance must not corrupt assignment");
+    }
+
+    #[test]
     fn noop_when_already_balanced() {
         let mut a = make(12, 3);
         let live = [NodeId(0), NodeId(1), NodeId(2)];
-        let r = balance_assignments(&mut a, &live);
+        let r = balance_assignments(&mut a, &live).unwrap();
         assert_eq!(r.moved_shards, 0);
     }
 
@@ -162,7 +179,7 @@ mod tests {
                 .map(|i| NodeId(i as u32))
                 .collect();
             prop_assume!(!live.is_empty());
-            let r = balance_assignments(&mut a, &live);
+            let r = balance_assignments(&mut a, &live).expect("live nonempty");
             prop_assert_eq!(a.len(), n_shards, "no shard lost");
             prop_assert!(a.values().all(|n| live.contains(n)));
             prop_assert!(r.imbalance() <= 1);

@@ -13,6 +13,9 @@ pub const ORDER: usize = 64;
 
 #[derive(Debug, Clone)]
 enum Node<K, V> {
+    // Boxed children keep split/merge moves at pointer size instead of
+    // moving whole nodes inside the parent vector.
+    #[allow(clippy::vec_box)]
     Internal {
         /// `keys[i]` separates `children[i]` (< key) from `children[i+1]`.
         keys: Vec<K>,

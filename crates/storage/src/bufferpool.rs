@@ -28,7 +28,9 @@
 //! LRU, MRU, and pure-random baselines plus a Belady-optimal replay oracle
 //! complete the experiment for `repro_bufferpool`.
 
+use dash_common::faults::{FaultAction, FaultRegistry, PAGE_READ};
 use dash_common::fxhash::FxHashMap;
+use dash_common::{DashError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -130,6 +132,8 @@ pub struct BufferPool {
     clock: u64,
     stats: PoolStats,
     rng: StdRng,
+    /// Armed by chaos tests; `None` (the default) keeps page faults free.
+    faults: Option<FaultRegistry>,
 }
 
 impl BufferPool {
@@ -149,7 +153,14 @@ impl BufferPool {
             clock: 0,
             stats: PoolStats::default(),
             rng: StdRng::seed_from_u64(0x5EED),
+            faults: None,
         }
+    }
+
+    /// Route this pool's page reads through `reg`'s
+    /// [`PAGE_READ`] failpoint (see [`dash_common::faults`]).
+    pub fn set_fault_registry(&mut self, reg: FaultRegistry) {
+        self.faults = Some(reg);
     }
 
     /// Pool capacity in pages.
@@ -174,7 +185,20 @@ impl BufferPool {
 
     /// Touch a page: returns `true` on hit. On miss the page is faulted in,
     /// evicting a victim if the pool is full.
+    ///
+    /// # Panics
+    /// Panics if a [`PAGE_READ`] failpoint injects an error — armed
+    /// registries must use [`BufferPool::try_access`].
     pub fn access(&mut self, key: PageKey) -> bool {
+        self.try_access(key)
+            .expect("page-read failpoint fired on the infallible access path")
+    }
+
+    /// [`BufferPool::access`] with injected-fault propagation: a fired
+    /// [`PAGE_READ`] failpoint surfaces as [`DashError::Storage`] (the
+    /// simulated device failed the read; the page is *not* faulted in) or
+    /// stalls the read in place (a slow device).
+    pub fn try_access(&mut self, key: PageKey) -> Result<bool> {
         self.clock += 1;
         if self.policy == Policy::RandomizedWeight
             && self.clock.is_multiple_of(self.capacity as u64 * AGE_PERIOD_FACTOR)
@@ -194,9 +218,24 @@ impl BufferPool {
             if self.policy == Policy::RandomizedWeight && meta.slab == Slab::Probation {
                 self.move_to_established(key);
             }
-            return true;
+            return Ok(true);
         }
         self.stats.misses += 1;
+        // A miss is a physical read against the simulated device — the
+        // fault site. An injected error means the read failed and the page
+        // stays non-resident; a stall models a slow device.
+        if let Some(reg) = &self.faults {
+            match reg.evaluate(PAGE_READ) {
+                Some(FaultAction::Error(msg)) => {
+                    return Err(DashError::Storage(format!(
+                        "page read failed (table {} col {} stride {}): {msg}",
+                        key.table, key.column, key.stride
+                    )));
+                }
+                Some(FaultAction::Stall(d)) => std::thread::sleep(d),
+                None => {}
+            }
+        }
         if self.resident() >= self.capacity {
             self.evict();
         }
@@ -229,7 +268,7 @@ impl BufferPool {
         if matches!(self.policy, Policy::Lru | Policy::Mru) {
             self.recency.insert((self.clock, key));
         }
-        false
+        Ok(false)
     }
 
     fn move_to_established(&mut self, key: PageKey) {
@@ -521,6 +560,34 @@ mod tests {
                 let hit = pool.access(PageKey::new(0, 0, p));
                 assert_eq!(hit, cycle > 0);
             }
+        }
+    }
+
+    #[test]
+    fn injected_page_read_faults_surface_as_storage_errors() {
+        use dash_common::faults::{FaultAction, FaultPolicy, FaultRegistry};
+
+        let reg = FaultRegistry::new();
+        let mut pool = BufferPool::new(10, Policy::RandomizedWeight);
+        pool.set_fault_registry(reg.clone());
+        // Disarmed: behaves exactly like the plain path.
+        assert!(!pool.access(PageKey::new(0, 0, 0)));
+        assert!(pool.access(PageKey::new(0, 0, 0)));
+
+        reg.arm(
+            super::PAGE_READ,
+            FaultPolicy::EveryNth(2),
+            FaultAction::Error("device dropped the ball".into()),
+        );
+        // First miss after arming survives (1st evaluation), second fails.
+        assert!(!pool.try_access(PageKey::new(0, 0, 1)).unwrap());
+        let err = pool.try_access(PageKey::new(0, 0, 2)).unwrap_err();
+        assert_eq!(err.class(), "58030", "storage SQLSTATE class: {err}");
+        // The failed page was not faulted in.
+        assert!(!pool.try_access(PageKey::new(0, 0, 2)).unwrap());
+        // Hits never consult the device, so they never fail.
+        for _ in 0..8 {
+            assert!(pool.try_access(PageKey::new(0, 0, 0)).unwrap());
         }
     }
 

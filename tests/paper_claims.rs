@@ -80,7 +80,7 @@ fn claim_bufferpool_near_optimal() {
 fn claim_deployment_under_30_minutes() {
     for nodes in [1, 8, 24, 64] {
         for hw in [HardwareSpec::laptop(), HardwareSpec::xeon_e7()] {
-            let r = simulate_deployment(&DeploySpec::homogeneous(nodes, hw));
+            let r = simulate_deployment(&DeploySpec::homogeneous(nodes, hw)).unwrap();
             assert!(
                 r.total_minutes() < 30.0,
                 "{nodes} nodes took {:.1} min",

@@ -1,0 +1,233 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `proptest!` test blocks, `prop_assert*` / `prop_assume!`, `prop_oneof!`,
+//! [`strategy::Strategy`] with `prop_map`, numeric range and tuple
+//! strategies, `any::<T>()`, `prop::collection::vec`, `prop::option::of`,
+//! and simple `"[a-z]{0,20}"`-style string patterns.
+//!
+//! Differences from real proptest: cases are generated from a seed derived
+//! from the test's module path (fully deterministic run-to-run), and there
+//! is **no shrinking** — a failing case reports the assertion message from
+//! the raw case.
+
+#![deny(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a proptest-based test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` module alias used as `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::{collection, option, string};
+    }
+}
+
+/// Declare property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn holds(x in 0usize..10, flag in any::<bool>()) {
+///         prop_assert!(x < 10 || flag);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( cfg = ($cfg:expr);
+      $( $(#[$meta:meta])* fn $name:ident( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(1000);
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest stub: too many rejected cases in {}",
+                        stringify!($name),
+                    );
+                    let outcome = (|rng: &mut $crate::test_runner::TestRng|
+                        -> $crate::test_runner::TestCaseResult {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })(&mut rng);
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            ::core::panic!(
+                                "proptest case failed ({}, case #{}): {}",
+                                stringify!($name), accepted, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skip the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: `{:?}` != `{:?}`", l, r
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: `{:?}` != `{:?}`: {}", l, r, ::std::format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Fail the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: `{:?}` == `{:?}`", l, r
+            ),
+        }
+    };
+}
+
+/// Choose uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_any(x in 3usize..10, w in 1u8..=4, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&w));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_option_tuple(
+            v in prop::collection::vec((0i64..50, any::<bool>()), 2..6),
+            o in prop::option::of(0u32..5),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (n, _) in &v {
+                prop_assert!((0..50).contains(n));
+            }
+            if let Some(x) = o {
+                prop_assert!(x < 5);
+            }
+        }
+
+        #[test]
+        fn mapped_and_oneof(
+            pair in (0i64..10, 1i64..5).prop_map(|(a, b)| a * 10 + b),
+            pick in prop_oneof![
+                (0u32..3).prop_map(|v| v * 2),
+                (10u32..13).prop_map(|v| v + 100),
+            ],
+        ) {
+            prop_assert!((1..=94).contains(&pair));
+            prop_assert!(pick <= 4 || (110..113).contains(&pick));
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-c]{0,6}", t in "[a-z]{1,3}") {
+            prop_assert!(s.len() <= 6);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(!t.is_empty() && t.len() <= 3);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 5..10);
+        let mut r1 = crate::test_runner::TestRng::deterministic("seed-name");
+        let mut r2 = crate::test_runner::TestRng::deterministic("seed-name");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

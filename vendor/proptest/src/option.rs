@@ -1,0 +1,49 @@
+//! Option strategies: `prop::option::of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<S::Value>`; `Some` with probability 1/2.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generate `Some(inner)` half the time, `None` the other half.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(1, 2) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::deterministic("option");
+        let s = of(0u32..100);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!(v < 100);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 10 && none > 10);
+    }
+}

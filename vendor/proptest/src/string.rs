@@ -1,0 +1,140 @@
+//! String strategies from simple regex-like patterns.
+//!
+//! `&'static str` is itself a strategy, supporting the subset this
+//! workspace uses: literal characters, character classes like `[a-z0-9_]`,
+//! and `{n}` / `{m,n}` repetition suffixes. No alternation, anchors,
+//! escapes, `*`, `+`, or `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+struct Atom {
+    /// Inclusive char ranges to choose from.
+    choices: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = if chars[i] == '[' {
+            let mut ranges = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    assert!(
+                        chars[i] <= chars[i + 2],
+                        "bad char range in pattern {pattern:?}"
+                    );
+                    ranges.push((chars[i], chars[i + 2]));
+                    i += 3;
+                } else {
+                    ranges.push((chars[i], chars[i]));
+                    i += 1;
+                }
+            }
+            assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+            i += 1; // consume ']'
+            ranges
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![(c, c)]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier lower bound"),
+                    hi.trim().parse().expect("bad quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn pick_char(choices: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = choices
+        .iter()
+        .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+        .sum();
+    let mut k = rng.below(total as usize) as u32;
+    for (lo, hi) in choices {
+        let span = *hi as u32 - *lo as u32 + 1;
+        if k < span {
+            return char::from_u32(*lo as u32 + k).expect("range spans invalid char");
+        }
+        k -= span;
+    }
+    unreachable!("weighted pick out of bounds")
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..count {
+                out.push(pick_char(&atom.choices, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::deterministic("pat1");
+        for _ in 0..200 {
+            let s = "[a-c]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_mixed_classes() {
+        let mut rng = TestRng::deterministic("pat2");
+        for _ in 0..100 {
+            let s = "id_[a-z0-9]{3}".generate(&mut rng);
+            assert!(s.starts_with("id_"));
+            assert_eq!(s.len(), 6);
+            assert!(s[3..]
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        let mut rng = TestRng::deterministic("pat3");
+        let s = "[A-Z]{4}".generate(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset of the rand 0.8 API this workspace uses — a seeded
+//! [`rngs::StdRng`], the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`) and [`SeedableRng::seed_from_u64`] — backed by xoshiro256++
+//! seeded through SplitMix64. Deterministic for a given seed, which is all
+//! the workloads and the buffer-pool sampler require.
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling helpers (the rand `Rng` extension trait).
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its full/natural range
+    /// (`f64`/`f32` sample the unit interval, matching rand's `Standard`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable from full-range bits (rand's `Standard` distribution).
+pub trait Standard {
+    /// Draw one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits over [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ (not the real StdRng's
+    /// ChaCha12 — this stand-in is for simulation, not cryptography).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            // SplitMix64 expansion, the recommended xoshiro seeding.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let x = r.gen_range(0u8..=255);
+            let _ = x;
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all buckets hit: {seen:?}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` to mark wire-format
+//! intent but never serializes at runtime, so the traits here are empty
+//! markers and the derives (from the stub `serde_derive`) emit marker
+//! impls. The `derive` and `rc` cargo features are accepted and inert.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would serialize under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would deserialize under real serde.
+pub trait Deserialize {}

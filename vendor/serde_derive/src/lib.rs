@@ -1,0 +1,53 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes at runtime — the derives only
+//! annotate types for future wire formats. These macros accept the same
+//! syntax (including `#[serde(...)]` helper attributes) and emit a marker
+//! impl so the `Serialize`/`Deserialize` bounds in the stub `serde` crate
+//! are satisfied.
+
+use proc_macro::TokenStream;
+
+/// Extract the type identifier following the struct/enum keyword so the
+/// emitted marker impls name the right type. Generic types get a blanket
+/// skip (no impl emitted) — nothing in the workspace needs one.
+fn type_name(input: &TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        let is_kw = matches!(&tok, proc_macro::TokenTree::Ident(i) if {
+            let s = i.to_string();
+            s == "struct" || s == "enum"
+        });
+        if is_kw {
+            if let Some(proc_macro::TokenTree::Ident(name)) = tokens.next() {
+                let generic = matches!(
+                    tokens.peek(),
+                    Some(proc_macro::TokenTree::Punct(p)) if p.as_char() == '<'
+                );
+                return Some((name.to_string(), generic));
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        _ => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive (emits a marker impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// No-op `Deserialize` derive (emits a marker impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
