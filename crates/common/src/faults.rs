@@ -39,6 +39,12 @@ pub const SHARD_EXEC: &str = "mpp::shard_exec";
 pub const NODE_CRASH: &str = "mpp::node_crash";
 /// Failpoint: moving one shard during a rebalance pass.
 pub const SHARD_MOVE: &str = "ha::shard_move";
+/// Failpoint: evaluated by the scatter coordinator between failover
+/// rounds; any armed action forces a full rebalance (an assignment-epoch
+/// bump) before the next round runs. `Stall` sleeps first, then
+/// rebalances. This is the deterministic repro for the
+/// rebalance-races-scatter window that epoch pinning closes.
+pub const REBALANCE_DURING_SCATTER: &str = "rebalance.during_scatter";
 /// Failpoint: faulting a page in from the simulated I/O device.
 pub const PAGE_READ: &str = "storage::page_read";
 

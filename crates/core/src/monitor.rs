@@ -36,6 +36,17 @@ pub struct RecoveryStats {
     pub stragglers: u64,
     /// Statements cancelled because the per-statement deadline passed.
     pub deadline_kills: u64,
+    /// Committed assignment-epoch bumps (every rebalance swap — failover,
+    /// elastic grow/shrink, forced chaos rebalances). Metadata churn, not
+    /// necessarily statement-visible.
+    pub epoch_bumps: u64,
+    /// Pending shards a statement re-drove under a newer assignment epoch
+    /// than the one it had pinned (post-failover re-pin).
+    pub stale_epoch_retries: u64,
+    /// Scatter rounds whose work list mixed shards resolved from two
+    /// different assignment epochs. Epoch pinning makes this structurally
+    /// impossible; the counter is a regression tripwire and must stay 0.
+    pub torn_epoch_rounds: u64,
 }
 
 impl RecoveryStats {
@@ -105,6 +116,21 @@ impl Monitor {
         self.recovery.lock().deadline_kills += 1;
     }
 
+    /// Record one committed assignment-epoch bump (a rebalance swap).
+    pub fn record_epoch_bump(&self) {
+        self.recovery.lock().epoch_bumps += 1;
+    }
+
+    /// Record `n` pending shards re-pinned to a newer assignment epoch.
+    pub fn record_stale_epoch_retries(&self, n: u64) {
+        self.recovery.lock().stale_epoch_retries += n;
+    }
+
+    /// Record a scatter round that mixed two assignment epochs (a bug).
+    pub fn record_torn_epoch_round(&self) {
+        self.recovery.lock().torn_epoch_rounds += 1;
+    }
+
     /// Snapshot of the recovery counters.
     pub fn recovery(&self) -> RecoveryStats {
         *self.recovery.lock()
@@ -126,8 +152,15 @@ impl Monitor {
         let r = self.recovery();
         if !r.is_clean() {
             out.push_str(&format!(
-                "recovery: {} shard retries, {} failovers, {} stragglers, {} deadline kills\n",
-                r.shard_retries, r.failovers, r.stragglers, r.deadline_kills,
+                "recovery: {} shard retries, {} failovers, {} stragglers, {} deadline kills, \
+                 {} epoch bumps, {} stale-epoch retries, {} torn-epoch rounds\n",
+                r.shard_retries,
+                r.failovers,
+                r.stragglers,
+                r.deadline_kills,
+                r.epoch_bumps,
+                r.stale_epoch_retries,
+                r.torn_epoch_rounds,
             ));
         }
         out
@@ -170,11 +203,16 @@ mod tests {
         m.record_failover();
         m.record_straggler();
         m.record_deadline_kill();
+        m.record_epoch_bump();
+        m.record_stale_epoch_retries(3);
         let r = m.recovery();
         assert_eq!(r.shard_retries, 2);
         assert_eq!(r.failovers, 1);
         assert_eq!(r.stragglers, 1);
         assert_eq!(r.deadline_kills, 1);
+        assert_eq!(r.epoch_bumps, 1);
+        assert_eq!(r.stale_epoch_retries, 3);
+        assert_eq!(r.torn_epoch_rounds, 0, "tripwire never fires in tests");
         assert!(m.report().contains("recovery:"));
     }
 }

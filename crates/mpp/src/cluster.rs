@@ -14,7 +14,9 @@
 use crate::clusterfs::ClusterFs;
 use crate::ha::{balance_assignments, RebalanceReport};
 use dash_common::dialect::Dialect;
-use dash_common::faults::{FaultAction, FaultRegistry, NODE_CRASH, SHARD_EXEC, SHARD_MOVE};
+use dash_common::faults::{
+    FaultAction, FaultRegistry, NODE_CRASH, REBALANCE_DURING_SCATTER, SHARD_EXEC, SHARD_MOVE,
+};
 use dash_common::fxhash::{hash_bytes, FxHashMap};
 use dash_common::ids::{NodeId, ShardId};
 use dash_common::{DashError, Datum, Result, Row, Schema};
@@ -24,9 +26,9 @@ use dash_exec::agg::AggFunc;
 use dash_sql::ast::{AstExpr, SelectItem, SelectStmt, Statement};
 use dash_sql::parser::parse_statement;
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Per-shard attempts before the coordinator stops blaming the statement
@@ -36,6 +38,31 @@ const SHARD_MAX_ATTEMPTS: u32 = 3;
 /// Granularity at which stalled (straggler) shard attempts re-check the
 /// cancellation flag, so a deadline kill never waits on a full stall.
 const STALL_CHUNK: Duration = Duration::from_millis(2);
+
+/// Sentinel owner for a shard found on the clustered filesystem but
+/// missing from the published assignment map (damaged metadata). Never a
+/// real member; `balance_assignments` treats it like a dead node and
+/// re-places the shard.
+const UNASSIGNED: NodeId = NodeId(u32::MAX);
+
+/// A versioned, immutable snapshot of the shard → node assignment.
+///
+/// The cluster publishes exactly one current `AssignmentEpoch`; every
+/// rebalance builds a fresh map and swaps it in atomically under a new
+/// epoch number. Readers clone the snapshot (a `u64` plus an `Arc` bump)
+/// and then read the map with no lock at all, so a statement that pinned
+/// epoch `E` keeps seeing `E`'s complete map no matter how many
+/// rebalances commit behind its back — the fix for the torn-read window
+/// where one scatter round mixed shards from two assignment versions.
+#[derive(Debug, Clone)]
+pub struct AssignmentEpoch {
+    /// Monotonically increasing version; bumped by every committed
+    /// rebalance (failover, elastic grow/shrink, chaos-forced).
+    pub epoch: u64,
+    /// The complete shard → node map published at this epoch. Immutable
+    /// once published.
+    pub map: Arc<BTreeMap<ShardId, NodeId>>,
+}
 
 /// Sleep `total`, waking every [`STALL_CHUNK`] to honour `cancel`.
 /// Returns `true` when the sleep was cut short by cancellation.
@@ -95,16 +122,20 @@ pub struct NodeState {
 pub struct Cluster {
     fs: ClusterFs,
     nodes: RwLock<BTreeMap<NodeId, NodeState>>,
-    /// shard → node assignment (every shard assigned to exactly one live node).
-    assignment: RwLock<BTreeMap<ShardId, NodeId>>,
+    /// The current shard → node assignment snapshot. The write lock is
+    /// held only to compute-and-swap a new epoch; statements clone the
+    /// snapshot once and read it lock-free thereafter.
+    assignment: RwLock<AssignmentEpoch>,
     distributions: RwLock<FxHashMap<String, Distribution>>,
     dialect: Dialect,
     /// Shared failpoint registry: every layer (mounts, shard execution,
     /// buffer pools, rebalance moves) evaluates the same instance.
     faults: FaultRegistry,
     monitor: Monitor,
-    /// Optional per-statement wall-clock budget for distributed SELECTs;
-    /// exceeding it cancels in-flight shard work and returns `Cancelled`.
+    /// Default per-statement wall-clock budget for distributed SELECTs
+    /// issued through [`Cluster::query`]; [`Cluster::query_with_deadline`]
+    /// overrides it per call, so concurrent statements never share (or
+    /// clobber) each other's budget.
     deadline: RwLock<Option<Duration>>,
 }
 
@@ -156,7 +187,10 @@ impl Cluster {
         Ok(Cluster {
             fs,
             nodes: RwLock::new(nodes),
-            assignment: RwLock::new(assignment),
+            assignment: RwLock::new(AssignmentEpoch {
+                epoch: 0,
+                map: Arc::new(assignment),
+            }),
             distributions: RwLock::new(FxHashMap::default()),
             dialect: Dialect::Ansi,
             faults,
@@ -181,9 +215,30 @@ impl Cluster {
         &self.monitor
     }
 
-    /// Set (or clear) the per-statement deadline for distributed SELECTs.
+    /// Set (or clear) the *default* per-statement deadline applied by
+    /// [`Cluster::query`]. Statements that need their own budget should
+    /// use [`Cluster::query_with_deadline`], which never touches this
+    /// shared default — so one statement's deadline cannot cancel
+    /// another's.
     pub fn set_statement_deadline(&self, deadline: Option<Duration>) {
         *self.deadline.write() = deadline;
+    }
+
+    /// Override the SQL dialect distributed statements are parsed with
+    /// (default ANSI).
+    pub fn set_dialect(&mut self, dialect: Dialect) {
+        self.dialect = dialect;
+    }
+
+    /// The current assignment epoch (bumped by every committed rebalance).
+    pub fn assignment_epoch(&self) -> u64 {
+        self.assignment.read().epoch
+    }
+
+    /// Clone the current assignment snapshot: one `u64` plus an `Arc`
+    /// bump. The returned snapshot stays internally consistent forever.
+    fn pin_assignment(&self) -> AssignmentEpoch {
+        self.assignment.read().clone()
     }
 
     /// Number of shards.
@@ -198,14 +253,14 @@ impl Cluster {
 
     /// Shards per node: `(node, shard list)` for live nodes.
     pub fn shard_distribution(&self) -> Vec<(NodeId, Vec<ShardId>)> {
-        let assignment = self.assignment.read();
+        let snapshot = self.pin_assignment();
         let mut by_node: BTreeMap<NodeId, Vec<ShardId>> = BTreeMap::new();
         for (n, st) in self.nodes.read().iter() {
             if st.alive {
                 by_node.insert(*n, Vec::new());
             }
         }
-        for (&s, &n) in assignment.iter() {
+        for (&s, &n) in snapshot.map.iter() {
             by_node.entry(n).or_default().push(s);
         }
         by_node.into_iter().collect()
@@ -269,7 +324,12 @@ impl Cluster {
             }
             Distribution::Hash(col) => {
                 // Hash on the rendered key — stable across numeric kinds.
-                let first = self.fs.mount(shards[0])?;
+                let Some(&first_shard) = shards.first() else {
+                    return Err(DashError::internal(
+                        "cluster filesystem holds no shards (constructor guarantees >= 1)",
+                    ));
+                };
+                let first = self.fs.mount(first_shard)?;
                 let schema = first.db.catalog().table_handle(table)?.table.read().schema().clone();
                 let key_idx = schema.resolve(&col)?;
                 let mut per_shard: Vec<Vec<Row>> = vec![Vec::new(); shards.len()];
@@ -310,8 +370,17 @@ impl Cluster {
 
     /// Execute a SELECT across the cluster: scatter to live shards in
     /// parallel, two-phase aggregate, coordinator-side ORDER BY / LIMIT /
-    /// DISTINCT.
+    /// DISTINCT. Uses the cluster's default statement deadline (see
+    /// [`Cluster::set_statement_deadline`]).
     pub fn query(&self, sql: &str) -> Result<Vec<Row>> {
+        self.query_with_deadline(sql, *self.deadline.read())
+    }
+
+    /// Like [`Cluster::query`], but with an explicit per-statement
+    /// deadline (`None` = run unbounded), ignoring the cluster default.
+    /// The deadline travels with this call only; concurrent statements
+    /// each keep their own budget.
+    pub fn query_with_deadline(&self, sql: &str, deadline: Option<Duration>) -> Result<Vec<Row>> {
         let stmt = parse_statement(sql, self.dialect)?;
         let select = match stmt {
             Statement::Select(s) => *s,
@@ -321,10 +390,10 @@ impl Cluster {
                 ))
             }
         };
-        self.distributed_select(&select)
+        self.distributed_select(&select, deadline)
     }
 
-    fn distributed_select(&self, stmt: &SelectStmt) -> Result<Vec<Row>> {
+    fn distributed_select(&self, stmt: &SelectStmt, deadline: Option<Duration>) -> Result<Vec<Row>> {
         // Decompose aggregates if present.
         let agg_info = analyze_aggregation(stmt)?;
         // The statement each shard runs: partial aggregates, no
@@ -347,7 +416,7 @@ impl Cluster {
 
         // Scatter to live shards in parallel, surviving shard faults and
         // node deaths along the way.
-        let partials = self.scatter(&shard_stmt)?;
+        let partials = self.scatter(&shard_stmt, deadline)?;
 
         // Merge.
         let mut merged: Vec<Row> = match &agg_info {
@@ -390,42 +459,66 @@ impl Cluster {
     /// re-driving lost shards after failover, until every shard has
     /// reported or the statement dies (fatal error, quorum loss, or
     /// deadline). Returns per-shard partials in shard-id order.
-    fn scatter(&self, shard_stmt: &SelectStmt) -> Result<Vec<Vec<Row>>> {
-        let deadline = self.deadline.read().map(|d| Instant::now() + d);
-        let initial_live = self.live_nodes();
+    ///
+    /// The statement pins one [`AssignmentEpoch`] at scatter start and
+    /// resolves every round's work against that single immutable map, so
+    /// a concurrent rebalance can never tear one round across two
+    /// assignment versions. The pin only advances deliberately: when
+    /// shards are requeued (failover, mid-remove orphan) they re-pin the
+    /// newest epoch, while shards already collected keep their results.
+    fn scatter(&self, shard_stmt: &SelectStmt, deadline: Option<Duration>) -> Result<Vec<Vec<Row>>> {
+        let deadline = deadline.map(|d| Instant::now() + d);
+        let mut pinned = self.pin_assignment();
         let mut pending: Vec<ShardId> = self.fs.shards();
         let mut collected: BTreeMap<ShardId, Vec<Row>> = BTreeMap::new();
         let mut round = 0usize;
+        // Convergence accounting: the first round is free; every extra
+        // round must be paid for by an observed node death or an epoch
+        // re-pin. (Bounding by membership sampled at statement start was
+        // wrong: a node added mid-statement that then died could exhaust
+        // the budget spuriously.)
+        let mut deaths = 0usize;
+        let mut repins = 0usize;
         while !pending.is_empty() {
             round += 1;
-            // Every extra round is preceded by at least one node death, so
-            // a statement can never need more rounds than it had nodes.
-            if round > initial_live + 1 {
+            if round > deaths + repins + 1 {
                 return Err(DashError::Cluster(format!(
-                    "scatter-gather did not converge after {} failover rounds",
+                    "scatter-gather did not converge after {} failover rounds \
+                     ({deaths} node deaths, {repins} epoch re-pins observed)",
                     round - 1
                 )));
             }
-            let work: Vec<(ShardId, NodeId)> = {
-                let a = self.assignment.read();
-                pending
-                    .iter()
-                    .map(|s| {
-                        a.get(s)
-                            .copied()
-                            .map(|n| (*s, n))
-                            .ok_or_else(|| DashError::Cluster(format!("{s} has no assignment")))
-                    })
-                    .collect::<Result<_>>()?
-            };
-            let (outcomes, timed_out) = self.run_round(shard_stmt, &work, deadline);
+            // Chaos hook: force a full rebalance between failover rounds,
+            // so tests can deterministically race a rebalance against an
+            // in-flight statement. `Stall` sleeps first, then rebalances.
+            if round > 1 {
+                if let Some(action) = self.faults.evaluate(REBALANCE_DURING_SCATTER) {
+                    if let FaultAction::Stall(d) = action {
+                        std::thread::sleep(d);
+                    }
+                    self.rebalance()?;
+                }
+            }
+            // Resolve this round's work against the pinned snapshot only.
+            // A shard can transiently lack an owner while metadata is
+            // damaged mid-membership-change: requeue it for the next
+            // round instead of killing the whole statement.
+            let mut work: Vec<(ShardId, NodeId, u64)> = Vec::with_capacity(pending.len());
+            let mut orphans: Vec<ShardId> = Vec::new();
+            for s in &pending {
+                match pinned.map.get(s) {
+                    Some(n) => work.push((*s, *n, pinned.epoch)),
+                    None => orphans.push(*s),
+                }
+            }
+            let (outcomes, timed_out) = self.run_round(shard_stmt, &work, deadline)?;
             if timed_out {
                 self.monitor.record_deadline_kill();
                 return Err(DashError::Cancelled);
             }
             let mut requeue: Vec<ShardId> = Vec::new();
             let mut dead: Vec<(NodeId, DashError)> = Vec::new();
-            for ((shard, _), out) in work.iter().zip(outcomes) {
+            for ((shard, _, _), out) in work.iter().zip(outcomes) {
                 match out {
                     Some(ShardOutcome::Rows(rows)) => {
                         collected.insert(*shard, rows);
@@ -442,16 +535,42 @@ impl Cluster {
             }
             for (n, cause) in dead {
                 // Quorum loss aborts the statement here; a node another
-                // shard already reported is simply skipped.
+                // shard already reported (or that a concurrent statement
+                // already buried) still counts as an observed death for
+                // the convergence budget.
                 match self.declare_dead(n) {
-                    Ok(Some(_)) => self.monitor.record_failover(),
-                    Ok(None) => {}
+                    Ok(Some(_)) => {
+                        deaths += 1;
+                        self.monitor.record_failover();
+                    }
+                    Ok(None) => deaths += 1,
                     Err(e) => {
                         return Err(DashError::Cluster(format!("{e}; first failure: {cause}")))
                     }
                 }
             }
+            let had_orphans = !orphans.is_empty();
             pending = requeue;
+            pending.append(&mut orphans);
+            if pending.is_empty() {
+                continue;
+            }
+            // Re-drive lost shards against the *post*-failover epoch;
+            // everything already collected keeps its pinned-epoch rows.
+            let fresh = self.pin_assignment();
+            if fresh.epoch != pinned.epoch {
+                self.monitor.record_stale_epoch_retries(pending.len() as u64);
+                repins += 1;
+                pinned = fresh;
+            } else if had_orphans {
+                // The published map itself is missing a shard and no
+                // rebalance has happened: heal it with a reconciling
+                // rebalance (the clustered filesystem is ground truth).
+                self.rebalance()?;
+                self.monitor.record_stale_epoch_retries(pending.len() as u64);
+                repins += 1;
+                pinned = self.pin_assignment();
+            }
         }
         Ok(collected.into_values().collect())
     }
@@ -460,12 +579,21 @@ impl Cluster {
     /// outcomes until done or `deadline`. On deadline the cancel flag stops
     /// in-flight workers (stalls wake every [`STALL_CHUNK`]); the scope
     /// still joins every thread before returning.
+    ///
+    /// Each work item carries the epoch it was resolved from; a round
+    /// whose items span more than one epoch is a torn round — the exact
+    /// bug epoch pinning removes — and trips a monitor counter kept as a
+    /// regression tripwire.
     fn run_round(
         &self,
         shard_stmt: &SelectStmt,
-        work: &[(ShardId, NodeId)],
+        work: &[(ShardId, NodeId, u64)],
         deadline: Option<Instant>,
-    ) -> (Vec<Option<ShardOutcome>>, bool) {
+    ) -> Result<(Vec<Option<ShardOutcome>>, bool)> {
+        let epochs: BTreeSet<u64> = work.iter().map(|&(_, _, e)| e).collect();
+        if epochs.len() > 1 {
+            self.monitor.record_torn_epoch_round();
+        }
         let cancel = AtomicBool::new(false);
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, ShardOutcome)>();
@@ -484,8 +612,8 @@ impl Cluster {
                     if i >= work.len() || cancel.load(Ordering::Relaxed) {
                         break;
                     }
-                    let (shard, node) = work[i];
-                    let out = self.attempt_shard(shard_stmt, shard, node, cancel);
+                    let (shard, node, epoch) = work[i];
+                    let out = self.attempt_shard(shard_stmt, shard, node, epoch, cancel);
                     if tx.send((i, out)).is_err() {
                         break;
                     }
@@ -525,7 +653,7 @@ impl Cluster {
             }
             (outs, timed_out)
         })
-        .expect("scatter workers do not panic")
+        .map_err(|_| DashError::internal("a scatter worker panicked; round abandoned"))
     }
 
     /// Run one shard's statement on its assigned node, retrying transient
@@ -536,6 +664,7 @@ impl Cluster {
         stmt: &SelectStmt,
         shard: ShardId,
         node: NodeId,
+        epoch: u64,
         cancel: &AtomicBool,
     ) -> ShardOutcome {
         let mut last_err: Option<DashError> = None;
@@ -584,7 +713,7 @@ impl Cluster {
                 }
                 None => {}
             }
-            match self.execute_on_shard(stmt, shard, node) {
+            match self.execute_on_shard(stmt, shard, node, epoch) {
                 Ok(rows) => return ShardOutcome::Rows(rows),
                 Err(e) if is_transient(&e) => last_err = Some(e),
                 Err(e) => return ShardOutcome::Fatal(e),
@@ -595,9 +724,17 @@ impl Cluster {
         ShardOutcome::NodeDown(node, err)
     }
 
-    /// Mount a shard on its node and execute the partial statement.
-    fn execute_on_shard(&self, stmt: &SelectStmt, shard: ShardId, node: NodeId) -> Result<Vec<Row>> {
-        let fsd = self.fs.mount_for(shard, node)?;
+    /// Mount a shard on its node (tagged with the statement's pinned
+    /// epoch, so a stale-epoch statement cannot steal the mount from a
+    /// post-rebalance owner) and execute the partial statement.
+    fn execute_on_shard(
+        &self,
+        stmt: &SelectStmt,
+        shard: ShardId,
+        node: NodeId,
+        epoch: u64,
+    ) -> Result<Vec<Row>> {
+        let fsd = self.fs.mount_for_epoch(shard, node, epoch)?;
         let ctx = dash_exec::functions::EvalContext {
             now_micros: 0,
             sequences: None,
@@ -703,9 +840,11 @@ impl Cluster {
     }
 
     /// Recompute the shard → node assignment over the live membership and
-    /// re-associate moved shards through the clustered filesystem. Each
-    /// move passes the [`SHARD_MOVE`] failpoint; nothing commits on
-    /// failure (the assignment map is only swapped at the end).
+    /// re-associate moved shards through the clustered filesystem, then
+    /// publish the new map under a bumped epoch. Each move passes the
+    /// [`SHARD_MOVE`] failpoint; the epoch swap is all-or-nothing (a
+    /// failed pass leaves the previous snapshot published), and pinned
+    /// readers are never disturbed — they hold their own `Arc` snapshot.
     fn rebalance(&self) -> Result<RebalanceReport> {
         let live: Vec<NodeId> = self
             .nodes
@@ -714,11 +853,21 @@ impl Cluster {
             .filter(|(_, st)| st.alive)
             .map(|(n, _)| *n)
             .collect();
-        let mut assignment = self.assignment.write();
-        let mut next = assignment.clone();
-        let report = balance_assignments(&mut next, &live)?;
+        // Hold the write lock across compute+commit so concurrent
+        // rebalances serialize and epochs stay monotonic.
+        let mut current = self.assignment.write();
+        let mut next: BTreeMap<ShardId, NodeId> = current.map.as_ref().clone();
+        // Reconcile with the filesystem (ground truth): a shard present
+        // on shared storage but missing from the map re-enters under the
+        // unassigned sentinel, which rebalancing treats like a dead
+        // node's shard and re-places.
+        for s in self.fs.shards() {
+            next.entry(s).or_insert(UNASSIGNED);
+        }
+        let next_epoch = current.epoch + 1;
+        let report = balance_assignments(&mut next, &live, next_epoch)?;
         for (shard, node) in &next {
-            if assignment.get(shard) == Some(node) {
+            if current.map.get(shard) == Some(node) {
                 continue;
             }
             match self.faults.evaluate_scoped(SHARD_MOVE, shard.0) {
@@ -730,9 +879,13 @@ impl Cluster {
                 Some(FaultAction::Stall(d)) => std::thread::sleep(d),
                 None => {}
             }
-            self.fs.mount_for(*shard, *node)?;
+            self.fs.mount_for_epoch(*shard, *node, next_epoch)?;
         }
-        *assignment = next;
+        *current = AssignmentEpoch {
+            epoch: next_epoch,
+            map: Arc::new(next),
+        };
+        self.monitor.record_epoch_bump();
         Ok(report)
     }
 }
@@ -834,7 +987,9 @@ fn analyze_aggregation(stmt: &SelectStmt) -> Result<Option<AggInfo>> {
     let mut next_out = group_cols;
     for (i, item) in stmt.projection.iter().enumerate() {
         let SelectItem::Expr { expr, .. } = item else {
-            unreachable!("checked above");
+            return Err(DashError::internal(
+                "projection item changed shape between aggregation passes",
+            ));
         };
         if !expr.contains_aggregate() {
             continue;
@@ -949,6 +1104,11 @@ fn merge_partials(partials: Vec<Vec<Row>>, info: &AggInfo) -> Result<Vec<Row>> {
     }
     let mut out = Vec::with_capacity(groups.len());
     for rows in groups.into_values() {
+        // Groups are only created by pushing a row, so `rows` is never
+        // empty; keep the invariant an error rather than a panic.
+        let first = rows
+            .first()
+            .ok_or_else(|| DashError::internal("empty partial group during merge"))?;
         let mut result: Vec<Datum> = Vec::with_capacity(info.merges.len());
         // The j-th projected group column sits at partial ordinal j.
         let mut group_pos = 0usize;
@@ -958,7 +1118,7 @@ fn merge_partials(partials: Vec<Vec<Row>>, info: &AggInfo) -> Result<Vec<Row>> {
         for m in &info.merges {
             match m {
                 None => {
-                    result.push(rows[0].get(group_pos).clone());
+                    result.push(first.get(group_pos).clone());
                     group_pos += 1;
                 }
                 Some(MergeOp::Sum) => {
@@ -1082,6 +1242,7 @@ fn resolve_order_keys(stmt: &SelectStmt, merged: &[Row]) -> Result<Vec<(usize, b
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dash_common::faults::FaultPolicy;
     use dash_common::types::DataType;
     use dash_common::{row, Field};
 
@@ -1276,6 +1437,86 @@ mod tests {
         // Removing down to the last node is refused.
         c.remove_node(NodeId(1)).unwrap();
         assert!(c.remove_node(NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn assignment_epoch_bumps_on_every_membership_event() {
+        let c = sales_cluster(3, 2, 300);
+        assert_eq!(c.assignment_epoch(), 0, "fresh cluster publishes epoch 0");
+        let r = c.fail_node(NodeId(2)).unwrap();
+        assert_eq!(r.epoch, 1, "report carries the committed epoch");
+        assert_eq!(c.assignment_epoch(), 1);
+        let (id, r) = c.add_node(HardwareSpec::laptop()).unwrap();
+        assert_eq!(r.epoch, 2);
+        c.remove_node(id).unwrap();
+        assert_eq!(c.assignment_epoch(), 3);
+        assert_eq!(c.monitor().recovery().epoch_bumps, 3);
+        // Moved shards' mounts are tagged with the epoch that moved them.
+        let tagged = c
+            .filesystem()
+            .shards()
+            .iter()
+            .filter_map(|s| c.filesystem().mount_epoch(*s))
+            .filter(|e| *e > 0)
+            .count();
+        assert!(tagged > 0, "rebalance moves re-tag mounts with the new epoch");
+    }
+
+    #[test]
+    fn missing_assignment_requeues_and_heals_instead_of_killing() {
+        let c = sales_cluster(2, 2, 400);
+        // Damage the metadata: publish a map missing one shard, same epoch.
+        {
+            let mut guard = c.assignment.write();
+            let mut m = guard.map.as_ref().clone();
+            m.remove(&ShardId(0));
+            *guard = AssignmentEpoch {
+                epoch: guard.epoch,
+                map: Arc::new(m),
+            };
+        }
+        // The orphaned shard is requeued and healed by a reconciling
+        // rebalance — the statement survives and loses no rows.
+        let rows = c.query("SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(rows[0].get(0), &Datum::Int(400));
+        let rec = c.monitor().recovery();
+        assert!(rec.stale_epoch_retries >= 1, "{rec:?}");
+        assert_eq!(rec.torn_epoch_rounds, 0, "{rec:?}");
+        assert!(c.assignment_epoch() >= 1, "heal committed a new epoch");
+        // The healed map is complete again.
+        let snap = c.pin_assignment();
+        assert!(snap.map.contains_key(&ShardId(0)));
+    }
+
+    #[test]
+    fn per_call_deadline_overrides_but_never_writes_the_default() {
+        let reg = FaultRegistry::new();
+        let c = Cluster::with_faults(2, 2, HardwareSpec::laptop(), reg.clone()).unwrap();
+        let schema = Schema::new(vec![Field::not_null("id", DataType::Int64)]).unwrap();
+        c.create_table("t", schema, Distribution::Hash("id".into())).unwrap();
+        c.load_rows("t", (0..100).map(|i| row![i as i64]).collect()).unwrap();
+        // Cluster default: effectively unbounded.
+        c.set_statement_deadline(Some(Duration::from_secs(60)));
+        // A stalling shard plus a tight per-call deadline: only this call
+        // is killed; the shared default is untouched.
+        reg.arm(
+            FaultRegistry::scoped(dash_common::faults::SHARD_EXEC, 0),
+            FaultPolicy::Always,
+            FaultAction::Stall(Duration::from_secs(5)),
+        );
+        let err = c
+            .query_with_deadline("SELECT COUNT(*) FROM t", Some(Duration::from_millis(50)))
+            .unwrap_err();
+        assert_eq!(err.class(), "57014", "{err}");
+        reg.disarm_all();
+        // The default was not clobbered by the per-call override.
+        let rows = c.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(rows[0].get(0), &Datum::Int(100));
+        // And an explicit None ignores the default entirely.
+        let rows = c
+            .query_with_deadline("SELECT COUNT(*) FROM t", None)
+            .unwrap();
+        assert_eq!(rows[0].get(0), &Datum::Int(100));
     }
 
     #[test]

@@ -37,13 +37,27 @@ impl std::fmt::Debug for ShardFileSet {
     }
 }
 
+/// One shard's mount record: the holding node plus the assignment epoch
+/// under which the mount was (re-)associated. Epoch tags order competing
+/// re-associations: a mount request carrying an older epoch than the
+/// current record reads the file set without stealing the mount, so a
+/// statement pinned to a pre-rebalance snapshot can never claw a shard
+/// back from its new owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MountRecord {
+    /// The node holding the mount.
+    pub node: NodeId,
+    /// The assignment epoch the mount was taken under.
+    pub epoch: u64,
+}
+
 #[derive(Default)]
 struct FsState {
     sets: BTreeMap<ShardId, ShardFileSet>,
     /// Which node currently holds each shard's mount (advisory — a mount
-    /// by another node re-associates the shard, mirroring the paper's
-    /// clustered-FS semantics).
-    mounts: BTreeMap<ShardId, NodeId>,
+    /// by another node at the same or newer epoch re-associates the
+    /// shard, mirroring the paper's clustered-FS semantics).
+    mounts: BTreeMap<ShardId, MountRecord>,
 }
 
 /// The shared clustered filesystem: shard id → file set.
@@ -102,8 +116,23 @@ impl ClusterFs {
     }
 
     /// Mount a shard's file set on behalf of `node`, recording (or
-    /// re-associating) the mount.
+    /// re-associating) the mount at the shard's current epoch tag.
     pub fn mount_for(&self, shard: ShardId, node: NodeId) -> Result<ShardFileSet> {
+        let epoch = self
+            .state
+            .read()
+            .mounts
+            .get(&shard)
+            .map_or(0, |rec| rec.epoch);
+        self.mount_for_epoch(shard, node, epoch)
+    }
+
+    /// Mount a shard's file set on behalf of `node` under assignment
+    /// `epoch`. When the shard's current mount record carries a *newer*
+    /// epoch, the caller is a statement still pinned to an old snapshot:
+    /// it gets the file set (shared storage — reads stay valid) but the
+    /// mount record is left with the newer owner.
+    pub fn mount_for_epoch(&self, shard: ShardId, node: NodeId, epoch: u64) -> Result<ShardFileSet> {
         self.check_mount_fault(shard)?;
         let mut st = self.state.write();
         let set = st
@@ -111,13 +140,23 @@ impl ClusterFs {
             .get(&shard)
             .cloned()
             .ok_or_else(|| DashError::not_found("shard file set", shard.to_string()))?;
-        st.mounts.insert(shard, node);
+        match st.mounts.get(&shard) {
+            Some(rec) if rec.epoch > epoch => {}
+            _ => {
+                st.mounts.insert(shard, MountRecord { node, epoch });
+            }
+        }
         Ok(set)
     }
 
     /// The node currently holding `shard`'s mount, if any.
     pub fn mounted_by(&self, shard: ShardId) -> Option<NodeId> {
-        self.state.read().mounts.get(&shard).copied()
+        self.state.read().mounts.get(&shard).map(|rec| rec.node)
+    }
+
+    /// The assignment epoch `shard`'s mount was last re-associated under.
+    pub fn mount_epoch(&self, shard: ShardId) -> Option<u64> {
+        self.state.read().mounts.get(&shard).map(|rec| rec.epoch)
     }
 
     /// Release every mount held by `node` (decommission). Returns how many
@@ -126,7 +165,7 @@ impl ClusterFs {
     pub fn release_node(&self, node: NodeId) -> usize {
         let mut st = self.state.write();
         let before = st.mounts.len();
-        st.mounts.retain(|_, n| *n != node);
+        st.mounts.retain(|_, rec| rec.node != node);
         before - st.mounts.len()
     }
 
@@ -197,6 +236,30 @@ mod tests {
         assert_eq!(fs.release_node(NodeId(1)), 1);
         assert_eq!(fs.mounted_by(ShardId(1)), None);
         assert_eq!(fs.mounted_by(ShardId(2)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn stale_epoch_mount_reads_without_stealing() {
+        let fs = ClusterFs::new();
+        fs.create(ShardId(0), Database::with_hardware(HardwareSpec::laptop()))
+            .unwrap();
+        // Epoch 3: node 1 owns the mount (a committed rebalance).
+        fs.mount_for_epoch(ShardId(0), NodeId(1), 3).unwrap();
+        assert_eq!(fs.mount_epoch(ShardId(0)), Some(3));
+        // A statement pinned to epoch 1 still reads the file set...
+        assert!(fs.mount_for_epoch(ShardId(0), NodeId(0), 1).is_ok());
+        // ...but cannot claw the mount back from the epoch-3 owner.
+        assert_eq!(fs.mounted_by(ShardId(0)), Some(NodeId(1)));
+        assert_eq!(fs.mount_epoch(ShardId(0)), Some(3));
+        // Same-or-newer epochs re-associate as before.
+        fs.mount_for_epoch(ShardId(0), NodeId(2), 3).unwrap();
+        assert_eq!(fs.mounted_by(ShardId(0)), Some(NodeId(2)));
+        fs.mount_for_epoch(ShardId(0), NodeId(0), 4).unwrap();
+        assert_eq!(fs.mounted_by(ShardId(0)), Some(NodeId(0)));
+        // Untagged mount_for re-associates at the current tag.
+        fs.mount_for(ShardId(0), NodeId(1)).unwrap();
+        assert_eq!(fs.mounted_by(ShardId(0)), Some(NodeId(1)));
+        assert_eq!(fs.mount_epoch(ShardId(0)), Some(4));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use dash_common::ids::{NodeId, ShardId};
 use dash_common::{DashError, Result};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Outcome of one rebalance pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +18,10 @@ pub struct RebalanceReport {
     pub moved_shards: usize,
     /// Shards per live node after the pass (sorted by node id).
     pub shards_per_node: Vec<(NodeId, usize)>,
+    /// The assignment epoch this pass produced. Statements pinned to an
+    /// older epoch keep reading their snapshot; only re-driven (lost)
+    /// shards advance to this epoch.
+    pub epoch: u64,
 }
 
 impl RebalanceReport {
@@ -32,13 +36,16 @@ impl RebalanceReport {
 /// Rebalance `assignment` onto exactly the `live` nodes, minimizing moves.
 ///
 /// Shards assigned to dead nodes must move; shards on overloaded live
-/// nodes move until every node holds `⌊S/N⌋` or `⌈S/N⌉` shards.
+/// nodes move until every node holds `⌊S/N⌋` or `⌈S/N⌉` shards. The
+/// resulting report is stamped with `epoch`, the version the caller will
+/// publish the new map under.
 ///
 /// With no live nodes there is nowhere to put the shards: that is quorum
 /// loss, reported as [`DashError::Cluster`] (the assignment is untouched).
 pub fn balance_assignments(
     assignment: &mut BTreeMap<ShardId, NodeId>,
     live: &[NodeId],
+    epoch: u64,
 ) -> Result<RebalanceReport> {
     if live.is_empty() {
         return Err(DashError::Cluster(
@@ -69,9 +76,10 @@ pub fn balance_assignments(
             .map(|(s, _)| *s)
             .collect();
         held.sort_unstable();
-        for s in held.into_iter().take(target[n]) {
+        let keep = target.get(n).copied().unwrap_or(0);
+        for s in held.into_iter().take(keep) {
             new_assignment.insert(s, *n);
-            *holding.get_mut(n).expect("live node") += 1;
+            *holding.entry(*n).or_insert(0) += 1;
         }
     }
     let movers: Vec<ShardId> = assignment
@@ -80,23 +88,37 @@ pub fn balance_assignments(
         .copied()
         .collect();
     let moved_shards = movers.len();
-    // Refill nodes below target, round-robin in id order.
-    let mut fill = sorted_live.iter().cycle();
+    // Refill nodes below target, round-robin in id order: a queue of
+    // (node, open slots) visited front-to-back, re-queued while slots
+    // remain. Capacity equals the shard count by construction, so running
+    // out of slots with movers left is a bookkeeping bug, not a panic.
+    let mut open: VecDeque<(NodeId, usize)> = sorted_live
+        .iter()
+        .filter_map(|n| {
+            let have = holding.get(n).copied().unwrap_or(0);
+            let want = target.get(n).copied().unwrap_or(0);
+            (want > have).then_some((*n, want - have))
+        })
+        .collect();
     for shard in movers {
-        loop {
-            let n = *fill.next().expect("cycle never ends");
-            let h = holding.get_mut(&n).expect("live node");
-            if *h < target[&n] {
-                *h += 1;
-                new_assignment.insert(shard, n);
-                break;
-            }
+        let Some((n, slots)) = open.pop_front() else {
+            return Err(DashError::internal(format!(
+                "rebalance bookkeeping: {shard} has no open slot \
+                 ({total} shards over {} nodes)",
+                sorted_live.len()
+            )));
+        };
+        new_assignment.insert(shard, n);
+        *holding.entry(n).or_insert(0) += 1;
+        if slots > 1 {
+            open.push_back((n, slots - 1));
         }
     }
     *assignment = new_assignment;
     Ok(RebalanceReport {
         moved_shards,
         shards_per_node: holding.into_iter().collect(),
+        epoch,
     })
 }
 
@@ -116,8 +138,9 @@ mod tests {
         // 24 shards over 4 nodes (6 each); node 3 dies → 8 each.
         let mut a = make(24, 4);
         let live = [NodeId(0), NodeId(1), NodeId(2)];
-        let r = balance_assignments(&mut a, &live).unwrap();
+        let r = balance_assignments(&mut a, &live, 1).unwrap();
         assert_eq!(r.moved_shards, 6, "only the dead node's shards move");
+        assert_eq!(r.epoch, 1, "report carries the epoch it was stamped with");
         assert_eq!(r.imbalance(), 0);
         for (_, n) in &r.shards_per_node {
             assert_eq!(*n, 8);
@@ -134,7 +157,7 @@ mod tests {
             .map(|s| (ShardId(s as u32), NodeId((s % 3) as u32)))
             .collect();
         let live = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
-        let r = balance_assignments(&mut a, &live).unwrap();
+        let r = balance_assignments(&mut a, &live, 1).unwrap();
         assert_eq!(r.moved_shards, 6, "exactly the overflow moves");
         assert_eq!(r.imbalance(), 0);
     }
@@ -143,7 +166,7 @@ mod tests {
     fn uneven_division_stays_within_one() {
         let mut a = make(25, 4);
         let live = [NodeId(0), NodeId(1), NodeId(2)];
-        let r = balance_assignments(&mut a, &live).unwrap();
+        let r = balance_assignments(&mut a, &live, 1).unwrap();
         assert!(r.imbalance() <= 1);
         let total: usize = r.shards_per_node.iter().map(|(_, n)| n).sum();
         assert_eq!(total, 25);
@@ -153,7 +176,7 @@ mod tests {
     fn no_live_nodes_is_quorum_loss_not_panic() {
         let mut a = make(8, 2);
         let before = a.clone();
-        let err = balance_assignments(&mut a, &[]).unwrap_err();
+        let err = balance_assignments(&mut a, &[], 1).unwrap_err();
         assert_eq!(err.class(), "57011", "cluster SQLSTATE class: {err}");
         assert_eq!(a, before, "failed rebalance must not corrupt assignment");
     }
@@ -162,7 +185,7 @@ mod tests {
     fn noop_when_already_balanced() {
         let mut a = make(12, 3);
         let live = [NodeId(0), NodeId(1), NodeId(2)];
-        let r = balance_assignments(&mut a, &live).unwrap();
+        let r = balance_assignments(&mut a, &live, 1).unwrap();
         assert_eq!(r.moved_shards, 0);
     }
 
@@ -179,7 +202,7 @@ mod tests {
                 .map(|i| NodeId(i as u32))
                 .collect();
             prop_assume!(!live.is_empty());
-            let r = balance_assignments(&mut a, &live).expect("live nonempty");
+            let r = balance_assignments(&mut a, &live, 1).expect("live nonempty");
             prop_assert_eq!(a.len(), n_shards, "no shard lost");
             prop_assert!(a.values().all(|n| live.contains(n)));
             prop_assert!(r.imbalance() <= 1);

@@ -23,5 +23,6 @@ pub mod clusterfs;
 pub mod deploy;
 pub mod ha;
 
-pub use cluster::{Cluster, Distribution};
+pub use cluster::{AssignmentEpoch, Cluster, Distribution};
 pub use deploy::{simulate_deployment, DeploySpec, DeploymentReport};
+pub use ha::RebalanceReport;

@@ -4,8 +4,10 @@
 //! or scoped failpoints so outcomes are bit-for-bit reproducible no matter
 //! how the worker threads interleave.
 
+use dashdb_local::common::dialect::Dialect;
 use dashdb_local::common::faults::{
-    FaultAction, FaultPolicy, FaultRegistry, CLUSTERFS_MOUNT, NODE_CRASH, SHARD_EXEC,
+    FaultAction, FaultPolicy, FaultRegistry, CLUSTERFS_MOUNT, NODE_CRASH,
+    REBALANCE_DURING_SCATTER, SHARD_EXEC,
 };
 use dashdb_local::common::ids::NodeId;
 use dashdb_local::common::types::DataType;
@@ -14,6 +16,18 @@ use dashdb_local::core::monitor::RecoveryStats;
 use dashdb_local::core::HardwareSpec;
 use dashdb_local::mpp::{Cluster, Distribution};
 use std::time::Duration;
+
+/// Registry seed for this run: `DASH_FAULT_SEED` (the CI matrix variable)
+/// when set, otherwise the scenario's default. Every scenario uses
+/// counting or scoped policies, so correctness must hold — and is CI-run
+/// — under any seed; the seed varies `Probability` draws and interleaving
+/// pressure only.
+fn seed(default: u64) -> u64 {
+    std::env::var("DASH_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
 
 fn sales_schema() -> Schema {
     Schema::new(vec![
@@ -50,7 +64,7 @@ fn node_death_mid_select_fails_over_and_returns_correct_totals() {
         .query(TOTALS_SQL)
         .unwrap();
 
-    let reg = FaultRegistry::with_seed(7);
+    let reg = FaultRegistry::with_seed(seed(7));
     let c = loaded_cluster(4, 6, 4000, reg.clone());
     // Node 2 crashes the moment it touches any of its shards — `Always`,
     // so every in-flight shard on the node is lost, exactly like a real
@@ -88,7 +102,7 @@ fn transient_shard_faults_are_retried_not_escalated() {
     let expected = loaded_cluster(3, 4, 1500, FaultRegistry::new())
         .query(TOTALS_SQL)
         .unwrap();
-    let reg = FaultRegistry::with_seed(11);
+    let reg = FaultRegistry::with_seed(seed(11));
     let c = loaded_cluster(3, 4, 1500, reg.clone());
     // Shards 1 and 5 each fail exactly once; the retry succeeds.
     for shard in [1u32, 5] {
@@ -155,7 +169,7 @@ fn imbalance_stays_within_one_under_membership_churn() {
 /// 57011, deadline kills are 57014.
 #[test]
 fn injected_faults_surface_as_classified_errors_never_panics() {
-    let reg = FaultRegistry::with_seed(3);
+    let reg = FaultRegistry::with_seed(seed(3));
     let c = loaded_cluster(3, 3, 900, reg.clone());
 
     // A mount fault on a non-retried path (DML broadcast) is a plain
@@ -183,7 +197,7 @@ fn injected_faults_surface_as_classified_errors_never_panics() {
 
     // A straggler shard plus a statement deadline: the coordinator kills
     // the statement as Cancelled instead of hanging.
-    let reg = FaultRegistry::with_seed(5);
+    let reg = FaultRegistry::with_seed(seed(5));
     let c = loaded_cluster(3, 3, 900, reg.clone());
     reg.arm(
         FaultRegistry::scoped(SHARD_EXEC, 4),
@@ -209,7 +223,7 @@ fn injected_faults_surface_as_classified_errors_never_panics() {
 fn chaos_run_is_bit_for_bit_deterministic() {
     type SiteStats = Vec<(String, (u64, u64))>;
     fn run() -> (Vec<Row>, RecoveryStats, SiteStats) {
-        let reg = FaultRegistry::with_seed(42);
+        let reg = FaultRegistry::with_seed(seed(42));
         let c = loaded_cluster(4, 5, 2000, reg.clone());
         reg.arm(
             FaultRegistry::scoped(SHARD_EXEC, 3),
@@ -241,4 +255,194 @@ fn chaos_run_is_bit_for_bit_deterministic() {
     assert_eq!(a.1, b.1, "recovery counters must be reproducible");
     assert_eq!(a.2, b.2, "failpoint statistics must be reproducible");
     assert!(a.1.failovers >= 1, "the node crash really fired: {:?}", a.1);
+}
+
+/// The torn-read bug this PR fixes, reproduced deterministically: a node
+/// dies mid-SELECT *and* the `rebalance.during_scatter` failpoint forces a
+/// second full rebalance between the failover rounds. The statement's
+/// pinned epoch makes both invisible — it answers exactly what a quiesced
+/// cluster answers, re-pins the lost shards onto the fresh epoch (a
+/// stale-epoch retry), and never runs a round spanning two epochs.
+#[test]
+fn rebalance_during_scatter_is_invisible_to_the_statement() {
+    let expected = loaded_cluster(4, 6, 4000, FaultRegistry::new())
+        .query(TOTALS_SQL)
+        .unwrap();
+
+    let reg = FaultRegistry::with_seed(seed(7));
+    let c = loaded_cluster(4, 6, 4000, reg.clone());
+    reg.arm(
+        FaultRegistry::scoped(NODE_CRASH, 2),
+        FaultPolicy::Always,
+        FaultAction::Error("kernel panic".into()),
+    );
+    // Every failover round is preceded by an *extra* full rebalance, so
+    // the in-flight statement races not one membership change but two.
+    reg.arm(
+        REBALANCE_DURING_SCATTER,
+        FaultPolicy::Always,
+        FaultAction::Error("forced rebalance".into()),
+    );
+    let rows = c.query(TOTALS_SQL).unwrap();
+    assert_eq!(rows, expected, "a racing rebalance must not change results");
+
+    let rec = c.monitor().recovery();
+    assert_eq!(rec.failovers, 1, "{rec:?}");
+    assert!(
+        rec.stale_epoch_retries >= 1,
+        "the lost shards re-pinned onto the post-failover epoch: {rec:?}"
+    );
+    assert_eq!(
+        rec.torn_epoch_rounds, 0,
+        "no round may mix assignment epochs: {rec:?}"
+    );
+    assert!(
+        c.assignment_epoch() >= 2,
+        "failover plus the forced rebalance both bumped the epoch"
+    );
+    // Quiesce: with the failpoints disarmed the same cluster still
+    // answers identically, with no further recovery work.
+    reg.disarm_all();
+    let before = c.monitor().recovery();
+    assert_eq!(c.query(TOTALS_SQL).unwrap(), expected);
+    assert_eq!(c.monitor().recovery(), before);
+}
+
+/// True concurrency, no failpoints: a stream of SELECTs races real
+/// membership churn (remove, add, remove) on other threads. Every single
+/// result must equal the quiesced answer — epoch pinning means a
+/// statement sees exactly one assignment version, and the clustered
+/// filesystem keeps stale-epoch readers off the new owners' mounts.
+#[test]
+fn select_stream_racing_membership_churn_stays_exact() {
+    let c = loaded_cluster(4, 4, 2000, FaultRegistry::new());
+    let expected = c.query(TOTALS_SQL).unwrap();
+    std::thread::scope(|s| {
+        let churn = s.spawn(|| {
+            c.remove_node(NodeId(3)).unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+            let (id, _) = c.add_node(HardwareSpec::laptop()).unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+            c.remove_node(id).unwrap();
+        });
+        for i in 0..30 {
+            let rows = c.query(TOTALS_SQL).unwrap();
+            assert_eq!(rows, expected, "iteration {i} tore across a rebalance");
+        }
+        churn.join().unwrap();
+    });
+    let rec = c.monitor().recovery();
+    assert_eq!(rec.torn_epoch_rounds, 0, "{rec:?}");
+    assert!(
+        rec.epoch_bumps >= 3,
+        "three membership events, three epoch bumps: {rec:?}"
+    );
+    assert_eq!(c.live_nodes(), 3);
+    assert_eq!(c.query(TOTALS_SQL).unwrap(), expected);
+}
+
+/// Deadlines belong to statements, not to the cluster: a statement with a
+/// tight per-call deadline dies Cancelled while a concurrent statement
+/// with no deadline — running through the very same stalled shard — is
+/// untouched and answers correctly.
+#[test]
+fn deadline_is_per_statement_not_shared() {
+    let reg = FaultRegistry::with_seed(seed(13));
+    let c = loaded_cluster(3, 3, 900, reg.clone());
+    let expected = c.query(TOTALS_SQL).unwrap();
+    // Shard 4 stalls every statement that touches it for 300ms.
+    reg.arm(
+        FaultRegistry::scoped(SHARD_EXEC, 4),
+        FaultPolicy::Always,
+        FaultAction::Stall(Duration::from_millis(300)),
+    );
+    std::thread::scope(|s| {
+        let doomed = s.spawn(|| {
+            c.query_with_deadline(TOTALS_SQL, Some(Duration::from_millis(50)))
+        });
+        let patient = s.spawn(|| c.query_with_deadline(TOTALS_SQL, None));
+        let err = doomed.join().unwrap().unwrap_err();
+        assert_eq!(err.class(), "57014", "tight deadline dies Cancelled: {err}");
+        let rows = patient.join().unwrap().unwrap();
+        assert_eq!(rows, expected, "the other statement must ride out the stall");
+    });
+    let rec = c.monitor().recovery();
+    assert_eq!(
+        rec.deadline_kills, 1,
+        "only the deadlined statement was killed: {rec:?}"
+    );
+    assert_eq!(rec.failovers, 0, "a stall is not a death: {rec:?}");
+    // The cluster-wide default was never written by either call.
+    reg.disarm_all();
+    assert_eq!(c.query(TOTALS_SQL).unwrap(), expected);
+}
+
+/// Coordinator-side LIMIT/OFFSET merge under failover: the per-shard
+/// top-k push-down sends `LIMIT limit+offset` to every shard, and the
+/// coordinator applies OFFSET exactly once after the re-sort — even when
+/// half the shards were re-driven on a newer epoch mid-statement.
+#[test]
+fn limit_offset_merge_survives_mid_query_failover() {
+    const PAGE_SQL: &str = "SELECT id FROM sales ORDER BY 1 LIMIT 10 OFFSET 7";
+    let mut quiet = loaded_cluster(4, 5, 3000, FaultRegistry::new());
+    quiet.set_dialect(Dialect::PostgreSql);
+    let expected = quiet.query(PAGE_SQL).unwrap();
+    assert_eq!(expected.len(), 10);
+    // Rows 7..17 of the global ORDER BY id — proves OFFSET was applied
+    // once (coordinator), not twice (shards and coordinator).
+    for (i, r) in expected.iter().enumerate() {
+        assert_eq!(r.get(0), &Datum::Int(7 + i as i64));
+    }
+
+    let reg = FaultRegistry::with_seed(seed(17));
+    let mut c = loaded_cluster(4, 5, 3000, reg.clone());
+    c.set_dialect(Dialect::PostgreSql);
+    reg.arm(
+        FaultRegistry::scoped(NODE_CRASH, 1),
+        FaultPolicy::Always,
+        FaultAction::Error("power loss".into()),
+    );
+    reg.arm(
+        REBALANCE_DURING_SCATTER,
+        FaultPolicy::Always,
+        FaultAction::Error("forced rebalance".into()),
+    );
+    let rows = c.query(PAGE_SQL).unwrap();
+    assert_eq!(
+        rows, expected,
+        "pagination must be stable across a mid-query epoch bump"
+    );
+    let rec = c.monitor().recovery();
+    assert_eq!(rec.failovers, 1, "{rec:?}");
+    assert_eq!(rec.torn_epoch_rounds, 0, "{rec:?}");
+}
+
+/// Chained crashes: three of four nodes die under the statement, one
+/// after another as the shards follow the failovers. The convergence
+/// budget is paid by *observed* deaths (not initial membership), so the
+/// statement keeps re-driving until the sole survivor answers — exactly.
+#[test]
+fn chained_crashes_converge_on_the_sole_survivor() {
+    let expected = loaded_cluster(4, 3, 2400, FaultRegistry::new())
+        .query(TOTALS_SQL)
+        .unwrap();
+    let reg = FaultRegistry::with_seed(seed(23));
+    let c = loaded_cluster(4, 3, 2400, reg.clone());
+    for node in [1u32, 2, 3] {
+        reg.arm(
+            FaultRegistry::scoped(NODE_CRASH, node),
+            FaultPolicy::Always,
+            FaultAction::Error("cascading failure".into()),
+        );
+    }
+    let rows = c.query(TOTALS_SQL).unwrap();
+    assert_eq!(rows, expected, "three deaths must not change the answer");
+    let rec = c.monitor().recovery();
+    assert_eq!(rec.failovers, 3, "{rec:?}");
+    assert_eq!(rec.torn_epoch_rounds, 0, "{rec:?}");
+    assert_eq!(c.live_nodes(), 1, "only node 0 survives");
+    // All 12 shards now live on the survivor.
+    let dist = c.shard_distribution();
+    assert_eq!(dist.len(), 1);
+    assert_eq!(dist[0].1.len(), 12);
 }
