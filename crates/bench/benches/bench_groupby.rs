@@ -66,6 +66,7 @@ fn bench_groupby(c: &mut Criterion) {
                         &aggs(),
                         schema.clone(),
                         &ctx,
+                        1,
                         &mut stats,
                     )
                     .expect("agg")
@@ -91,6 +92,7 @@ fn bench_groupby(c: &mut Criterion) {
                         &aggs(),
                         schema.clone(),
                         &ctx,
+                        1,
                         &mut stats,
                     )
                     .expect("agg")

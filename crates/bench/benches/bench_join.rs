@@ -43,7 +43,7 @@ fn bench_join(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("inner", n), &f, |b, f| {
             b.iter(|| {
                 let mut stats = ExecStats::default();
-                hash_join(f, &d, &[(0, 0)], JoinType::Inner, &mut stats).expect("join")
+                hash_join(f, &d, &[(0, 0)], JoinType::Inner, 1, &mut stats).expect("join")
             })
         });
     }
@@ -87,13 +87,14 @@ fn bench_fused_vs_pipeline(c: &mut Criterion) {
             b.iter(|| {
                 let mut stats = ExecStats::default();
                 let joined =
-                    hash_join(f, &d, &[(0, 0)], JoinType::Inner, &mut stats).expect("join");
+                    hash_join(f, &d, &[(0, 0)], JoinType::Inner, 1, &mut stats).expect("join");
                 dash_exec::agg::hash_aggregate(
                     &joined,
                     &group_exprs,
                     &aggs,
                     out_schema.clone(),
                     &ctx,
+                    1,
                     &mut stats,
                 )
                 .expect("agg")

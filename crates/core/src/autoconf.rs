@@ -83,6 +83,24 @@ pub struct AutoConfig {
 }
 
 impl AutoConfig {
+    /// The parallelism degree queries actually run with: the derived
+    /// `query_parallelism` (uncapped — one knob governs the whole morsel
+    /// pipeline), unless the `DASH_PARALLELISM` environment variable
+    /// overrides it. The override exists for tests, benchmarks, and CI
+    /// matrices that pin the worker count regardless of host hardware.
+    pub fn effective_parallelism(&self) -> usize {
+        parallelism_override(std::env::var("DASH_PARALLELISM").ok().as_deref())
+            .unwrap_or((self.query_parallelism as usize).max(1))
+    }
+}
+
+/// Parse a `DASH_PARALLELISM` value; `None` when unset, unparsable, or
+/// zero (zero would deadlock nothing but means "derive it", like unset).
+fn parallelism_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+impl AutoConfig {
     /// Derive the configuration from hardware — the whole point is that
     /// this is a *function*: same hardware in, same tuned system out,
     /// no human in the loop.
@@ -147,6 +165,27 @@ mod tests {
         assert!(c.wlm_concurrency >= 2);
         assert!(c.bufferpool_pages > 0);
         assert!(c.shards >= 4);
+    }
+
+    #[test]
+    fn parallelism_override_parsing() {
+        assert_eq!(parallelism_override(None), None);
+        assert_eq!(parallelism_override(Some("")), None);
+        assert_eq!(parallelism_override(Some("abc")), None);
+        assert_eq!(parallelism_override(Some("0")), None, "0 means derive");
+        assert_eq!(parallelism_override(Some("4")), Some(4));
+        assert_eq!(parallelism_override(Some(" 16 ")), Some(16));
+    }
+
+    #[test]
+    fn xeon_parallelism_uncapped() {
+        // The silent .min(8) cap is gone: a 72-core box runs 72-wide
+        // (unless DASH_PARALLELISM overrides, which this test avoids
+        // asserting to stay env-independent).
+        let big = AutoConfig::derive(&HardwareSpec::xeon_e7());
+        if std::env::var("DASH_PARALLELISM").is_err() {
+            assert_eq!(big.effective_parallelism(), 72);
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ impl Database {
             Policy::RandomizedWeight,
         )));
         let catalog = Arc::new(Catalog::new(Some(pool)));
-        catalog.set_parallelism((config.query_parallelism as usize).min(8));
+        catalog.set_parallelism(config.effective_parallelism());
         Arc::new(Database {
             catalog,
             config,
@@ -72,8 +72,10 @@ impl Database {
     /// pure CPU measurements).
     pub fn untracked() -> Arc<Database> {
         let config = AutoConfig::derive(&HardwareSpec::detect());
+        let catalog = Arc::new(Catalog::new(None));
+        catalog.set_parallelism(config.effective_parallelism());
         Arc::new(Database {
-            catalog: Arc::new(Catalog::new(None)),
+            catalog,
             config,
             wlm: WorkloadManager::new(config.wlm_concurrency),
             monitor: Monitor::new(),

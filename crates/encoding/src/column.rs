@@ -134,6 +134,25 @@ impl ColumnValues {
         }
     }
 
+    /// Append every value of `other` (same variant) — the stitch step that
+    /// reassembles per-morsel partial columns in morsel order. When `self`
+    /// is still empty the whole vector is moved, not copied.
+    pub fn extend_from(&mut self, other: ColumnValues) {
+        fn merge<T>(dst: &mut Vec<T>, src: Vec<T>) {
+            if dst.is_empty() {
+                *dst = src;
+            } else {
+                dst.extend(src);
+            }
+        }
+        match (self, other) {
+            (ColumnValues::Int(dst), ColumnValues::Int(s)) => merge(dst, s),
+            (ColumnValues::Float(dst), ColumnValues::Float(s)) => merge(dst, s),
+            (ColumnValues::Str(dst), ColumnValues::Str(s)) => merge(dst, s),
+            _ => panic!("extend_from across column kinds (caller bug)"),
+        }
+    }
+
     /// Append a datum (must match the container's domain).
     pub fn push_datum(&mut self, dt: DataType, d: &Datum) -> Result<()> {
         match self {

@@ -13,9 +13,11 @@ use crate::batch::Batch;
 use crate::expr::Expr;
 use crate::functions::EvalContext;
 use crate::join::PARTITION_ROWS;
+use crate::pool;
 use crate::stats::ExecStats;
 use dash_common::fxhash::FxHashMap;
 use dash_common::{DashError, DataType, Datum, Result, Row, Schema};
+use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 
@@ -358,6 +360,20 @@ fn group_hash(key: &[Datum]) -> u64 {
     h.finish()
 }
 
+/// The aggregate shapes the vectorized fast path understands: `COUNT(*)`,
+/// or `COUNT`/`SUM`/`AVG` over a bare column.
+enum FastKind {
+    CountStar,
+    Count(usize),
+    SumInt(usize),
+    SumFloat(usize),
+    Avg(usize),
+}
+
+/// Row threshold below which the parallel fast path is not worth the
+/// per-morsel bookkeeping.
+const FAST_PARALLEL_MIN_ROWS: usize = 2 * 4096;
+
 /// Vectorized fast path: single bare-column group key with
 /// COUNT/SUM/AVG-style aggregates over bare columns. Operates on the
 /// typed column vectors directly — no per-row datum materialization —
@@ -368,20 +384,14 @@ fn try_fast_aggregate(
     group_exprs: &[Expr],
     aggs: &[AggExpr],
     out_schema: &Schema,
+    parallelism: usize,
+    stats: &mut ExecStats,
 ) -> Option<Result<Batch>> {
     use dash_encoding::column::ColumnValues;
     let g = match group_exprs {
         [Expr::Col(g)] => *g,
         _ => return None,
     };
-    // Each agg must be CountStar, or Count/Sum/Avg over a bare column.
-    enum FastKind {
-        CountStar,
-        Count(usize),
-        SumInt(usize),
-        SumFloat(usize),
-        Avg(usize),
-    }
     let mut kinds = Vec::with_capacity(aggs.len());
     for a in aggs {
         if a.distinct {
@@ -407,6 +417,11 @@ fn try_fast_aggregate(
             _ => return None,
         };
         kinds.push(k);
+    }
+    if parallelism > 1 && input.len() >= FAST_PARALLEL_MIN_ROWS {
+        return Some(fast_aggregate_parallel(
+            input, g, &kinds, aggs, out_schema, parallelism, stats,
+        ));
     }
     // Map each row to a dense group id via the typed key column.
     let n = input.len();
@@ -575,6 +590,342 @@ fn try_fast_aggregate(
         rows.push(Row::new(row));
     }
     Some(Batch::from_rows(out_schema.clone(), &rows))
+}
+
+/// One morsel's worth of fast-path state: group-key datums in
+/// first-appearance order plus one typed accumulator per aggregate.
+struct FastPartial {
+    keys: Vec<Datum>,
+    accs: Vec<FastAcc>,
+}
+
+/// A typed partial accumulator, indexed by dense (morsel-local or global)
+/// group id.
+enum FastAcc {
+    /// `COUNT(*)` / `COUNT(col)`.
+    Count(Vec<i64>),
+    /// `SUM` over an integer column (wrapping, like the serial fast path).
+    SumInt {
+        /// Per-group running sums.
+        sums: Vec<i64>,
+        /// Whether the group saw any non-null value.
+        any: Vec<bool>,
+    },
+    /// `SUM` over a float column.
+    SumFloat {
+        /// Per-group running sums.
+        sums: Vec<f64>,
+        /// Whether the group saw any non-null value.
+        any: Vec<bool>,
+    },
+    /// `AVG`: sum + count folded at finish.
+    Avg {
+        /// Per-group running sums.
+        sums: Vec<f64>,
+        /// Per-group non-null counts.
+        counts: Vec<i64>,
+    },
+}
+
+impl FastAcc {
+    fn empty_for(kind: &FastKind) -> FastAcc {
+        match kind {
+            FastKind::CountStar | FastKind::Count(_) => FastAcc::Count(Vec::new()),
+            FastKind::SumInt(_) => FastAcc::SumInt {
+                sums: Vec::new(),
+                any: Vec::new(),
+            },
+            FastKind::SumFloat(_) => FastAcc::SumFloat {
+                sums: Vec::new(),
+                any: Vec::new(),
+            },
+            FastKind::Avg(_) => FastAcc::Avg {
+                sums: Vec::new(),
+                counts: Vec::new(),
+            },
+        }
+    }
+
+    /// Fold a morsel-local accumulator into the global one. `map` rewrites
+    /// local group ids to global ids; `ng` is the global group count after
+    /// this morsel's new keys were registered.
+    fn merge(&mut self, map: &[usize], local: FastAcc, ng: usize) {
+        match (self, local) {
+            (FastAcc::Count(dst), FastAcc::Count(src)) => {
+                dst.resize(ng, 0);
+                for (lg, v) in src.into_iter().enumerate() {
+                    dst[map[lg]] += v;
+                }
+            }
+            (FastAcc::SumInt { sums, any }, FastAcc::SumInt { sums: s, any: a }) => {
+                sums.resize(ng, 0);
+                any.resize(ng, false);
+                for (lg, v) in s.into_iter().enumerate() {
+                    sums[map[lg]] = sums[map[lg]].wrapping_add(v);
+                }
+                for (lg, v) in a.into_iter().enumerate() {
+                    any[map[lg]] |= v;
+                }
+            }
+            (FastAcc::SumFloat { sums, any }, FastAcc::SumFloat { sums: s, any: a }) => {
+                sums.resize(ng, 0.0);
+                any.resize(ng, false);
+                for (lg, v) in s.into_iter().enumerate() {
+                    sums[map[lg]] += v;
+                }
+                for (lg, v) in a.into_iter().enumerate() {
+                    any[map[lg]] |= v;
+                }
+            }
+            (FastAcc::Avg { sums, counts }, FastAcc::Avg { sums: s, counts: c }) => {
+                sums.resize(ng, 0.0);
+                counts.resize(ng, 0);
+                for (lg, v) in s.into_iter().enumerate() {
+                    sums[map[lg]] += v;
+                }
+                for (lg, v) in c.into_iter().enumerate() {
+                    counts[map[lg]] += v;
+                }
+            }
+            _ => unreachable!("fast accumulator kinds are fixed per aggregate"),
+        }
+    }
+
+    fn finish(&self, gi: usize) -> Datum {
+        match self {
+            FastAcc::Count(c) => Datum::Int(c[gi]),
+            FastAcc::SumInt { sums, any } => {
+                if any[gi] {
+                    Datum::Int(sums[gi])
+                } else {
+                    Datum::Null
+                }
+            }
+            FastAcc::SumFloat { sums, any } => {
+                if any[gi] {
+                    Datum::Float(sums[gi])
+                } else {
+                    Datum::Null
+                }
+            }
+            FastAcc::Avg { sums, counts } => {
+                if counts[gi] > 0 {
+                    Datum::Float(sums[gi] / counts[gi] as f64)
+                } else {
+                    Datum::Null
+                }
+            }
+        }
+    }
+}
+
+/// Hashable group-key identity for merging fast-path partials. Floats are
+/// compared by bit pattern — exactly how the morsel-local (and serial)
+/// typed key maps group them — so `NaN` groups with itself and `-0.0`
+/// stays distinct from `0.0` across morsel boundaries too.
+#[derive(Hash, PartialEq, Eq)]
+enum FastKey {
+    Null,
+    Int(i64),
+    Bits(u64),
+    Str(std::sync::Arc<str>),
+}
+
+fn fast_key(d: &Datum) -> FastKey {
+    match d {
+        Datum::Null => FastKey::Null,
+        Datum::Int(i) => FastKey::Int(*i),
+        Datum::Float(f) => FastKey::Bits(f.to_bits()),
+        Datum::Str(s) => FastKey::Str(s.clone()),
+        // The fast path only keys on Int/Float/Str column vectors.
+        other => unreachable!("fast-path key cannot be {other:?}"),
+    }
+}
+
+fn count_nonnull<T>(v: &[Option<T>], group_of: &[u32], counts: &mut [i64]) {
+    for (i, x) in v.iter().enumerate() {
+        if x.is_some() {
+            counts[group_of[i] as usize] += 1;
+        }
+    }
+}
+
+/// Aggregate one row-range morsel of the fast path: local dense group ids
+/// over `[lo, hi)`, then one typed accumulation pass per aggregate.
+fn fast_partial(input: &Batch, g: usize, kinds: &[FastKind], lo: usize, hi: usize) -> FastPartial {
+    use dash_encoding::column::ColumnValues;
+    let mut group_of = vec![0u32; hi - lo];
+    let mut key_rows: Vec<usize> = Vec::new(); // representative row per group
+    let mut ng = 0u32;
+    match input.column(g) {
+        ColumnValues::Int(v) => {
+            let mut map: FxHashMap<Option<i64>, u32> = FxHashMap::default();
+            for (i, k) in v[lo..hi].iter().enumerate() {
+                group_of[i] = *map.entry(*k).or_insert_with(|| {
+                    key_rows.push(lo + i);
+                    ng += 1;
+                    ng - 1
+                });
+            }
+        }
+        ColumnValues::Str(v) => {
+            let mut map: FxHashMap<Option<std::sync::Arc<str>>, u32> = FxHashMap::default();
+            for (i, k) in v[lo..hi].iter().enumerate() {
+                group_of[i] = *map.entry(k.clone()).or_insert_with(|| {
+                    key_rows.push(lo + i);
+                    ng += 1;
+                    ng - 1
+                });
+            }
+        }
+        ColumnValues::Float(v) => {
+            let mut map: FxHashMap<Option<u64>, u32> = FxHashMap::default();
+            for (i, k) in v[lo..hi].iter().enumerate() {
+                group_of[i] = *map.entry(k.map(|f| f.to_bits())).or_insert_with(|| {
+                    key_rows.push(lo + i);
+                    ng += 1;
+                    ng - 1
+                });
+            }
+        }
+    }
+    let ngu = ng as usize;
+    let mut accs = Vec::with_capacity(kinds.len());
+    for k in kinds {
+        accs.push(match k {
+            FastKind::CountStar => {
+                let mut counts = vec![0i64; ngu];
+                for &gid in &group_of {
+                    counts[gid as usize] += 1;
+                }
+                FastAcc::Count(counts)
+            }
+            FastKind::Count(c) => {
+                let mut counts = vec![0i64; ngu];
+                match input.column(*c) {
+                    ColumnValues::Int(v) => count_nonnull(&v[lo..hi], &group_of, &mut counts),
+                    ColumnValues::Float(v) => count_nonnull(&v[lo..hi], &group_of, &mut counts),
+                    ColumnValues::Str(v) => count_nonnull(&v[lo..hi], &group_of, &mut counts),
+                }
+                FastAcc::Count(counts)
+            }
+            FastKind::SumInt(c) => {
+                let ColumnValues::Int(v) = input.column(*c) else {
+                    unreachable!("checked by caller");
+                };
+                let mut sums = vec![0i64; ngu];
+                let mut any = vec![false; ngu];
+                for (i, x) in v[lo..hi].iter().enumerate() {
+                    if let Some(x) = x {
+                        let gid = group_of[i] as usize;
+                        sums[gid] = sums[gid].wrapping_add(*x);
+                        any[gid] = true;
+                    }
+                }
+                FastAcc::SumInt { sums, any }
+            }
+            FastKind::SumFloat(c) => {
+                let ColumnValues::Float(v) = input.column(*c) else {
+                    unreachable!("checked by caller");
+                };
+                let mut sums = vec![0.0f64; ngu];
+                let mut any = vec![false; ngu];
+                for (i, x) in v[lo..hi].iter().enumerate() {
+                    if let Some(x) = x {
+                        let gid = group_of[i] as usize;
+                        sums[gid] += *x;
+                        any[gid] = true;
+                    }
+                }
+                FastAcc::SumFloat { sums, any }
+            }
+            FastKind::Avg(c) => {
+                let mut sums = vec![0.0f64; ngu];
+                let mut counts = vec![0i64; ngu];
+                match input.column(*c) {
+                    ColumnValues::Int(v) => {
+                        for (i, x) in v[lo..hi].iter().enumerate() {
+                            if let Some(x) = x {
+                                let gid = group_of[i] as usize;
+                                sums[gid] += *x as f64;
+                                counts[gid] += 1;
+                            }
+                        }
+                    }
+                    ColumnValues::Float(v) => {
+                        for (i, x) in v[lo..hi].iter().enumerate() {
+                            if let Some(x) = x {
+                                let gid = group_of[i] as usize;
+                                sums[gid] += *x;
+                                counts[gid] += 1;
+                            }
+                        }
+                    }
+                    ColumnValues::Str(_) => unreachable!("checked by caller"),
+                }
+                FastAcc::Avg { sums, counts }
+            }
+        });
+    }
+    let key_dt = input.schema().field(g).data_type;
+    let keys = key_rows
+        .iter()
+        .map(|&r| input.column(g).datum_at(key_dt, r))
+        .collect();
+    FastPartial { keys, accs }
+}
+
+/// The fast path fanned out over row-range morsels: each morsel aggregates
+/// its range into typed partials; partials merge in morsel order, so group
+/// output order (first appearance) matches the serial fast path. Integer
+/// results are bit-identical to serial; float sums can differ in the last
+/// ulp because addition is reassociated across morsels.
+fn fast_aggregate_parallel(
+    input: &Batch,
+    g: usize,
+    kinds: &[FastKind],
+    aggs: &[AggExpr],
+    out_schema: &Schema,
+    parallelism: usize,
+    stats: &mut ExecStats,
+) -> Result<Batch> {
+    let ranges = pool::row_morsels(input.len(), parallelism, 4096);
+    let run = pool::run_morsels(ranges.len(), parallelism, |mi| {
+        let (lo, hi) = ranges[mi];
+        Ok(fast_partial(input, g, kinds, lo, hi))
+    })?;
+    stats.note_parallel_phase(run.morsels_dispatched, run.workers_used);
+
+    let mut gid_of: FxHashMap<FastKey, u32> = FxHashMap::default();
+    let mut keys: Vec<Datum> = Vec::new();
+    let mut accs: Vec<FastAcc> = kinds.iter().map(FastAcc::empty_for).collect();
+    for partial in run.results {
+        let map: Vec<usize> = partial
+            .keys
+            .into_iter()
+            .map(|k| {
+                *gid_of.entry(fast_key(&k)).or_insert_with(|| {
+                    keys.push(k);
+                    keys.len() as u32 - 1
+                }) as usize
+            })
+            .collect();
+        let ng = keys.len();
+        for (acc, local) in accs.iter_mut().zip(partial.accs) {
+            acc.merge(&map, local, ng);
+        }
+    }
+
+    let mut rows = Vec::with_capacity(keys.len());
+    for (gi, key) in keys.iter().enumerate() {
+        let mut row = Vec::with_capacity(1 + aggs.len());
+        row.push(key.clone());
+        for acc in &accs {
+            row.push(acc.finish(gi));
+        }
+        rows.push(Row::new(row));
+    }
+    Batch::from_rows(out_schema.clone(), &rows)
 }
 
 /// Fused star-join aggregation: `GROUP BY` over an inner equi-join,
@@ -747,53 +1098,72 @@ pub fn hash_aggregate(
     aggs: &[AggExpr],
     out_schema: Schema,
     ctx: &EvalContext,
+    parallelism: usize,
     stats: &mut ExecStats,
 ) -> Result<Batch> {
     // Vectorized fast path for the dominant shape.
     if !group_exprs.is_empty() && !input.is_empty() {
-        if let Some(result) = try_fast_aggregate(input, group_exprs, aggs, &out_schema) {
+        if let Some(result) =
+            try_fast_aggregate(input, group_exprs, aggs, &out_schema, parallelism, stats)
+        {
             return result;
         }
     }
-    // Evaluate group keys and aggregate arguments once per row, bucketing
-    // rows into cache-sized partitions by key hash.
+    // Phase 1 — evaluate group keys (and their partition hashes) in
+    // row-range morsels across the pool.
+    let n = input.len();
     let parts = if group_exprs.is_empty() {
         1
     } else {
-        (input.len() / PARTITION_ROWS + 1).next_power_of_two()
+        (n / PARTITION_ROWS + 1).next_power_of_two()
     };
     let mask = parts as u64 - 1;
-    let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); parts];
-    let mut keys: Vec<Vec<Datum>> = Vec::with_capacity(input.len());
-    for row in 0..input.len() {
-        let mut key = Vec::with_capacity(group_exprs.len());
-        for g in group_exprs {
-            key.push(g.eval(input, row, ctx)?);
+    let ranges = pool::row_morsels(n, parallelism, 4096);
+    let key_run = pool::run_morsels(ranges.len(), parallelism, |mi| {
+        let (lo, hi) = ranges[mi];
+        let mut chunk: Vec<(Vec<Datum>, u64)> = Vec::with_capacity(hi - lo);
+        for row in lo..hi {
+            let mut key = Vec::with_capacity(group_exprs.len());
+            for g in group_exprs {
+                key.push(g.eval(input, row, ctx)?);
+            }
+            let h = if parts == 1 { 0 } else { group_hash(&key) };
+            chunk.push((key, h));
         }
-        let p = if parts == 1 {
-            0
-        } else {
-            (group_hash(&key) & mask) as usize
-        };
-        partitions[p].push(row);
-        keys.push(key);
-        if parts > 1 {
-            stats.rows_partitioned += 1;
+        Ok(chunk)
+    })?;
+    stats.note_parallel_phase(key_run.morsels_dispatched, key_run.workers_used);
+
+    // Phase 2 — scatter rows into cache-sized hash partitions. Each key is
+    // consumed by exactly one partition, so it is *moved* here (and moved
+    // again into the group table below) — never cloned per row.
+    // (row index, owned group key) pairs, bucketed by key hash.
+    type KeyedRows = Vec<(usize, Vec<Datum>)>;
+    let mut scattered: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
+    let mut row = 0usize;
+    for chunk in key_run.results {
+        for (key, h) in chunk {
+            scattered[(h & mask) as usize].push((row, key));
+            row += 1;
         }
     }
+    if parts > 1 {
+        stats.rows_partitioned += n as u64;
+    }
 
-    let mut out_rows: Vec<Row> = Vec::new();
-    for part_rows in &partitions {
+    // Phase 3 — aggregate each partition as its own morsel. Partitions
+    // hold disjoint key sets and keep rows in input order, so per-partition
+    // results concatenated in partition order match the serial pipeline.
+    let scattered: Vec<Mutex<KeyedRows>> = scattered.into_iter().map(Mutex::new).collect();
+    let agg_run = pool::run_morsels(scattered.len(), parallelism, |p| {
+        let part = std::mem::take(&mut *scattered[p].lock());
         let mut groups: FxHashMap<Vec<Datum>, Vec<AggState>> = FxHashMap::default();
         if group_exprs.is_empty() {
             // Global aggregate: one group, present even with zero rows.
             groups.insert(Vec::new(), init_states(aggs, input));
         }
-        for &row in part_rows {
-            let key = keys[row].clone();
-            let states = groups
-                .entry(key)
-                .or_insert_with(|| init_states(aggs, input));
+        for (row, key) in part {
+            let states = groups.entry(key).or_insert_with(|| init_states(aggs, input));
             for (agg, state) in aggs.iter().zip(states.iter_mut()) {
                 let mut vals = Vec::with_capacity(agg.args.len());
                 for a in &agg.args {
@@ -802,14 +1172,18 @@ pub fn hash_aggregate(
                 update(state, &vals)?;
             }
         }
+        let mut part_rows: Vec<Row> = Vec::with_capacity(groups.len());
         for (key, states) in groups {
             let mut row: Vec<Datum> = key;
             for (agg, state) in aggs.iter().zip(states) {
                 row.push(finish(state, &agg.func));
             }
-            out_rows.push(Row::new(row));
+            part_rows.push(Row::new(row));
         }
-    }
+        Ok(part_rows)
+    })?;
+    stats.note_parallel_phase(agg_run.morsels_dispatched, agg_run.workers_used);
+    let mut out_rows: Vec<Row> = agg_run.results.into_iter().flatten().collect();
     // With zero input rows and a global aggregate there is one empty-key
     // group only if partitions[0] existed — ensure it.
     if group_exprs.is_empty() && out_rows.is_empty() {
@@ -912,6 +1286,7 @@ mod tests {
             ],
             schema,
             &ctx(),
+            1,
             &mut stats,
         )
         .unwrap();
@@ -938,6 +1313,7 @@ mod tests {
             ],
             out_schema(0, 2),
             &ctx(),
+            1,
             &mut stats,
         )
         .unwrap();
@@ -962,6 +1338,7 @@ mod tests {
             ],
             out_schema(0, 2),
             &ctx(),
+            1,
             &mut stats,
         )
         .unwrap();
@@ -978,6 +1355,7 @@ mod tests {
             &[agg1(AggFunc::Min, 1), agg1(AggFunc::Max, 1), agg1(AggFunc::Avg, 1)],
             out_schema(0, 3),
             &ctx(),
+            1,
             &mut stats,
         )
         .unwrap();
@@ -1007,6 +1385,7 @@ mod tests {
             ],
             out_schema(0, 2),
             &ctx(),
+            1,
             &mut stats,
         )
         .unwrap();
@@ -1034,6 +1413,7 @@ mod tests {
             ],
             out_schema(0, 3),
             &ctx(),
+            1,
             &mut stats,
         )
         .unwrap();
@@ -1058,6 +1438,7 @@ mod tests {
             &[agg1(AggFunc::VarPop, 0), agg1(AggFunc::StdDevPop, 0), agg1(AggFunc::VarSamp, 0)],
             out_schema(0, 3),
             &ctx(),
+            1,
             &mut stats,
         )
         .unwrap();
@@ -1090,6 +1471,7 @@ mod tests {
             }],
             out_schema(0, 1),
             &ctx(),
+            1,
             &mut stats,
         )
         .unwrap();
@@ -1121,6 +1503,7 @@ mod tests {
             &[agg1(AggFunc::Sum, 1)],
             out_sch,
             &ctx(),
+            1,
             &mut stats,
         )
         .unwrap();

@@ -9,9 +9,11 @@
 //! is then joined independently. NULL keys never match (SQL semantics).
 
 use crate::batch::Batch;
+use crate::pool;
 use crate::stats::ExecStats;
 use dash_common::fxhash::FxHashMap;
 use dash_common::{Datum, Result, Row};
+use parking_lot::Mutex;
 use std::collections::hash_map::Entry;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 
@@ -40,6 +42,10 @@ fn key_hash(values: &[Datum]) -> u64 {
     h.finish()
 }
 
+/// One hash partition's rows: ascending row index plus the (non-null)
+/// join key computed for that row.
+type KeyedRows = Vec<(usize, Vec<Datum>)>;
+
 fn key_of(batch: &Batch, row: usize, cols: &[usize]) -> Option<Vec<Datum>> {
     let mut key = Vec::with_capacity(cols.len());
     for &c in cols {
@@ -52,6 +58,47 @@ fn key_of(batch: &Batch, row: usize, cols: &[usize]) -> Option<Vec<Datum>> {
     Some(key)
 }
 
+/// Hash-partition one side in row-range morsels. Each morsel buckets its
+/// range locally; partials concatenate in morsel order, so every
+/// partition keeps its rows in ascending row order — identical to a
+/// serial pass. The computed key is stored alongside the row index
+/// (computed once, moved, never re-derived). Returns the partitions, the
+/// NULL-keyed rows, and the (morsels, workers) pool usage.
+#[allow(clippy::type_complexity)]
+fn partition_side(
+    batch: &Batch,
+    cols: &[usize],
+    parts: usize,
+    mask: u64,
+    parallelism: usize,
+) -> Result<(Vec<KeyedRows>, Vec<usize>, (u64, u64))> {
+    let ranges = pool::row_morsels(batch.len(), parallelism, 4096);
+    let run = pool::run_morsels(ranges.len(), parallelism, |mi| {
+        let (lo, hi) = ranges[mi];
+        let mut local: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
+        let mut nulls: Vec<usize> = Vec::new();
+        for i in lo..hi {
+            match key_of(batch, i, cols) {
+                Some(k) => {
+                    let p = (key_hash(&k) & mask) as usize;
+                    local[p].push((i, k));
+                }
+                None => nulls.push(i),
+            }
+        }
+        Ok((local, nulls))
+    })?;
+    let mut partitions: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
+    let mut nullkey: Vec<usize> = Vec::new();
+    for (local, nulls) in run.results {
+        for (p, v) in local.into_iter().enumerate() {
+            partitions[p].extend(v);
+        }
+        nullkey.extend(nulls);
+    }
+    Ok((partitions, nullkey, (run.morsels_dispatched, run.workers_used)))
+}
+
 /// Execute a hash join between two materialized batches.
 ///
 /// `on` pairs are (left ordinal, right ordinal). The output schema is
@@ -61,6 +108,7 @@ pub fn hash_join(
     right: &Batch,
     on: &[(usize, usize)],
     join_type: JoinType,
+    parallelism: usize,
     stats: &mut ExecStats,
 ) -> Result<Batch> {
     assert!(!on.is_empty(), "hash join requires at least one key pair");
@@ -76,33 +124,29 @@ pub fn hash_join(
     let parts = (right.len() / PARTITION_ROWS + 1).next_power_of_two();
     let mask = parts as u64 - 1;
 
-    // Partition row indices of both sides by key hash.
-    let mut right_parts: Vec<Vec<usize>> = vec![Vec::new(); parts];
-    for i in 0..right.len() {
-        if let Some(k) = key_of(right, i, &right_cols) {
-            right_parts[(key_hash(&k) & mask) as usize].push(i);
-            stats.rows_partitioned += 1;
-        }
-    }
-    let mut left_parts: Vec<Vec<usize>> = vec![Vec::new(); parts];
-    let mut left_nullkey: Vec<usize> = Vec::new();
-    for i in 0..left.len() {
-        match key_of(left, i, &left_cols) {
-            Some(k) => {
-                left_parts[(key_hash(&k) & mask) as usize].push(i);
-                stats.rows_partitioned += 1;
-            }
-            None => left_nullkey.push(i),
-        }
-    }
+    // Phase 1 — hash-partition both sides across the pool.
+    let (right_parts, _right_nullkey, (rm, rw)) =
+        partition_side(right, &right_cols, parts, mask, parallelism)?;
+    let (left_parts, left_nullkey, (lm, lw)) =
+        partition_side(left, &left_cols, parts, mask, parallelism)?;
+    stats.note_parallel_phase(rm, rw);
+    stats.note_parallel_phase(lm, lw);
+    stats.rows_partitioned += right_parts.iter().map(|p| p.len() as u64).sum::<u64>();
+    stats.rows_partitioned += left_parts.iter().map(|p| p.len() as u64).sum::<u64>();
 
+    // Phase 2 — each partition pair is one build+probe morsel. Partitions
+    // hold disjoint keys and ascending row order, so concatenating the
+    // per-partition outputs in partition order reproduces the serial
+    // output exactly.
+    let right_parts: Vec<Mutex<KeyedRows>> = right_parts.into_iter().map(Mutex::new).collect();
+    let left_parts: Vec<Mutex<KeyedRows>> = left_parts.into_iter().map(Mutex::new).collect();
     let right_nulls = Row::new(vec![Datum::Null; right.schema().len()]);
-    let mut out_rows: Vec<Row> = Vec::new();
-    for p in 0..parts {
-        // Build per-partition table on the right side.
+    let join_run = pool::run_morsels(parts, parallelism, |p| {
+        // Build per-partition table on the right side, moving each stored
+        // key into the table (duplicates just add their row index).
+        let build = std::mem::take(&mut *right_parts[p].lock());
         let mut table: FxHashMap<Vec<Datum>, Vec<usize>> = FxHashMap::default();
-        for &ri in &right_parts[p] {
-            let k = key_of(right, ri, &right_cols).expect("partitioned keys are non-null");
+        for (ri, k) in build {
             match table.entry(k) {
                 Entry::Occupied(mut e) => e.get_mut().push(ri),
                 Entry::Vacant(e) => {
@@ -111,38 +155,42 @@ pub fn hash_join(
             }
         }
         // Probe with the left side.
-        for &li in &left_parts[p] {
-            let k = key_of(left, li, &left_cols).expect("partitioned keys are non-null");
+        let probe = std::mem::take(&mut *left_parts[p].lock());
+        let mut part_rows: Vec<Row> = Vec::new();
+        for (li, k) in probe {
             let matches = table.get(&k);
             match join_type {
                 JoinType::Inner => {
                     if let Some(ms) = matches {
                         for &ri in ms {
-                            out_rows.push(left.row(li).concat(&right.row(ri)));
+                            part_rows.push(left.row(li).concat(&right.row(ri)));
                         }
                     }
                 }
                 JoinType::Left => match matches {
                     Some(ms) => {
                         for &ri in ms {
-                            out_rows.push(left.row(li).concat(&right.row(ri)));
+                            part_rows.push(left.row(li).concat(&right.row(ri)));
                         }
                     }
-                    None => out_rows.push(left.row(li).concat(&right_nulls)),
+                    None => part_rows.push(left.row(li).concat(&right_nulls)),
                 },
                 JoinType::Semi => {
                     if matches.is_some() {
-                        out_rows.push(left.row(li));
+                        part_rows.push(left.row(li));
                     }
                 }
                 JoinType::Anti => {
                     if matches.is_none() {
-                        out_rows.push(left.row(li));
+                        part_rows.push(left.row(li));
                     }
                 }
             }
         }
-    }
+        Ok(part_rows)
+    })?;
+    stats.note_parallel_phase(join_run.morsels_dispatched, join_run.workers_used);
+    let mut out_rows: Vec<Row> = join_run.results.into_iter().flatten().collect();
     // NULL-keyed left rows: unmatched by definition.
     match join_type {
         JoinType::Left => {
@@ -222,7 +270,7 @@ mod tests {
     #[test]
     fn inner_join_basic() {
         let mut stats = ExecStats::default();
-        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Inner, &mut stats).unwrap();
+        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Inner, 1, &mut stats).unwrap();
         assert_eq!(out.len(), 3); // o1, o2, o3 match; o4 null; o5 dangling
         assert_eq!(out.schema().len(), 4);
         let names: Vec<String> = out
@@ -237,7 +285,7 @@ mod tests {
     #[test]
     fn left_join_pads_nulls() {
         let mut stats = ExecStats::default();
-        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Left, &mut stats).unwrap();
+        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Left, 1, &mut stats).unwrap();
         assert_eq!(out.len(), 5);
         let unmatched: Vec<Row> = out
             .to_rows()
@@ -250,10 +298,10 @@ mod tests {
     #[test]
     fn semi_and_anti() {
         let mut stats = ExecStats::default();
-        let semi = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Semi, &mut stats).unwrap();
+        let semi = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Semi, 1, &mut stats).unwrap();
         assert_eq!(semi.len(), 3);
         assert_eq!(semi.schema().len(), 2, "semi keeps left columns only");
-        let anti = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Anti, &mut stats).unwrap();
+        let anti = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Anti, 1, &mut stats).unwrap();
         assert_eq!(anti.len(), 2);
         let ids: Vec<i64> = anti.to_rows().iter().map(|r| r.get(0).as_int().unwrap()).collect();
         assert!(ids.contains(&4) && ids.contains(&5));
@@ -274,7 +322,7 @@ mod tests {
         )
         .unwrap();
         let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, &mut stats).unwrap();
+        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &mut stats).unwrap();
         assert_eq!(out.len(), 4, "2 probe x 2 build matches");
     }
 
@@ -292,7 +340,7 @@ mod tests {
         .unwrap();
         let r = Batch::from_rows(schema, &[row![1i64, "x"], row![2i64, "y"]]).unwrap();
         let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0), (1, 1)], JoinType::Inner, &mut stats).unwrap();
+        let out = hash_join(&l, &r, &[(0, 0), (1, 1)], JoinType::Inner, 1, &mut stats).unwrap();
         assert_eq!(out.len(), 1);
     }
 
@@ -307,7 +355,7 @@ mod tests {
         let r = Batch::from_rows(schema, &r_rows).unwrap();
         assert!(partition_count(n) > 1);
         let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, &mut stats).unwrap();
+        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &mut stats).unwrap();
         assert_eq!(out.len(), n);
         assert!(stats.rows_partitioned >= (n + 1000) as u64);
     }
@@ -320,7 +368,7 @@ mod tests {
         let l = Batch::from_rows(sl, &[row![2i64]]).unwrap();
         let r = Batch::from_rows(sr, &[row![2.0f64]]).unwrap();
         let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, &mut stats).unwrap();
+        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &mut stats).unwrap();
         assert_eq!(out.len(), 1);
     }
 }

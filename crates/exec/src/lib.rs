@@ -16,6 +16,9 @@
 //! * [`expr`] / [`functions`] — scalar expression evaluation and the
 //!   polyglot scalar-function registry (`DECODE`, `NVL`, `LPAD`,
 //!   `DATE_PART`, ...; §II.C).
+//! * [`pool`] — the morsel-driven worker pool: strides and hash partitions
+//!   become work-claimed morsels so skewed survivor distributions (the
+//!   common case after synopsis skipping) still keep every core busy.
 //! * [`plan`] — the physical operator tree gluing it all together, with
 //!   per-query execution statistics ([`stats`]).
 
@@ -29,6 +32,7 @@ pub mod functions;
 pub mod geo;
 pub mod join;
 pub mod plan;
+pub mod pool;
 pub mod scan;
 pub mod simd;
 pub mod sort;

@@ -65,6 +65,8 @@ pub enum PhysicalPlan {
         on: Vec<(usize, usize)>,
         /// Join type.
         join_type: JoinType,
+        /// Worker-pool width for partitioning and build+probe morsels.
+        parallelism: usize,
     },
     /// Partitioned hash aggregation.
     HashAggregate {
@@ -76,6 +78,8 @@ pub enum PhysicalPlan {
         aggs: Vec<AggExpr>,
         /// Output schema: group columns then aggregate columns.
         schema: Schema,
+        /// Worker-pool width for key-eval and per-partition morsels.
+        parallelism: usize,
     },
     /// Sort with optional LIMIT/OFFSET.
     Sort {
@@ -206,8 +210,11 @@ impl PhysicalPlan {
                 right,
                 on,
                 join_type,
+                parallelism,
             } => {
-                out.push_str(&format!("{pad}HashJoin {join_type:?} on={on:?}\n"));
+                out.push_str(&format!(
+                    "{pad}HashJoin {join_type:?} on={on:?} par={parallelism}\n"
+                ));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
@@ -308,16 +315,18 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
             right,
             on,
             join_type,
+            parallelism,
         } => {
             let l = exec_node(left, ctx, stats)?;
             let r = exec_node(right, ctx, stats)?;
-            hash_join(&l, &r, on, *join_type, stats)
+            hash_join(&l, &r, on, *join_type, *parallelism, stats)
         }
         PhysicalPlan::HashAggregate {
             input,
             group,
             aggs,
             schema,
+            parallelism,
         } => {
             // Fused star-join aggregation: aggregate while probing instead
             // of materializing the join output.
@@ -326,6 +335,7 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
                 right,
                 on,
                 join_type: JoinType::Inner,
+                parallelism: join_parallelism,
             } = &**input
             {
                 let l = exec_node(left, ctx, stats)?;
@@ -340,11 +350,19 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
                 ) {
                     return result;
                 }
-                let joined = hash_join(&l, &r, on, JoinType::Inner, stats)?;
-                return hash_aggregate(&joined, group, aggs, schema.clone(), ctx, stats);
+                let joined = hash_join(&l, &r, on, JoinType::Inner, *join_parallelism, stats)?;
+                return hash_aggregate(
+                    &joined,
+                    group,
+                    aggs,
+                    schema.clone(),
+                    ctx,
+                    *parallelism,
+                    stats,
+                );
             }
             let child = exec_node(input, ctx, stats)?;
-            hash_aggregate(&child, group, aggs, schema.clone(), ctx, stats)
+            hash_aggregate(&child, group, aggs, schema.clone(), ctx, *parallelism, stats)
         }
         PhysicalPlan::Sort {
             input,
@@ -538,6 +556,7 @@ mod tests {
             }),
             on: vec![(1, 0)],
             join_type: JoinType::Inner,
+            parallelism: 2,
         };
         let agg = PhysicalPlan::HashAggregate {
             input: Box::new(join),
@@ -560,6 +579,7 @@ mod tests {
                 Field::new("total", DataType::Float64),
             ])
             .unwrap(),
+            parallelism: 2,
         };
         let plan = PhysicalPlan::Sort {
             input: Box::new(agg),

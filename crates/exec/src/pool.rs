@@ -1,0 +1,255 @@
+//! Morsel-driven shared worker pool (§II.B of the paper: "parallelism
+//! achieved by scheduling strides of data to multiple threads running on
+//! different processor cores").
+//!
+//! Operators describe their work as `n` independent **morsels** — a stride
+//! to evaluate, a stride of survivors to materialize, a hash partition to
+//! build and probe — and [`run_morsels`] fans them out over a scoped worker
+//! pool. Workers **claim** morsels one at a time from a shared atomic
+//! counter instead of receiving a contiguous pre-split chunk. That matters
+//! because synopsis skipping clusters the surviving strides: with a static
+//! split one worker can end up owning all the survivors while the rest idle
+//! on pruned ranges. Claiming keeps every worker busy until the pool of
+//! morsels is dry, whatever the skew.
+//!
+//! Determinism: results are returned **in morsel-index order**, regardless
+//! of which worker processed which morsel, so callers that merge results
+//! sequentially produce output byte-identical to a serial run.
+//!
+//! Errors: the first `Err` a worker hits aborts the run — remaining workers
+//! stop claiming and the error is propagated to the caller. Worker panics
+//! are caught at the join and converted to a classified
+//! [`DashError::internal`] (the PR 1 de-panic convention) instead of
+//! poisoning the process.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use dash_common::{DashError, Result};
+
+/// The outcome of one [`run_morsels`] fan-out.
+#[derive(Debug)]
+pub struct MorselRun<T> {
+    /// Per-morsel results, in morsel-index order (0..n).
+    pub results: Vec<T>,
+    /// How many morsels were dispatched (== `n` on success).
+    pub morsels_dispatched: u64,
+    /// The fan-out width: how many workers the run spawned. `1` for a
+    /// serial (inline) run, `0` when there was no work at all. Spawn width
+    /// rather than claimed-at-least-one so the counter is deterministic —
+    /// on a loaded (or single-core) host one eager worker can drain every
+    /// morsel before its siblings are even scheduled.
+    pub workers_used: u64,
+}
+
+/// Render a caught panic payload as a human-readable message.
+fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Run `n` morsels through `work`, fanning out over at most `parallelism`
+/// scoped workers with work-claiming. `work` receives the morsel index and
+/// must be safe to call concurrently from multiple threads.
+///
+/// With `parallelism <= 1` (or a single morsel) everything runs inline on
+/// the calling thread — no threads are spawned, no behavior changes.
+pub fn run_morsels<T, F>(n: usize, parallelism: usize, work: F) -> Result<MorselRun<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let workers = parallelism.max(1).min(n);
+    if workers <= 1 {
+        let mut results = Vec::with_capacity(n);
+        for i in 0..n {
+            results.push(work(i)?);
+        }
+        return Ok(MorselRun {
+            results,
+            morsels_dispatched: n as u64,
+            workers_used: u64::from(n > 0),
+        });
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let joined: Vec<Result<Vec<(usize, T)>>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, abort, work) = (&next, &abort, &work);
+                s.spawn(move |_| -> Result<Vec<(usize, T)>> {
+                    let mut claimed: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        match work(i) {
+                            Ok(v) => claimed.push((i, v)),
+                            Err(e) => {
+                                abort.store(true, Ordering::Relaxed);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Ok(claimed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|p| {
+                    Err(DashError::internal(format!(
+                        "morsel worker panicked: {}",
+                        panic_message(p.as_ref())
+                    )))
+                })
+            })
+            .collect()
+    })
+    .map_err(|p| {
+        DashError::internal(format!(
+            "morsel scope panicked: {}",
+            panic_message(p.as_ref())
+        ))
+    })?;
+
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
+    let mut first_err: Option<DashError> = None;
+    for outcome in joined {
+        match outcome {
+            Ok(claimed) => {
+                indexed.extend(claimed);
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    Ok(MorselRun {
+        morsels_dispatched: indexed.len() as u64,
+        workers_used: workers as u64,
+        results: indexed.into_iter().map(|(_, v)| v).collect(),
+    })
+}
+
+/// Split `n` rows into row-range morsels of at least `min_chunk` rows each,
+/// at most `parallelism * 4` morsels total (so claiming can still smooth
+/// skew without drowning in per-morsel overhead). Returns the half-open
+/// `[lo, hi)` ranges; empty when `n == 0`.
+pub fn row_morsels(n: usize, parallelism: usize, min_chunk: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = parallelism.max(1);
+    let target = n.div_ceil(workers * 4).max(min_chunk.max(1));
+    (0..n.div_ceil(target))
+        .map(|i| (i * target, ((i + 1) * target).min(n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        for par in [1usize, 2, 3, 8] {
+            let run = run_morsels(37, par, |i| Ok(i * i)).unwrap();
+            assert_eq!(run.results, (0..37).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(run.morsels_dispatched, 37);
+            assert!(run.workers_used >= 1);
+            assert!(run.workers_used <= par as u64);
+        }
+    }
+
+    #[test]
+    fn empty_run() {
+        let run = run_morsels(0, 4, |_| Ok(0u32)).unwrap();
+        assert!(run.results.is_empty());
+        assert_eq!(run.morsels_dispatched, 0);
+        assert_eq!(run.workers_used, 0);
+    }
+
+    #[test]
+    fn worker_error_propagates() {
+        for par in [1usize, 4] {
+            let err = run_morsels(100, par, |i| {
+                if i == 13 {
+                    Err(DashError::exec("morsel 13 refused"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("morsel 13 refused"), "{err}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_internal_error() {
+        let err = run_morsels(16, 4, |i| -> Result<usize> {
+            if i == 7 {
+                panic!("deliberate test panic");
+            }
+            Ok(i)
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(msg.contains("deliberate test panic"), "{msg}");
+    }
+
+    #[test]
+    fn workers_capped_by_morsel_count() {
+        // 2 morsels, 8 workers: at most 2 can claim work.
+        let run = run_morsels(2, 8, Ok).unwrap();
+        assert_eq!(run.results, vec![0, 1]);
+        assert!(run.workers_used <= 2);
+    }
+
+    #[test]
+    fn row_morsel_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 1000, 8192, 100_000] {
+            for par in [1usize, 2, 4, 8] {
+                let ranges = row_morsels(n, par, 1024);
+                let mut expect = 0;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, expect);
+                    assert!(hi > lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, n);
+            }
+        }
+    }
+
+    proptest! {
+        /// Scheduling order must never leak into results: any (n, workers)
+        /// combination yields exactly the serial mapping, in order.
+        #[test]
+        fn prop_order_independent(n in 0usize..200, par in 1usize..9) {
+            let run = run_morsels(n, par, |i| Ok(i as u64 * 3 + 1)).unwrap();
+            let serial: Vec<u64> = (0..n).map(|i| i as u64 * 3 + 1).collect();
+            prop_assert_eq!(run.results, serial);
+            prop_assert_eq!(run.morsels_dispatched, n as u64);
+        }
+    }
+}

@@ -16,6 +16,7 @@
 use crate::batch::Batch;
 use crate::expr::Expr;
 use crate::functions::EvalContext;
+use crate::pool;
 use crate::simd;
 use crate::stats::ExecStats;
 use dash_common::{DashError, Datum, Result, Schema};
@@ -162,8 +163,11 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
         }
     }
 
-    // 2. Per-stride evaluation — serial, or strides scheduled across
-    // worker threads when the configuration allows.
+    // 2. Per-stride evaluation — every candidate stride is one morsel,
+    // work-claimed from the shared pool. Synopsis skipping clusters the
+    // survivors, so a contiguous split would hand one worker all the real
+    // work; claiming keeps the load balanced whatever the skew. Results
+    // come back in stride order, so output stays deterministic.
     let candidate_list: Vec<usize> = (0..nstrides)
         .filter(|&s| {
             if candidates.get(s) {
@@ -174,70 +178,33 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
             }
         })
         .collect();
-    let workers = config.parallelism.max(1).min(candidate_list.len().max(1));
+    let eval_run = pool::run_morsels(candidate_list.len(), config.parallelism, |mi| {
+        let mut local_stats = ExecStats::default();
+        let outcome = eval_stride(
+            table,
+            config,
+            ctx,
+            &schema,
+            &touched,
+            &residual_cols,
+            candidate_list[mi],
+            &mut local_stats,
+        )?;
+        Ok((outcome, local_stats))
+    })?;
+    stats.note_parallel_phase(eval_run.morsels_dispatched, eval_run.workers_used);
     let mut out_rows: Vec<(usize, Vec<usize>)> = Vec::new(); // (stride, positions)
-    if workers <= 1 {
-        for &stride in &candidate_list {
-            if let Some(outcome) =
-                eval_stride(table, config, ctx, &schema, &touched, &residual_cols, stride, &mut stats)?
-            {
-                out_rows.push(outcome);
-            }
+    for (outcome, local) in eval_run.results {
+        stats += local;
+        if let Some(o) = outcome {
+            out_rows.push(o);
         }
-    } else {
-        let chunks: Vec<&[usize]> = candidate_list
-            .chunks(candidate_list.len().div_ceil(workers))
-            .collect();
-        #[allow(clippy::type_complexity)]
-        let results: Vec<Result<(Vec<(usize, Vec<usize>)>, ExecStats)>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        let schema = &schema;
-                        let touched = &touched;
-                        let residual_cols = &residual_cols;
-                        scope.spawn(move |_| {
-                            let mut local_stats = ExecStats::default();
-                            let mut local_rows = Vec::new();
-                            for &stride in *chunk {
-                                if let Some(outcome) = eval_stride(
-                                    table,
-                                    config,
-                                    ctx,
-                                    schema,
-                                    touched,
-                                    residual_cols,
-                                    stride,
-                                    &mut local_stats,
-                                )? {
-                                    local_rows.push(outcome);
-                                }
-                            }
-                            Ok((local_rows, local_stats))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scan worker panicked"))
-                    .collect()
-            })
-            .expect("scan scope");
-        for r in results {
-            let (rows, local) = r?;
-            out_rows.extend(rows);
-            stats += local;
-        }
-        // Workers processed contiguous chunks, so stride order holds after
-        // a stable sort (keeps output deterministic regardless of timing).
-        out_rows.sort_by_key(|(s, _)| *s);
-        // rows_out is recomputed at the end; avoid double-count from +=.
-        stats.rows_out = 0;
-        stats.strides_total = table.sealed_strides() as u64;
     }
 
-    // 3. Materialize survivors per stride (projection columns only).
+    // 3. Materialize survivors (projection columns only) — each surviving
+    // stride decodes as its own morsel; the per-stride partial columns are
+    // stitched back together in stride order, byte-identical to a serial
+    // decode.
     let out_schema = if config.include_tsn {
         let mut fields = schema.project(&config.projection).fields().to_vec();
         fields.push(dash_common::Field::not_null("_TSN", dash_common::DataType::Int64));
@@ -245,31 +212,43 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
     } else {
         schema.project(&config.projection)
     };
-    let mut out_cols: Vec<ColumnValues> = out_schema
-        .fields()
+    let out_types: Vec<dash_common::DataType> =
+        out_schema.fields().iter().map(|f| f.data_type).collect();
+    let mut out_cols: Vec<ColumnValues> = out_types
         .iter()
-        .map(|f| ColumnValues::empty_for(f.data_type))
+        .map(|&dt| ColumnValues::empty_for(dt))
         .collect();
-    for (stride, positions) in &out_rows {
+    let mat_run = pool::run_morsels(out_rows.len(), config.parallelism, |mi| {
+        let (stride, positions) = &out_rows[mi];
+        let mut local_stats = ExecStats::default();
         if let Some(pool) = &config.pool {
             let mut pool = pool.lock();
             for &col in &config.projection {
-                charge(&mut pool, &mut stats, config.table_id, col, *stride)?;
+                charge(&mut pool, &mut local_stats, config.table_id, col, *stride)?;
             }
         }
+        let mut partial: Vec<ColumnValues> = Vec::with_capacity(out_types.len());
         for (oi, &col) in config.projection.iter().enumerate() {
             let decoded = table.decode_stride(col, *stride)?;
-            out_cols[oi].append_selected(&decoded, positions);
+            let mut cv = ColumnValues::empty_for(out_types[oi]);
+            cv.append_selected(&decoded, positions);
+            partial.push(cv);
         }
         if config.include_tsn {
             let base = stride * dash_storage::table::STRIDE;
-            let tsn_col = out_cols.last_mut().expect("tsn column present");
+            let mut tsn = ColumnValues::empty_for(dash_common::DataType::Int64);
             for &pos in positions {
-                tsn_col.push_datum(
-                    dash_common::DataType::Int64,
-                    &Datum::Int((base + pos) as i64),
-                )?;
+                tsn.push_datum(dash_common::DataType::Int64, &Datum::Int((base + pos) as i64))?;
             }
+            partial.push(tsn);
+        }
+        Ok((partial, local_stats))
+    })?;
+    stats.note_parallel_phase(mat_run.morsels_dispatched, mat_run.workers_used);
+    for (partial, local) in mat_run.results {
+        stats += local;
+        for (oi, cv) in partial.into_iter().enumerate() {
+            out_cols[oi].extend_from(cv);
         }
     }
 

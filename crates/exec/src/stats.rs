@@ -25,6 +25,12 @@ pub struct ExecStats {
     pub rows_out: u64,
     /// Rows spilled/moved by joins and aggregations (partitioning traffic).
     pub rows_partitioned: u64,
+    /// Morsels dispatched to the shared worker pool (scan strides,
+    /// materialization strides, aggregate/join partitions, row ranges).
+    pub morsels_dispatched: u64,
+    /// Peak number of pool workers that claimed work in any single parallel
+    /// phase of the query. `1` means everything ran serially.
+    pub parallel_workers_used: u64,
 }
 
 impl ExecStats {
@@ -35,6 +41,13 @@ impl ExecStats {
         } else {
             self.strides_skipped as f64 / self.strides_total as f64
         }
+    }
+
+    /// Record one pool fan-out: `morsels` scheduling units dispatched,
+    /// `workers` workers that actually claimed work.
+    pub fn note_parallel_phase(&mut self, morsels: u64, workers: u64) {
+        self.morsels_dispatched += morsels;
+        self.parallel_workers_used = self.parallel_workers_used.max(workers);
     }
 
     /// Buffer pool hit ratio over this query.
@@ -58,6 +71,10 @@ impl AddAssign for ExecStats {
         self.rows_scanned += rhs.rows_scanned;
         self.rows_out += rhs.rows_out;
         self.rows_partitioned += rhs.rows_partitioned;
+        self.morsels_dispatched += rhs.morsels_dispatched;
+        // Peak concurrency, not a sum: merging two phases that each used 4
+        // workers still means the query ran 4-wide.
+        self.parallel_workers_used = self.parallel_workers_used.max(rhs.parallel_workers_used);
     }
 }
 
@@ -83,5 +100,19 @@ mod tests {
         assert_eq!(s.strides_total, 20);
         assert_eq!(ExecStats::default().skip_ratio(), 0.0);
         assert_eq!(ExecStats::default().pool_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn parallel_counters_merge() {
+        let mut s = ExecStats::default();
+        s.note_parallel_phase(12, 4);
+        s.note_parallel_phase(3, 2);
+        assert_eq!(s.morsels_dispatched, 15);
+        assert_eq!(s.parallel_workers_used, 4, "peak, not sum");
+        let mut t = ExecStats::default();
+        t.note_parallel_phase(5, 8);
+        s += t;
+        assert_eq!(s.morsels_dispatched, 20);
+        assert_eq!(s.parallel_workers_used, 8);
     }
 }

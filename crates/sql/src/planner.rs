@@ -683,6 +683,7 @@ impl Planner<'_> {
                         right: Box::new(rplan),
                         on: vec![(l, r)],
                         join_type: jt,
+                        parallelism: self.provider.parallelism(),
                     };
                     scope = scope.join(&rscope);
                 }
@@ -844,6 +845,7 @@ impl Planner<'_> {
                                 right: Box::new(lplan),
                                 on: flipped,
                                 join_type: JoinType::Left,
+                                parallelism: self.provider.parallelism(),
                             };
                             let nl = lscope.cols.len();
                             let nr = rscope.cols.len();
@@ -869,6 +871,7 @@ impl Planner<'_> {
                                     right: Box::new(rplan),
                                     on,
                                     join_type: jt,
+                                    parallelism: self.provider.parallelism(),
                                 },
                                 combined,
                             )
@@ -1126,6 +1129,7 @@ impl Planner<'_> {
             group: group_exprs,
             aggs,
             schema: agg_scope.to_schema(),
+            parallelism: self.provider.parallelism(),
         };
 
         // Rewrite projection/having to reference the aggregate output.
@@ -1975,6 +1979,7 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
                     right,
                     on,
                     join_type: JoinType::Inner,
+                    parallelism,
                 } => {
                     let lw = left.schema().len();
                     let mut conjuncts = Vec::new();
@@ -2010,6 +2015,7 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
                         right: Box::new(pushdown(wrap(*right, rpreds))),
                         on,
                         join_type: JoinType::Inner,
+                        parallelism,
                     };
                     if keep.is_empty() {
                         return join;
@@ -2074,11 +2080,13 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
             right,
             on,
             join_type,
+            parallelism,
         } => PhysicalPlan::HashJoin {
             left: Box::new(pushdown(*left)),
             right: Box::new(pushdown(*right)),
             on,
             join_type,
+            parallelism,
         },
         PhysicalPlan::CrossJoin { left, right } => PhysicalPlan::CrossJoin {
             left: Box::new(pushdown(*left)),
@@ -2089,11 +2097,13 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
             group,
             aggs,
             schema,
+            parallelism,
         } => PhysicalPlan::HashAggregate {
             input: Box::new(pushdown(*input)),
             group,
             aggs,
             schema,
+            parallelism,
         },
         PhysicalPlan::Sort {
             input,

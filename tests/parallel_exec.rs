@@ -1,0 +1,440 @@
+//! Serial-vs-parallel equivalence for the morsel-driven operators.
+//!
+//! The worker pool must be invisible in results: for every operator and
+//! every worker count, output is identical to the serial run — not just
+//! set-equal but byte-identical, because morsel/partition-ordered merges
+//! are part of the contract. Float sums are the one sanctioned exception
+//! (re-association moves the last ulp), checked with an epsilon instead.
+
+use dashdb_local::common::types::DataType;
+use dashdb_local::common::{row, Datum, Field, Row, Schema};
+use dashdb_local::core::{Database, HardwareSpec};
+use dashdb_local::exec::agg::{hash_aggregate, AggExpr, AggFunc};
+use dashdb_local::exec::expr::Expr;
+use dashdb_local::exec::functions::EvalContext;
+use dashdb_local::exec::join::{hash_join, JoinType};
+use dashdb_local::exec::stats::ExecStats;
+use dashdb_local::exec::Batch;
+
+const PARALLELISMS: [usize; 3] = [2, 4, 8];
+
+/// Enough rows that the fast-path aggregate takes its parallel branch
+/// (FAST_PARALLEL_MIN_ROWS = 8192) and row morsels actually fan out.
+const BIG: usize = 40_000;
+
+fn agg(func: AggFunc, col: usize) -> AggExpr {
+    AggExpr {
+        func,
+        args: vec![Expr::col(col)],
+        distinct: false,
+    }
+}
+
+fn count_star() -> AggExpr {
+    AggExpr {
+        func: AggFunc::CountStar,
+        args: vec![],
+        distinct: false,
+    }
+}
+
+/// Deterministic pseudo-random fact batch: string + int group columns
+/// (both with NULLs), an int measure, a float measure.
+fn fact_batch(n: usize) -> Batch {
+    let schema = Schema::new(vec![
+        Field::new("region", DataType::Utf8),
+        Field::new("grp", DataType::Int64),
+        Field::new("qty", DataType::Int64),
+        Field::new("weight", DataType::Float64),
+    ])
+    .unwrap();
+    let mut rows = Vec::with_capacity(n);
+    let mut x: u64 = 0x243F_6A88_85A3_08D3;
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let region = match (x >> 33) % 7 {
+            0 => Datum::Null,
+            k => Datum::from(format!("r{k}")),
+        };
+        let grp = match (x >> 17) % 11 {
+            0 => Datum::Null,
+            k => Datum::from(k as i64),
+        };
+        let qty = Datum::from((x % 1000) as i64 - 500);
+        let weight = if i % 13 == 0 {
+            Datum::Null
+        } else {
+            Datum::from((x % 997) as f64 / 7.0)
+        };
+        rows.push(row![region, grp, qty, weight]);
+    }
+    Batch::from_rows(schema, &rows).unwrap()
+}
+
+fn out_schema(fields: &[(&str, DataType)]) -> Schema {
+    Schema::new(
+        fields
+            .iter()
+            .map(|(n, dt)| Field::new(*n, *dt))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate equivalence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn generic_aggregate_matches_serial_exactly() {
+    // Two group columns forces the generic (non-fast-path) aggregate.
+    let input = fact_batch(BIG);
+    let schema = out_schema(&[
+        ("region", DataType::Utf8),
+        ("grp", DataType::Int64),
+        ("cnt", DataType::Int64),
+        ("total", DataType::Int64),
+    ]);
+    let aggs = [count_star(), agg(AggFunc::Sum, 2)];
+    let groups = [Expr::col(0), Expr::col(1)];
+    let mut serial_stats = ExecStats::default();
+    let serial = hash_aggregate(
+        &input,
+        &groups,
+        &aggs,
+        schema.clone(),
+        &EvalContext::default(),
+        1,
+        &mut serial_stats,
+    )
+    .unwrap();
+    assert!(serial_stats.parallel_workers_used <= 1);
+    for par in PARALLELISMS {
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &input,
+            &groups,
+            &aggs,
+            schema.clone(),
+            &EvalContext::default(),
+            par,
+            &mut stats,
+        )
+        .unwrap();
+        // Byte-identical including row order: partitions are merged in
+        // partition order and each partition's insertion order is the
+        // same hash-map order the serial run used.
+        assert_eq!(out.to_rows(), serial.to_rows(), "parallelism {par}");
+        assert!(
+            stats.parallel_workers_used > 1,
+            "parallelism {par}: expected fan-out, got {}",
+            stats.parallel_workers_used
+        );
+        assert!(stats.morsels_dispatched > 1);
+    }
+}
+
+#[test]
+fn fast_path_aggregate_matches_serial_exactly() {
+    // Single int group column + COUNT/SUM(int) rides the vectorized fast
+    // path; above FAST_PARALLEL_MIN_ROWS it fans out into typed partials.
+    let input = fact_batch(BIG);
+    let schema = out_schema(&[
+        ("grp", DataType::Int64),
+        ("cnt", DataType::Int64),
+        ("total", DataType::Int64),
+    ]);
+    let aggs = [count_star(), agg(AggFunc::Sum, 2)];
+    let groups = [Expr::col(1)];
+    let mut serial_stats = ExecStats::default();
+    let serial = hash_aggregate(
+        &input,
+        &groups,
+        &aggs,
+        schema.clone(),
+        &EvalContext::default(),
+        1,
+        &mut serial_stats,
+    )
+    .unwrap();
+    for par in PARALLELISMS {
+        let mut stats = ExecStats::default();
+        let out = hash_aggregate(
+            &input,
+            &groups,
+            &aggs,
+            schema.clone(),
+            &EvalContext::default(),
+            par,
+            &mut stats,
+        )
+        .unwrap();
+        // First-appearance group order is preserved by merging partials
+        // in morsel order, so even row order matches the serial run.
+        assert_eq!(out.to_rows(), serial.to_rows(), "parallelism {par}");
+        assert!(stats.parallel_workers_used > 1, "parallelism {par}");
+    }
+}
+
+#[test]
+fn fast_path_float_sums_match_within_epsilon() {
+    // SUM(float) re-associates across morsels; values agree to 1e-9
+    // relative, group sets agree exactly.
+    let input = fact_batch(BIG);
+    let schema = out_schema(&[("grp", DataType::Int64), ("w", DataType::Float64)]);
+    let aggs = [agg(AggFunc::Sum, 3)];
+    let groups = [Expr::col(1)];
+    let run = |par: usize| {
+        let mut stats = ExecStats::default();
+        let mut rows = hash_aggregate(
+            &input,
+            &groups,
+            &aggs,
+            schema.clone(),
+            &EvalContext::default(),
+            par,
+            &mut stats,
+        )
+        .unwrap()
+        .to_rows();
+        rows.sort_by_key(|r| r.get(0).render());
+        rows
+    };
+    let serial = run(1);
+    for par in PARALLELISMS {
+        let out = run(par);
+        assert_eq!(out.len(), serial.len(), "parallelism {par}");
+        for (a, b) in out.iter().zip(&serial) {
+            assert_eq!(a.get(0), b.get(0));
+            match (a.get(1), b.get(1)) {
+                (Datum::Float(x), Datum::Float(y)) => {
+                    assert!(
+                        (x - y).abs() <= 1e-9 * y.abs().max(1.0),
+                        "parallelism {par}: {x} vs {y}"
+                    );
+                }
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
+}
+
+#[test]
+fn global_aggregate_matches_serial() {
+    // Empty GROUP BY: one output row, including over empty input.
+    let schema = out_schema(&[("cnt", DataType::Int64), ("total", DataType::Int64)]);
+    let aggs = [count_star(), agg(AggFunc::Sum, 2)];
+    for input in [fact_batch(BIG), fact_batch(0)] {
+        let mut stats = ExecStats::default();
+        let serial = hash_aggregate(
+            &input,
+            &[],
+            &aggs,
+            schema.clone(),
+            &EvalContext::default(),
+            1,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(serial.len(), 1);
+        for par in PARALLELISMS {
+            let mut stats = ExecStats::default();
+            let out = hash_aggregate(
+                &input,
+                &[],
+                &aggs,
+                schema.clone(),
+                &EvalContext::default(),
+                par,
+                &mut stats,
+            )
+            .unwrap();
+            assert_eq!(out.to_rows(), serial.to_rows(), "parallelism {par}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join equivalence
+// ---------------------------------------------------------------------------
+
+/// Build (probe side, build side) with duplicate keys, NULL keys, and
+/// keys that dangle on each side.
+fn join_sides(n: usize) -> (Batch, Batch) {
+    let left_schema = Schema::new(vec![
+        Field::not_null("o_id", DataType::Int64),
+        Field::new("cust", DataType::Int64),
+    ])
+    .unwrap();
+    let mut left = Vec::with_capacity(n);
+    let mut x: u64 = 0xB7E1_5162_8AED_2A6B;
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let cust = match (x >> 29) % 10 {
+            0 => Datum::Null,
+            // Key space 0..600 against a build side covering 0..400:
+            // plenty of dup matches and plenty of dangling probes.
+            _ => Datum::from((x % 600) as i64),
+        };
+        left.push(row![i as i64, cust]);
+    }
+    let right_schema = Schema::new(vec![
+        Field::not_null("c_id", DataType::Int64),
+        Field::new("name", DataType::Utf8),
+    ])
+    .unwrap();
+    let mut right = Vec::new();
+    for k in 0..400i64 {
+        right.push(row![k, format!("cust-{k}")]);
+        if k % 5 == 0 {
+            // Duplicate build keys: each probe hit fans out.
+            right.push(row![k, format!("cust-{k}-alt")]);
+        }
+    }
+    (
+        Batch::from_rows(left_schema, &left).unwrap(),
+        Batch::from_rows(right_schema, &right).unwrap(),
+    )
+}
+
+#[test]
+fn joins_match_serial_exactly_for_all_types() {
+    let (left, right) = join_sides(20_000);
+    for join_type in [JoinType::Inner, JoinType::Left, JoinType::Semi, JoinType::Anti] {
+        let mut serial_stats = ExecStats::default();
+        let serial = hash_join(&left, &right, &[(1, 0)], join_type, 1, &mut serial_stats).unwrap();
+        assert!(serial_stats.parallel_workers_used <= 1);
+        for par in PARALLELISMS {
+            let mut stats = ExecStats::default();
+            let out = hash_join(&left, &right, &[(1, 0)], join_type, par, &mut stats).unwrap();
+            assert_eq!(
+                out.to_rows(),
+                serial.to_rows(),
+                "{join_type:?} at parallelism {par}"
+            );
+            assert!(
+                stats.parallel_workers_used > 1,
+                "{join_type:?} at parallelism {par}"
+            );
+            assert!(stats.morsels_dispatched > 1);
+        }
+    }
+}
+
+#[test]
+fn join_with_all_null_keys_matches_serial() {
+    // Every probe key NULL: inner/semi empty, left/anti pass everything.
+    let schema = Schema::new(vec![
+        Field::not_null("id", DataType::Int64),
+        Field::new("k", DataType::Int64),
+    ])
+    .unwrap();
+    let rows: Vec<Row> = (0..10_000).map(|i| row![i as i64, Datum::Null]).collect();
+    let left = Batch::from_rows(schema, &rows).unwrap();
+    let (_, right) = join_sides(0);
+    for join_type in [JoinType::Inner, JoinType::Left, JoinType::Semi, JoinType::Anti] {
+        let mut stats = ExecStats::default();
+        let serial = hash_join(&left, &right, &[(1, 0)], join_type, 1, &mut stats).unwrap();
+        for par in PARALLELISMS {
+            let mut stats = ExecStats::default();
+            let out = hash_join(&left, &right, &[(1, 0)], join_type, par, &mut stats).unwrap();
+            assert_eq!(out.to_rows(), serial.to_rows(), "{join_type:?} par {par}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end SQL: deletes, TSN visibility, and the parallelism knob
+// ---------------------------------------------------------------------------
+
+fn seeded_db(n: usize) -> std::sync::Arc<Database> {
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let schema = Schema::new(vec![
+        Field::not_null("id", DataType::Int64),
+        Field::new("grp", DataType::Int64),
+        Field::new("qty", DataType::Int64),
+        Field::new("label", DataType::Utf8),
+    ])
+    .unwrap();
+    let handle = db.catalog().create_table("facts", schema, None).unwrap();
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            let i = i as i64;
+            row![i, i % 17, (i * 7) % 1000, format!("L{}", i % 23)]
+        })
+        .collect();
+    handle.write().load_rows(rows).unwrap();
+
+    let dim_schema = Schema::new(vec![
+        Field::not_null("g", DataType::Int64),
+        Field::new("name", DataType::Utf8),
+    ])
+    .unwrap();
+    let dim = db.catalog().create_table("dims", dim_schema, None).unwrap();
+    let dim_rows: Vec<Row> = (0..12).map(|g| row![g as i64, format!("dim-{g}")]).collect();
+    dim.write().load_rows(dim_rows).unwrap();
+    db
+}
+
+#[test]
+fn sql_results_identical_across_worker_counts_with_deletes() {
+    let db = seeded_db(BIG);
+    let mut s = db.connect();
+    // Delete a slice mid-table so TSN visibility filtering runs inside
+    // every parallel stride morsel, not just at the fringes.
+    let deleted = s
+        .execute("DELETE FROM facts WHERE qty >= 300 AND qty < 500")
+        .unwrap()
+        .affected;
+    assert!(deleted > 0);
+
+    let queries = [
+        "SELECT grp, COUNT(*), SUM(qty) FROM facts GROUP BY grp ORDER BY grp",
+        "SELECT id, qty FROM facts WHERE qty < 120 ORDER BY id",
+        "SELECT d.name, f.label, COUNT(*) FROM facts f JOIN dims d ON f.grp = d.g \
+         GROUP BY d.name, f.label ORDER BY d.name, f.label",
+    ];
+    for sql in queries {
+        db.catalog().set_parallelism(1);
+        let serial = s.execute(sql).unwrap();
+        assert!(serial.stats.parallel_workers_used <= 1, "{sql}");
+        for par in [2usize, 4] {
+            db.catalog().set_parallelism(par);
+            let out = s.execute(sql).unwrap();
+            assert_eq!(out.rows, serial.rows, "{sql} at parallelism {par}");
+        }
+    }
+}
+
+#[test]
+fn sql_operators_report_parallel_workers() {
+    let db = seeded_db(BIG);
+    let mut s = db.connect();
+    db.catalog().set_parallelism(4);
+
+    // Scan fan-out: candidate strides outnumber workers by far.
+    let scan = s.execute("SELECT id FROM facts WHERE qty < 900").unwrap();
+    assert!(scan.stats.parallel_workers_used > 1, "scan: {:?}", scan.stats);
+    assert!(scan.stats.morsels_dispatched > 1);
+
+    // Grouped aggregate (single int key → fast path partials).
+    let agg = s
+        .execute("SELECT grp, COUNT(*), SUM(qty) FROM facts GROUP BY grp")
+        .unwrap();
+    assert!(agg.stats.parallel_workers_used > 1, "agg: {:?}", agg.stats);
+
+    // Join: partition + build/probe morsels. Two group columns keep the
+    // planner off the fused join-aggregate path.
+    let join = s
+        .execute(
+            "SELECT d.name, f.label, COUNT(*) FROM facts f JOIN dims d ON f.grp = d.g \
+             GROUP BY d.name, f.label",
+        )
+        .unwrap();
+    assert!(join.stats.parallel_workers_used > 1, "join: {:?}", join.stats);
+
+    // At parallelism 1 the pool runs inline: no fan-out reported.
+    db.catalog().set_parallelism(1);
+    let serial = s.execute("SELECT id FROM facts WHERE qty < 900").unwrap();
+    assert!(serial.stats.parallel_workers_used <= 1);
+}
