@@ -43,7 +43,8 @@ fn bench_join(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("inner", n), &f, |b, f| {
             b.iter(|| {
                 let mut stats = ExecStats::default();
-                hash_join(f, &d, &[(0, 0)], JoinType::Inner, 1, &mut stats).expect("join")
+                let stmt = dash_common::StatementContext::unbounded();
+                hash_join(f, &d, &[(0, 0)], JoinType::Inner, 1, &stmt, &mut stats).expect("join")
             })
         });
     }
@@ -86,8 +87,9 @@ fn bench_fused_vs_pipeline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("join_then_agg", n), &f, |b, f| {
             b.iter(|| {
                 let mut stats = ExecStats::default();
+                let stmt = dash_common::StatementContext::unbounded();
                 let joined =
-                    hash_join(f, &d, &[(0, 0)], JoinType::Inner, 1, &mut stats).expect("join");
+                    hash_join(f, &d, &[(0, 0)], JoinType::Inner, 1, &stmt, &mut stats).expect("join");
                 dash_exec::agg::hash_aggregate(
                     &joined,
                     &group_exprs,

@@ -49,6 +49,9 @@ pub enum DashError {
     Internal(String),
     /// The statement was cancelled by the workload manager or the user.
     Cancelled,
+    /// The statement exceeded a resource budget (memory, admission wait)
+    /// and was refused further growth rather than degrading the system.
+    ResourceExhausted(String),
 }
 
 impl DashError {
@@ -96,6 +99,11 @@ impl DashError {
         DashError::Unsupported(message.into())
     }
 
+    /// Construct a resource-exhausted (budget) error.
+    pub fn resource_exhausted(message: impl Into<String>) -> Self {
+        DashError::ResourceExhausted(message.into())
+    }
+
     /// Prefix the error message with statement-level context.
     pub fn with_context(self, ctx: &str) -> Self {
         match self {
@@ -121,6 +129,11 @@ impl DashError {
             DashError::Unsupported(_) => "0A000",
             DashError::Internal(_) => "XX000",
             DashError::Cancelled => "57014",
+            // Out-of-memory class, distinct from the transient cluster
+            // class 57011 so the scatter retry loop never retries a
+            // budget refusal (the budget is per-statement: a retry would
+            // fail identically).
+            DashError::ResourceExhausted(_) => "53200",
         }
     }
 }
@@ -143,6 +156,7 @@ impl fmt::Display for DashError {
             DashError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DashError::Internal(m) => write!(f, "internal error (bug): {m}"),
             DashError::Cancelled => write!(f, "statement cancelled"),
+            DashError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
         }
     }
 }
@@ -159,6 +173,12 @@ mod tests {
         assert_eq!(e.to_string(), "table \"T1\" not found");
         assert_eq!(e.class(), "42704");
         assert_eq!(DashError::Cancelled.class(), "57014");
+        let oom = DashError::resource_exhausted("hash table over budget");
+        assert_eq!(oom.class(), "53200");
+        assert_eq!(
+            oom.to_string(),
+            "resource exhausted: hash table over budget"
+        );
     }
 
     #[test]

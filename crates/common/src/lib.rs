@@ -21,10 +21,12 @@ pub mod fxhash;
 pub mod ids;
 pub mod row;
 pub mod schema;
+pub mod statement;
 pub mod types;
 
 pub use datum::Datum;
 pub use error::{DashError, Result};
 pub use row::Row;
 pub use schema::{Field, Schema};
+pub use statement::{BudgetLease, StatementContext};
 pub use types::DataType;

@@ -100,6 +100,29 @@ fn parallelism_override(raw: Option<&str>) -> Option<usize> {
     raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
 }
 
+/// Default statement deadline from `DASH_STATEMENT_TIMEOUT_MS`. `None`
+/// (unset / unparsable / zero) means statements run without a deadline;
+/// sessions can still arm one per-statement.
+pub fn default_statement_timeout() -> Option<std::time::Duration> {
+    timeout_override(std::env::var("DASH_STATEMENT_TIMEOUT_MS").ok().as_deref())
+}
+
+fn timeout_override(raw: Option<&str>) -> Option<std::time::Duration> {
+    raw.and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms >= 1)
+        .map(std::time::Duration::from_millis)
+}
+
+/// Default per-statement memory budget from `DASH_MEM_BUDGET_BYTES`.
+/// `None` (unset / unparsable / zero) means unlimited.
+pub fn default_mem_budget() -> Option<u64> {
+    budget_override(std::env::var("DASH_MEM_BUDGET_BYTES").ok().as_deref())
+}
+
+fn budget_override(raw: Option<&str>) -> Option<u64> {
+    raw.and_then(|v| v.trim().parse::<u64>().ok()).filter(|&b| b >= 1)
+}
+
 impl AutoConfig {
     /// Derive the configuration from hardware — the whole point is that
     /// this is a *function*: same hardware in, same tuned system out,
@@ -175,6 +198,20 @@ mod tests {
         assert_eq!(parallelism_override(Some("0")), None, "0 means derive");
         assert_eq!(parallelism_override(Some("4")), Some(4));
         assert_eq!(parallelism_override(Some(" 16 ")), Some(16));
+    }
+
+    #[test]
+    fn statement_limit_override_parsing() {
+        assert_eq!(timeout_override(None), None);
+        assert_eq!(timeout_override(Some("0")), None, "0 means no deadline");
+        assert_eq!(timeout_override(Some("junk")), None);
+        assert_eq!(
+            timeout_override(Some(" 250 ")),
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(budget_override(None), None);
+        assert_eq!(budget_override(Some("0")), None, "0 means unlimited");
+        assert_eq!(budget_override(Some("1048576")), Some(1 << 20));
     }
 
     #[test]

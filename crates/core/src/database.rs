@@ -8,7 +8,7 @@ use crate::result::{QueryResult, StatementKind};
 use crate::wlm::WorkloadManager;
 use dash_common::dialect::Dialect;
 use dash_common::ids::SessionId;
-use dash_common::{DashError, DataType, Datum, Field, Result, Row, Schema};
+use dash_common::{DashError, DataType, Datum, Field, Result, Row, Schema, StatementContext};
 use dash_exec::batch::Batch;
 use dash_exec::functions::EvalContext;
 use dash_exec::plan::PhysicalPlan;
@@ -20,7 +20,7 @@ use dash_storage::bufferpool::{BufferPool, Policy};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One single-node dashDB Local engine instance.
 ///
@@ -92,12 +92,16 @@ impl Database {
         }
     }
 
-    /// Open a session (default ANSI dialect).
+    /// Open a session (default ANSI dialect). Statement limits default
+    /// from the environment: `DASH_STATEMENT_TIMEOUT_MS` arms a deadline,
+    /// `DASH_MEM_BUDGET_BYTES` a memory budget; unset means unlimited.
     pub fn connect(self: &Arc<Self>) -> Session {
         Session {
             db: self.clone(),
             id: SessionId(self.next_session.fetch_add(1, Ordering::Relaxed)),
             dialect: Dialect::Ansi,
+            statement_timeout: crate::autoconf::default_statement_timeout(),
+            mem_budget: crate::autoconf::default_mem_budget(),
         }
     }
 
@@ -127,6 +131,10 @@ pub struct Session {
     db: Arc<Database>,
     id: SessionId,
     dialect: Dialect,
+    /// Per-statement deadline applied to queries (`None` = no deadline).
+    statement_timeout: Option<Duration>,
+    /// Per-statement memory budget in bytes (`None` = unlimited).
+    mem_budget: Option<u64>,
 }
 
 impl Session {
@@ -143,6 +151,17 @@ impl Session {
     /// Switch dialect (same as `SET SQL_DIALECT = ...`).
     pub fn set_dialect(&mut self, d: Dialect) {
         self.dialect = d;
+    }
+
+    /// Arm (or clear) a per-statement deadline for this session's queries.
+    pub fn set_statement_timeout(&mut self, timeout: Option<Duration>) {
+        self.statement_timeout = timeout;
+    }
+
+    /// Arm (or clear) a per-statement memory budget for this session's
+    /// queries.
+    pub fn set_mem_budget(&mut self, bytes: Option<u64>) {
+        self.mem_budget = bytes;
     }
 
     /// The owning database.
@@ -165,6 +184,7 @@ impl Session {
         EvalContext {
             now_micros: now,
             sequences: Some(self.db.catalog.clone()),
+            statement: StatementContext::unbounded(),
         }
     }
 
@@ -202,11 +222,56 @@ impl Session {
     fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult> {
         match stmt {
             Statement::Select(select) => {
-                let _ticket = self.db.wlm.admit();
-                let ctx = self.eval_context();
+                let stmt_ctx =
+                    StatementContext::with_limits(self.statement_timeout, self.mem_budget);
+                // WLM queue wait counts against the statement's deadline: a
+                // statement that cannot be admitted before it expires dies
+                // in the queue with a classified error. The timed-out path
+                // never occupies a slot, so there is nothing to leak; the
+                // admitted path holds an RAII ticket released on every exit.
+                let _ticket = match stmt_ctx.remaining() {
+                    Some(remaining) => match self.db.wlm.admit_timeout(remaining) {
+                        Some(ticket) => ticket,
+                        None => {
+                            stmt_ctx.cancel();
+                            self.db.monitor.record_deadline_kill();
+                            self.db.monitor.record_statement_cancelled();
+                            return Err(DashError::Cancelled);
+                        }
+                    },
+                    None => self.db.wlm.admit(),
+                };
+                let mut ctx = self.eval_context();
+                ctx.statement = stmt_ctx.clone();
                 let plan =
                     plan_select(&select, &self.provider(), self.dialect, &ctx)?;
-                let (batch, stats) = dash_exec::plan::execute(&plan, &ctx)?;
+                let result = dash_exec::plan::execute(&plan, &ctx);
+                // Fold the statement's lifecycle counters into the monitor
+                // on success and failure alike.
+                let mon = &self.db.monitor;
+                if stmt_ctx.budget_rejections() > 0 {
+                    mon.record_budget_rejections(stmt_ctx.budget_rejections());
+                }
+                mon.note_cancel_latency(stmt_ctx.cancel_latency_max_morsels());
+                let (batch, mut stats) = match result {
+                    Ok(ok) => ok,
+                    Err(e) => {
+                        if stmt_ctx.is_cancelled() {
+                            mon.record_statement_cancelled();
+                            if stmt_ctx
+                                .deadline()
+                                .is_some_and(|dl| Instant::now() >= dl)
+                            {
+                                mon.record_deadline_kill();
+                            }
+                        }
+                        return Err(e);
+                    }
+                };
+                stats.budget_rejections = stmt_ctx.budget_rejections();
+                stats.cancel_latency_max_morsels = stats
+                    .cancel_latency_max_morsels
+                    .max(stmt_ctx.cancel_latency_max_morsels());
                 Ok(QueryResult {
                     kind: StatementKind::Query,
                     schema: batch.schema().clone(),

@@ -47,6 +47,15 @@ pub struct RecoveryStats {
     /// different assignment epochs. Epoch pinning makes this structurally
     /// impossible; the counter is a regression tripwire and must stay 0.
     pub torn_epoch_rounds: u64,
+    /// Statements that observed cancellation (deadline or external kill)
+    /// and terminated with a classified `Cancelled` error.
+    pub statements_cancelled: u64,
+    /// Memory-budget reservations refused across all statements.
+    pub budget_rejections: u64,
+    /// Worst preemption latency any statement observed, in morsels
+    /// completed after its token flipped. The claim-check contract bounds
+    /// this at 1 per worker.
+    pub cancel_latency_max_morsels: u64,
 }
 
 impl RecoveryStats {
@@ -61,6 +70,10 @@ impl RecoveryStats {
 pub struct Monitor {
     inner: Arc<Mutex<BTreeMap<&'static str, KindStats>>>,
     recovery: Arc<Mutex<RecoveryStats>>,
+    /// Assignment epochs still pinned by in-flight statements:
+    /// epoch -> number of statements holding it. The lowest key is the GC
+    /// watermark — no snapshot at or above it may be reclaimed.
+    epoch_pins: Arc<Mutex<BTreeMap<u64, usize>>>,
 }
 
 impl Monitor {
@@ -131,6 +144,54 @@ impl Monitor {
         self.recovery.lock().torn_epoch_rounds += 1;
     }
 
+    /// Record a statement that terminated on its cancellation token
+    /// (deadline fired or it was killed externally).
+    pub fn record_statement_cancelled(&self) {
+        self.recovery.lock().statements_cancelled += 1;
+    }
+
+    /// Record `n` refused memory-budget reservations.
+    pub fn record_budget_rejections(&self, n: u64) {
+        self.recovery.lock().budget_rejections += n;
+    }
+
+    /// Fold one statement's worst observed preemption latency (in morsels
+    /// completed after its token flipped) into the store-wide maximum.
+    pub fn note_cancel_latency(&self, morsels: u64) {
+        let mut r = self.recovery.lock();
+        r.cancel_latency_max_morsels = r.cancel_latency_max_morsels.max(morsels);
+    }
+
+    /// A statement pinned assignment epoch `epoch` (scatter snapshot taken).
+    pub fn record_epoch_pin(&self, epoch: u64) {
+        *self.epoch_pins.lock().entry(epoch).or_insert(0) += 1;
+    }
+
+    /// A statement released its pin on `epoch` (finished, failed, or
+    /// re-pinned to a newer epoch after a failover).
+    pub fn record_epoch_unpin(&self, epoch: u64) {
+        let mut pins = self.epoch_pins.lock();
+        if let Some(n) = pins.get_mut(&epoch) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&epoch);
+            }
+        }
+    }
+
+    /// Epochs currently pinned by in-flight statements, ascending, with
+    /// the number of statements holding each.
+    pub fn pinned_epochs(&self) -> Vec<(u64, usize)> {
+        self.epoch_pins.lock().iter().map(|(e, n)| (*e, *n)).collect()
+    }
+
+    /// The epoch-history GC watermark: the lowest epoch still pinned by an
+    /// in-flight statement. Snapshots older than this are reclaimable;
+    /// `None` means nothing is pinned (everything old is reclaimable).
+    pub fn epoch_gc_watermark(&self) -> Option<u64> {
+        self.epoch_pins.lock().keys().next().copied()
+    }
+
     /// Snapshot of the recovery counters.
     pub fn recovery(&self) -> RecoveryStats {
         *self.recovery.lock()
@@ -153,7 +214,9 @@ impl Monitor {
         if !r.is_clean() {
             out.push_str(&format!(
                 "recovery: {} shard retries, {} failovers, {} stragglers, {} deadline kills, \
-                 {} epoch bumps, {} stale-epoch retries, {} torn-epoch rounds\n",
+                 {} epoch bumps, {} stale-epoch retries, {} torn-epoch rounds, \
+                 {} statements cancelled, {} budget rejections, \
+                 cancel latency <= {} morsel(s)\n",
                 r.shard_retries,
                 r.failovers,
                 r.stragglers,
@@ -161,6 +224,19 @@ impl Monitor {
                 r.epoch_bumps,
                 r.stale_epoch_retries,
                 r.torn_epoch_rounds,
+                r.statements_cancelled,
+                r.budget_rejections,
+                r.cancel_latency_max_morsels,
+            ));
+        }
+        let pins = self.pinned_epochs();
+        if !pins.is_empty() {
+            let wm = self.epoch_gc_watermark().unwrap_or(0);
+            out.push_str(&format!(
+                "epoch pins (gc watermark {wm}):{}\n",
+                pins.iter()
+                    .map(|(e, n)| format!(" e{e}x{n}"))
+                    .collect::<String>()
             ));
         }
         out
@@ -214,5 +290,44 @@ mod tests {
         assert_eq!(r.stale_epoch_retries, 3);
         assert_eq!(r.torn_epoch_rounds, 0, "tripwire never fires in tests");
         assert!(m.report().contains("recovery:"));
+    }
+
+    #[test]
+    fn cancellation_counters_accumulate() {
+        let m = Monitor::new();
+        m.record_statement_cancelled();
+        m.record_budget_rejections(2);
+        m.note_cancel_latency(1);
+        m.note_cancel_latency(0); // max, not last-write
+        let r = m.recovery();
+        assert_eq!(r.statements_cancelled, 1);
+        assert_eq!(r.budget_rejections, 2);
+        assert_eq!(r.cancel_latency_max_morsels, 1);
+        assert!(!r.is_clean());
+        let rep = m.report();
+        assert!(rep.contains("1 statements cancelled"));
+        assert!(rep.contains("2 budget rejections"));
+    }
+
+    #[test]
+    fn epoch_pin_registry_tracks_watermark() {
+        let m = Monitor::new();
+        assert_eq!(m.epoch_gc_watermark(), None);
+        assert!(m.pinned_epochs().is_empty());
+        m.record_epoch_pin(3);
+        m.record_epoch_pin(3);
+        m.record_epoch_pin(5);
+        assert_eq!(m.epoch_gc_watermark(), Some(3));
+        assert_eq!(m.pinned_epochs(), vec![(3, 2), (5, 1)]);
+        assert!(m.report().contains("epoch pins (gc watermark 3): e3x2 e5x1"));
+        m.record_epoch_unpin(3);
+        assert_eq!(m.epoch_gc_watermark(), Some(3), "one pin still holds 3");
+        m.record_epoch_unpin(3);
+        assert_eq!(m.epoch_gc_watermark(), Some(5), "watermark advances");
+        m.record_epoch_unpin(5);
+        assert_eq!(m.epoch_gc_watermark(), None);
+        // Unpinning an unknown epoch is a no-op, not a panic.
+        m.record_epoch_unpin(99);
+        assert!(m.pinned_epochs().is_empty());
     }
 }

@@ -16,7 +16,8 @@ use crate::join::PARTITION_ROWS;
 use crate::pool;
 use crate::stats::ExecStats;
 use dash_common::fxhash::FxHashMap;
-use dash_common::{DashError, DataType, Datum, Result, Row, Schema};
+use dash_common::statement::approx_datum_bytes;
+use dash_common::{BudgetLease, DashError, DataType, Datum, Result, Row, Schema};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
@@ -384,6 +385,7 @@ fn try_fast_aggregate(
     group_exprs: &[Expr],
     aggs: &[AggExpr],
     out_schema: &Schema,
+    ctx: &EvalContext,
     parallelism: usize,
     stats: &mut ExecStats,
 ) -> Option<Result<Batch>> {
@@ -420,7 +422,7 @@ fn try_fast_aggregate(
     }
     if parallelism > 1 && input.len() >= FAST_PARALLEL_MIN_ROWS {
         return Some(fast_aggregate_parallel(
-            input, g, &kinds, aggs, out_schema, parallelism, stats,
+            input, g, &kinds, aggs, out_schema, ctx, parallelism, stats,
         ));
     }
     // Map each row to a dense group id via the typed key column.
@@ -880,17 +882,19 @@ fn fast_partial(input: &Batch, g: usize, kinds: &[FastKind], lo: usize, hi: usiz
 /// output order (first appearance) matches the serial fast path. Integer
 /// results are bit-identical to serial; float sums can differ in the last
 /// ulp because addition is reassociated across morsels.
+#[allow(clippy::too_many_arguments)]
 fn fast_aggregate_parallel(
     input: &Batch,
     g: usize,
     kinds: &[FastKind],
     aggs: &[AggExpr],
     out_schema: &Schema,
+    ctx: &EvalContext,
     parallelism: usize,
     stats: &mut ExecStats,
 ) -> Result<Batch> {
     let ranges = pool::row_morsels(input.len(), parallelism, 4096);
-    let run = pool::run_morsels(ranges.len(), parallelism, |mi| {
+    let run = pool::run_morsels(ranges.len(), parallelism, &ctx.statement, |mi| {
         let (lo, hi) = ranges[mi];
         Ok(fast_partial(input, g, kinds, lo, hi))
     })?;
@@ -1104,7 +1108,7 @@ pub fn hash_aggregate(
     // Vectorized fast path for the dominant shape.
     if !group_exprs.is_empty() && !input.is_empty() {
         if let Some(result) =
-            try_fast_aggregate(input, group_exprs, aggs, &out_schema, parallelism, stats)
+            try_fast_aggregate(input, group_exprs, aggs, &out_schema, ctx, parallelism, stats)
         {
             return result;
         }
@@ -1119,7 +1123,7 @@ pub fn hash_aggregate(
     };
     let mask = parts as u64 - 1;
     let ranges = pool::row_morsels(n, parallelism, 4096);
-    let key_run = pool::run_morsels(ranges.len(), parallelism, |mi| {
+    let key_run = pool::run_morsels(ranges.len(), parallelism, &ctx.statement, |mi| {
         let (lo, hi) = ranges[mi];
         let mut chunk: Vec<(Vec<Datum>, u64)> = Vec::with_capacity(hi - lo);
         for row in lo..hi {
@@ -1140,8 +1144,28 @@ pub fn hash_aggregate(
     // (row index, owned group key) pairs, bucketed by key hash.
     type KeyedRows = Vec<(usize, Vec<Datum>)>;
     let mut scattered: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
+    // The partition state is the aggregate's dominant allocation: charge it
+    // against the statement's memory budget as it grows, so a runaway
+    // grouping aborts with a classified error instead of growing without
+    // bound. The lease releases everything on any exit path (including the
+    // `?` below), so an aborted statement drops its partial state cleanly.
+    let mut lease = BudgetLease::new(&ctx.statement);
     let mut row = 0usize;
     for chunk in key_run.results {
+        // One cancellation check and one budget reservation per morsel-sized
+        // chunk (≤ 4096 rows) keeps the serial phase preemptible without a
+        // per-row atomic.
+        ctx.statement.check()?;
+        let bytes: u64 = chunk
+            .iter()
+            .map(|(key, _)| {
+                std::mem::size_of::<(usize, Vec<Datum>)>() as u64
+                    + key.iter().map(approx_datum_bytes).sum::<u64>()
+            })
+            .sum();
+        lease.charge(bytes).inspect_err(|_| {
+            stats.budget_rejections += 1;
+        })?;
         for (key, h) in chunk {
             scattered[(h & mask) as usize].push((row, key));
             row += 1;
@@ -1155,7 +1179,7 @@ pub fn hash_aggregate(
     // hold disjoint key sets and keep rows in input order, so per-partition
     // results concatenated in partition order match the serial pipeline.
     let scattered: Vec<Mutex<KeyedRows>> = scattered.into_iter().map(Mutex::new).collect();
-    let agg_run = pool::run_morsels(scattered.len(), parallelism, |p| {
+    let agg_run = pool::run_morsels(scattered.len(), parallelism, &ctx.statement, |p| {
         let part = std::mem::take(&mut *scattered[p].lock());
         let mut groups: FxHashMap<Vec<Datum>, Vec<AggState>> = FxHashMap::default();
         if group_exprs.is_empty() {
@@ -1183,6 +1207,7 @@ pub fn hash_aggregate(
         Ok(part_rows)
     })?;
     stats.note_parallel_phase(agg_run.morsels_dispatched, agg_run.workers_used);
+    drop(lease); // partition state has been consumed — return its budget
     let mut out_rows: Vec<Row> = agg_run.results.into_iter().flatten().collect();
     // With zero input rows and a global aggregate there is one empty-key
     // group only if partitions[0] existed — ensure it.

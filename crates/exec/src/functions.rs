@@ -31,6 +31,10 @@ pub struct EvalContext {
     pub now_micros: i64,
     /// Sequence backing for NEXTVAL/CURRVAL; `None` outside a session.
     pub sequences: Option<std::sync::Arc<dyn SequenceSource>>,
+    /// The statement's lifecycle handle: cancellation token + memory
+    /// budget. Every operator checks it at morsel granularity; the
+    /// default is unbounded (never cancels, never rejects).
+    pub statement: dash_common::StatementContext,
 }
 
 impl std::fmt::Debug for EvalContext {
@@ -38,6 +42,7 @@ impl std::fmt::Debug for EvalContext {
         f.debug_struct("EvalContext")
             .field("now_micros", &self.now_micros)
             .field("sequences", &self.sequences.is_some())
+            .field("cancelled", &self.statement.is_cancelled())
             .finish()
     }
 }
@@ -49,6 +54,17 @@ impl Default for EvalContext {
         EvalContext {
             now_micros: date::parse_timestamp("2017-04-19 12:00:00").expect("valid literal"),
             sequences: None,
+            statement: dash_common::StatementContext::unbounded(),
+        }
+    }
+}
+
+impl EvalContext {
+    /// A default context carrying the given statement lifecycle handle.
+    pub fn with_statement(statement: dash_common::StatementContext) -> EvalContext {
+        EvalContext {
+            statement,
+            ..EvalContext::default()
         }
     }
 }

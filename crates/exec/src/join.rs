@@ -12,7 +12,8 @@ use crate::batch::Batch;
 use crate::pool;
 use crate::stats::ExecStats;
 use dash_common::fxhash::FxHashMap;
-use dash_common::{Datum, Result, Row};
+use dash_common::statement::approx_datum_bytes;
+use dash_common::{BudgetLease, Datum, Result, Row, StatementContext};
 use parking_lot::Mutex;
 use std::collections::hash_map::Entry;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
@@ -71,9 +72,10 @@ fn partition_side(
     parts: usize,
     mask: u64,
     parallelism: usize,
+    stmt: &StatementContext,
 ) -> Result<(Vec<KeyedRows>, Vec<usize>, (u64, u64))> {
     let ranges = pool::row_morsels(batch.len(), parallelism, 4096);
-    let run = pool::run_morsels(ranges.len(), parallelism, |mi| {
+    let run = pool::run_morsels(ranges.len(), parallelism, stmt, |mi| {
         let (lo, hi) = ranges[mi];
         let mut local: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
         let mut nulls: Vec<usize> = Vec::new();
@@ -109,6 +111,7 @@ pub fn hash_join(
     on: &[(usize, usize)],
     join_type: JoinType,
     parallelism: usize,
+    stmt: &StatementContext,
     stats: &mut ExecStats,
 ) -> Result<Batch> {
     assert!(!on.is_empty(), "hash join requires at least one key pair");
@@ -126,13 +129,32 @@ pub fn hash_join(
 
     // Phase 1 — hash-partition both sides across the pool.
     let (right_parts, _right_nullkey, (rm, rw)) =
-        partition_side(right, &right_cols, parts, mask, parallelism)?;
+        partition_side(right, &right_cols, parts, mask, parallelism, stmt)?;
     let (left_parts, left_nullkey, (lm, lw)) =
-        partition_side(left, &left_cols, parts, mask, parallelism)?;
+        partition_side(left, &left_cols, parts, mask, parallelism, stmt)?;
     stats.note_parallel_phase(rm, rw);
     stats.note_parallel_phase(lm, lw);
     stats.rows_partitioned += right_parts.iter().map(|p| p.len() as u64).sum::<u64>();
     stats.rows_partitioned += left_parts.iter().map(|p| p.len() as u64).sum::<u64>();
+
+    // The partitioned row/key state (and the per-partition hash tables built
+    // from the right side, which hold the same keys moved in) is the join's
+    // dominant allocation. Charge it against the statement's memory budget
+    // up front; the lease releases on every exit path, so an over-budget or
+    // cancelled join drops its partial state without leaking the charge.
+    let mut lease = BudgetLease::new(stmt);
+    let bytes: u64 = right_parts
+        .iter()
+        .chain(left_parts.iter())
+        .flatten()
+        .map(|(_, k)| {
+            std::mem::size_of::<(usize, Vec<Datum>)>() as u64
+                + k.iter().map(approx_datum_bytes).sum::<u64>()
+        })
+        .sum();
+    lease.charge(bytes).inspect_err(|_| {
+        stats.budget_rejections += 1;
+    })?;
 
     // Phase 2 — each partition pair is one build+probe morsel. Partitions
     // hold disjoint keys and ascending row order, so concatenating the
@@ -141,7 +163,7 @@ pub fn hash_join(
     let right_parts: Vec<Mutex<KeyedRows>> = right_parts.into_iter().map(Mutex::new).collect();
     let left_parts: Vec<Mutex<KeyedRows>> = left_parts.into_iter().map(Mutex::new).collect();
     let right_nulls = Row::new(vec![Datum::Null; right.schema().len()]);
-    let join_run = pool::run_morsels(parts, parallelism, |p| {
+    let join_run = pool::run_morsels(parts, parallelism, stmt, |p| {
         // Build per-partition table on the right side, moving each stored
         // key into the table (duplicates just add their row index).
         let build = std::mem::take(&mut *right_parts[p].lock());
@@ -190,6 +212,7 @@ pub fn hash_join(
         Ok(part_rows)
     })?;
     stats.note_parallel_phase(join_run.morsels_dispatched, join_run.workers_used);
+    drop(lease); // partitions and build tables consumed — return their budget
     let mut out_rows: Vec<Row> = join_run.results.into_iter().flatten().collect();
     // NULL-keyed left rows: unmatched by definition.
     match join_type {
@@ -235,6 +258,10 @@ mod tests {
     use dash_common::types::DataType;
     use dash_common::{row, Field, Schema};
 
+    fn stmt() -> StatementContext {
+        StatementContext::unbounded()
+    }
+
     fn orders() -> Batch {
         let schema = Schema::new(vec![
             Field::not_null("o_id", DataType::Int64),
@@ -270,7 +297,7 @@ mod tests {
     #[test]
     fn inner_join_basic() {
         let mut stats = ExecStats::default();
-        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Inner, 1, &mut stats).unwrap();
+        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
         assert_eq!(out.len(), 3); // o1, o2, o3 match; o4 null; o5 dangling
         assert_eq!(out.schema().len(), 4);
         let names: Vec<String> = out
@@ -285,7 +312,7 @@ mod tests {
     #[test]
     fn left_join_pads_nulls() {
         let mut stats = ExecStats::default();
-        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Left, 1, &mut stats).unwrap();
+        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Left, 1, &stmt(), &mut stats).unwrap();
         assert_eq!(out.len(), 5);
         let unmatched: Vec<Row> = out
             .to_rows()
@@ -298,10 +325,10 @@ mod tests {
     #[test]
     fn semi_and_anti() {
         let mut stats = ExecStats::default();
-        let semi = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Semi, 1, &mut stats).unwrap();
+        let semi = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Semi, 1, &stmt(), &mut stats).unwrap();
         assert_eq!(semi.len(), 3);
         assert_eq!(semi.schema().len(), 2, "semi keeps left columns only");
-        let anti = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Anti, 1, &mut stats).unwrap();
+        let anti = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Anti, 1, &stmt(), &mut stats).unwrap();
         assert_eq!(anti.len(), 2);
         let ids: Vec<i64> = anti.to_rows().iter().map(|r| r.get(0).as_int().unwrap()).collect();
         assert!(ids.contains(&4) && ids.contains(&5));
@@ -322,7 +349,7 @@ mod tests {
         )
         .unwrap();
         let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &mut stats).unwrap();
+        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
         assert_eq!(out.len(), 4, "2 probe x 2 build matches");
     }
 
@@ -340,7 +367,7 @@ mod tests {
         .unwrap();
         let r = Batch::from_rows(schema, &[row![1i64, "x"], row![2i64, "y"]]).unwrap();
         let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0), (1, 1)], JoinType::Inner, 1, &mut stats).unwrap();
+        let out = hash_join(&l, &r, &[(0, 0), (1, 1)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
         assert_eq!(out.len(), 1);
     }
 
@@ -355,7 +382,7 @@ mod tests {
         let r = Batch::from_rows(schema, &r_rows).unwrap();
         assert!(partition_count(n) > 1);
         let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &mut stats).unwrap();
+        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
         assert_eq!(out.len(), n);
         assert!(stats.rows_partitioned >= (n + 1000) as u64);
     }
@@ -368,7 +395,7 @@ mod tests {
         let l = Batch::from_rows(sl, &[row![2i64]]).unwrap();
         let r = Batch::from_rows(sr, &[row![2.0f64]]).unwrap();
         let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &mut stats).unwrap();
+        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
         assert_eq!(out.len(), 1);
     }
 }

@@ -286,6 +286,9 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
             let child = exec_node(input, ctx, stats)?;
             let mut keep = Vec::new();
             for row in 0..child.len() {
+                if row % 4096 == 0 {
+                    ctx.statement.check()?;
+                }
                 if predicate.eval_predicate(&child, row, ctx)? {
                     keep.push(row);
                 }
@@ -300,6 +303,9 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
             let child = exec_node(input, ctx, stats)?;
             let mut rows: Vec<Row> = Vec::with_capacity(child.len());
             for row in 0..child.len() {
+                if row % 4096 == 0 {
+                    ctx.statement.check()?;
+                }
                 let mut vals = Vec::with_capacity(exprs.len());
                 for e in exprs {
                     vals.push(e.eval(&child, row, ctx)?);
@@ -319,7 +325,7 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
         } => {
             let l = exec_node(left, ctx, stats)?;
             let r = exec_node(right, ctx, stats)?;
-            hash_join(&l, &r, on, *join_type, *parallelism, stats)
+            hash_join(&l, &r, on, *join_type, *parallelism, &ctx.statement, stats)
         }
         PhysicalPlan::HashAggregate {
             input,
@@ -350,7 +356,8 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
                 ) {
                     return result;
                 }
-                let joined = hash_join(&l, &r, on, JoinType::Inner, *join_parallelism, stats)?;
+                let joined =
+                    hash_join(&l, &r, on, JoinType::Inner, *join_parallelism, &ctx.statement, stats)?;
                 return hash_aggregate(
                     &joined,
                     group,
@@ -386,6 +393,9 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
             let mut seen = dash_common::fxhash::FxHashSet::default();
             let mut keep = Vec::new();
             for i in 0..child.len() {
+                if i % 4096 == 0 {
+                    ctx.statement.check()?;
+                }
                 if seen.insert(child.row(i)) {
                     keep.push(i);
                 }
@@ -437,6 +447,7 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
             }
             let mut level = 1i64;
             while !frontier.is_empty() && level < 128 {
+                ctx.statement.check()?;
                 let mut next = Vec::new();
                 for &i in &frontier {
                     let mut r = rows.row(i);

@@ -21,11 +21,20 @@
 //! are caught at the join and converted to a classified
 //! [`DashError::internal`] (the PR 1 de-panic convention) instead of
 //! poisoning the process.
+//!
+//! Cancellation: every claim first consults the statement's
+//! [`StatementContext`]. A flipped token aborts the run with
+//! [`DashError::Cancelled`] before any further morsel starts, so the
+//! preemption latency of the whole operator tree is bounded by **one
+//! morsel** — the one already in flight when the token flipped. Workers
+//! report how many morsels they completed after the flip via
+//! [`StatementContext::note_cancel_latency`]; the claim-check contract
+//! keeps that at ≤ 1 per worker and tests assert it.
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use dash_common::{DashError, Result};
+use dash_common::{DashError, Result, StatementContext};
 
 /// The outcome of one [`run_morsels`] fan-out.
 #[derive(Debug)]
@@ -57,9 +66,21 @@ fn panic_message(payload: &(dyn Any + Send)) -> &str {
 /// scoped workers with work-claiming. `work` receives the morsel index and
 /// must be safe to call concurrently from multiple threads.
 ///
+/// `stmt` is checked **before every claim** (serial and parallel): a
+/// flipped token aborts the run with [`DashError::Cancelled`] without
+/// starting another morsel. A morsel that was already executing when the
+/// token flipped runs to completion — that single in-flight morsel is the
+/// preemption-latency bound, recorded via
+/// [`StatementContext::note_cancel_latency`].
+///
 /// With `parallelism <= 1` (or a single morsel) everything runs inline on
 /// the calling thread — no threads are spawned, no behavior changes.
-pub fn run_morsels<T, F>(n: usize, parallelism: usize, work: F) -> Result<MorselRun<T>>
+pub fn run_morsels<T, F>(
+    n: usize,
+    parallelism: usize,
+    stmt: &StatementContext,
+    work: F,
+) -> Result<MorselRun<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
@@ -67,9 +88,20 @@ where
     let workers = parallelism.max(1).min(n);
     if workers <= 1 {
         let mut results = Vec::with_capacity(n);
+        let mut after_cancel = 0u64;
         for i in 0..n {
-            results.push(work(i)?);
+            if stmt.is_cancelled() {
+                stmt.note_cancel_latency(after_cancel);
+                return Err(DashError::Cancelled);
+            }
+            let v = work(i)?;
+            if stmt.is_cancelled() {
+                // The morsel that was in flight when the token flipped.
+                after_cancel += 1;
+            }
+            results.push(v);
         }
+        stmt.note_cancel_latency(after_cancel);
         return Ok(MorselRun {
             results,
             morsels_dispatched: n as u64,
@@ -85,22 +117,35 @@ where
                 let (next, abort, work) = (&next, &abort, &work);
                 s.spawn(move |_| -> Result<Vec<(usize, T)>> {
                     let mut claimed: Vec<(usize, T)> = Vec::new();
+                    let mut after_cancel = 0u64;
                     loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
+                        }
+                        if stmt.is_cancelled() {
+                            abort.store(true, Ordering::Relaxed);
+                            stmt.note_cancel_latency(after_cancel);
+                            return Err(DashError::Cancelled);
                         }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
                         match work(i) {
-                            Ok(v) => claimed.push((i, v)),
+                            Ok(v) => {
+                                if stmt.is_cancelled() {
+                                    after_cancel += 1;
+                                }
+                                claimed.push((i, v));
+                            }
                             Err(e) => {
                                 abort.store(true, Ordering::Relaxed);
+                                stmt.note_cancel_latency(after_cancel);
                                 return Err(e);
                             }
                         }
                     }
+                    stmt.note_cancel_latency(after_cancel);
                     Ok(claimed)
                 })
             })
@@ -169,10 +214,14 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    fn stmt() -> StatementContext {
+        StatementContext::unbounded()
+    }
+
     #[test]
     fn serial_and_parallel_agree() {
         for par in [1usize, 2, 3, 8] {
-            let run = run_morsels(37, par, |i| Ok(i * i)).unwrap();
+            let run = run_morsels(37, par, &stmt(), |i| Ok(i * i)).unwrap();
             assert_eq!(run.results, (0..37).map(|i| i * i).collect::<Vec<_>>());
             assert_eq!(run.morsels_dispatched, 37);
             assert!(run.workers_used >= 1);
@@ -182,7 +231,7 @@ mod tests {
 
     #[test]
     fn empty_run() {
-        let run = run_morsels(0, 4, |_| Ok(0u32)).unwrap();
+        let run = run_morsels(0, 4, &stmt(), |_| Ok(0u32)).unwrap();
         assert!(run.results.is_empty());
         assert_eq!(run.morsels_dispatched, 0);
         assert_eq!(run.workers_used, 0);
@@ -191,7 +240,7 @@ mod tests {
     #[test]
     fn worker_error_propagates() {
         for par in [1usize, 4] {
-            let err = run_morsels(100, par, |i| {
+            let err = run_morsels(100, par, &stmt(), |i| {
                 if i == 13 {
                     Err(DashError::exec("morsel 13 refused"))
                 } else {
@@ -205,7 +254,7 @@ mod tests {
 
     #[test]
     fn worker_panic_becomes_internal_error() {
-        let err = run_morsels(16, 4, |i| -> Result<usize> {
+        let err = run_morsels(16, 4, &stmt(), |i| -> Result<usize> {
             if i == 7 {
                 panic!("deliberate test panic");
             }
@@ -220,9 +269,66 @@ mod tests {
     #[test]
     fn workers_capped_by_morsel_count() {
         // 2 morsels, 8 workers: at most 2 can claim work.
-        let run = run_morsels(2, 8, Ok).unwrap();
+        let run = run_morsels(2, 8, &stmt(), Ok).unwrap();
         assert_eq!(run.results, vec![0, 1]);
         assert!(run.workers_used <= 2);
+    }
+
+    #[test]
+    fn pre_cancelled_run_starts_nothing() {
+        for par in [1usize, 4] {
+            let ctx = stmt();
+            ctx.cancel();
+            let started = AtomicUsize::new(0);
+            let err = run_morsels(64, par, &ctx, |i| {
+                started.fetch_add(1, Ordering::Relaxed);
+                Ok(i)
+            })
+            .unwrap_err();
+            assert_eq!(err, DashError::Cancelled);
+            assert_eq!(started.load(Ordering::Relaxed), 0, "no morsel may start");
+            assert_eq!(ctx.cancel_latency_max_morsels(), 0);
+        }
+    }
+
+    #[test]
+    fn mid_run_cancel_observed_within_one_morsel() {
+        for par in [1usize, 4] {
+            let ctx = stmt();
+            let started_after_cancel = AtomicUsize::new(0);
+            let err = run_morsels(1000, par, &ctx, |i| {
+                if ctx.is_cancelled() {
+                    // Already claimed when the token flipped — the one
+                    // in-flight morsel the latency bound allows per worker.
+                    started_after_cancel.fetch_add(1, Ordering::Relaxed);
+                }
+                if i == 5 {
+                    // Flip the token from inside a morsel: every worker may
+                    // finish its current morsel, then must stop claiming.
+                    ctx.cancel();
+                }
+                Ok(i)
+            })
+            .unwrap_err();
+            assert_eq!(err, DashError::Cancelled);
+            let late = started_after_cancel.load(Ordering::Relaxed);
+            assert!(
+                late <= par,
+                "par={par}: {late} morsels started after the flip (≤ 1 per worker allowed)"
+            );
+            assert!(
+                ctx.cancel_latency_max_morsels() <= 1,
+                "preemption latency must be ≤ 1 morsel, got {}",
+                ctx.cancel_latency_max_morsels()
+            );
+        }
+    }
+
+    #[test]
+    fn completed_run_reports_zero_latency() {
+        let ctx = stmt();
+        run_morsels(8, 4, &ctx, Ok).unwrap();
+        assert_eq!(ctx.cancel_latency_max_morsels(), 0);
     }
 
     #[test]
@@ -246,7 +352,7 @@ mod tests {
         /// combination yields exactly the serial mapping, in order.
         #[test]
         fn prop_order_independent(n in 0usize..200, par in 1usize..9) {
-            let run = run_morsels(n, par, |i| Ok(i as u64 * 3 + 1)).unwrap();
+            let run = run_morsels(n, par, &stmt(), |i| Ok(i as u64 * 3 + 1)).unwrap();
             let serial: Vec<u64> = (0..n).map(|i| i as u64 * 3 + 1).collect();
             prop_assert_eq!(run.results, serial);
             prop_assert_eq!(run.morsels_dispatched, n as u64);

@@ -178,7 +178,7 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
             }
         })
         .collect();
-    let eval_run = pool::run_morsels(candidate_list.len(), config.parallelism, |mi| {
+    let eval_run = pool::run_morsels(candidate_list.len(), config.parallelism, &ctx.statement, |mi| {
         let mut local_stats = ExecStats::default();
         let outcome = eval_stride(
             table,
@@ -218,13 +218,13 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
         .iter()
         .map(|&dt| ColumnValues::empty_for(dt))
         .collect();
-    let mat_run = pool::run_morsels(out_rows.len(), config.parallelism, |mi| {
+    let mat_run = pool::run_morsels(out_rows.len(), config.parallelism, &ctx.statement, |mi| {
         let (stride, positions) = &out_rows[mi];
         let mut local_stats = ExecStats::default();
         if let Some(pool) = &config.pool {
             let mut pool = pool.lock();
             for &col in &config.projection {
-                charge(&mut pool, &mut local_stats, config.table_id, col, *stride)?;
+                charge(&mut pool, &mut local_stats, &ctx.statement, config.table_id, col, *stride)?;
             }
         }
         let mut partial: Vec<ColumnValues> = Vec::with_capacity(out_types.len());
@@ -326,7 +326,7 @@ fn eval_stride(
     if let Some(pool) = &config.pool {
         let mut pool = pool.lock();
         for p in &config.predicates {
-            charge(&mut pool, stats, config.table_id, p.column(), stride)?;
+            charge(&mut pool, stats, &ctx.statement, config.table_id, p.column(), stride)?;
         }
     }
     let block0 = table.block(touched.first().copied().unwrap_or(0), stride);
@@ -373,11 +373,12 @@ fn eval_stride(
 fn charge(
     pool: &mut BufferPool,
     stats: &mut ExecStats,
+    stmt: &dash_common::StatementContext,
     table: u32,
     col: usize,
     stride: usize,
 ) -> Result<()> {
-    if pool.try_access(PageKey::new(table, col as u32, stride as u32))? {
+    if pool.try_access_for(PageKey::new(table, col as u32, stride as u32), stmt)? {
         stats.pool_hits += 1;
     } else {
         stats.pool_misses += 1;

@@ -82,6 +82,9 @@ pub fn sort_batch(
 ) -> Result<Batch> {
     let mut decorated: Vec<(Vec<Datum>, usize)> = Vec::with_capacity(input.len());
     for row in 0..input.len() {
+        if row % 4096 == 0 {
+            ctx.statement.check()?;
+        }
         let mut kv = Vec::with_capacity(keys.len());
         for k in keys {
             kv.push(k.expr.eval(input, row, ctx)?);

@@ -31,6 +31,13 @@ pub struct ExecStats {
     /// Peak number of pool workers that claimed work in any single parallel
     /// phase of the query. `1` means everything ran serially.
     pub parallel_workers_used: u64,
+    /// Worst preemption latency any pool worker observed, in morsels: how
+    /// many morsels completed after the statement's cancellation token
+    /// flipped. Bounded at 1 by the claim-check contract; 0 for
+    /// statements that were never cancelled.
+    pub cancel_latency_max_morsels: u64,
+    /// Memory-budget reservations the statement was refused.
+    pub budget_rejections: u64,
 }
 
 impl ExecStats {
@@ -75,6 +82,11 @@ impl AddAssign for ExecStats {
         // Peak concurrency, not a sum: merging two phases that each used 4
         // workers still means the query ran 4-wide.
         self.parallel_workers_used = self.parallel_workers_used.max(rhs.parallel_workers_used);
+        // Worst-case latency, not a sum: the bound is per-worker.
+        self.cancel_latency_max_morsels = self
+            .cancel_latency_max_morsels
+            .max(rhs.cancel_latency_max_morsels);
+        self.budget_rejections += rhs.budget_rejections;
     }
 }
 

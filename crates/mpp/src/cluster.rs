@@ -19,7 +19,7 @@ use dash_common::faults::{
 };
 use dash_common::fxhash::{hash_bytes, FxHashMap};
 use dash_common::ids::{NodeId, ShardId};
-use dash_common::{DashError, Datum, Result, Row, Schema};
+use dash_common::{DashError, Datum, Result, Row, Schema, StatementContext};
 use dash_core::monitor::Monitor;
 use dash_core::{Database, HardwareSpec};
 use dash_exec::agg::AggFunc;
@@ -64,12 +64,13 @@ pub struct AssignmentEpoch {
     pub map: Arc<BTreeMap<ShardId, NodeId>>,
 }
 
-/// Sleep `total`, waking every [`STALL_CHUNK`] to honour `cancel`.
-/// Returns `true` when the sleep was cut short by cancellation.
-fn chunked_sleep(total: Duration, cancel: &AtomicBool) -> bool {
+/// Sleep `total`, waking every [`STALL_CHUNK`] to honour both the round's
+/// cancel flag and the statement's token. Returns `true` when the sleep
+/// was cut short by cancellation.
+fn chunked_sleep(total: Duration, cancel: &AtomicBool, stmt: &StatementContext) -> bool {
     let end = Instant::now() + total;
     loop {
-        if cancel.load(Ordering::Relaxed) {
+        if cancel.load(Ordering::Relaxed) || stmt.is_cancelled() {
             return true;
         }
         let now = Instant::now();
@@ -77,6 +78,78 @@ fn chunked_sleep(total: Duration, cancel: &AtomicBool) -> bool {
             return false;
         }
         std::thread::sleep(STALL_CHUNK.min(end - now));
+    }
+}
+
+/// Deadline watchdog: flips the statement token the moment the deadline
+/// fires, so workers deep inside shard execution (morsel claims, buffer
+/// pool stalls) observe cancellation immediately instead of waiting for
+/// the coordinator's next round boundary. The token is deadline-armed
+/// anyway — the watchdog is an accelerator, not a correctness requirement
+/// — and the drop joins the thread so no watchdog outlives its statement.
+struct Watchdog {
+    done: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn arm(stmt: &StatementContext) -> Option<Watchdog> {
+        let deadline = stmt.deadline()?;
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = done.clone();
+        let token = stmt.clone();
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::Acquire) {
+                let now = Instant::now();
+                if now >= deadline {
+                    token.cancel();
+                    return;
+                }
+                std::thread::park_timeout((deadline - now).min(Duration::from_millis(10)));
+            }
+        });
+        Some(Watchdog {
+            done,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+    }
+}
+
+/// RAII record of which assignment epoch a statement has pinned, kept in
+/// the coordinator's [`Monitor`] so operators can see why old epoch
+/// snapshots are still referenced. Unpins on drop (every scatter exit
+/// path) and re-pins explicitly on the deliberate epoch advances.
+struct EpochPin<'a> {
+    monitor: &'a Monitor,
+    epoch: u64,
+}
+
+impl<'a> EpochPin<'a> {
+    fn new(monitor: &'a Monitor, epoch: u64) -> EpochPin<'a> {
+        monitor.record_epoch_pin(epoch);
+        EpochPin { monitor, epoch }
+    }
+
+    fn repin(&mut self, epoch: u64) {
+        self.monitor.record_epoch_unpin(self.epoch);
+        self.monitor.record_epoch_pin(epoch);
+        self.epoch = epoch;
+    }
+}
+
+impl Drop for EpochPin<'_> {
+    fn drop(&mut self) {
+        self.monitor.record_epoch_unpin(self.epoch);
     }
 }
 
@@ -467,8 +540,14 @@ impl Cluster {
     /// shards are requeued (failover, mid-remove orphan) they re-pin the
     /// newest epoch, while shards already collected keep their results.
     fn scatter(&self, shard_stmt: &SelectStmt, deadline: Option<Duration>) -> Result<Vec<Vec<Row>>> {
-        let deadline = deadline.map(|d| Instant::now() + d);
+        // The statement's lifecycle spine: deadline-armed token shared by
+        // every worker, every shard-local operator, and the watchdog that
+        // flips it the instant the deadline fires.
+        let stmt_ctx = StatementContext::with_limits(deadline, None);
+        let _watchdog = Watchdog::arm(&stmt_ctx);
+        let deadline = stmt_ctx.deadline();
         let mut pinned = self.pin_assignment();
+        let mut pin = EpochPin::new(&self.monitor, pinned.epoch);
         let mut pending: Vec<ShardId> = self.fs.shards();
         let mut collected: BTreeMap<ShardId, Vec<Row>> = BTreeMap::new();
         let mut round = 0usize;
@@ -511,9 +590,13 @@ impl Cluster {
                     None => orphans.push(*s),
                 }
             }
-            let (outcomes, timed_out) = self.run_round(shard_stmt, &work, deadline)?;
+            let (outcomes, timed_out) = self.run_round(shard_stmt, &work, deadline, &stmt_ctx)?;
             if timed_out {
+                stmt_ctx.cancel();
                 self.monitor.record_deadline_kill();
+                self.monitor.record_statement_cancelled();
+                self.monitor
+                    .note_cancel_latency(stmt_ctx.cancel_latency_max_morsels());
                 return Err(DashError::Cancelled);
             }
             let mut requeue: Vec<ShardId> = Vec::new();
@@ -562,6 +645,7 @@ impl Cluster {
                 self.monitor.record_stale_epoch_retries(pending.len() as u64);
                 repins += 1;
                 pinned = fresh;
+                pin.repin(pinned.epoch);
             } else if had_orphans {
                 // The published map itself is missing a shard and no
                 // rebalance has happened: heal it with a reconciling
@@ -570,6 +654,7 @@ impl Cluster {
                 self.monitor.record_stale_epoch_retries(pending.len() as u64);
                 repins += 1;
                 pinned = self.pin_assignment();
+                pin.repin(pinned.epoch);
             }
         }
         Ok(collected.into_values().collect())
@@ -589,6 +674,7 @@ impl Cluster {
         shard_stmt: &SelectStmt,
         work: &[(ShardId, NodeId, u64)],
         deadline: Option<Instant>,
+        stmt_ctx: &StatementContext,
     ) -> Result<(Vec<Option<ShardOutcome>>, bool)> {
         let epochs: BTreeSet<u64> = work.iter().map(|&(_, _, e)| e).collect();
         if epochs.len() > 1 {
@@ -613,7 +699,7 @@ impl Cluster {
                         break;
                     }
                     let (shard, node, epoch) = work[i];
-                    let out = self.attempt_shard(shard_stmt, shard, node, epoch, cancel);
+                    let out = self.attempt_shard(shard_stmt, shard, node, epoch, cancel, stmt_ctx);
                     if tx.send((i, out)).is_err() {
                         break;
                     }
@@ -666,10 +752,11 @@ impl Cluster {
         node: NodeId,
         epoch: u64,
         cancel: &AtomicBool,
+        stmt_ctx: &StatementContext,
     ) -> ShardOutcome {
         let mut last_err: Option<DashError> = None;
         for attempt in 0..SHARD_MAX_ATTEMPTS {
-            if cancel.load(Ordering::Relaxed) {
+            if cancel.load(Ordering::Relaxed) || stmt_ctx.is_cancelled() {
                 return ShardOutcome::Cancelled;
             }
             if attempt > 0 {
@@ -690,7 +777,7 @@ impl Cluster {
                     }
                     FaultAction::Stall(d) => {
                         self.monitor.record_straggler();
-                        if chunked_sleep(d, cancel) {
+                        if chunked_sleep(d, cancel, stmt_ctx) {
                             return ShardOutcome::Cancelled;
                         }
                     }
@@ -707,13 +794,13 @@ impl Cluster {
                 }
                 Some(FaultAction::Stall(d)) => {
                     self.monitor.record_straggler();
-                    if chunked_sleep(d, cancel) {
+                    if chunked_sleep(d, cancel, stmt_ctx) {
                         return ShardOutcome::Cancelled;
                     }
                 }
                 None => {}
             }
-            match self.execute_on_shard(stmt, shard, node, epoch) {
+            match self.execute_on_shard(stmt, shard, node, epoch, stmt_ctx) {
                 Ok(rows) => return ShardOutcome::Rows(rows),
                 Err(e) if is_transient(&e) => last_err = Some(e),
                 Err(e) => return ShardOutcome::Fatal(e),
@@ -733,11 +820,13 @@ impl Cluster {
         shard: ShardId,
         node: NodeId,
         epoch: u64,
+        stmt_ctx: &StatementContext,
     ) -> Result<Vec<Row>> {
         let fsd = self.fs.mount_for_epoch(shard, node, epoch)?;
         let ctx = dash_exec::functions::EvalContext {
             now_micros: 0,
             sequences: None,
+            statement: stmt_ctx.clone(),
         };
         let plan =
             dash_sql::planner::plan_select(stmt, fsd.db.catalog().as_ref(), self.dialect, &ctx)?;

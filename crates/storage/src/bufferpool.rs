@@ -30,7 +30,7 @@
 
 use dash_common::faults::{FaultAction, FaultRegistry, PAGE_READ};
 use dash_common::fxhash::FxHashMap;
-use dash_common::{DashError, Result};
+use dash_common::{DashError, Result, StatementContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -197,8 +197,20 @@ impl BufferPool {
     /// [`BufferPool::access`] with injected-fault propagation: a fired
     /// [`PAGE_READ`] failpoint surfaces as [`DashError::Storage`] (the
     /// simulated device failed the read; the page is *not* faulted in) or
-    /// stalls the read in place (a slow device).
+    /// stalls the read in place (a slow device). Runs under the ambient
+    /// (unbounded) statement context; statement-scoped callers use
+    /// [`BufferPool::try_access_for`] so stalls observe cancellation.
     pub fn try_access(&mut self, key: PageKey) -> Result<bool> {
+        self.try_access_for(key, StatementContext::ambient())
+    }
+
+    /// [`BufferPool::try_access`] under a statement's lifecycle handle: a
+    /// simulated-I/O stall is sliced (~1 ms granularity) and polls the
+    /// statement's cancellation token, so a deadline kill never waits out
+    /// a stalled page read. A cancelled statement surfaces
+    /// [`DashError::Cancelled`] from the stall site; the page is *not*
+    /// faulted in.
+    pub fn try_access_for(&mut self, key: PageKey, stmt: &StatementContext) -> Result<bool> {
         self.clock += 1;
         if self.policy == Policy::RandomizedWeight
             && self.clock.is_multiple_of(self.capacity as u64 * AGE_PERIOD_FACTOR)
@@ -232,7 +244,7 @@ impl BufferPool {
                         key.table, key.column, key.stride
                     )));
                 }
-                Some(FaultAction::Stall(d)) => std::thread::sleep(d),
+                Some(FaultAction::Stall(d)) => stmt.sleep_cancellable(d)?,
                 None => {}
             }
         }
@@ -589,6 +601,64 @@ mod tests {
         for _ in 0..8 {
             assert!(pool.try_access(PageKey::new(0, 0, 0)).unwrap());
         }
+    }
+
+    #[test]
+    fn cancelled_statement_preempts_injected_stall() {
+        use dash_common::faults::{FaultAction, FaultPolicy, FaultRegistry};
+        use std::time::{Duration, Instant};
+
+        let reg = FaultRegistry::new();
+        let mut pool = BufferPool::new(10, Policy::RandomizedWeight);
+        pool.set_fault_registry(reg.clone());
+        reg.arm(
+            super::PAGE_READ,
+            FaultPolicy::Always,
+            FaultAction::Stall(Duration::from_secs(10)),
+        );
+        let stmt = StatementContext::unbounded();
+        stmt.cancel();
+        let start = Instant::now();
+        let err = pool
+            .try_access_for(PageKey::new(0, 0, 0), &stmt)
+            .unwrap_err();
+        assert_eq!(err, DashError::Cancelled);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "a dead statement must not wait out the stall: {:?}",
+            start.elapsed()
+        );
+        // The stalled read did not fault the page in.
+        reg.disarm(super::PAGE_READ);
+        assert!(!pool.try_access(PageKey::new(0, 0, 0)).unwrap());
+    }
+
+    #[test]
+    fn deadline_fires_mid_stall() {
+        use dash_common::faults::{FaultAction, FaultPolicy, FaultRegistry};
+        use std::time::{Duration, Instant};
+
+        let reg = FaultRegistry::new();
+        let mut pool = BufferPool::new(10, Policy::RandomizedWeight);
+        pool.set_fault_registry(reg.clone());
+        reg.arm(
+            super::PAGE_READ,
+            FaultPolicy::Always,
+            FaultAction::Stall(Duration::from_secs(10)),
+        );
+        // Deadline-armed token with no explicit cancel(): the sliced sleep
+        // itself observes the deadline.
+        let stmt = StatementContext::with_deadline(Duration::from_millis(20));
+        let start = Instant::now();
+        let err = pool
+            .try_access_for(PageKey::new(0, 0, 1), &stmt)
+            .unwrap_err();
+        assert_eq!(err, DashError::Cancelled);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "deadline must preempt the stall: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

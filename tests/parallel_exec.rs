@@ -7,7 +7,7 @@
 //! (re-association moves the last ulp), checked with an epsilon instead.
 
 use dashdb_local::common::types::DataType;
-use dashdb_local::common::{row, Datum, Field, Row, Schema};
+use dashdb_local::common::{row, Datum, Field, Row, Schema, StatementContext};
 use dashdb_local::core::{Database, HardwareSpec};
 use dashdb_local::exec::agg::{hash_aggregate, AggExpr, AggFunc};
 use dashdb_local::exec::expr::Expr;
@@ -302,11 +302,11 @@ fn joins_match_serial_exactly_for_all_types() {
     let (left, right) = join_sides(20_000);
     for join_type in [JoinType::Inner, JoinType::Left, JoinType::Semi, JoinType::Anti] {
         let mut serial_stats = ExecStats::default();
-        let serial = hash_join(&left, &right, &[(1, 0)], join_type, 1, &mut serial_stats).unwrap();
+        let serial = hash_join(&left, &right, &[(1, 0)], join_type, 1, &StatementContext::unbounded(), &mut serial_stats).unwrap();
         assert!(serial_stats.parallel_workers_used <= 1);
         for par in PARALLELISMS {
             let mut stats = ExecStats::default();
-            let out = hash_join(&left, &right, &[(1, 0)], join_type, par, &mut stats).unwrap();
+            let out = hash_join(&left, &right, &[(1, 0)], join_type, par, &StatementContext::unbounded(), &mut stats).unwrap();
             assert_eq!(
                 out.to_rows(),
                 serial.to_rows(),
@@ -334,10 +334,10 @@ fn join_with_all_null_keys_matches_serial() {
     let (_, right) = join_sides(0);
     for join_type in [JoinType::Inner, JoinType::Left, JoinType::Semi, JoinType::Anti] {
         let mut stats = ExecStats::default();
-        let serial = hash_join(&left, &right, &[(1, 0)], join_type, 1, &mut stats).unwrap();
+        let serial = hash_join(&left, &right, &[(1, 0)], join_type, 1, &StatementContext::unbounded(), &mut stats).unwrap();
         for par in PARALLELISMS {
             let mut stats = ExecStats::default();
-            let out = hash_join(&left, &right, &[(1, 0)], join_type, par, &mut stats).unwrap();
+            let out = hash_join(&left, &right, &[(1, 0)], join_type, par, &StatementContext::unbounded(), &mut stats).unwrap();
             assert_eq!(out.to_rows(), serial.to_rows(), "{join_type:?} par {par}");
         }
     }

@@ -1,0 +1,271 @@
+//! Preemptive statement lifecycle, end to end: deadline tokens observed
+//! mid-operator, memory budgets refused with a clean classified error,
+//! WLM queue wait counted against the deadline, and the epoch-pin
+//! registry draining when statements finish. Chaos scenarios reuse the
+//! deterministic failpoint registry (`DASH_FAULT_SEED` respected, like
+//! fault_injection.rs), so classification and cleanup hold under any
+//! seed and any interleaving.
+
+use dashdb_local::common::faults::{
+    FaultAction, FaultPolicy, FaultRegistry, PAGE_READ, SHARD_EXEC,
+};
+use dashdb_local::common::types::DataType;
+use dashdb_local::common::{row, DashError, Field, Row, Schema};
+use dashdb_local::core::{Database, HardwareSpec, Session};
+use dashdb_local::mpp::{Cluster, Distribution};
+use std::time::{Duration, Instant};
+
+/// Registry seed: `DASH_FAULT_SEED` (the CI matrix variable) when set,
+/// otherwise the scenario default.
+fn seed(default: u64) -> u64 {
+    std::env::var("DASH_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn loaded_session(db: &std::sync::Arc<Database>, rows: usize) -> Session {
+    let mut s = db.connect();
+    s.execute("CREATE TABLE sales (id INT, region VARCHAR(8), amount DOUBLE)")
+        .unwrap();
+    let mut values = String::new();
+    for i in 0..rows {
+        if !values.is_empty() {
+            values.push(',');
+        }
+        values.push_str(&format!("({}, 'r{}', {}.5)", i, i % 4, i % 25));
+    }
+    s.execute(&format!("INSERT INTO sales VALUES {values}"))
+        .unwrap();
+    s
+}
+
+/// A statement deadline fires while a scan is stalled on a simulated page
+/// read. The sliced stall polls the token, so the statement dies in
+/// milliseconds — not after the full stall — with the classified
+/// `Cancelled` error, the WLM slot released, no lock poisoned, and the
+/// preemption latency bounded at one morsel.
+#[test]
+fn deadline_fires_inside_storage_stall_not_after_it() {
+    let reg = FaultRegistry::with_seed(seed(7));
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    db.set_fault_registry(reg.clone());
+    let mut s = loaded_session(&db, 4000);
+
+    // Every page read stalls far longer than the whole deadline.
+    reg.arm(
+        PAGE_READ,
+        FaultPolicy::Always,
+        FaultAction::Stall(Duration::from_secs(5)),
+    );
+    s.set_statement_timeout(Some(Duration::from_millis(40)));
+    let start = Instant::now();
+    let err = s
+        .query("SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region")
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    assert_eq!(err, DashError::Cancelled);
+    assert_eq!(err.class(), "57014", "deadline kill is classified: {err}");
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "kill must interrupt the stall, not wait it out ({elapsed:?})"
+    );
+
+    let rec = db.monitor().recovery();
+    assert_eq!(rec.statements_cancelled, 1, "{rec:?}");
+    assert_eq!(rec.deadline_kills, 1, "{rec:?}");
+    assert!(
+        rec.cancel_latency_max_morsels <= 1,
+        "preemption latency bound: {rec:?}"
+    );
+
+    // Clean death: the admission slot is back, no queue residue, and the
+    // same session answers the same statement once disarmed (locks would
+    // be poisoned or state leaked otherwise).
+    let (running, queued, _, _, _) = db.wlm().snapshot();
+    assert_eq!((running, queued), (0, 0), "WLM slot must not leak");
+    reg.disarm(PAGE_READ);
+    s.set_statement_timeout(None);
+    let rows = s
+        .query("SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY region")
+        .unwrap();
+    assert_eq!(rows.len(), 4);
+}
+
+/// A memory budget too small for the generic aggregate's partition state
+/// refuses the reservation: classified `ResourceExhausted` (53200, the
+/// OOM class — never retried as transient), budget-rejection counters
+/// bumped, partial state dropped, and the session still usable.
+#[test]
+fn generic_aggregate_over_budget_is_refused_cleanly() {
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut s = loaded_session(&db, 5000);
+
+    // Two group expressions defeat the single-column fast path, forcing
+    // the generic hash aggregate that charges its scatter partitions.
+    let sql = "SELECT region, id % 7, COUNT(*), SUM(amount) FROM sales GROUP BY region, id % 7";
+    let unbudgeted = s.query(sql).unwrap();
+
+    s.set_mem_budget(Some(2_000));
+    let err = s.query(sql).unwrap_err();
+    assert_eq!(err.class(), "53200", "budget refusal is classified: {err}");
+    assert!(
+        matches!(err, DashError::ResourceExhausted(_)),
+        "wrong variant: {err:?}"
+    );
+    let rec = db.monitor().recovery();
+    assert!(rec.budget_rejections >= 1, "{rec:?}");
+    assert_eq!(
+        rec.statements_cancelled, 0,
+        "budget refusal is not a cancellation: {rec:?}"
+    );
+    let (running, queued, _, _, _) = db.wlm().snapshot();
+    assert_eq!((running, queued), (0, 0), "WLM slot must not leak");
+
+    // Lift the budget: identical results, proving the aborted run left no
+    // partial aggregation state behind.
+    s.set_mem_budget(None);
+    assert_eq!(s.query(sql).unwrap(), unbudgeted);
+}
+
+/// Time spent queued behind the workload manager counts against the
+/// statement deadline: a statement that never gets a slot dies with the
+/// same classified `Cancelled`, and the timed-out waiter leaves the queue
+/// with nothing leaked.
+#[test]
+fn wlm_queue_wait_counts_against_deadline() {
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut s = loaded_session(&db, 50);
+
+    // Saturate every admission slot from outside the session.
+    let holds: Vec<_> = (0..db.wlm().limit()).map(|_| db.wlm().admit()).collect();
+    s.set_statement_timeout(Some(Duration::from_millis(40)));
+    let start = Instant::now();
+    let err = s.query("SELECT COUNT(*) FROM sales").unwrap_err();
+    assert_eq!(err, DashError::Cancelled);
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "queue wait must be bounded by the deadline"
+    );
+    let rec = db.monitor().recovery();
+    assert_eq!(rec.statements_cancelled, 1, "{rec:?}");
+    assert_eq!(rec.deadline_kills, 1, "{rec:?}");
+
+    let (running, queued, _, _, _) = db.wlm().snapshot();
+    assert_eq!(queued, 0, "timed-out waiter must leave the queue");
+    assert_eq!(running as usize, holds.len(), "only the holds occupy slots");
+
+    // Release the slots: the same session runs to completion.
+    drop(holds);
+    s.set_statement_timeout(None);
+    let rows = s.query("SELECT COUNT(*) FROM sales").unwrap();
+    assert_eq!(rows[0].get(0).as_int(), Some(50));
+}
+
+fn sales_schema() -> Schema {
+    Schema::new(vec![
+        Field::not_null("id", DataType::Int64),
+        Field::new("region", DataType::Utf8),
+        Field::new("amount", DataType::Float64),
+    ])
+    .unwrap()
+}
+
+fn sales_rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| row![i as i64, format!("r{}", i % 4), (i % 25) as f64])
+        .collect()
+}
+
+fn loaded_cluster(nodes: usize, shards_per_node: usize, rows: usize, faults: FaultRegistry) -> Cluster {
+    let c = Cluster::with_faults(nodes, shards_per_node, HardwareSpec::laptop(), faults).unwrap();
+    c.create_table("sales", sales_schema(), Distribution::Hash("id".into()))
+        .unwrap();
+    c.load_rows("sales", sales_rows(rows)).unwrap();
+    c
+}
+
+const TOTALS_SQL: &str =
+    "SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region ORDER BY region";
+
+/// Cluster-side chaos: the watchdog flips the shared token the moment the
+/// deadline fires, a stalled shard observes it mid-stall, and the whole
+/// statement dies classified with the preemption-latency bound intact —
+/// then the very same cluster answers again with no leaked state.
+#[test]
+fn cluster_deadline_chaos_is_classified_and_leak_free() {
+    let reg = FaultRegistry::with_seed(seed(42));
+    let c = loaded_cluster(3, 4, 3000, reg.clone());
+    reg.arm(
+        FaultRegistry::scoped(SHARD_EXEC, 2),
+        FaultPolicy::Always,
+        FaultAction::Stall(Duration::from_secs(30)),
+    );
+    let start = Instant::now();
+    let err = c
+        .query_with_deadline(TOTALS_SQL, Some(Duration::from_millis(80)))
+        .unwrap_err();
+    assert_eq!(err.class(), "57014", "{err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "the 30 s stall must not be waited out"
+    );
+    let rec = c.monitor().recovery();
+    assert_eq!(rec.deadline_kills, 1, "{rec:?}");
+    assert_eq!(rec.statements_cancelled, 1, "{rec:?}");
+    assert!(
+        rec.cancel_latency_max_morsels <= 1,
+        "preemption latency bound: {rec:?}"
+    );
+    // Every pin was dropped with the dying statement: the epoch history
+    // GC watermark is clear.
+    assert_eq!(c.monitor().epoch_gc_watermark(), None);
+    assert!(c.monitor().pinned_epochs().is_empty());
+
+    reg.disarm(&FaultRegistry::scoped(SHARD_EXEC, 2));
+    let rows = c.query(TOTALS_SQL).unwrap();
+    assert_eq!(rows.len(), 4, "cluster must stay fully usable after the kill");
+}
+
+/// The epoch-pin registry is visible while a statement is in flight (its
+/// pinned epoch is the GC watermark) and drains to empty the moment it
+/// completes.
+#[test]
+fn epoch_pins_are_visible_in_flight_and_drain_after() {
+    let reg = FaultRegistry::with_seed(seed(1337));
+    let c = loaded_cluster(2, 3, 600, reg.clone());
+    // A healthy run pins and unpins symmetrically.
+    c.query(TOTALS_SQL).unwrap();
+    assert_eq!(c.monitor().epoch_gc_watermark(), None);
+
+    // Stall one shard long enough to observe the pin from outside.
+    reg.arm(
+        FaultRegistry::scoped(SHARD_EXEC, 1),
+        FaultPolicy::Always,
+        FaultAction::Stall(Duration::from_millis(400)),
+    );
+    std::thread::scope(|s| {
+        let h = s.spawn(|| c.query(TOTALS_SQL));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut observed = None;
+        while Instant::now() < deadline {
+            if let Some(wm) = c.monitor().epoch_gc_watermark() {
+                observed = Some(wm);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let wm = observed.expect("in-flight statement must appear in the pin registry");
+        let pins = c.monitor().pinned_epochs();
+        assert!(
+            pins.iter().any(|&(e, n)| e == wm && n >= 1),
+            "watermark {wm} must be a pinned epoch: {pins:?}"
+        );
+        // The stalled statement still answers correctly (straggler, not a
+        // failure), and its pin is gone once it returns.
+        let rows = h.join().unwrap().unwrap();
+        assert_eq!(rows.len(), 4);
+    });
+    assert_eq!(c.monitor().epoch_gc_watermark(), None);
+    assert!(c.monitor().pinned_epochs().is_empty());
+}
