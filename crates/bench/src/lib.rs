@@ -76,6 +76,8 @@ pub fn normalize(spec: &QuerySpec, rows: Vec<Row>) -> Vec<Row> {
             rows.sort();
             rows
         }
+        // The output order is the contract — compare verbatim.
+        QuerySpec::TopN { .. } => rows,
         _ => normalize_sql_groups(rows),
     }
 }

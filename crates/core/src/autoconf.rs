@@ -92,6 +92,21 @@ impl AutoConfig {
         parallelism_override(std::env::var("DASH_PARALLELISM").ok().as_deref())
             .unwrap_or((self.query_parallelism as usize).max(1))
     }
+
+    /// Rows per parallel sort run: the engine default unless
+    /// `DASH_SORT_RUN_ROWS` overrides it. Smaller runs mean more morsels
+    /// (useful to force fan-out in tests and benchmarks); larger runs
+    /// amortize merge fan-in on huge inputs.
+    pub fn effective_sort_run_rows(&self) -> usize {
+        sort_run_rows_override(std::env::var("DASH_SORT_RUN_ROWS").ok().as_deref())
+            .unwrap_or(dash_exec::sort::DEFAULT_SORT_RUN_ROWS)
+    }
+}
+
+/// Parse a `DASH_SORT_RUN_ROWS` value; `None` when unset, unparsable, or
+/// zero (zero would be a degenerate run size and means "use the default").
+fn sort_run_rows_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
 }
 
 /// Parse a `DASH_PARALLELISM` value; `None` when unset, unparsable, or
@@ -198,6 +213,20 @@ mod tests {
         assert_eq!(parallelism_override(Some("0")), None, "0 means derive");
         assert_eq!(parallelism_override(Some("4")), Some(4));
         assert_eq!(parallelism_override(Some(" 16 ")), Some(16));
+    }
+
+    #[test]
+    fn sort_run_rows_override_parsing() {
+        assert_eq!(sort_run_rows_override(None), None);
+        assert_eq!(sort_run_rows_override(Some("junk")), None);
+        assert_eq!(sort_run_rows_override(Some("0")), None, "0 means default");
+        assert_eq!(sort_run_rows_override(Some(" 4096 ")), Some(4096));
+        if std::env::var("DASH_SORT_RUN_ROWS").is_err() {
+            assert_eq!(
+                AutoConfig::derive(&HardwareSpec::laptop()).effective_sort_run_rows(),
+                dash_exec::sort::DEFAULT_SORT_RUN_ROWS
+            );
+        }
     }
 
     #[test]

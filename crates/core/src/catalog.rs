@@ -48,6 +48,8 @@ pub struct Catalog {
     pub(crate) pool: Option<Arc<Mutex<BufferPool>>>,
     /// Intra-query scan parallelism handed to planners.
     pub(crate) parallelism: std::sync::atomic::AtomicUsize,
+    /// Rows per parallel sort run handed to planners.
+    pub(crate) sort_run_rows: std::sync::atomic::AtomicUsize,
 }
 
 impl Catalog {
@@ -63,12 +65,22 @@ impl Catalog {
             next_table_id: Mutex::new(0),
             pool,
             parallelism: std::sync::atomic::AtomicUsize::new(1),
+            sort_run_rows: std::sync::atomic::AtomicUsize::new(
+                dash_exec::sort::DEFAULT_SORT_RUN_ROWS,
+            ),
         }
     }
 
     /// Set the intra-query parallelism the auto-configuration derived.
     pub fn set_parallelism(&self, n: usize) {
         self.parallelism
+            .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Set the parallel-sort run size the auto-configuration derived
+    /// (`DASH_SORT_RUN_ROWS`).
+    pub fn set_sort_run_rows(&self, n: usize) {
+        self.sort_run_rows
             .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
     }
 
@@ -483,6 +495,10 @@ impl SchemaProvider for Catalog {
 
     fn parallelism(&self) -> usize {
         self.parallelism.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn sort_run_rows(&self) -> usize {
+        self.sort_run_rows.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

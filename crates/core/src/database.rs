@@ -59,6 +59,7 @@ impl Database {
         )));
         let catalog = Arc::new(Catalog::new(Some(pool)));
         catalog.set_parallelism(config.effective_parallelism());
+        catalog.set_sort_run_rows(config.effective_sort_run_rows());
         Arc::new(Database {
             catalog,
             config,
@@ -74,6 +75,7 @@ impl Database {
         let config = AutoConfig::derive(&HardwareSpec::detect());
         let catalog = Arc::new(Catalog::new(None));
         catalog.set_parallelism(config.effective_parallelism());
+        catalog.set_sort_run_rows(config.effective_sort_run_rows());
         Arc::new(Database {
             catalog,
             config,
@@ -645,6 +647,10 @@ impl dash_sql::planner::SchemaProvider for SessionCatalog<'_> {
 
     fn parallelism(&self) -> usize {
         dash_sql::planner::SchemaProvider::parallelism(self.catalog)
+    }
+
+    fn sort_run_rows(&self) -> usize {
+        dash_sql::planner::SchemaProvider::sort_run_rows(self.catalog)
     }
 }
 

@@ -1113,8 +1113,15 @@ pub fn hash_aggregate(
             return result;
         }
     }
-    // Phase 1 — evaluate group keys (and their partition hashes) in
-    // row-range morsels across the pool.
+    // Phase 1+2 fused — each row-range morsel evaluates its group keys and
+    // radix-scatters them into thread-local per-partition buckets, the
+    // same recipe `hash_join::partition_side` uses. No serial pass over
+    // all rows remains: the old "walk every key chunk and push it into the
+    // shared partition vector" loop is replaced by handing each worker's
+    // buckets to the partition owners wholesale (O(morsels · partitions)
+    // pointer moves, not O(rows) copies). Each key is *moved* into its
+    // bucket (and moved again into the group table below) — never cloned
+    // per row.
     let n = input.len();
     let parts = if group_exprs.is_empty() {
         1
@@ -1122,65 +1129,69 @@ pub fn hash_aggregate(
         (n / PARTITION_ROWS + 1).next_power_of_two()
     };
     let mask = parts as u64 - 1;
+    // (row index, owned group key) pairs, bucketed by key hash.
+    type KeyedRows = Vec<(usize, Vec<Datum>)>;
     let ranges = pool::row_morsels(n, parallelism, 4096);
-    let key_run = pool::run_morsels(ranges.len(), parallelism, &ctx.statement, |mi| {
+    let scatter_run = pool::run_morsels(ranges.len(), parallelism, &ctx.statement, |mi| {
         let (lo, hi) = ranges[mi];
-        let mut chunk: Vec<(Vec<Datum>, u64)> = Vec::with_capacity(hi - lo);
+        let mut local: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
+        let mut bytes = 0u64;
         for row in lo..hi {
             let mut key = Vec::with_capacity(group_exprs.len());
             for g in group_exprs {
                 key.push(g.eval(input, row, ctx)?);
             }
             let h = if parts == 1 { 0 } else { group_hash(&key) };
-            chunk.push((key, h));
+            bytes += std::mem::size_of::<(usize, Vec<Datum>)>() as u64
+                + key.iter().map(approx_datum_bytes).sum::<u64>();
+            local[(h & mask) as usize].push((row, key));
         }
-        Ok(chunk)
-    })?;
-    stats.note_parallel_phase(key_run.morsels_dispatched, key_run.workers_used);
-
-    // Phase 2 — scatter rows into cache-sized hash partitions. Each key is
-    // consumed by exactly one partition, so it is *moved* here (and moved
-    // again into the group table below) — never cloned per row.
-    // (row index, owned group key) pairs, bucketed by key hash.
-    type KeyedRows = Vec<(usize, Vec<Datum>)>;
-    let mut scattered: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
-    // The partition state is the aggregate's dominant allocation: charge it
-    // against the statement's memory budget as it grows, so a runaway
-    // grouping aborts with a classified error instead of growing without
-    // bound. The lease releases everything on any exit path (including the
-    // `?` below), so an aborted statement drops its partial state cleanly.
-    let mut lease = BudgetLease::new(&ctx.statement);
-    let mut row = 0usize;
-    for chunk in key_run.results {
-        // One cancellation check and one budget reservation per morsel-sized
-        // chunk (≤ 4096 rows) keeps the serial phase preemptible without a
-        // per-row atomic.
-        ctx.statement.check()?;
-        let bytes: u64 = chunk
-            .iter()
-            .map(|(key, _)| {
-                std::mem::size_of::<(usize, Vec<Datum>)>() as u64
-                    + key.iter().map(approx_datum_bytes).sum::<u64>()
-            })
-            .sum();
-        lease.charge(bytes).inspect_err(|_| {
+        // The partition state is the aggregate's dominant allocation: each
+        // worker leases its morsel's share against the statement's memory
+        // budget, so a runaway grouping aborts with a classified error
+        // instead of growing without bound. The lease rides with the
+        // buckets in the morsel result; on a refused reservation (or any
+        // sibling error) the pool drops claimed results, releasing every
+        // lease by RAII.
+        let mut lease = BudgetLease::new(&ctx.statement);
+        lease.charge(bytes)?;
+        Ok((local, lease))
+    });
+    let scatter_run = scatter_run.inspect_err(|e| {
+        if matches!(e, DashError::ResourceExhausted(_)) {
             stats.budget_rejections += 1;
-        })?;
-        for (key, h) in chunk {
-            scattered[(h & mask) as usize].push((row, key));
-            row += 1;
         }
-    }
+    })?;
+    stats.note_parallel_phase(scatter_run.morsels_dispatched, scatter_run.workers_used);
+    stats.agg_scatter_morsels += scatter_run.morsels_dispatched;
     if parts > 1 {
         stats.rows_partitioned += n as u64;
+    }
+    // Hand each worker's buckets to the partition owners. Morsel results
+    // arrive in morsel-index order and morsel ranges ascend, so partition
+    // `p` sees its bucket list — and therefore its rows — in input order:
+    // the group table's insertion sequence is byte-identical to the old
+    // serial scatter's.
+    let mut leases = Vec::with_capacity(scatter_run.results.len());
+    let mut scattered: Vec<Vec<KeyedRows>> = (0..parts).map(|_| Vec::new()).collect();
+    for (local, lease) in scatter_run.results {
+        leases.push(lease);
+        for (p, bucket) in local.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                scattered[p].push(bucket);
+            }
+        }
     }
 
     // Phase 3 — aggregate each partition as its own morsel. Partitions
     // hold disjoint key sets and keep rows in input order, so per-partition
     // results concatenated in partition order match the serial pipeline.
-    let scattered: Vec<Mutex<KeyedRows>> = scattered.into_iter().map(Mutex::new).collect();
+    let scattered: Vec<Mutex<Vec<KeyedRows>>> = scattered.into_iter().map(Mutex::new).collect();
     let agg_run = pool::run_morsels(scattered.len(), parallelism, &ctx.statement, |p| {
-        let part = std::mem::take(&mut *scattered[p].lock());
+        let part: Vec<(usize, Vec<Datum>)> = std::mem::take(&mut *scattered[p].lock())
+            .into_iter()
+            .flatten()
+            .collect();
         let mut groups: FxHashMap<Vec<Datum>, Vec<AggState>> = FxHashMap::default();
         if group_exprs.is_empty() {
             // Global aggregate: one group, present even with zero rows.
@@ -1207,7 +1218,7 @@ pub fn hash_aggregate(
         Ok(part_rows)
     })?;
     stats.note_parallel_phase(agg_run.morsels_dispatched, agg_run.workers_used);
-    drop(lease); // partition state has been consumed — return its budget
+    drop(leases); // partition state has been consumed — return its budget
     let mut out_rows: Vec<Row> = agg_run.results.into_iter().flatten().collect();
     // With zero input rows and a global aggregate there is one empty-key
     // group only if partitions[0] existed — ensure it.

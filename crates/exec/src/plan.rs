@@ -12,7 +12,7 @@ use crate::expr::Expr;
 use crate::functions::EvalContext;
 use crate::join::{hash_join, JoinType};
 use crate::scan::{scan, ScanConfig};
-use crate::sort::{sort_batch, SortKey};
+use crate::sort::{sort_batch, SortKey, SortOptions};
 use crate::stats::ExecStats;
 use dash_common::{Result, Row, Schema};
 use dash_storage::table::ColumnTable;
@@ -91,6 +91,10 @@ pub enum PhysicalPlan {
         limit: Option<usize>,
         /// Rows to skip.
         offset: usize,
+        /// Worker-pool width for run generation, merge, and gather.
+        parallelism: usize,
+        /// Rows per parallel sort run (`DASH_SORT_RUN_ROWS`).
+        run_rows: usize,
     },
     /// Concatenation of same-schema inputs (UNION ALL).
     UnionAll {
@@ -231,9 +235,11 @@ impl PhysicalPlan {
                 keys,
                 limit,
                 offset,
+                parallelism,
+                ..
             } => {
                 out.push_str(&format!(
-                    "{pad}Sort keys={} limit={limit:?} offset={offset}\n",
+                    "{pad}Sort keys={} limit={limit:?} offset={offset} par={parallelism}\n",
                     keys.len()
                 ));
                 input.explain_into(out, depth + 1);
@@ -376,9 +382,17 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
             keys,
             limit,
             offset,
+            parallelism,
+            run_rows,
         } => {
             let child = exec_node(input, ctx, stats)?;
-            sort_batch(&child, keys, *limit, *offset, ctx)
+            let opts = SortOptions {
+                limit: *limit,
+                offset: *offset,
+                parallelism: *parallelism,
+                run_rows: *run_rows,
+            };
+            sort_batch(&child, keys, &opts, ctx, stats)
         }
         PhysicalPlan::UnionAll { inputs } => {
             let schema = inputs[0].schema();
@@ -597,6 +611,8 @@ mod tests {
             keys: vec![SortKey::asc(0)],
             limit: None,
             offset: 0,
+            parallelism: 2,
+            run_rows: crate::sort::DEFAULT_SORT_RUN_ROWS,
         };
         let (batch, stats) = execute(&plan, &ctx()).unwrap();
         assert_eq!(batch.len(), 3);
@@ -671,6 +687,8 @@ mod tests {
             keys: vec![SortKey::asc(0)],
             limit: Some(5),
             offset: 0,
+            parallelism: 1,
+            run_rows: crate::sort::DEFAULT_SORT_RUN_ROWS,
         };
         let e = plan.explain();
         assert!(e.contains("Sort"));

@@ -38,6 +38,14 @@ pub struct ExecStats {
     pub cancel_latency_max_morsels: u64,
     /// Memory-budget reservations the statement was refused.
     pub budget_rejections: u64,
+    /// Sorted runs produced by parallel run generation. Zero when a sort
+    /// takes the Top-K fast path (or no sort ran at all).
+    pub sort_runs_generated: u64,
+    /// Widest k-way merge fan-in any sort in the query performed.
+    pub merge_fanin: u64,
+    /// Row-range morsels that radix-scattered aggregate keys into
+    /// thread-local partition buckets (the pass that used to be serial).
+    pub agg_scatter_morsels: u64,
 }
 
 impl ExecStats {
@@ -87,6 +95,10 @@ impl AddAssign for ExecStats {
             .cancel_latency_max_morsels
             .max(rhs.cancel_latency_max_morsels);
         self.budget_rejections += rhs.budget_rejections;
+        self.sort_runs_generated += rhs.sort_runs_generated;
+        // Widest fan-in across phases, not a sum.
+        self.merge_fanin = self.merge_fanin.max(rhs.merge_fanin);
+        self.agg_scatter_morsels += rhs.agg_scatter_morsels;
     }
 }
 
@@ -126,5 +138,24 @@ mod tests {
         s += t;
         assert_eq!(s.morsels_dispatched, 20);
         assert_eq!(s.parallel_workers_used, 8);
+    }
+
+    #[test]
+    fn sort_counters_merge() {
+        let mut s = ExecStats {
+            sort_runs_generated: 3,
+            merge_fanin: 3,
+            agg_scatter_morsels: 2,
+            ..Default::default()
+        };
+        s += ExecStats {
+            sort_runs_generated: 5,
+            merge_fanin: 2,
+            agg_scatter_morsels: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.sort_runs_generated, 8, "runs sum across sorts");
+        assert_eq!(s.merge_fanin, 3, "fan-in is the widest merge, not a sum");
+        assert_eq!(s.agg_scatter_morsels, 6);
     }
 }

@@ -63,6 +63,12 @@ pub trait SchemaProvider {
     fn parallelism(&self) -> usize {
         1
     }
+
+    /// Rows per parallel sort run (`DASH_SORT_RUN_ROWS`). Default: the
+    /// engine default.
+    fn sort_run_rows(&self) -> usize {
+        dash_exec::sort::DEFAULT_SORT_RUN_ROWS
+    }
 }
 
 /// Plan a SELECT statement into a physical plan.
@@ -575,6 +581,8 @@ impl Planner<'_> {
                 keys,
                 limit: stmt.limit.map(|l| l as usize),
                 offset: stmt.offset.unwrap_or(0) as usize,
+                parallelism: self.provider.parallelism(),
+                run_rows: self.provider.sort_run_rows(),
             };
             // Strip the hidden columns.
             plan = PhysicalPlan::Project {
@@ -614,6 +622,8 @@ impl Planner<'_> {
                 keys,
                 limit: stmt.limit.map(|l| l as usize),
                 offset: stmt.offset.unwrap_or(0) as usize,
+                parallelism: self.provider.parallelism(),
+                run_rows: self.provider.sort_run_rows(),
             };
         }
         Ok((plan, out_scope))
@@ -639,7 +649,9 @@ impl Planner<'_> {
             items.push(self.plan_table_ref(tr, &referenced)?);
         }
         if items.len() == 1 {
-            return Ok(items.pop().expect("one item"));
+            return items
+                .pop()
+                .ok_or_else(|| DashError::internal("single FROM item vanished"));
         }
         // Comma-list: connect through WHERE equalities (including Oracle
         // `(+)` markers); fall back to cross joins.
@@ -964,11 +976,14 @@ impl Planner<'_> {
             let (e, _) = self.lower(c, scope)?;
             parts.push(e);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one part")
-        } else {
-            Expr::And(parts)
-        })
+        match (parts.len(), parts.pop()) {
+            (1, Some(e)) => Ok(e),
+            (_, Some(last)) => {
+                parts.push(last);
+                Ok(Expr::And(parts))
+            }
+            (_, None) => Err(DashError::internal("lower_conjuncts on empty list")),
+        }
     }
 
     // ---- aggregation --------------------------------------------------------
@@ -1965,6 +1980,16 @@ fn collect_expr_columns(e: &AstExpr, out: &mut Vec<(Option<String>, String)>) {
 
 // ---- predicate pushdown -----------------------------------------------------
 
+/// AND a conjunct list without panicking at any arity: `None` for an
+/// empty list, the sole predicate for one, `Expr::And` otherwise.
+fn and_all(mut preds: Vec<Expr>) -> Option<Expr> {
+    match preds.len() {
+        0 => None,
+        1 => preds.pop(),
+        _ => Some(Expr::And(preds)),
+    }
+}
+
 /// Push simple filter conjuncts into column scans so they evaluate on
 /// compressed codes with synopsis pruning. Applied bottom-up.
 pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
@@ -1996,19 +2021,12 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
                             keep.push(c);
                         }
                     }
-                    let wrap = |child: PhysicalPlan, preds: Vec<Expr>| {
-                        if preds.is_empty() {
-                            child
-                        } else {
-                            PhysicalPlan::Filter {
-                                input: Box::new(child),
-                                predicate: if preds.len() == 1 {
-                                    preds.into_iter().next().expect("one")
-                                } else {
-                                    Expr::And(preds)
-                                },
-                            }
-                        }
+                    let wrap = |child: PhysicalPlan, preds: Vec<Expr>| match and_all(preds) {
+                        Some(predicate) => PhysicalPlan::Filter {
+                            input: Box::new(child),
+                            predicate,
+                        },
+                        None => child,
                     };
                     let join = PhysicalPlan::HashJoin {
                         left: Box::new(pushdown(wrap(*left, lpreds))),
@@ -2017,16 +2035,12 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
                         join_type: JoinType::Inner,
                         parallelism,
                     };
-                    if keep.is_empty() {
-                        return join;
-                    }
-                    return PhysicalPlan::Filter {
-                        input: Box::new(join),
-                        predicate: if keep.len() == 1 {
-                            keep.into_iter().next().expect("one")
-                        } else {
-                            Expr::And(keep)
+                    return match and_all(keep) {
+                        Some(predicate) => PhysicalPlan::Filter {
+                            input: Box::new(join),
+                            predicate,
                         },
+                        None => join,
                     };
                 }
                 other => pushdown(other),
@@ -2041,18 +2055,13 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
                         None => residual.push(c),
                     }
                 }
-                if !residual.is_empty() {
-                    // Residual expressions inside the scan reference table
-                    // ordinals; remap from scan-output ordinals.
-                    let remapped: Vec<Expr> = residual
-                        .into_iter()
-                        .map(|e| remap_cols(e, &config.projection))
-                        .collect();
-                    let combined = if remapped.len() == 1 {
-                        remapped.into_iter().next().expect("one")
-                    } else {
-                        Expr::And(remapped)
-                    };
+                // Residual expressions inside the scan reference table
+                // ordinals; remap from scan-output ordinals.
+                let remapped: Vec<Expr> = residual
+                    .into_iter()
+                    .map(|e| remap_cols(e, &config.projection))
+                    .collect();
+                if let Some(combined) = and_all(remapped) {
                     config.residual = Some(match config.residual.take() {
                         Some(prev) => Expr::And(vec![prev, combined]),
                         None => combined,
@@ -2110,11 +2119,15 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
             keys,
             limit,
             offset,
+            parallelism,
+            run_rows,
         } => PhysicalPlan::Sort {
             input: Box::new(pushdown(*input)),
             keys,
             limit,
             offset,
+            parallelism,
+            run_rows,
         },
         PhysicalPlan::UnionAll { inputs } => PhysicalPlan::UnionAll {
             inputs: inputs.into_iter().map(pushdown).collect(),

@@ -7,7 +7,7 @@
 //! execution architecture, not parsing). Integration tests assert all
 //! three produce identical results.
 
-use dash_common::{Datum, Result, Row, Schema};
+use dash_common::{DashError, Datum, Result, Row, Schema};
 use dash_rowstore::engine::{RowEngine, RowStats};
 use dash_rowstore::naive::NaiveEngine;
 
@@ -138,6 +138,52 @@ pub enum QuerySpec {
         /// Predicates on the fact table.
         predicates: Vec<Pred>,
     },
+    /// `SELECT <projection> FROM t WHERE <preds> ORDER BY <order_by>
+    /// [DESC], <rest of projection> FETCH FIRST <n> ROWS ONLY` — the
+    /// reporting slice: every projected column joins the sort key, so the
+    /// result order is fully determined and engines compare byte-for-byte
+    /// without normalization.
+    TopN {
+        /// Table.
+        table: String,
+        /// ANDed predicates.
+        predicates: Vec<Pred>,
+        /// Projected column names; must include `order_by`.
+        projection: Vec<String>,
+        /// Primary sort column.
+        order_by: String,
+        /// Sort the primary column descending.
+        desc: bool,
+        /// Row limit.
+        n: usize,
+    },
+}
+
+/// Order rows for a Top-N slice — primary key first (optionally
+/// reversed), then every column left-to-right ascending, the same total
+/// order the rendered ORDER BY asks the SQL engine for — and keep `n`.
+fn sort_top_n(rows: &mut Vec<Row>, key_pos: usize, desc: bool, n: usize) {
+    rows.sort_by(|a, b| {
+        let key = a.get(key_pos).sql_cmp(b.get(key_pos));
+        let key = if desc { key.reverse() } else { key };
+        key.then_with(|| {
+            a.0.iter()
+                .zip(b.0.iter())
+                .map(|(x, y)| x.sql_cmp(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    });
+    rows.truncate(n);
+}
+
+/// Where `order_by` sits inside the projection (the baselines sort the
+/// already-projected rows).
+fn top_n_key_pos(projection: &[String], order_by: &str) -> Result<usize> {
+    projection
+        .iter()
+        .position(|c| c == order_by)
+        .ok_or_else(|| DashError::internal("TopN order_by must be projected"))
 }
 
 impl QuerySpec {
@@ -196,6 +242,28 @@ impl QuerySpec {
                     sql.push_str(&format!(" WHERE {}", w.join(" AND ")));
                 }
                 sql.push_str(&format!(" GROUP BY {dim}.{dim_label}"));
+                sql
+            }
+            QuerySpec::TopN {
+                table,
+                predicates,
+                projection,
+                order_by,
+                desc,
+                n,
+            } => {
+                let mut sql = format!("SELECT {} FROM {}", projection.join(", "), table);
+                if !predicates.is_empty() {
+                    let w: Vec<String> = predicates.iter().map(|p| p.sql()).collect();
+                    sql.push_str(&format!(" WHERE {}", w.join(" AND ")));
+                }
+                let mut keys =
+                    vec![format!("{order_by}{}", if *desc { " DESC" } else { "" })];
+                keys.extend(projection.iter().filter(|c| *c != order_by).cloned());
+                sql.push_str(&format!(
+                    " ORDER BY {} FETCH FIRST {n} ROWS ONLY",
+                    keys.join(", ")
+                ));
                 sql
             }
         }
@@ -272,6 +340,30 @@ impl QuerySpec {
                 let groups =
                     RowEngine::group_aggregate(&joined, &[label_i], Some(value_i));
                 Ok((normalize_groups(groups), stats))
+            }
+            QuerySpec::TopN {
+                table,
+                predicates,
+                projection,
+                order_by,
+                desc,
+                n,
+            } => {
+                let schema = engine.schema(table)?;
+                let (range, residual_preds) = split_sarg(&schema, predicates)?;
+                let proj: Vec<usize> = projection
+                    .iter()
+                    .map(|c| schema.resolve(c))
+                    .collect::<Result<_>>()?;
+                let key_pos = top_n_key_pos(projection, order_by)?;
+                let (rows, stats) = engine.scan_filter(table, range, &|row| {
+                    residual_preds
+                        .iter()
+                        .all(|(i, p)| p.matches(row.get(*i)))
+                })?;
+                let mut out: Vec<Row> = rows.iter().map(|r| r.project(&proj)).collect();
+                sort_top_n(&mut out, key_pos, *desc, *n);
+                Ok((out, stats))
             }
         }
     }
@@ -358,6 +450,26 @@ impl QuerySpec {
                         .map(|(k, (c, s))| (vec![k], c, s))
                         .collect(),
                 );
+                Ok((rows, compared))
+            }
+            QuerySpec::TopN {
+                table,
+                predicates,
+                projection,
+                order_by,
+                desc,
+                n,
+            } => {
+                let t = engine.table(table)?;
+                let schema = t.schema().clone();
+                let preds = resolve_preds(&schema, predicates)?;
+                let proj: Vec<usize> = projection
+                    .iter()
+                    .map(|c| schema.resolve(c))
+                    .collect::<Result<_>>()?;
+                let key_pos = top_n_key_pos(projection, order_by)?;
+                let (mut rows, compared) = t.scan(&preds, &proj);
+                sort_top_n(&mut rows, key_pos, *desc, *n);
                 Ok((rows, compared))
             }
         }
@@ -493,6 +605,46 @@ mod tests {
         assert_eq!(a.len(), 3);
         let total: i64 = a.iter().map(|r| r.get(1).as_int().unwrap()).sum();
         assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn engines_agree_on_top_n() {
+        let schema = Schema::new(vec![
+            Field::not_null("id", DataType::Int64),
+            Field::new("grp", DataType::Utf8),
+            Field::new("amt", DataType::Float64),
+        ])
+        .unwrap();
+        // Heavily tied amounts: the unique id column settles the cut.
+        let rows: Vec<Row> = (0..500)
+            .map(|i| row![i as i64, format!("g{}", i % 3), ((i * 37) % 11) as f64])
+            .collect();
+        let mut re = RowEngine::new(None);
+        re.create_table("t", schema.clone()).unwrap();
+        re.load("t", rows.clone()).unwrap();
+        let mut ne = NaiveEngine::new();
+        ne.create_table("t", schema).unwrap();
+        ne.table_mut("t").unwrap().load(rows).unwrap();
+        let q = QuerySpec::TopN {
+            table: "t".into(),
+            predicates: vec![Pred::ge("id", 50i64)],
+            projection: vec!["id".into(), "amt".into()],
+            order_by: "amt".into(),
+            desc: true,
+            n: 25,
+        };
+        assert_eq!(
+            q.to_sql(),
+            "SELECT id, amt FROM t WHERE id >= 50 \
+             ORDER BY amt DESC, id FETCH FIRST 25 ROWS ONLY"
+        );
+        let (a, _) = q.run_row(&re).unwrap();
+        let (b, _) = q.run_naive(&ne).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 25);
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].get(1).as_float() >= w[1].get(1).as_float()));
     }
 
     #[test]

@@ -190,6 +190,17 @@ pub fn generate(scale: usize) -> TpcdsWorkload {
             value: "ss_net_profit".into(),
             predicates: vec![],
         },
+        // Q9: most profitable recent tickets — the ordered reporting
+        // slice (ORDER BY ... FETCH FIRST) that drives the sort pipeline;
+        // the unique ticket column makes the cut deterministic.
+        QuerySpec::TopN {
+            table: "store_sales".into(),
+            predicates: vec![Pred::ge("ss_sold_date", Datum::Date(recent))],
+            projection: vec!["ss_ticket".into(), "ss_net_profit".into()],
+            order_by: "ss_net_profit".into(),
+            desc: true,
+            n: 50,
+        },
     ];
     TpcdsWorkload { tables, queries }
 }
@@ -204,7 +215,7 @@ mod tests {
         assert_eq!(w.tables.len(), 3);
         assert_eq!(w.tables[0].rows.len(), 5000);
         assert!(w.tables[1].rows.len() >= 20);
-        assert_eq!(w.queries.len(), 8);
+        assert_eq!(w.queries.len(), 9);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! are part of the contract. Float sums are the one sanctioned exception
 //! (re-association moves the last ulp), checked with an epsilon instead.
 
+use dashdb_local::common::dialect::Dialect;
 use dashdb_local::common::types::DataType;
 use dashdb_local::common::{row, Datum, Field, Row, Schema, StatementContext};
 use dashdb_local::core::{Database, HardwareSpec};
@@ -437,4 +438,271 @@ fn sql_operators_report_parallel_workers() {
     db.catalog().set_parallelism(1);
     let serial = s.execute("SELECT id FROM facts WHERE qty < 900").unwrap();
     assert!(serial.stats.parallel_workers_used <= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Sort equivalence
+// ---------------------------------------------------------------------------
+
+use dashdb_local::exec::sort::{
+    merge_sorted_runs, sort_batch, SortKey, SortOptions, DEFAULT_SORT_RUN_ROWS, TOPK_FACTOR,
+};
+
+/// Run rows small enough that BIG rows split into many runs — the merge
+/// actually merges, and run boundaries land mid-data.
+const SMALL_RUN: usize = 4096;
+
+fn sort_with(input: &Batch, keys: &[SortKey], o: &SortOptions) -> (Batch, ExecStats) {
+    let mut stats = ExecStats::default();
+    let out = sort_batch(input, keys, o, &EvalContext::default(), &mut stats).unwrap();
+    (out, stats)
+}
+
+fn serial_opts(limit: Option<usize>, offset: usize) -> SortOptions {
+    SortOptions {
+        limit,
+        offset,
+        parallelism: 1,
+        run_rows: DEFAULT_SORT_RUN_ROWS,
+    }
+}
+
+#[test]
+fn sort_matches_serial_exactly() {
+    let input = fact_batch(BIG);
+    // Multi-key, asc/desc, NULLs in every key column, and a
+    // duplicate-heavy single key whose ties exercise stability.
+    let key_sets: Vec<Vec<SortKey>> = vec![
+        vec![SortKey::asc(0), SortKey::desc(2)],
+        vec![SortKey::desc(1), SortKey::asc(3)],
+        vec![SortKey {
+            expr: Expr::col(1),
+            asc: true,
+            nulls_last: false,
+        }],
+        // 7 distinct region values over 40k rows: almost every comparison
+        // is a tie resolved by input order.
+        vec![SortKey::asc(0)],
+    ];
+    for keys in &key_sets {
+        let (serial, serial_stats) = sort_with(&input, keys, &serial_opts(None, 0));
+        assert!(serial_stats.parallel_workers_used <= 1);
+        assert_eq!(serial_stats.sort_runs_generated, 1, "one run when serial");
+        for par in PARALLELISMS {
+            let o = SortOptions {
+                limit: None,
+                offset: 0,
+                parallelism: par,
+                run_rows: SMALL_RUN,
+            };
+            let (out, stats) = sort_with(&input, keys, &o);
+            assert_eq!(out.to_rows(), serial.to_rows(), "parallelism {par}");
+            assert!(stats.parallel_workers_used > 1, "parallelism {par}");
+            let runs = (BIG.div_ceil(SMALL_RUN)) as u64;
+            assert_eq!(stats.sort_runs_generated, runs);
+            assert_eq!(stats.merge_fanin, runs, "merge fan-in == run count");
+        }
+    }
+}
+
+#[test]
+fn sort_limit_offset_boundaries_match_serial() {
+    let input = fact_batch(BIG);
+    let keys = [SortKey::asc(2), SortKey::desc(0)];
+    // Boundaries on run edges (SMALL_RUN ± 1), past-the-end offsets,
+    // LIMIT 0, and a window straddling the last run.
+    let windows: &[(Option<usize>, usize)] = &[
+        (None, 0),
+        (None, SMALL_RUN),
+        (Some(0), 0),
+        (Some(1), SMALL_RUN - 1),
+        (Some(SMALL_RUN + 1), SMALL_RUN - 1),
+        (Some(100), BIG - 50),
+        (Some(100), BIG + 50),
+        (Some(BIG * 2), 0),
+    ];
+    for &(limit, offset) in windows {
+        let (serial, _) = sort_with(&input, &keys, &serial_opts(limit, offset));
+        for par in PARALLELISMS {
+            let o = SortOptions {
+                limit,
+                offset,
+                parallelism: par,
+                run_rows: SMALL_RUN,
+            };
+            let (out, _) = sort_with(&input, &keys, &o);
+            assert_eq!(
+                out.to_rows(),
+                serial.to_rows(),
+                "limit {limit:?} offset {offset} parallelism {par}"
+            );
+        }
+    }
+}
+
+#[test]
+fn top_k_path_matches_full_sort() {
+    let input = fact_batch(BIG);
+    let keys = [SortKey::desc(2), SortKey::asc(0)];
+    // end * TOPK_FACTOR <= n → the bounded-heap path; the full-sort run
+    // counter is the discriminator proving which path ran.
+    let k = BIG / TOPK_FACTOR - 10;
+    for (limit, offset) in [(Some(40), 0), (Some(25), 13), (Some(k - 20), 20)] {
+        let (serial, _) = sort_with(&input, &keys, &serial_opts(limit, offset));
+        for par in PARALLELISMS {
+            let o = SortOptions {
+                limit,
+                offset,
+                parallelism: par,
+                run_rows: SMALL_RUN,
+            };
+            let (out, stats) = sort_with(&input, &keys, &o);
+            assert_eq!(
+                out.to_rows(),
+                serial.to_rows(),
+                "limit {limit:?} offset {offset} parallelism {par}"
+            );
+            assert_eq!(
+                stats.sort_runs_generated, 0,
+                "Top-K must not generate runs (limit {limit:?})"
+            );
+            assert!(stats.morsels_dispatched > 1, "Top-K still fans out");
+        }
+    }
+}
+
+#[test]
+fn all_equal_keys_preserve_input_order_across_runs() {
+    // Every key ties: the output must be the input, at any run size and
+    // worker count — the strictest stability test there is.
+    let schema = out_schema(&[("k", DataType::Int64), ("id", DataType::Int64)]);
+    let rows: Vec<Row> = (0..10_000).map(|i| row![7i64, i as i64]).collect();
+    let input = Batch::from_rows(schema, &rows).unwrap();
+    for par in PARALLELISMS {
+        for run_rows in [1, 37, 1000, 4096] {
+            let o = SortOptions {
+                limit: None,
+                offset: 0,
+                parallelism: par,
+                run_rows,
+            };
+            let (out, _) = sort_with(&input, &[SortKey::asc(0)], &o);
+            assert_eq!(out.to_rows(), rows, "par {par} run_rows {run_rows}");
+        }
+    }
+}
+
+#[test]
+fn sql_order_by_identical_across_worker_counts() {
+    let db = seeded_db(BIG);
+    let mut s = db.connect();
+    // LIMIT/OFFSET syntax is gated to the Netezza and PostgreSQL dialects;
+    // the default ANSI session only accepts FETCH FIRST (no offset form).
+    s.set_dialect(Dialect::Netezza);
+    let queries = [
+        "SELECT id, qty, label FROM facts ORDER BY qty, label LIMIT 500 OFFSET 250",
+        "SELECT id, qty FROM facts ORDER BY qty DESC, id LIMIT 20",
+        "SELECT label, qty FROM facts ORDER BY label DESC",
+    ];
+    for sql in queries {
+        db.catalog().set_parallelism(1);
+        let serial = s.execute(sql).unwrap();
+        db.catalog().set_sort_run_rows(SMALL_RUN);
+        for par in [2usize, 4] {
+            db.catalog().set_parallelism(par);
+            let out = s.execute(sql).unwrap();
+            assert_eq!(out.rows, serial.rows, "{sql} at parallelism {par}");
+        }
+        db.catalog().set_sort_run_rows(DEFAULT_SORT_RUN_ROWS);
+    }
+
+    // Fan-out is visible in the statement stats: the full sort reports
+    // its runs and merge width, the LIMIT 20 query takes Top-K.
+    db.catalog().set_parallelism(4);
+    db.catalog().set_sort_run_rows(SMALL_RUN);
+    let full = s
+        .execute("SELECT label, qty FROM facts ORDER BY label DESC")
+        .unwrap();
+    assert!(
+        full.stats.sort_runs_generated > 1,
+        "sort must fan out: {:?}",
+        full.stats
+    );
+    assert_eq!(full.stats.merge_fanin, full.stats.sort_runs_generated);
+    assert!(full.stats.parallel_workers_used > 1);
+    let topk = s
+        .execute("SELECT id, qty FROM facts ORDER BY qty DESC, id LIMIT 20")
+        .unwrap();
+    assert_eq!(topk.stats.sort_runs_generated, 0, "{:?}", topk.stats);
+    db.catalog().set_sort_run_rows(DEFAULT_SORT_RUN_ROWS);
+}
+
+#[test]
+fn generic_agg_scatter_reports_morsels() {
+    // The radix scatter is the aggregate's first phase: its morsel count
+    // is reported separately so "no serial O(rows) pass" is testable.
+    let input = fact_batch(BIG);
+    let schema = out_schema(&[
+        ("region", DataType::Utf8),
+        ("grp", DataType::Int64),
+        ("cnt", DataType::Int64),
+    ]);
+    let aggs = [count_star()];
+    let groups = [Expr::col(0), Expr::col(1)];
+    for par in PARALLELISMS {
+        let mut stats = ExecStats::default();
+        hash_aggregate(
+            &input,
+            &groups,
+            &aggs,
+            schema.clone(),
+            &EvalContext::default(),
+            par,
+            &mut stats,
+        )
+        .unwrap();
+        assert!(
+            stats.agg_scatter_morsels > 1,
+            "parallelism {par}: scatter must be morselized, got {:?}",
+            stats
+        );
+        assert!(stats.parallel_workers_used > 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// K-way merge proptest
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    /// Chunk 0..n into runs of a random width, sort each run, merge — the
+    /// result must equal one reference stable sort of all indices, for
+    /// any key distribution (few distinct values → massive tie pressure),
+    /// any run width, and any truncation point.
+    #[test]
+    fn prop_merge_equals_stable_sort(
+        keys in proptest::collection::vec(0i64..6, 0..300),
+        run_rows in 1usize..64,
+        take_frac in 0usize..110,
+    ) {
+        let n = keys.len();
+        let runs: Vec<Vec<usize>> = (0..n.div_ceil(run_rows.max(1)))
+            .map(|r| {
+                let lo = r * run_rows;
+                let hi = (lo + run_rows).min(n);
+                let mut idx: Vec<usize> = (lo..hi).collect();
+                idx.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+                idx
+            })
+            .collect();
+        let take = n * take_frac / 100;
+        let cmp = |a: usize, b: usize| keys[a].cmp(&keys[b]);
+        let merged = merge_sorted_runs(&runs, take, &StatementContext::unbounded(), &cmp).unwrap();
+        let mut reference: Vec<usize> = (0..n).collect();
+        reference.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        reference.truncate(take.min(n));
+        prop_assert_eq!(merged, reference);
+    }
 }

@@ -10,8 +10,12 @@ use dashdb_local::common::faults::{
     FaultAction, FaultPolicy, FaultRegistry, PAGE_READ, SHARD_EXEC,
 };
 use dashdb_local::common::types::DataType;
-use dashdb_local::common::{row, DashError, Field, Row, Schema};
+use dashdb_local::common::{row, DashError, Field, Row, Schema, StatementContext};
 use dashdb_local::core::{Database, HardwareSpec, Session};
+use dashdb_local::exec::functions::EvalContext;
+use dashdb_local::exec::sort::{merge_sorted_runs, sort_batch, SortKey, SortOptions};
+use dashdb_local::exec::stats::ExecStats;
+use dashdb_local::exec::Batch;
 use dashdb_local::mpp::{Cluster, Distribution};
 use std::time::{Duration, Instant};
 
@@ -160,6 +164,158 @@ fn wlm_queue_wait_counts_against_deadline() {
     s.set_statement_timeout(None);
     let rows = s.query("SELECT COUNT(*) FROM sales").unwrap();
     assert_eq!(rows[0].get(0).as_int(), Some(50));
+}
+
+/// A statement deadline fires while an ORDER BY is stalled mid-pipeline:
+/// the parallel sort polls the token per run, so the statement dies
+/// classified with the latency bound intact — and the same session sorts
+/// again once the stall is disarmed.
+#[test]
+fn deadline_fires_during_parallel_sort_statement() {
+    let reg = FaultRegistry::with_seed(seed(11));
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    db.set_fault_registry(reg.clone());
+    let mut s = loaded_session(&db, 4_000);
+    // Many small runs: the cancellation token is polled once per run.
+    db.catalog().set_sort_run_rows(128);
+
+    reg.arm(
+        PAGE_READ,
+        FaultPolicy::Always,
+        FaultAction::Stall(Duration::from_secs(5)),
+    );
+    s.set_statement_timeout(Some(Duration::from_millis(40)));
+    let start = Instant::now();
+    let err = s
+        .query("SELECT id, region, amount FROM sales ORDER BY amount DESC, id")
+        .unwrap_err();
+    assert_eq!(err, DashError::Cancelled);
+    assert_eq!(err.class(), "57014", "deadline kill is classified: {err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "kill must interrupt the statement, not wait out the stall"
+    );
+    let rec = db.monitor().recovery();
+    assert_eq!(rec.deadline_kills, 1, "{rec:?}");
+    assert!(
+        rec.cancel_latency_max_morsels <= 1,
+        "preemption latency bound: {rec:?}"
+    );
+    let (running, queued, _, _, _) = db.wlm().snapshot();
+    assert_eq!((running, queued), (0, 0), "WLM slot must not leak");
+
+    reg.disarm(PAGE_READ);
+    s.set_statement_timeout(None);
+    let rows = s
+        .query("SELECT id FROM sales ORDER BY id FETCH FIRST 5 ROWS ONLY")
+        .unwrap();
+    assert_eq!(rows.len(), 5, "session must sort again after the kill");
+}
+
+/// A token that flips before the sort starts is observed inside run
+/// generation — bare-column keys skip the evaluation pass, so the
+/// run-morsel loop is the first check site — and the working-state lease
+/// releases on the way out.
+#[test]
+fn cancelled_statement_dies_inside_sort_run_generation() {
+    let input = Batch::from_rows(sales_schema(), &sales_rows(4_000)).unwrap();
+    let stmt = StatementContext::unbounded();
+    stmt.cancel();
+    let ctx = EvalContext::with_statement(stmt.clone());
+    let opts = SortOptions {
+        limit: None,
+        offset: 0,
+        parallelism: 4,
+        run_rows: 64,
+    };
+    let mut stats = ExecStats::default();
+    let err = sort_batch(
+        &input,
+        &[SortKey::desc(2), SortKey::asc(0)],
+        &opts,
+        &ctx,
+        &mut stats,
+    )
+    .unwrap_err();
+    assert_eq!(err, DashError::Cancelled);
+    assert_eq!(err.class(), "57014", "{err}");
+    assert_eq!(
+        stmt.budget_used(),
+        0,
+        "sort lease must release when run generation dies"
+    );
+    assert_eq!(
+        stats.sort_runs_generated, 0,
+        "no runs may be reported for a dead statement"
+    );
+}
+
+/// The k-way merge checks the token between pops: an expired deadline and
+/// a manual cancel both stop it with the classified `Cancelled`, however
+/// many sorted runs are already queued up.
+#[test]
+fn deadline_kills_kway_merge_between_pops() {
+    let runs: Vec<Vec<usize>> = (0..4usize)
+        .map(|r| (r * 1_000..(r + 1) * 1_000).collect())
+        .collect();
+    let cmp = |a: usize, b: usize| a.cmp(&b);
+
+    let expired = StatementContext::with_deadline(Duration::ZERO);
+    let err = merge_sorted_runs(&runs, 4_000, &expired, &cmp).unwrap_err();
+    assert_eq!(err, DashError::Cancelled);
+    assert_eq!(err.class(), "57014", "{err}");
+
+    let cancelled = StatementContext::unbounded();
+    cancelled.cancel();
+    let err = merge_sorted_runs(&runs, 4_000, &cancelled, &cmp).unwrap_err();
+    assert_eq!(err, DashError::Cancelled, "watchdog cancel classifies the same");
+}
+
+/// A memory budget too small for the sort's permutation state refuses the
+/// reservation — classified `ResourceExhausted`, counters bumped, runs
+/// released via RAII — and the session answers identically once the
+/// budget is lifted.
+#[test]
+fn sort_over_budget_is_refused_and_releases_its_runs() {
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    let mut s = loaded_session(&db, 5_000);
+    let sql = "SELECT id, region, amount FROM sales ORDER BY amount DESC, id";
+    let unbudgeted = s.query(sql).unwrap();
+
+    s.set_mem_budget(Some(2_000));
+    let err = s.query(sql).unwrap_err();
+    assert_eq!(err.class(), "53200", "budget refusal is classified: {err}");
+    assert!(
+        matches!(err, DashError::ResourceExhausted(_)),
+        "wrong variant: {err:?}"
+    );
+    let rec = db.monitor().recovery();
+    assert!(rec.budget_rejections >= 1, "{rec:?}");
+    assert_eq!(
+        rec.statements_cancelled, 0,
+        "budget refusal is not a cancellation: {rec:?}"
+    );
+    let (running, queued, _, _, _) = db.wlm().snapshot();
+    assert_eq!((running, queued), (0, 0), "WLM slot must not leak");
+    s.set_mem_budget(None);
+    assert_eq!(s.query(sql).unwrap(), unbudgeted);
+
+    // Direct probe of the RAII contract: after the refusal nothing stays
+    // charged against the statement, and the rejection is counted.
+    let input = Batch::from_rows(sales_schema(), &sales_rows(4_000)).unwrap();
+    let stmt = StatementContext::with_budget(64);
+    let ctx = EvalContext::with_statement(stmt.clone());
+    let opts = SortOptions {
+        limit: None,
+        offset: 0,
+        parallelism: 4,
+        run_rows: 256,
+    };
+    let mut stats = ExecStats::default();
+    let err = sort_batch(&input, &[SortKey::asc(2)], &opts, &ctx, &mut stats).unwrap_err();
+    assert!(matches!(err, DashError::ResourceExhausted(_)), "{err:?}");
+    assert_eq!(stmt.budget_used(), 0, "refused sort must release its lease");
+    assert!(stats.budget_rejections >= 1, "{stats:?}");
 }
 
 fn sales_schema() -> Schema {
