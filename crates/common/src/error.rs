@@ -52,6 +52,10 @@ pub enum DashError {
     /// The statement exceeded a resource budget (memory, admission wait)
     /// and was refused further growth rather than degrading the system.
     ResourceExhausted(String),
+    /// First-writer-wins serialization failure: the row this transaction
+    /// tried to delete/update was already written by a concurrent
+    /// transaction. The statement (or transaction) should be retried.
+    WriteConflict(String),
 }
 
 impl DashError {
@@ -104,6 +108,11 @@ impl DashError {
         DashError::ResourceExhausted(message.into())
     }
 
+    /// Construct a write-write conflict (serialization failure) error.
+    pub fn write_conflict(message: impl Into<String>) -> Self {
+        DashError::WriteConflict(message.into())
+    }
+
     /// Prefix the error message with statement-level context.
     pub fn with_context(self, ctx: &str) -> Self {
         match self {
@@ -134,6 +143,9 @@ impl DashError {
             // budget refusal (the budget is per-statement: a retry would
             // fail identically).
             DashError::ResourceExhausted(_) => "53200",
+            // Standard serialization-failure class: clients are expected
+            // to retry the whole transaction.
+            DashError::WriteConflict(_) => "40001",
         }
     }
 }
@@ -157,6 +169,7 @@ impl fmt::Display for DashError {
             DashError::Internal(m) => write!(f, "internal error (bug): {m}"),
             DashError::Cancelled => write!(f, "statement cancelled"),
             DashError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            DashError::WriteConflict(m) => write!(f, "write conflict: {m}"),
         }
     }
 }

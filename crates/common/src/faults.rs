@@ -47,6 +47,18 @@ pub const SHARD_MOVE: &str = "ha::shard_move";
 pub const REBALANCE_DURING_SCATTER: &str = "rebalance.during_scatter";
 /// Failpoint: faulting a page in from the simulated I/O device.
 pub const PAGE_READ: &str = "storage::page_read";
+/// Failpoint: appending a framed record to the write-ahead log. An
+/// `Error` action simulates a crash mid-write: a torn prefix of the
+/// frame reaches the file and the log refuses all further writes.
+pub const WAL_APPEND: &str = "wal.append";
+/// Failpoint: the fsync that makes buffered WAL records durable. An
+/// `Error` action simulates power loss before the sync: buffered
+/// (unsynced) records are dropped and the log goes dead.
+pub const WAL_FSYNC: &str = "wal.fsync";
+/// Failpoint: evaluated just before the commit record is appended.
+/// An `Error` action kills the process image between the data records
+/// and the commit — recovery must roll the transaction back.
+pub const WAL_COMMIT: &str = "wal.commit";
 
 /// When an armed failpoint fires.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -22,6 +22,7 @@ pub mod ids;
 pub mod row;
 pub mod schema;
 pub mod statement;
+pub mod txn;
 pub mod types;
 
 pub use datum::Datum;
@@ -29,4 +30,5 @@ pub use error::{DashError, Result};
 pub use row::Row;
 pub use schema::{Field, Schema};
 pub use statement::{BudgetLease, StatementContext};
+pub use txn::{SnapshotView, TxnId};
 pub use types::DataType;

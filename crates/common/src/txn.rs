@@ -1,0 +1,161 @@
+//! Transaction vocabulary: transaction ids, commit timestamps, and the
+//! snapshot-visibility rule shared by the storage and execution layers.
+//!
+//! The engine stamps every row version with two 64-bit *timestamp words*
+//! (insert and delete). A word is either:
+//!
+//! * `0` — "pre-history": the row version was loaded before transactions
+//!   existed (bulk `load_rows`) and is visible to every snapshot;
+//! * a committed timestamp `1..PENDING_BIT` assigned by the transaction
+//!   manager's logical clock at commit;
+//! * a *pending* word `PENDING_BIT | txn_id` while the writing transaction
+//!   is still in flight — visible only to that transaction itself;
+//! * [`TS_NEVER`] — in an insert slot: the insert was rolled back (the row
+//!   position is a dead placeholder); in a delete slot: the row has never
+//!   been deleted.
+//!
+//! Readers carry a [`SnapshotView`] and apply [`SnapshotView::visible`]:
+//! a row is in the snapshot iff its insert happened (committed at or
+//! before the snapshot timestamp, or pending in the reader's own
+//! transaction) and its delete did not.
+
+use std::fmt;
+
+/// A transaction identifier, assigned monotonically by the transaction
+/// manager. Ids start at 1; id 0 is reserved so a pending timestamp word
+/// can never collide with the "pre-history" word `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// High bit tag marking a timestamp word as *pending*: the low 63 bits
+/// hold the owning [`TxnId`]. Commit timestamps are always below this bit,
+/// so a single unsigned compare distinguishes the two states.
+pub const PENDING_BIT: u64 = 1 << 63;
+
+/// Sentinel timestamp word meaning "never": an insert that was rolled
+/// back, or a delete that has not happened.
+pub const TS_NEVER: u64 = u64::MAX;
+
+/// Build a pending timestamp word owned by `txn`.
+#[inline]
+pub fn pending(txn: TxnId) -> u64 {
+    debug_assert!(txn.0 < PENDING_BIT, "txn id overflow");
+    PENDING_BIT | txn.0
+}
+
+/// Is this timestamp word a pending (uncommitted) marker?
+///
+/// `TS_NEVER` also has the high bit set but is excluded: it means
+/// "never", not "in flight".
+#[inline]
+pub fn is_pending(ts: u64) -> bool {
+    ts & PENDING_BIT != 0 && ts != TS_NEVER
+}
+
+/// The transaction that owns a pending timestamp word.
+#[inline]
+pub fn pending_owner(ts: u64) -> TxnId {
+    debug_assert!(is_pending(ts));
+    TxnId(ts & !PENDING_BIT)
+}
+
+/// A reader's view of the database: every scan under snapshot isolation
+/// carries one of these and filters row versions through
+/// [`SnapshotView::visible`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotView {
+    /// Snapshot timestamp: the value of the commit clock when the
+    /// transaction (or autocommit statement) began. Commits with
+    /// timestamp `<= ts` are in the snapshot.
+    pub ts: u64,
+    /// The reading transaction, if any. Its own pending writes are
+    /// visible to itself (read-your-writes); `None` for plain snapshot
+    /// readers outside any transaction.
+    pub txn: Option<TxnId>,
+}
+
+impl SnapshotView {
+    /// A snapshot at commit-clock value `ts` with no owning transaction.
+    pub fn at(ts: u64) -> Self {
+        SnapshotView { ts, txn: None }
+    }
+
+    /// Did the event stamped with `word` happen, as seen from this
+    /// snapshot? Used for both insert and delete words.
+    #[inline]
+    pub fn happened(&self, word: u64) -> bool {
+        if word == TS_NEVER {
+            false
+        } else if is_pending(word) {
+            self.txn == Some(pending_owner(word))
+        } else {
+            word <= self.ts
+        }
+    }
+
+    /// The core MVCC visibility rule: the row version is visible iff its
+    /// insert happened and its delete has not.
+    #[inline]
+    pub fn visible(&self, insert_ts: u64, delete_ts: u64) -> bool {
+        self.happened(insert_ts) && !self.happened(delete_ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_roundtrip() {
+        let t = TxnId(42);
+        let w = pending(t);
+        assert!(is_pending(w));
+        assert_eq!(pending_owner(w), t);
+        assert!(!is_pending(7));
+        assert!(!is_pending(TS_NEVER));
+        assert!(!is_pending(0));
+    }
+
+    #[test]
+    fn visibility_rules() {
+        let snap = SnapshotView::at(10);
+        // Pre-history row, never deleted: visible.
+        assert!(snap.visible(0, TS_NEVER));
+        // Committed at 10 (== snapshot): visible.
+        assert!(snap.visible(10, TS_NEVER));
+        // Committed after the snapshot: invisible.
+        assert!(!snap.visible(11, TS_NEVER));
+        // Deleted within the snapshot: invisible.
+        assert!(!snap.visible(3, 9));
+        // Deleted after the snapshot: still visible.
+        assert!(snap.visible(3, 11));
+        // Rolled-back insert: never visible.
+        assert!(!snap.visible(TS_NEVER, TS_NEVER));
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let me = TxnId(5);
+        let other = TxnId(6);
+        let snap = SnapshotView {
+            ts: 10,
+            txn: Some(me),
+        };
+        // My pending insert is visible to me, not to others.
+        assert!(snap.visible(pending(me), TS_NEVER));
+        assert!(!snap.visible(pending(other), TS_NEVER));
+        // My pending delete hides the row from me only.
+        assert!(!snap.visible(3, pending(me)));
+        let them = SnapshotView {
+            ts: 10,
+            txn: Some(other),
+        };
+        assert!(them.visible(3, pending(me)));
+    }
+}

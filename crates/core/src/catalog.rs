@@ -468,6 +468,37 @@ impl Catalog {
         }))
     }
 
+    /// The WAL key for a table if it is durable: a permanent catalog table
+    /// resolved through aliases. Session temporaries, SYSCAT views, and
+    /// nickname caches return `None` — they are volatile by design and
+    /// never logged.
+    pub fn durable_key(&self, name: &str, session: Option<SessionId>) -> Option<String> {
+        if let Some(sid) = session {
+            if self.tables.read().contains_key(&Self::temp_key(sid, name)) {
+                return None;
+            }
+        }
+        let key = self.resolve_alias(&Self::fold(name));
+        match self.tables.read().get(&key) {
+            Some(e) if e.owner.is_none() => Some(key),
+            _ => None,
+        }
+    }
+
+    /// Every durable (permanent) table with its handle, sorted by name —
+    /// the checkpoint's input.
+    pub fn durable_tables(&self) -> Vec<(String, SharedTable)> {
+        let mut v: Vec<(String, SharedTable)> = self
+            .tables
+            .read()
+            .iter()
+            .filter(|(_, e)| e.owner.is_none())
+            .map(|(k, e)| (k.clone(), e.table.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
     /// Drop all temporary objects owned by a session.
     pub fn drop_session_objects(&self, session: SessionId) {
         self.tables

@@ -5,20 +5,30 @@ use crate::autoconf::{AutoConfig, HardwareSpec};
 use crate::catalog::Catalog;
 use crate::monitor::Monitor;
 use crate::result::{QueryResult, StatementKind};
+use crate::txn::{Transaction, TxnManager, WriteKind, WriteOp};
 use crate::wlm::WorkloadManager;
 use dash_common::dialect::Dialect;
-use dash_common::ids::SessionId;
+use dash_common::faults::FaultRegistry;
+use dash_common::ids::{SessionId, Tsn};
+use dash_common::txn::{SnapshotView, TxnId, TS_NEVER};
 use dash_common::{DashError, DataType, Datum, Field, Result, Row, Schema, StatementContext};
 use dash_exec::batch::Batch;
 use dash_exec::functions::EvalContext;
-use dash_exec::plan::PhysicalPlan;
+use dash_exec::plan::{PhysicalPlan, SharedTable};
 use dash_exec::scan::ScanConfig;
 use dash_sql::ast::{InsertSource, Statement};
 use dash_sql::parser::{parse_statement, split_statements};
 use dash_sql::planner::{lower_standalone_expr, lower_table_expr, plan_select, pushdown};
 use dash_storage::bufferpool::{BufferPool, Policy};
+use dash_storage::table::ColumnTable;
+use dash_storage::wal::{
+    read_checkpoint, read_wal, truncate_wal, write_checkpoint, CheckpointData, SyncPolicy,
+    TableSnapshot, Wal, WalRecord,
+};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,6 +41,19 @@ pub struct Database {
     wlm: WorkloadManager,
     monitor: Monitor,
     next_session: AtomicU32,
+    /// Transaction manager: commit clock, txn ids, commit serialization.
+    txn: TxnManager,
+    /// Append side of the write-ahead log; `None` = volatile engine.
+    wal: Mutex<Option<Wal>>,
+    /// Durability directory (checkpoint + logs); `None` = volatile.
+    wal_dir: Option<PathBuf>,
+    /// Current checkpoint generation; the live log is `wal.<gen>.log`.
+    wal_generation: AtomicU64,
+    /// Sync policy new logs are created with.
+    wal_sync: SyncPolicy,
+    /// Failpoint registry shared with the WAL (and fresh logs at
+    /// checkpoint) so chaos tests can crash the log mid-commit.
+    faults: Mutex<FaultRegistry>,
 }
 
 impl Database {
@@ -42,56 +65,336 @@ impl Database {
     /// Create an engine auto-configured for the given hardware (used by
     /// the deployment simulator and tests).
     pub fn with_hardware(hw: HardwareSpec) -> Arc<Database> {
-        let config = AutoConfig::derive(&hw);
         // Simulation pools are capped so tests stay fast; the page budget
         // ratio is preserved.
-        Database::with_pool_pages(hw, (config.bufferpool_pages as usize).min(1 << 20))
+        let pages = Self::capped_pool_pages(&hw);
+        Database::with_pool_pages(hw, pages)
+    }
+
+    fn capped_pool_pages(hw: &HardwareSpec) -> usize {
+        (AutoConfig::derive(hw).bufferpool_pages as usize).min(1 << 20)
     }
 
     /// Create an engine with an explicit buffer-pool page budget — used by
     /// benchmarks that model the paper's data ≫ RAM regime by shrinking
     /// the pool below the data size.
     pub fn with_pool_pages(hw: HardwareSpec, pages: usize) -> Arc<Database> {
-        let config = AutoConfig::derive(&hw);
-        let pool = Arc::new(Mutex::new(BufferPool::new(
-            pages.max(1),
-            Policy::RandomizedWeight,
-        )));
-        let catalog = Arc::new(Catalog::new(Some(pool)));
-        catalog.set_parallelism(config.effective_parallelism());
-        catalog.set_sort_run_rows(config.effective_sort_run_rows());
-        Arc::new(Database {
-            catalog,
-            config,
-            wlm: WorkloadManager::new(config.wlm_concurrency),
-            monitor: Monitor::new(),
-            next_session: AtomicU32::new(0),
-        })
+        Arc::new(Self::build(hw, Some(pages)))
     }
 
     /// An engine without buffer-pool tracking (micro-benchmarks that want
     /// pure CPU measurements).
     pub fn untracked() -> Arc<Database> {
-        let config = AutoConfig::derive(&HardwareSpec::detect());
-        let catalog = Arc::new(Catalog::new(None));
+        Arc::new(Self::build(HardwareSpec::detect(), None))
+    }
+
+    fn build(hw: HardwareSpec, pool_pages: Option<usize>) -> Database {
+        let config = AutoConfig::derive(&hw);
+        let pool = pool_pages.map(|pages| {
+            Arc::new(Mutex::new(BufferPool::new(
+                pages.max(1),
+                Policy::RandomizedWeight,
+            )))
+        });
+        let catalog = Arc::new(Catalog::new(pool));
         catalog.set_parallelism(config.effective_parallelism());
         catalog.set_sort_run_rows(config.effective_sort_run_rows());
-        Arc::new(Database {
+        Database {
             catalog,
             config,
             wlm: WorkloadManager::new(config.wlm_concurrency),
             monitor: Monitor::new(),
             next_session: AtomicU32::new(0),
-        })
+            txn: TxnManager::new(),
+            wal: Mutex::new(None),
+            wal_dir: None,
+            wal_generation: AtomicU64::new(0),
+            wal_sync: SyncPolicy::Commit,
+            faults: Mutex::new(FaultRegistry::new()),
+        }
+    }
+
+    /// Open (or create) a **durable** engine rooted at `dir`: load the
+    /// latest checkpoint, replay the write-ahead log to the last committed
+    /// transaction, truncate any torn tail, and start logging. The sync
+    /// policy comes from `DASH_WAL_SYNC` (`always`/`commit`/`never`,
+    /// default `commit`).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Arc<Database>> {
+        let sync = match std::env::var("DASH_WAL_SYNC") {
+            Ok(s) => SyncPolicy::from_env_str(&s)?,
+            Err(_) => SyncPolicy::Commit,
+        };
+        Database::open_with(dir, HardwareSpec::detect(), sync, FaultRegistry::new())
+    }
+
+    /// Create an engine honoring the environment: durable at
+    /// `DASH_WAL_DIR` when that is set and non-empty, volatile otherwise.
+    pub fn from_env() -> Result<Arc<Database>> {
+        match std::env::var("DASH_WAL_DIR") {
+            Ok(dir) if !dir.is_empty() => Database::open(dir),
+            _ => Ok(Database::new()),
+        }
+    }
+
+    /// [`Database::open`] with explicit hardware, sync policy, and fault
+    /// registry — the chaos-test entry point (the registry's `wal.*`
+    /// failpoints simulate crashes at commit, append, and fsync).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        hw: HardwareSpec,
+        sync: SyncPolicy,
+        faults: FaultRegistry,
+    ) -> Result<Arc<Database>> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DashError::Storage(format!("create {}: {e}", dir.display())))?;
+        let pages = Self::capped_pool_pages(&hw);
+        let mut db = Self::build(hw, Some(pages));
+        db.wal_dir = Some(dir.clone());
+        db.wal_sync = sync;
+        *db.faults.lock() = faults.clone();
+        let db = Arc::new(db);
+        db.recover(&dir, sync, faults)?;
+        Ok(db)
+    }
+
+    /// True when this engine writes a WAL (opened via [`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.wal_dir.is_some()
+    }
+
+    /// The current checkpoint generation (0 until the first checkpoint).
+    pub fn generation(&self) -> u64 {
+        self.wal_generation.load(Ordering::SeqCst)
+    }
+
+    /// The transaction manager (commit clock, active-transaction count).
+    pub fn transactions(&self) -> &TxnManager {
+        &self.txn
+    }
+
+    fn checkpoint_path(dir: &std::path::Path) -> PathBuf {
+        dir.join("checkpoint.dash")
+    }
+
+    fn wal_path(dir: &std::path::Path, generation: u64) -> PathBuf {
+        dir.join(format!("wal.{generation}.log"))
+    }
+
+    /// Crash recovery: checkpoint restore, two-pass log replay, torn-tail
+    /// truncation. Committed transactions re-apply with their original
+    /// timestamps; uncommitted work restores as permanently invisible
+    /// placeholder rows so TSNs keep their log-assigned positions.
+    fn recover(
+        &self,
+        dir: &std::path::Path,
+        sync: SyncPolicy,
+        faults: FaultRegistry,
+    ) -> Result<()> {
+        let ckpt = read_checkpoint(&Self::checkpoint_path(dir))?.unwrap_or_default();
+        self.wal_generation.store(ckpt.generation, Ordering::SeqCst);
+        for t in ckpt.tables {
+            let handle = self.catalog.create_table(&t.name, t.schema, None)?;
+            let mut table = handle.write();
+            for (i, (row, ins, del)) in t.rows.into_iter().enumerate() {
+                table.restore_row(Tsn(i as u64), row, ins, del)?;
+            }
+        }
+        let wal_path = Self::wal_path(dir, ckpt.generation);
+        let outcome = read_wal(&wal_path)?;
+        // Pass 1: which transactions have a commit record inside the valid
+        // prefix, and at what timestamp. Everything else never happened.
+        let mut committed: HashMap<u64, u64> = HashMap::new();
+        let mut clock = ckpt.clock;
+        let mut max_txn = ckpt.next_txn.saturating_sub(1);
+        for rec in &outcome.records {
+            match rec {
+                WalRecord::Commit { txn, ts } => {
+                    committed.insert(txn.0, *ts);
+                    clock = clock.max(*ts);
+                    max_txn = max_txn.max(txn.0);
+                }
+                WalRecord::Begin { txn }
+                | WalRecord::Abort { txn }
+                | WalRecord::Insert { txn, .. }
+                | WalRecord::Delete { txn, .. } => max_txn = max_txn.max(txn.0),
+                _ => {}
+            }
+        }
+        // Pass 2: apply in log order. DDL is non-transactional and applies
+        // unconditionally; row records consult the commit map. Records for
+        // tables dropped later in the log are skipped when the lookup
+        // fails (the handle race is benign — see Session::delete).
+        let mut applied = 0u64;
+        for rec in &outcome.records {
+            match rec {
+                WalRecord::CreateTable { name, schema } => {
+                    self.catalog.create_table(name, schema.clone(), None)?;
+                }
+                WalRecord::DropTable { name } => {
+                    self.catalog.drop_table(name, true)?;
+                }
+                WalRecord::Truncate { name } => {
+                    if let Ok(h) = self.catalog.table_handle(name) {
+                        let mut t = h.table.write();
+                        let (tname, schema) = (t.name().to_string(), t.schema().clone());
+                        *t = ColumnTable::new(tname, schema);
+                    }
+                }
+                WalRecord::Insert {
+                    txn,
+                    table,
+                    tsn,
+                    row,
+                } => {
+                    let Ok(h) = self.catalog.table_handle(table) else {
+                        applied += 1;
+                        continue;
+                    };
+                    // Txn id 0 marks pre-history (bulk loads, CTAS): those
+                    // rows are visible to every snapshot, like the live
+                    // path's load_rows.
+                    let ins = if txn.0 == 0 {
+                        0
+                    } else {
+                        committed.get(&txn.0).copied().unwrap_or(TS_NEVER)
+                    };
+                    h.table.write().restore_row(*tsn, row.clone(), ins, TS_NEVER)?;
+                }
+                WalRecord::Delete { txn, table, tsn } => {
+                    let ts = if txn.0 == 0 {
+                        Some(0)
+                    } else {
+                        committed.get(&txn.0).copied()
+                    };
+                    if let Some(ts) = ts {
+                        if let Ok(h) = self.catalog.table_handle(table) {
+                            h.table.write().replay_delete(*tsn, ts)?;
+                        }
+                    }
+                }
+                WalRecord::Begin { .. }
+                | WalRecord::Commit { .. }
+                | WalRecord::Abort { .. }
+                | WalRecord::Checkpoint { .. } => {}
+            }
+            applied += 1;
+        }
+        if outcome.truncated_bytes > 0 {
+            truncate_wal(&wal_path, outcome.valid_len)?;
+        }
+        self.monitor.record_recovery(applied, outcome.truncated_bytes);
+        self.txn.restore(clock, max_txn + 1);
+        *self.wal.lock() = Some(Wal::open_append(&wal_path, sync, faults)?);
+        Ok(())
+    }
+
+    /// Write a checkpoint: the full durable state (every row position with
+    /// its timestamp words) lands in `checkpoint.dash` atomically, a fresh
+    /// log starts for the new generation, and the old log is deleted.
+    ///
+    /// Refuses to run while transactions are open or pending row versions
+    /// exist — a checkpoint must capture a clean committed state (callers
+    /// quiesce their sessions first). Returns the new generation.
+    pub fn checkpoint(&self) -> Result<u64> {
+        let dir = self.wal_dir.as_ref().ok_or_else(|| {
+            DashError::analysis("checkpoint requires a durable database (Database::open)")
+        })?;
+        // Block commits for the duration so the snapshot is a consistent
+        // commit-clock cut.
+        let _guard = self.txn.lock_commits();
+        let open = self.txn.active_count();
+        if open > 0 {
+            return Err(DashError::exec(format!(
+                "checkpoint refused: {open} transaction(s) still open"
+            )));
+        }
+        let generation = self.wal_generation.load(Ordering::SeqCst) + 1;
+        let mut tables = Vec::new();
+        for (name, handle) in self.catalog.durable_tables() {
+            let t = handle.read();
+            if t.has_pending() {
+                return Err(DashError::exec(format!(
+                    "checkpoint refused: table \"{name}\" has pending row versions"
+                )));
+            }
+            let (ins, del) = (t.insert_ts_words(), t.delete_ts_words());
+            let mut rows = Vec::with_capacity(ins.len());
+            for pos in 0..t.total_rows() {
+                rows.push((t.get_row(Tsn(pos))?, ins[pos as usize], del[pos as usize]));
+            }
+            tables.push(TableSnapshot {
+                name,
+                schema: t.schema().clone(),
+                rows,
+            });
+        }
+        let data = CheckpointData {
+            generation,
+            clock: self.txn.snapshot_ts(),
+            next_txn: self.txn.next_txn_id(),
+            tables,
+        };
+        write_checkpoint(&Self::checkpoint_path(dir), &data)?;
+        let faults = self.faults.lock().clone();
+        let new_wal = Wal::create(Self::wal_path(dir, generation), self.wal_sync, faults)?;
+        let old = self.wal.lock().replace(new_wal);
+        self.wal_generation.store(generation, Ordering::SeqCst);
+        drop(old);
+        // The old log's history is fully covered by the checkpoint.
+        let _ = std::fs::remove_file(Self::wal_path(dir, generation - 1));
+        Ok(generation)
+    }
+
+    /// Append a record to the WAL (no-op for volatile engines).
+    fn wal_append(&self, rec: &WalRecord) -> Result<()> {
+        match self.wal.lock().as_mut() {
+            Some(w) => w.append(rec),
+            None => Ok(()),
+        }
+    }
+
+    /// Commit protocol: under the commit lock, append + flush the commit
+    /// record (the durability point), stamp every written row with the
+    /// commit timestamp, then publish the new clock. Log order therefore
+    /// equals commit-timestamp order, which replay depends on.
+    fn commit_transaction(&self, txn: &Transaction) -> Result<()> {
+        let _guard = self.txn.lock_commits();
+        let ts = self.txn.commit_ts();
+        self.wal_append(&WalRecord::Commit { txn: txn.id, ts })?;
+        for w in &txn.writes {
+            let mut t = w.table.write();
+            match w.kind {
+                WriteKind::Insert => t.commit_insert(w.tsn, ts)?,
+                WriteKind::Delete => t.commit_delete(w.tsn, ts)?,
+            }
+        }
+        self.txn.publish(ts);
+        Ok(())
+    }
+
+    /// Undo pending stamps in reverse write order (rollback / failed
+    /// commit). Infallible by design: a write-set entry that no longer
+    /// resolves (row gone with a dropped table) is simply skipped.
+    fn undo_writes(writes: &[WriteOp]) {
+        for w in writes.iter().rev() {
+            let mut t = w.table.write();
+            let _ = match w.kind {
+                WriteKind::Insert => t.abort_insert(w.tsn),
+                WriteKind::Delete => t.abort_delete(w.tsn),
+            };
+        }
     }
 
     /// Route this engine's buffer-pool page reads through `reg`'s
-    /// failpoints (no-op for untracked engines). Used by the MPP layer so
-    /// one cluster-wide registry reaches every shard's storage.
+    /// failpoints (no-op for untracked engines), and use it for WAL logs
+    /// created from now on. Used by the MPP layer so one cluster-wide
+    /// registry reaches every shard's storage.
     pub fn set_fault_registry(&self, reg: dash_common::faults::FaultRegistry) {
         if let Some(pool) = &self.catalog.pool {
-            pool.lock().set_fault_registry(reg);
+            pool.lock().set_fault_registry(reg.clone());
         }
+        *self.faults.lock() = reg;
     }
 
     /// Open a session (default ANSI dialect). Statement limits default
@@ -104,6 +407,7 @@ impl Database {
             dialect: Dialect::Ansi,
             statement_timeout: crate::autoconf::default_statement_timeout(),
             mem_budget: crate::autoconf::default_mem_budget(),
+            txn: None,
         }
     }
 
@@ -137,6 +441,9 @@ pub struct Session {
     statement_timeout: Option<Duration>,
     /// Per-statement memory budget in bytes (`None` = unlimited).
     mem_budget: Option<u64>,
+    /// The open transaction, if any (explicit BEGIN; autocommit wraps each
+    /// DML statement in a short-lived one).
+    txn: Option<Transaction>,
 }
 
 impl Session {
@@ -171,10 +478,25 @@ impl Session {
         &self.db
     }
 
+    /// True while an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.as_ref().is_some_and(|t| !t.autocommit)
+    }
+
+    /// The snapshot this session's statements read under: pinned at BEGIN
+    /// for the life of the transaction, `None` (latest-committed) outside.
+    fn snapshot_view(&self) -> Option<SnapshotView> {
+        self.txn.as_ref().map(|t| SnapshotView {
+            ts: t.snapshot_ts,
+            txn: Some(t.id),
+        })
+    }
+
     fn provider(&self) -> SessionCatalog<'_> {
         SessionCatalog {
             catalog: self.db.catalog.as_ref(),
             session: self.id,
+            snapshot: self.snapshot_view(),
         }
     }
 
@@ -216,9 +538,126 @@ impl Session {
         Ok(self.execute(sql)?.rows)
     }
 
-    /// Close the session, dropping its temporary tables.
-    pub fn close(self) {
+    /// Close the session: roll back any open transaction and drop its
+    /// temporary tables.
+    pub fn close(mut self) {
+        self.rollback_txn();
         self.db.catalog.drop_session_objects(self.id);
+    }
+
+    /// Open a transaction (explicit BEGIN or an autocommit wrapper).
+    fn begin_txn(&mut self, autocommit: bool) -> Result<()> {
+        let id = self.db.txn.begin();
+        let snapshot_ts = self.db.txn.snapshot_ts();
+        if let Err(e) = self.db.wal_append(&WalRecord::Begin { txn: id }) {
+            self.db.txn.finish(id);
+            return Err(e);
+        }
+        self.txn = Some(Transaction {
+            id,
+            snapshot_ts,
+            writes: Vec::new(),
+            autocommit,
+        });
+        Ok(())
+    }
+
+    /// Commit the open transaction (no-op if none — COMMIT outside a
+    /// transaction is legal and does nothing, like DB2 autocommit mode).
+    fn commit_txn(&mut self) -> Result<()> {
+        let Some(txn) = self.txn.take() else {
+            return Ok(());
+        };
+        let result = self.db.commit_transaction(&txn);
+        self.db.txn.finish(txn.id);
+        match result {
+            Ok(()) => {
+                self.db.monitor.record_txn_commit();
+                Ok(())
+            }
+            Err(e) => {
+                // The commit record never reached the log, so as far as
+                // recovery is concerned the transaction never happened.
+                // Undo the in-memory stamps to match.
+                Database::undo_writes(&txn.writes);
+                self.db.monitor.record_txn_abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Roll back the open transaction (no-op if none). Never fails: a
+    /// crashed WAL must not block the in-memory undo.
+    fn rollback_txn(&mut self) {
+        let Some(txn) = self.txn.take() else {
+            return;
+        };
+        let _ = self.db.wal_append(&WalRecord::Abort { txn: txn.id });
+        Database::undo_writes(&txn.writes);
+        self.db.txn.finish(txn.id);
+        self.db.monitor.record_txn_abort();
+    }
+
+    /// Undo only the writes a failed statement made, keeping the rest of
+    /// the transaction intact (statement-level atomicity).
+    fn undo_statement(&mut self, mark: usize) {
+        if let Some(txn) = &mut self.txn {
+            let tail: Vec<WriteOp> = txn.writes.drain(mark..).collect();
+            Database::undo_writes(&tail);
+        }
+    }
+
+    /// The open transaction's id and snapshot timestamp (DML only runs
+    /// inside one — [`Session::dml`] guarantees it).
+    fn active_txn(&self) -> Result<(TxnId, u64)> {
+        self.txn
+            .as_ref()
+            .map(|t| (t.id, t.snapshot_ts))
+            .ok_or_else(|| DashError::internal("DML statement outside a transaction"))
+    }
+
+    /// Remember a row write for commit stamping / rollback undo.
+    fn record_write(&mut self, table: SharedTable, tsn: Tsn, kind: WriteKind) {
+        if let Some(txn) = &mut self.txn {
+            txn.writes.push(WriteOp { table, tsn, kind });
+        }
+    }
+
+    /// Run one DML statement transactionally. Outside an explicit
+    /// transaction, wrap it in an autocommit one. A `WriteConflict`
+    /// (SQLSTATE 40001, first-writer-wins) rolls the whole transaction
+    /// back so the application can retry; any other failure undoes just
+    /// this statement's writes.
+    fn dml<F>(&mut self, f: F) -> Result<QueryResult>
+    where
+        F: FnOnce(&mut Self) -> Result<QueryResult>,
+    {
+        let autocommit = self.txn.is_none();
+        if autocommit {
+            self.begin_txn(true)?;
+        }
+        let mark = self.txn.as_ref().map_or(0, |t| t.writes.len());
+        match f(self) {
+            Ok(r) => {
+                if autocommit {
+                    self.commit_txn()?;
+                }
+                Ok(r)
+            }
+            Err(e) => {
+                if matches!(e, DashError::WriteConflict(_)) {
+                    // The snapshot is stale against a concurrent writer;
+                    // no statement under it can make progress.
+                    self.db.monitor.record_txn_conflict();
+                    self.rollback_txn();
+                } else if autocommit {
+                    self.rollback_txn();
+                } else {
+                    self.undo_statement(mark);
+                }
+                Err(e)
+            }
+        }
     }
 
     fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult> {
@@ -288,13 +727,32 @@ impl Session {
                 table,
                 columns,
                 source,
-            } => self.insert(&table, &columns, source),
+            } => self.dml(move |s| s.insert(&table, &columns, source)),
             Statement::Update {
                 table,
                 assignments,
                 selection,
-            } => self.update(&table, &assignments, selection.as_ref()),
-            Statement::Delete { table, selection } => self.delete(&table, selection.as_ref()),
+            } => self.dml(move |s| s.update(&table, &assignments, selection.as_ref())),
+            Statement::Delete { table, selection } => {
+                self.dml(move |s| s.delete(&table, selection.as_ref()))
+            }
+            Statement::Begin => {
+                if self.in_transaction() {
+                    return Err(DashError::analysis(
+                        "a transaction is already open in this session",
+                    ));
+                }
+                self.begin_txn(false)?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::Commit => {
+                self.commit_txn()?;
+                Ok(QueryResult::ddl())
+            }
+            Statement::Rollback => {
+                self.rollback_txn();
+                Ok(QueryResult::ddl())
+            }
             Statement::CreateTable {
                 name,
                 columns,
@@ -320,7 +778,27 @@ impl Session {
                             self.db
                                 .catalog
                                 .create_table(&name, batch.schema().clone(), owner)?;
-                        handle.write().load_rows(batch.to_rows())?;
+                        let rows = batch.to_rows();
+                        // CTAS rows are pre-history (txn 0): visible to
+                        // every snapshot, like a bulk load.
+                        let durable = owner.is_none();
+                        if let Some(key) =
+                            durable.then(|| self.db.catalog.durable_key(&name, None)).flatten()
+                        {
+                            self.db.wal_append(&WalRecord::CreateTable {
+                                name: key.clone(),
+                                schema: batch.schema().clone(),
+                            })?;
+                            for (i, row) in rows.iter().enumerate() {
+                                self.db.wal_append(&WalRecord::Insert {
+                                    txn: TxnId(0),
+                                    table: key.clone(),
+                                    tsn: Tsn(i as u64),
+                                    row: row.clone(),
+                                })?;
+                            }
+                        }
+                        handle.write().load_rows(rows)?;
                         Ok(QueryResult::ddl())
                     }
                     None => {
@@ -339,23 +817,44 @@ impl Session {
                                 nullable: !c.not_null,
                             });
                         }
+                        let schema = Schema::new(fields)?;
                         self.db
                             .catalog
-                            .create_table(&name, Schema::new(fields)?, owner)?;
+                            .create_table(&name, schema.clone(), owner)?;
+                        if let Some(key) = (owner.is_none())
+                            .then(|| self.db.catalog.durable_key(&name, None))
+                            .flatten()
+                        {
+                            self.db
+                                .wal_append(&WalRecord::CreateTable { name: key, schema })?;
+                        }
                         Ok(QueryResult::ddl())
                     }
                 }
             }
             Statement::DropTable { name, if_exists } => {
-                self.db.catalog.drop_table_for(&name, if_exists, Some(self.id))?;
+                let durable = self.db.catalog.durable_key(&name, Some(self.id));
+                let dropped =
+                    self.db.catalog.drop_table_for(&name, if_exists, Some(self.id))?;
+                if dropped {
+                    if let Some(key) = durable {
+                        self.db.wal_append(&WalRecord::DropTable { name: key })?;
+                    }
+                }
                 Ok(QueryResult::ddl())
             }
             Statement::Truncate { name } => {
+                let durable = self.db.catalog.durable_key(&name, Some(self.id));
                 let handle = self.db.catalog.table_handle_for(&name, Some(self.id))?;
-                let mut t = handle.table.write();
-                let schema = t.schema().clone();
-                let tname = t.name().to_string();
-                *t = dash_storage::table::ColumnTable::new(tname, schema);
+                {
+                    let mut t = handle.table.write();
+                    let schema = t.schema().clone();
+                    let tname = t.name().to_string();
+                    *t = ColumnTable::new(tname, schema);
+                }
+                if let Some(key) = durable {
+                    self.db.wal_append(&WalRecord::Truncate { name: key })?;
+                }
                 Ok(QueryResult::ddl())
             }
             Statement::CreateView { name, text, .. } => {
@@ -503,22 +1002,41 @@ impl Session {
                 batch.to_rows()
             }
         };
+        let durable = self.db.catalog.durable_key(table, Some(self.id));
+        let (txn_id, _) = self.active_txn()?;
+        let shared = handle.table.clone();
         let mut count = 0u64;
-        let mut t = handle.table.write();
-        for src in source_rows {
-            if src.len() != targets.len() {
-                return Err(DashError::analysis(format!(
-                    "INSERT provides {} values for {} columns",
-                    src.len(),
-                    targets.len()
-                )));
+        {
+            // The WAL append happens under the same table write lock that
+            // assigned the TSN, so log order equals TSN order per table —
+            // the invariant replay's restore_row asserts.
+            let mut t = handle.table.write();
+            for src in source_rows {
+                if src.len() != targets.len() {
+                    return Err(DashError::analysis(format!(
+                        "INSERT provides {} values for {} columns",
+                        src.len(),
+                        targets.len()
+                    )));
+                }
+                let mut full = vec![Datum::Null; schema.len()];
+                for (v, &ti) in src.0.into_iter().zip(&targets) {
+                    full[ti] = v;
+                }
+                let row = Row::new(full);
+                let wal_row = durable.is_some().then(|| row.clone());
+                let tsn = t.mvcc_insert(row, txn_id)?;
+                if let (Some(key), Some(row)) = (&durable, wal_row) {
+                    self.db.wal_append(&WalRecord::Insert {
+                        txn: txn_id,
+                        table: key.clone(),
+                        tsn,
+                        row,
+                    })?;
+                }
+                self.record_write(shared.clone(), tsn, WriteKind::Insert);
+                count += 1;
             }
-            let mut full = vec![Datum::Null; schema.len()];
-            for (v, &ti) in src.0.into_iter().zip(&targets) {
-                full[ti] = v;
-            }
-            t.insert(Row::new(full))?;
-            count += 1;
         }
         Ok(QueryResult::dml(StatementKind::Insert, count))
     }
@@ -535,6 +1053,7 @@ impl Session {
         let mut config = ScanConfig::full(handle.id, (0..schema.len()).collect());
         config.include_tsn = true;
         config.pool = self.db.catalog.pool.clone();
+        config.snapshot = self.snapshot_view();
         let mut plan = PhysicalPlan::ColumnScan {
             table: handle.table.clone(),
             config,
@@ -554,7 +1073,10 @@ impl Session {
         let mut tsns = Vec::with_capacity(batch.len());
         for mut r in batch.to_rows() {
             let tsn = r.0.remove(ncols);
-            tsns.push(tsn.as_int().expect("tsn is an integer") as u64);
+            let tsn = tsn
+                .as_int()
+                .ok_or_else(|| DashError::internal("scan produced a non-integer TSN"))?;
+            tsns.push(tsn as u64);
             rows.push(r);
         }
         Ok((rows, tsns))
@@ -578,21 +1100,46 @@ impl Session {
         }
         let (rows, tsns) = self.matching_rows(table, selection, &ctx)?;
         let batch = Batch::from_rows(schema.clone(), &rows)?;
-        let mut t = handle.table.write();
+        let durable = self.db.catalog.durable_key(table, Some(self.id));
+        let (txn_id, snap_ts) = self.active_txn()?;
+        let shared = handle.table.clone();
         let mut applied = 0u64;
-        for (i, &tsn) in tsns.iter().enumerate() {
-            // A concurrent statement may have deleted/updated the row
-            // between our scan and this write; skip it (last-writer-wins
-            // row visibility, no MVCC at reproduction scope).
-            if t.is_deleted(dash_common::ids::Tsn(tsn)) {
-                continue;
+        {
+            let mut t = handle.table.write();
+            for (i, &tsn) in tsns.iter().enumerate() {
+                // Column stores update via delete + re-append. The delete
+                // applies first-writer-wins: a row a concurrent transaction
+                // already wrote raises a WriteConflict (the caller rolls the
+                // transaction back); a row already deleted in our own view
+                // is skipped.
+                if !t.mvcc_delete(Tsn(tsn), txn_id, snap_ts)? {
+                    continue;
+                }
+                if let Some(key) = &durable {
+                    self.db.wal_append(&WalRecord::Delete {
+                        txn: txn_id,
+                        table: key.clone(),
+                        tsn: Tsn(tsn),
+                    })?;
+                }
+                self.record_write(shared.clone(), Tsn(tsn), WriteKind::Delete);
+                let mut row = rows[i].clone();
+                for (ordinal, expr) in &lowered {
+                    row.0[*ordinal] = expr.eval(&batch, i, &ctx)?;
+                }
+                let wal_row = durable.is_some().then(|| row.clone());
+                let new_tsn = t.mvcc_insert(row, txn_id)?;
+                if let (Some(key), Some(row)) = (&durable, wal_row) {
+                    self.db.wal_append(&WalRecord::Insert {
+                        txn: txn_id,
+                        table: key.clone(),
+                        tsn: new_tsn,
+                        row,
+                    })?;
+                }
+                self.record_write(shared.clone(), new_tsn, WriteKind::Insert);
+                applied += 1;
             }
-            let mut changes = Vec::with_capacity(lowered.len());
-            for (ordinal, expr) in &lowered {
-                changes.push((*ordinal, expr.eval(&batch, i, &ctx)?));
-            }
-            t.update(dash_common::ids::Tsn(tsn), &changes)?;
-            applied += 1;
         }
         Ok(QueryResult::dml(StatementKind::Update, applied))
     }
@@ -605,10 +1152,24 @@ impl Session {
         let ctx = self.eval_context();
         let handle = self.db.catalog.table_handle_for(table, Some(self.id))?;
         let (_, tsns) = self.matching_rows(table, selection, &ctx)?;
-        let mut t = handle.table.write();
+        let durable = self.db.catalog.durable_key(table, Some(self.id));
+        let (txn_id, snap_ts) = self.active_txn()?;
+        let shared = handle.table.clone();
         let mut count = 0u64;
-        for &tsn in &tsns {
-            if t.delete(dash_common::ids::Tsn(tsn)) {
+        {
+            let mut t = handle.table.write();
+            for &tsn in &tsns {
+                if !t.mvcc_delete(Tsn(tsn), txn_id, snap_ts)? {
+                    continue;
+                }
+                if let Some(key) = &durable {
+                    self.db.wal_append(&WalRecord::Delete {
+                        txn: txn_id,
+                        table: key.clone(),
+                        tsn: Tsn(tsn),
+                    })?;
+                }
+                self.record_write(shared.clone(), Tsn(tsn), WriteKind::Delete);
                 count += 1;
             }
         }
@@ -621,6 +1182,9 @@ impl Session {
 struct SessionCatalog<'a> {
     catalog: &'a Catalog,
     session: SessionId,
+    /// The session's pinned snapshot when a transaction is open; `None`
+    /// keeps latest-committed (bitmap) scan semantics.
+    snapshot: Option<SnapshotView>,
 }
 
 impl dash_sql::planner::SchemaProvider for SessionCatalog<'_> {
@@ -652,6 +1216,10 @@ impl dash_sql::planner::SchemaProvider for SessionCatalog<'_> {
     fn sort_run_rows(&self) -> usize {
         dash_sql::planner::SchemaProvider::sort_run_rows(self.catalog)
     }
+
+    fn snapshot(&self) -> Option<SnapshotView> {
+        self.snapshot
+    }
 }
 
 fn eval_standalone(expr: &dash_exec::expr::Expr, ctx: &EvalContext) -> Result<Datum> {
@@ -678,6 +1246,9 @@ fn kind_name(stmt: &Statement) -> &'static str {
         Statement::SetDialect(_) => "SET",
         Statement::Values(_) => "VALUES",
         Statement::Block(_) => "BLOCK",
+        Statement::Begin => "BEGIN",
+        Statement::Commit => "COMMIT",
+        Statement::Rollback => "ROLLBACK",
     }
 }
 
@@ -896,6 +1467,233 @@ mod tests {
         assert_eq!(rows[0].get(0).as_str(), Some("on"));
         assert_eq!(rows[0].get(1).as_str(), Some("-"));
         assert_eq!(rows[1].get(0).as_str(), Some("off"));
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dash-db-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn explicit_transactions_commit_and_rollback() {
+        let db = Database::with_hardware(HardwareSpec::laptop());
+        let mut s = db.connect();
+        s.execute("CREATE TABLE t (x INT)").unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        // Read-your-writes inside the transaction.
+        assert_eq!(s.query("SELECT * FROM t").unwrap().len(), 2);
+        // Invisible to a concurrent session until commit.
+        let mut other = db.connect();
+        assert_eq!(other.query("SELECT * FROM t").unwrap().len(), 0);
+        s.execute("COMMIT").unwrap();
+        assert_eq!(other.query("SELECT * FROM t").unwrap().len(), 2);
+        // Rollback undoes everything since BEGIN.
+        s.execute("BEGIN WORK").unwrap();
+        s.execute("DELETE FROM t WHERE x = 1").unwrap();
+        s.execute("INSERT INTO t VALUES (3)").unwrap();
+        s.execute("ROLLBACK").unwrap();
+        assert_eq!(other.query("SELECT * FROM t").unwrap().len(), 2);
+        assert_eq!(s.query("SELECT * FROM t").unwrap().len(), 2);
+        let t = db.monitor().txn();
+        assert!(t.txn_commits >= 1, "explicit commit counted");
+        assert!(t.txn_aborts >= 1, "rollback counted");
+    }
+
+    #[test]
+    fn snapshot_isolation_pins_reads_at_begin() {
+        let db = Database::with_hardware(HardwareSpec::laptop());
+        let mut writer = db.connect();
+        writer.execute("CREATE TABLE t (x INT)").unwrap();
+        writer.execute("INSERT INTO t VALUES (1)").unwrap();
+        let mut reader = db.connect();
+        reader.execute("START TRANSACTION").unwrap();
+        assert_eq!(reader.query("SELECT * FROM t").unwrap().len(), 1);
+        // A commit after the reader's snapshot stays invisible to it...
+        writer.execute("INSERT INTO t VALUES (2)").unwrap();
+        writer.execute("DELETE FROM t WHERE x = 1").unwrap();
+        assert_eq!(
+            reader.query("SELECT x FROM t").unwrap()[0].get(0),
+            &Datum::Int(1),
+            "reader still sees the row deleted after its snapshot"
+        );
+        // ...and appears once the reader starts a new transaction.
+        reader.execute("COMMIT").unwrap();
+        let rows = reader.query("SELECT x FROM t").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Datum::Int(2));
+    }
+
+    #[test]
+    fn write_conflicts_are_first_writer_wins() {
+        let db = Database::with_hardware(HardwareSpec::laptop());
+        let mut a = db.connect();
+        a.execute("CREATE TABLE t (x INT, v INT)").unwrap();
+        a.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        let mut b = db.connect();
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        a.execute("UPDATE t SET v = 11 WHERE x = 1").unwrap();
+        let err = b.execute("UPDATE t SET v = 12 WHERE x = 1").unwrap_err();
+        assert_eq!(err.class(), "40001", "serialization failure: {err}");
+        assert!(db.monitor().txn().txn_conflicts >= 1);
+        a.execute("COMMIT").unwrap();
+        // The conflicted transaction rolled back; a retry in a fresh
+        // transaction succeeds against the new state.
+        assert!(!b.in_transaction(), "conflict rolled the transaction back");
+        b.execute("UPDATE t SET v = 12 WHERE x = 1").unwrap();
+        assert_eq!(
+            a.query("SELECT v FROM t").unwrap()[0].get(0),
+            &Datum::Int(12)
+        );
+    }
+
+    #[test]
+    fn durable_database_replays_wal_on_reopen() {
+        let dir = tmpdir("replay");
+        {
+            let db = Database::open_with(
+                &dir,
+                HardwareSpec::laptop(),
+                SyncPolicy::Commit,
+                FaultRegistry::new(),
+            )
+            .unwrap();
+            let mut s = db.connect();
+            s.execute("CREATE TABLE t (id INT, v VARCHAR(10))").unwrap();
+            s.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+                .unwrap();
+            s.execute("UPDATE t SET v = 'bb' WHERE id = 2").unwrap();
+            s.execute("DELETE FROM t WHERE id = 3").unwrap();
+            // An uncommitted transaction must NOT survive the reopen.
+            s.execute("BEGIN").unwrap();
+            s.execute("INSERT INTO t VALUES (9, 'zzz')").unwrap();
+            // Dropped without commit.
+        }
+        let db = Database::open_with(
+            &dir,
+            HardwareSpec::laptop(),
+            SyncPolicy::Commit,
+            FaultRegistry::new(),
+        )
+        .unwrap();
+        let mut s = db.connect();
+        let rows = s.query("SELECT id, v FROM t ORDER BY id").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(1).as_str(), Some("a"));
+        assert_eq!(rows[1].get(1).as_str(), Some("bb"));
+        assert!(db.monitor().txn().wal_records_replayed > 0);
+        // New writes after recovery keep working.
+        s.execute("INSERT INTO t VALUES (4, 'd')").unwrap();
+        assert_eq!(s.query("SELECT * FROM t").unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_switches_generations_and_reopens() {
+        let dir = tmpdir("ckptgen");
+        {
+            let db = Database::open_with(
+                &dir,
+                HardwareSpec::laptop(),
+                SyncPolicy::Commit,
+                FaultRegistry::new(),
+            )
+            .unwrap();
+            let mut s = db.connect();
+            s.execute("CREATE TABLE t (x INT)").unwrap();
+            s.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+            assert_eq!(db.checkpoint().unwrap(), 1);
+            assert!(!dir.join("wal.0.log").exists(), "old log retired");
+            // Post-checkpoint writes land in the new generation's log.
+            s.execute("INSERT INTO t VALUES (3)").unwrap();
+        }
+        let db = Database::open_with(
+            &dir,
+            HardwareSpec::laptop(),
+            SyncPolicy::Commit,
+            FaultRegistry::new(),
+        )
+        .unwrap();
+        assert_eq!(db.generation(), 1);
+        let mut s = db.connect();
+        assert_eq!(s.query("SELECT * FROM t").unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_mid_commit_loses_only_the_last_transaction() {
+        use dash_common::faults::{FaultAction, FaultPolicy, WAL_COMMIT};
+        let dir = tmpdir("midcommit");
+        {
+            let faults = FaultRegistry::new();
+            let db = Database::open_with(
+                &dir,
+                HardwareSpec::laptop(),
+                SyncPolicy::Commit,
+                faults.clone(),
+            )
+            .unwrap();
+            let mut s = db.connect();
+            s.execute("CREATE TABLE t (x INT)").unwrap();
+            s.execute("INSERT INTO t VALUES (1)").unwrap();
+            faults.arm(
+                WAL_COMMIT,
+                FaultPolicy::OneShot,
+                FaultAction::Error("power cut".into()),
+            );
+            let err = s.execute("INSERT INTO t VALUES (2)").unwrap_err();
+            assert!(err.to_string().contains("simulated crash"), "{err}");
+        }
+        let db = Database::open_with(
+            &dir,
+            HardwareSpec::laptop(),
+            SyncPolicy::Commit,
+            FaultRegistry::new(),
+        )
+        .unwrap();
+        let mut s = db.connect();
+        let rows = s.query("SELECT x FROM t").unwrap();
+        assert_eq!(rows.len(), 1, "the unfinished commit never happened");
+        assert_eq!(rows[0].get(0), &Datum::Int(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temporary_tables_stay_out_of_the_wal() {
+        let dir = tmpdir("tempwal");
+        {
+            let db = Database::open_with(
+                &dir,
+                HardwareSpec::laptop(),
+                SyncPolicy::Commit,
+                FaultRegistry::new(),
+            )
+            .unwrap();
+            let mut s = db.connect();
+            s.set_dialect(Dialect::Netezza);
+            s.execute("CREATE TEMP TABLE scratch (x INT)").unwrap();
+            s.execute("INSERT INTO scratch VALUES (1)").unwrap();
+            s.execute("CREATE TABLE perm (x INT)").unwrap();
+            s.execute("INSERT INTO perm VALUES (7)").unwrap();
+            s.close();
+        }
+        let db = Database::open_with(
+            &dir,
+            HardwareSpec::laptop(),
+            SyncPolicy::Commit,
+            FaultRegistry::new(),
+        )
+        .unwrap();
+        let mut s = db.connect();
+        assert_eq!(s.query("SELECT * FROM perm").unwrap().len(), 1);
+        assert!(s.query("SELECT * FROM scratch").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

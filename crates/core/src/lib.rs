@@ -17,7 +17,10 @@
 //! * [`fluid`] — Fluid Query (§II.C.6): nicknames over remote data stores
 //!   through pluggable connectors;
 //! * [`monitor`] — statement counters and timing, the monitoring history
-//!   the console displays.
+//!   the console displays;
+//! * [`txn`] — the transaction manager behind snapshot-isolated
+//!   BEGIN/COMMIT/ROLLBACK, WAL-backed durability, and crash recovery
+//!   (`Database::open`).
 //!
 //! The MPP layer (`dash-mpp`) runs one of these engines per data shard.
 
@@ -30,8 +33,10 @@ pub mod database;
 pub mod fluid;
 pub mod monitor;
 pub mod result;
+pub mod txn;
 pub mod wlm;
 
 pub use autoconf::{AutoConfig, HardwareSpec};
 pub use database::{Database, Session};
 pub use result::QueryResult;
+pub use txn::TxnManager;

@@ -65,11 +65,36 @@ impl RecoveryStats {
     }
 }
 
+/// Transaction and durability counters: the console view behind the WAL,
+/// crash-recovery, and snapshot-isolation subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Transactions committed (explicit COMMIT and autocommit statements).
+    pub txn_commits: u64,
+    /// Transactions rolled back (explicit ROLLBACK, errors, session close).
+    pub txn_aborts: u64,
+    /// First-writer-wins conflicts raised (SQLSTATE 40001). A conflicted
+    /// transaction also counts as an abort once it rolls back.
+    pub txn_conflicts: u64,
+    /// WAL records applied during the last crash recovery.
+    pub wal_records_replayed: u64,
+    /// Bytes of torn tail truncated from the WAL during the last recovery.
+    pub recovery_truncated_bytes: u64,
+}
+
+impl TxnStats {
+    /// True when no transaction activity was recorded.
+    pub fn is_clean(&self) -> bool {
+        *self == TxnStats::default()
+    }
+}
+
 /// The monitoring store.
 #[derive(Clone, Default)]
 pub struct Monitor {
     inner: Arc<Mutex<BTreeMap<&'static str, KindStats>>>,
     recovery: Arc<Mutex<RecoveryStats>>,
+    txn: Arc<Mutex<TxnStats>>,
     /// Assignment epochs still pinned by in-flight statements:
     /// epoch -> number of statements holding it. The lowest key is the GC
     /// watermark — no snapshot at or above it may be reclaimed.
@@ -197,6 +222,34 @@ impl Monitor {
         *self.recovery.lock()
     }
 
+    /// Record a committed transaction.
+    pub fn record_txn_commit(&self) {
+        self.txn.lock().txn_commits += 1;
+    }
+
+    /// Record a rolled-back transaction.
+    pub fn record_txn_abort(&self) {
+        self.txn.lock().txn_aborts += 1;
+    }
+
+    /// Record a first-writer-wins conflict (SQLSTATE 40001).
+    pub fn record_txn_conflict(&self) {
+        self.txn.lock().txn_conflicts += 1;
+    }
+
+    /// Record the outcome of a crash recovery: WAL records applied and
+    /// torn-tail bytes truncated.
+    pub fn record_recovery(&self, records_replayed: u64, truncated_bytes: u64) {
+        let mut t = self.txn.lock();
+        t.wal_records_replayed += records_replayed;
+        t.recovery_truncated_bytes += truncated_bytes;
+    }
+
+    /// Snapshot of the transaction/durability counters.
+    pub fn txn(&self) -> TxnStats {
+        *self.txn.lock()
+    }
+
     /// Render the monitoring history as a small report.
     pub fn report(&self) -> String {
         let mut out = String::from("statement     count   errors   total_ms   max_ms\n");
@@ -227,6 +280,18 @@ impl Monitor {
                 r.statements_cancelled,
                 r.budget_rejections,
                 r.cancel_latency_max_morsels,
+            ));
+        }
+        let t = self.txn();
+        if !t.is_clean() {
+            out.push_str(&format!(
+                "txn: {} commits, {} aborts, {} conflicts, \
+                 {} wal records replayed, {} bytes truncated in recovery\n",
+                t.txn_commits,
+                t.txn_aborts,
+                t.txn_conflicts,
+                t.wal_records_replayed,
+                t.recovery_truncated_bytes,
             ));
         }
         let pins = self.pinned_epochs();
@@ -307,6 +372,27 @@ mod tests {
         let rep = m.report();
         assert!(rep.contains("1 statements cancelled"));
         assert!(rep.contains("2 budget rejections"));
+    }
+
+    #[test]
+    fn txn_counters_accumulate_and_report() {
+        let m = Monitor::new();
+        assert!(m.txn().is_clean());
+        let clone = m.clone();
+        clone.record_txn_commit();
+        clone.record_txn_commit();
+        m.record_txn_abort();
+        m.record_txn_conflict();
+        m.record_recovery(17, 5);
+        let t = m.txn();
+        assert_eq!(t.txn_commits, 2);
+        assert_eq!(t.txn_aborts, 1);
+        assert_eq!(t.txn_conflicts, 1);
+        assert_eq!(t.wal_records_replayed, 17);
+        assert_eq!(t.recovery_truncated_bytes, 5);
+        let rep = m.report();
+        assert!(rep.contains("txn: 2 commits, 1 aborts, 1 conflicts"));
+        assert!(rep.contains("17 wal records replayed"));
     }
 
     #[test]

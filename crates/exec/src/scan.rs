@@ -19,6 +19,7 @@ use crate::functions::EvalContext;
 use crate::pool;
 use crate::simd;
 use crate::stats::ExecStats;
+use dash_common::txn::SnapshotView;
 use dash_common::{DashError, Datum, Result, Schema};
 use dash_encoding::bitmap::Bitmap;
 use dash_encoding::block::{BlockRepr, EncodedBlock, ExceptionBank};
@@ -93,6 +94,12 @@ pub struct ScanConfig {
     /// achieved by scheduling strides of data to multiple threads running
     /// on multiple cores" (§II.B.6). 0 or 1 = serial.
     pub parallelism: usize,
+    /// Snapshot-isolation view. `None` (the default) keeps the
+    /// latest-committed semantics: the per-stride delete bitmaps decide
+    /// visibility. `Some` filters rows by their MVCC timestamp words
+    /// instead, so the scan sees exactly the rows committed at the
+    /// snapshot (plus the reading transaction's own writes).
+    pub snapshot: Option<SnapshotView>,
 }
 
 impl ScanConfig {
@@ -107,6 +114,7 @@ impl ScanConfig {
             disable_skipping: false,
             include_tsn: false,
             parallelism: 1,
+            snapshot: None,
         }
     }
 }
@@ -257,10 +265,21 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
     if open_len > 0 {
         stats.rows_scanned += open_len as u64;
         let open_deleted = table.open_deleted();
+        let open_base = table.sealed_strides() * dash_storage::table::STRIDE;
         let mut positions = Vec::new();
         'pos: for (pos, &was_deleted) in open_deleted.iter().enumerate().take(open_len) {
-            if was_deleted {
-                continue;
+            match &config.snapshot {
+                Some(snap) => {
+                    let tsn = dash_common::ids::Tsn((open_base + pos) as u64);
+                    if !table.row_visible(tsn, snap) {
+                        continue;
+                    }
+                }
+                None => {
+                    if was_deleted {
+                        continue;
+                    }
+                }
             }
             for p in &config.predicates {
                 let col = p.column();
@@ -345,8 +364,17 @@ fn eval_stride(
             break;
         }
     }
-    if let Some(deleted) = table.stride_deleted(stride) {
-        select.and_not_with(deleted);
+    match &config.snapshot {
+        Some(snap) => {
+            if let Some(invisible) = table.stride_invisible(stride, snap) {
+                select.and_not_with(&invisible);
+            }
+        }
+        None => {
+            if let Some(deleted) = table.stride_deleted(stride) {
+                select.and_not_with(deleted);
+            }
+        }
     }
     if !select.any() {
         return Ok(None);
@@ -716,11 +744,73 @@ mod tests {
     #[test]
     fn deleted_rows_invisible() {
         let mut t = sales_table(STRIDE);
-        t.delete(dash_common::ids::Tsn(5));
-        t.delete(dash_common::ids::Tsn(6));
+        t.delete(dash_common::ids::Tsn(5)).unwrap();
+        t.delete(dash_common::ids::Tsn(6)).unwrap();
         let cfg = ScanConfig::full(1, vec![0]);
         let (batch, _) = scan(&t, &cfg, &ctx()).unwrap();
         assert_eq!(batch.len(), STRIDE - 2);
+    }
+
+    #[test]
+    fn snapshot_scan_sees_only_committed_history() {
+        use dash_common::ids::Tsn;
+        use dash_common::txn::TxnId;
+        let mut t = sales_table(STRIDE); // one sealed stride, pre-history
+        let txn = TxnId(1);
+        // Pending insert in the open stride + pending delete in the sealed one.
+        let pending_tsn = t
+            .mvcc_insert(
+                row![
+                    9_999i64,
+                    Datum::Date(20_000),
+                    "region-new",
+                    1.0f64
+                ],
+                txn,
+            )
+            .unwrap();
+        t.mvcc_delete(Tsn(0), txn, 0).unwrap();
+        let base = ScanConfig::full(1, vec![0]);
+        // Latest-committed scan: unchanged by pending work.
+        let (latest, _) = scan(&t, &base, &ctx()).unwrap();
+        assert_eq!(latest.len(), STRIDE);
+        // A snapshot before any commit sees the same.
+        let snap0 = ScanConfig {
+            snapshot: Some(SnapshotView::at(0)),
+            ..base.clone()
+        };
+        let (b, _) = scan(&t, &snap0, &ctx()).unwrap();
+        assert_eq!(b.len(), STRIDE);
+        // The writing transaction sees its own insert and not its delete.
+        let own = ScanConfig {
+            snapshot: Some(SnapshotView { ts: 0, txn: Some(txn) }),
+            ..base.clone()
+        };
+        let (b, _) = scan(&t, &own, &ctx()).unwrap();
+        assert_eq!(b.len(), STRIDE, "+1 insert -1 delete");
+        // Commit at ts 5: snapshots at 4 and 5 straddle the change.
+        t.commit_insert(pending_tsn, 5).unwrap();
+        t.commit_delete(Tsn(0), 5).unwrap();
+        let at4 = ScanConfig {
+            snapshot: Some(SnapshotView::at(4)),
+            ..base.clone()
+        };
+        let (b, _) = scan(&t, &at4, &ctx()).unwrap();
+        assert_eq!(b.len(), STRIDE);
+        let at5 = ScanConfig {
+            snapshot: Some(SnapshotView::at(5)),
+            ..base
+        };
+        let (b, _) = scan(&t, &at5, &ctx()).unwrap();
+        assert_eq!(b.len(), STRIDE);
+        assert!(
+            !b.to_rows().iter().any(|r| r.get(0) == &Datum::Int(0)),
+            "deleted row gone at ts 5"
+        );
+        assert!(
+            b.to_rows().iter().any(|r| r.get(0) == &Datum::Int(9_999)),
+            "inserted row present at ts 5"
+        );
     }
 
     #[test]
@@ -875,7 +965,7 @@ mod parallel_tests {
     fn parallel_scan_with_deletes_and_tsn() {
         let mut t = big_table();
         for i in (0..STRIDE * 16).step_by(97) {
-            t.delete(dash_common::ids::Tsn(i as u64));
+            t.delete(dash_common::ids::Tsn(i as u64)).unwrap();
         }
         let ctx = EvalContext::default();
         let mk = |par| ScanConfig {

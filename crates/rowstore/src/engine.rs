@@ -131,6 +131,12 @@ impl RowEngine {
     /// Build a secondary index on a column (rebuilds from the heap).
     pub fn create_index(&mut self, table: &str, col: usize) -> Result<()> {
         let st = self.state_mut(table)?;
+        let ncols = st.heap.schema().len();
+        if col >= ncols {
+            return Err(DashError::exec(format!(
+                "cannot index column {col} of {table}: table has {ncols} columns"
+            )));
+        }
         let mut tree: BPlusTree<Datum, Vec<Rid>> = BPlusTree::new();
         for (rid, row) in st.heap.scan() {
             let key = row.get(col).clone();
@@ -152,7 +158,11 @@ impl RowEngine {
     pub fn insert(&mut self, table: &str, row: Row) -> Result<Rid> {
         let st = self.state_mut(table)?;
         let rid = st.heap.insert(row)?;
-        let row = st.heap.get(rid).expect("just inserted").clone();
+        let row = st
+            .heap
+            .get(rid)
+            .ok_or_else(|| DashError::exec("heap lost a freshly inserted row"))?
+            .clone();
         for (col, tree) in &mut st.indexes {
             let key = row.get(*col).clone();
             if key.is_null() {
@@ -219,6 +229,15 @@ impl RowEngine {
             .collect();
         for (rid, old) in &targets {
             let new = transform(old);
+            // A transform that changes the row arity would read out of
+            // bounds during index maintenance below — reject it up front.
+            if new.len() != old.len() {
+                return Err(DashError::exec(format!(
+                    "UPDATE transform produced {} values for a {}-column row",
+                    new.len(),
+                    old.len()
+                )));
+            }
             // Maintain indexes on changed keys.
             for (col, tree) in &mut st.indexes {
                 let old_key = old.get(*col).clone();

@@ -111,6 +111,13 @@ pub enum Statement {
     /// `BEGIN stmt; stmt; ... END` — DB2 compound SQL (inlined) and the
     /// SQL-statement subset of Oracle anonymous blocks.
     Block(Vec<Statement>),
+    /// `BEGIN [WORK|TRANSACTION]` / `START TRANSACTION`: open an explicit
+    /// snapshot-isolated transaction (autocommit off until COMMIT/ROLLBACK).
+    Begin,
+    /// `COMMIT [WORK]`: make the open transaction's writes durable.
+    Commit,
+    /// `ROLLBACK [WORK]`: discard the open transaction's writes.
+    Rollback,
 }
 
 /// INSERT row source.

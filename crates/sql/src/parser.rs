@@ -73,7 +73,13 @@ pub fn split_statements(text: &str) -> Vec<String> {
                 }
                 let word = &text[word_start..i];
                 if word.eq_ignore_ascii_case("BEGIN") {
-                    depth += 1;
+                    // `BEGIN;` / `BEGIN WORK` / `BEGIN TRANSACTION` start a
+                    // transaction, not a compound block — no depth change,
+                    // or the splitter would swallow the rest of the script
+                    // waiting for a matching END.
+                    if begin_opens_block(text, i) {
+                        depth += 1;
+                    }
                 } else if word.eq_ignore_ascii_case("END") {
                     depth = depth.saturating_sub(1);
                 }
@@ -95,6 +101,43 @@ pub fn split_statements(text: &str) -> Vec<String> {
         out.push(tail.to_string());
     }
     out
+}
+
+/// Does the `BEGIN` ending at byte `i` open a compound block? It does
+/// unless the next meaningful token (skipping whitespace and comments)
+/// ends the statement or is WORK/TRANSACTION — those spell a transaction
+/// BEGIN.
+fn begin_opens_block(text: &str, mut i: usize) -> bool {
+    let bytes = text.as_bytes();
+    loop {
+        match bytes.get(i) {
+            None => return false, // end of script: `... BEGIN` = txn begin
+            Some(c) if c.is_ascii_whitespace() => i += 1,
+            Some(b'-') if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            Some(b'/') if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    i += 1;
+                }
+                i += 2;
+            }
+            Some(b';') => return false,
+            Some(c) if c.is_ascii_alphabetic() || *c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &text[start..i];
+                return !word.eq_ignore_ascii_case("WORK")
+                    && !word.eq_ignore_ascii_case("TRANSACTION");
+            }
+            Some(_) => return true,
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -266,6 +309,22 @@ impl Parser<'_> {
             return self.drop_stmt();
         }
         if self.at_keyword("BEGIN") {
+            // Disambiguate from compound blocks: a BEGIN followed by the
+            // end of the statement (or WORK/TRANSACTION) opens an explicit
+            // transaction in every dialect.
+            let txn_begin = match self.peek_at(1) {
+                TokenKind::Eof => true,
+                TokenKind::Symbol(s) if *s == ";" => true,
+                TokenKind::Ident(s) if s == "WORK" || s == "TRANSACTION" => true,
+                _ => false,
+            };
+            if txn_begin {
+                self.advance();
+                if !self.eat_keyword("WORK") {
+                    self.eat_keyword("TRANSACTION");
+                }
+                return Ok(Statement::Begin);
+            }
             self.dialect_gate(
                 "compound SQL blocks",
                 &[Dialect::Db2, Dialect::Oracle],
@@ -282,6 +341,18 @@ impl Parser<'_> {
             }
             self.expect_keyword("END")?;
             return Ok(Statement::Block(stmts));
+        }
+        if self.eat_keyword("START") {
+            self.expect_keyword("TRANSACTION")?;
+            return Ok(Statement::Begin);
+        }
+        if self.eat_keyword("COMMIT") {
+            self.eat_keyword("WORK");
+            return Ok(Statement::Commit);
+        }
+        if self.eat_keyword("ROLLBACK") {
+            self.eat_keyword("WORK");
+            return Ok(Statement::Rollback);
         }
         if self.eat_keyword("SET") {
             // SET SQL_DIALECT [=] <name>
@@ -1478,6 +1549,55 @@ mod tests {
             Statement::Select(s) => *s,
             other => panic!("expected select, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn transaction_control_statements() {
+        for d in [Dialect::Ansi, Dialect::Db2, Dialect::Oracle, Dialect::Netezza] {
+            assert_eq!(parse_statement("BEGIN", d).unwrap(), Statement::Begin);
+            assert_eq!(parse_statement("BEGIN;", d).unwrap(), Statement::Begin);
+            assert_eq!(parse_statement("BEGIN WORK", d).unwrap(), Statement::Begin);
+            assert_eq!(
+                parse_statement("begin transaction", d).unwrap(),
+                Statement::Begin
+            );
+            assert_eq!(
+                parse_statement("START TRANSACTION", d).unwrap(),
+                Statement::Begin
+            );
+            assert_eq!(parse_statement("COMMIT", d).unwrap(), Statement::Commit);
+            assert_eq!(parse_statement("COMMIT WORK", d).unwrap(), Statement::Commit);
+            assert_eq!(parse_statement("ROLLBACK", d).unwrap(), Statement::Rollback);
+            assert_eq!(
+                parse_statement("rollback work;", d).unwrap(),
+                Statement::Rollback
+            );
+        }
+        // A BEGIN with a statement after it is still a compound block.
+        assert!(matches!(
+            parse_statement("BEGIN INSERT INTO t VALUES (1); END", Dialect::Db2).unwrap(),
+            Statement::Block(_)
+        ));
+    }
+
+    #[test]
+    fn split_keeps_transaction_begin_flat() {
+        let stmts = split_statements(
+            "BEGIN; INSERT INTO t VALUES (1); COMMIT; BEGIN WORK; ROLLBACK; \
+             BEGIN UPDATE t SET v = 1; END; SELECT 1",
+        );
+        assert_eq!(
+            stmts,
+            vec![
+                "BEGIN",
+                "INSERT INTO t VALUES (1)",
+                "COMMIT",
+                "BEGIN WORK",
+                "ROLLBACK",
+                "BEGIN UPDATE t SET v = 1; END",
+                "SELECT 1",
+            ]
+        );
     }
 
     #[test]

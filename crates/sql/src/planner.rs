@@ -69,6 +69,13 @@ pub trait SchemaProvider {
     fn sort_run_rows(&self) -> usize {
         dash_exec::sort::DEFAULT_SORT_RUN_ROWS
     }
+
+    /// The session's snapshot-isolation view, if it reads under one.
+    /// `None` (the default) scans latest-committed state — which keeps
+    /// providers that predate transactions working unchanged.
+    fn snapshot(&self) -> Option<dash_common::txn::SnapshotView> {
+        None
+    }
 }
 
 /// Plan a SELECT statement into a physical plan.
@@ -802,6 +809,7 @@ impl Planner<'_> {
                 let config = ScanConfig {
                     pool: self.provider.pool(),
                     parallelism: self.provider.parallelism(),
+                    snapshot: self.provider.snapshot(),
                     ..ScanConfig::full(handle.id, projection)
                 };
                 Ok((

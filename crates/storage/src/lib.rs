@@ -25,8 +25,10 @@ pub mod iodevice;
 pub mod stats;
 pub mod synopsis;
 pub mod table;
+pub mod wal;
 
 pub use bufferpool::{BufferPool, PageKey, Policy};
 pub use iodevice::DeviceModel;
 pub use synopsis::Synopsis;
 pub use table::{ColumnTable, STRIDE};
+pub use wal::{SyncPolicy, Wal, WalRecord};

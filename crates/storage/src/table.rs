@@ -14,6 +14,7 @@
 use crate::stats::TableStats;
 use crate::synopsis::Synopsis;
 use dash_common::ids::Tsn;
+use dash_common::txn::{is_pending, pending, pending_owner, SnapshotView, TxnId, TS_NEVER};
 use dash_common::{DashError, Datum, Result, Row, Schema};
 use dash_encoding::bitmap::Bitmap;
 use dash_encoding::column::{ColumnCompressor, ColumnEncoding, ColumnValues};
@@ -46,6 +47,14 @@ pub struct ColumnTable {
     synopsis: Synopsis,
     compressor: ColumnCompressor,
     live_rows: u64,
+    /// Per-row insert timestamp words, indexed by TSN. See
+    /// [`dash_common::txn`] for the word encoding. `0` = pre-history
+    /// (visible to all snapshots), which is what the non-transactional
+    /// [`ColumnTable::insert`]/[`ColumnTable::load_rows`] paths stamp.
+    insert_ts: Vec<u64>,
+    /// Per-row delete timestamp words, indexed by TSN. [`TS_NEVER`] =
+    /// live; `0` = deleted pre-history (non-transactional delete).
+    delete_ts: Vec<u64>,
 }
 
 impl ColumnTable {
@@ -74,6 +83,8 @@ impl ColumnTable {
             synopsis: Synopsis::new(ncols),
             compressor: ColumnCompressor::new(),
             live_rows: 0,
+            insert_ts: Vec::new(),
+            delete_ts: Vec::new(),
         }
     }
 
@@ -142,18 +153,31 @@ impl ColumnTable {
         &self.compressor
     }
 
-    /// Append one row (validated + coerced against the schema).
+    /// Append one row (validated + coerced against the schema),
+    /// non-transactionally: the row is immediately visible to every
+    /// snapshot (pre-history timestamp `0`).
     pub fn insert(&mut self, row: Row) -> Result<Tsn> {
+        self.append_row(row, 0, TS_NEVER, true)
+    }
+
+    /// Shared append path. `latest_visible` controls the latest-committed
+    /// visibility bit (clear = visible to non-snapshot scans) and whether
+    /// the row counts as live.
+    fn append_row(&mut self, row: Row, ins: u64, del: u64, latest_visible: bool) -> Result<Tsn> {
         let row = row.coerce(&self.schema)?;
         let tsn = Tsn(self.total_rows());
         for (i, d) in row.values().iter().enumerate() {
             self.open[i].push_datum(self.schema.field(i).data_type, d)?;
         }
-        self.open_deleted.push(false);
+        self.open_deleted.push(!latest_visible);
+        self.insert_ts.push(ins);
+        self.delete_ts.push(del);
         self.open_rows += 1;
-        self.live_rows += 1;
+        if latest_visible {
+            self.live_rows += 1;
+        }
         if self.open_rows == STRIDE {
-            self.seal_open_stride();
+            self.seal_open_stride()?;
         }
         Ok(tsn)
     }
@@ -187,7 +211,10 @@ impl ColumnTable {
         for s in 0..full {
             let range = s * STRIDE..(s + 1) * STRIDE;
             for (i, values) in staged.iter().enumerate() {
-                let enc = self.columns[i].encoding.as_ref().expect("analyzed above");
+                let enc = self.columns[i]
+                    .encoding
+                    .as_ref()
+                    .ok_or_else(|| DashError::internal("column missing encoding after analysis"))?;
                 let block = self.compressor.encode_block(enc, values, range.clone());
                 self.synopsis
                     .push_stride(i, self.compressor.block_min_max(enc, &block), block.null_count() > 0);
@@ -202,6 +229,9 @@ impl ColumnTable {
         self.open_rows = n - full * STRIDE;
         self.open_deleted = vec![false; self.open_rows];
         self.live_rows = count;
+        // Bulk-loaded rows are pre-history: visible to every snapshot.
+        self.insert_ts = vec![0; n];
+        self.delete_ts = vec![TS_NEVER; n];
         Ok(count)
     }
 
@@ -218,9 +248,11 @@ impl ColumnTable {
         self.deleted.clear();
         self.synopsis = Synopsis::new(self.schema.len());
         self.live_rows = 0;
+        self.insert_ts.clear();
+        self.delete_ts.clear();
     }
 
-    fn seal_open_stride(&mut self) {
+    fn seal_open_stride(&mut self) -> Result<()> {
         debug_assert_eq!(self.open_rows, STRIDE);
         for i in 0..self.columns.len() {
             if self.columns[i].encoding.is_none() {
@@ -229,7 +261,10 @@ impl ColumnTable {
             }
         }
         for i in 0..self.columns.len() {
-            let enc = self.columns[i].encoding.as_ref().expect("just analyzed");
+            let enc = self.columns[i]
+                .encoding
+                .as_ref()
+                .ok_or_else(|| DashError::internal("column missing encoding after analysis"))?;
             let block = self
                 .compressor
                 .encode_block(enc, &self.open[i], 0..STRIDE);
@@ -250,6 +285,7 @@ impl ColumnTable {
         });
         self.open_deleted.clear();
         self.open_rows = 0;
+        Ok(())
     }
 
     /// Whether the row at `tsn` is deleted (or out of range).
@@ -266,9 +302,23 @@ impl ColumnTable {
         }
     }
 
-    /// Mark a row deleted. Returns true if it was live.
-    pub fn delete(&mut self, tsn: Tsn) -> bool {
-        let pos = tsn.0 as usize;
+    /// Mark a row deleted, non-transactionally (the delete is immediately
+    /// visible to every snapshot). Returns `Ok(true)` if the row was live,
+    /// `Ok(false)` if it was already deleted, and an error if `tsn` is out
+    /// of range — the distinction lets WAL replay assert log/store
+    /// consistency instead of silently skipping bad positions.
+    pub fn delete(&mut self, tsn: Tsn) -> Result<bool> {
+        let pos = self.checked_pos(tsn, "delete")?;
+        if !self.mark_latest_deleted(pos) {
+            return Ok(false);
+        }
+        self.delete_ts[pos] = 0;
+        Ok(true)
+    }
+
+    /// Set the latest-committed deleted bit for `pos`. Returns false if it
+    /// was already set. Caller guarantees `pos < total_rows`.
+    fn mark_latest_deleted(&mut self, pos: usize) -> bool {
         let stride = pos / STRIDE;
         let off = pos % STRIDE;
         if stride < self.deleted.len() {
@@ -277,18 +327,29 @@ impl ColumnTable {
                 return false;
             }
             bm.set(off);
-            self.live_rows -= 1;
-            true
-        } else if stride == self.deleted.len() && off < self.open_rows {
+        } else {
             if self.open_deleted[off] {
                 return false;
             }
             self.open_deleted[off] = true;
-            self.live_rows -= 1;
-            true
-        } else {
-            false
         }
+        self.live_rows -= 1;
+        true
+    }
+
+    /// Clear the latest-committed deleted bit for `pos` (a pending insert
+    /// becoming committed). Caller guarantees the bit is currently set.
+    fn clear_latest_deleted(&mut self, pos: usize) {
+        let stride = pos / STRIDE;
+        let off = pos % STRIDE;
+        if stride < self.deleted.len() {
+            if let Some(bm) = self.deleted[stride].as_mut() {
+                bm.unset(off);
+            }
+        } else {
+            self.open_deleted[off] = false;
+        }
+        self.live_rows += 1;
     }
 
     /// Fetch the (possibly deleted) row at `tsn`. Decodes the containing
@@ -322,13 +383,190 @@ impl ColumnTable {
     /// given column ordinals. Returns the new TSN.
     pub fn update(&mut self, tsn: Tsn, changes: &[(usize, Datum)]) -> Result<Tsn> {
         let mut row = self.get_row(tsn)?;
-        if !self.delete(tsn) {
+        if !self.delete(tsn)? {
             return Err(DashError::exec(format!("row {tsn} already deleted")));
         }
         for (col, val) in changes {
             row.0[*col] = val.clone();
         }
         self.insert(row)
+    }
+
+    // ------------------------------------------------------------------
+    // MVCC: transactional writes, commit/abort stamping, WAL replay, and
+    // snapshot visibility. The latest-committed bitmap (`deleted` /
+    // `open_deleted`) stays authoritative for non-snapshot scans: pending
+    // inserts keep their bit SET (invisible) until commit, pending deletes
+    // leave it CLEAR until commit, and `live_rows` moves only at commit.
+    // ------------------------------------------------------------------
+
+    /// Append a row on behalf of an in-flight transaction. The row is
+    /// invisible to everyone but `txn` until [`ColumnTable::commit_insert`].
+    pub fn mvcc_insert(&mut self, row: Row, txn: TxnId) -> Result<Tsn> {
+        self.append_row(row, pending(txn), TS_NEVER, false)
+    }
+
+    /// Mark a row deleted on behalf of an in-flight transaction, applying
+    /// the first-writer-wins rule against the reader's snapshot.
+    ///
+    /// Returns `Ok(true)` if the pending delete was recorded, `Ok(false)`
+    /// if the row is already deleted in `txn`'s own view (skip it), a
+    /// [`DashError::WriteConflict`] if a concurrent transaction got there
+    /// first, and an out-of-range error for an invalid TSN.
+    pub fn mvcc_delete(&mut self, tsn: Tsn, txn: TxnId, snapshot_ts: u64) -> Result<bool> {
+        let pos = self.checked_pos(tsn, "mvcc delete")?;
+        let cur = self.delete_ts[pos];
+        if cur == TS_NEVER {
+            self.delete_ts[pos] = pending(txn);
+            Ok(true)
+        } else if is_pending(cur) {
+            if pending_owner(cur) == txn {
+                // Already deleted earlier in this same transaction.
+                Ok(false)
+            } else {
+                Err(DashError::write_conflict(format!(
+                    "row {tsn} in table \"{}\" is being written by concurrent {}",
+                    self.name,
+                    pending_owner(cur)
+                )))
+            }
+        } else if cur > snapshot_ts {
+            // A concurrent transaction committed a delete of this row
+            // after our snapshot began: first writer wins.
+            Err(DashError::write_conflict(format!(
+                "row {tsn} in table \"{}\" was deleted by a concurrent commit (ts {cur})",
+                self.name
+            )))
+        } else {
+            // Deleted at or before our snapshot — nothing left to delete.
+            Ok(false)
+        }
+    }
+
+    /// Commit a pending insert at timestamp `ts`: the row becomes visible
+    /// to snapshots at or after `ts` and to latest-committed scans.
+    pub fn commit_insert(&mut self, tsn: Tsn, ts: u64) -> Result<()> {
+        let pos = self.checked_pos(tsn, "commit insert")?;
+        if !is_pending(self.insert_ts[pos]) {
+            return Err(DashError::internal(format!(
+                "commit_insert of {tsn}: insert word not pending"
+            )));
+        }
+        self.insert_ts[pos] = ts;
+        self.clear_latest_deleted(pos);
+        Ok(())
+    }
+
+    /// Roll back a pending insert: the row position becomes a permanently
+    /// invisible placeholder (positions are never reused — TSNs must stay
+    /// stable for the WAL).
+    pub fn abort_insert(&mut self, tsn: Tsn) -> Result<()> {
+        let pos = self.checked_pos(tsn, "abort insert")?;
+        self.insert_ts[pos] = TS_NEVER;
+        Ok(())
+    }
+
+    /// Commit a pending delete at timestamp `ts`: the row disappears from
+    /// snapshots at or after `ts` and from latest-committed scans.
+    pub fn commit_delete(&mut self, tsn: Tsn, ts: u64) -> Result<()> {
+        let pos = self.checked_pos(tsn, "commit delete")?;
+        self.delete_ts[pos] = ts;
+        if !self.mark_latest_deleted(pos) {
+            return Err(DashError::internal(format!(
+                "commit_delete of {tsn}: row already latest-deleted"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Roll back a pending delete: the row stays live.
+    pub fn abort_delete(&mut self, tsn: Tsn) -> Result<()> {
+        let pos = self.checked_pos(tsn, "abort delete")?;
+        self.delete_ts[pos] = TS_NEVER;
+        Ok(())
+    }
+
+    /// Recovery/checkpoint restore: append a row at exactly `tsn` with
+    /// explicit timestamp words. Errors if `tsn` is not the next position —
+    /// that means the log and the store disagree about history.
+    pub fn restore_row(&mut self, tsn: Tsn, row: Row, ins: u64, del: u64) -> Result<()> {
+        if tsn.0 != self.total_rows() {
+            return Err(DashError::internal(format!(
+                "log/store inconsistency: restore of {tsn} but table \"{}\" has {} rows",
+                self.name,
+                self.total_rows()
+            )));
+        }
+        // No transaction is in flight during recovery, so a word is either
+        // a committed timestamp or TS_NEVER.
+        let visible = ins != TS_NEVER && del == TS_NEVER;
+        self.append_row(row, ins, del, visible)?;
+        Ok(())
+    }
+
+    /// Recovery: re-apply a committed delete at timestamp `ts`. Errors on
+    /// out-of-range TSNs and on rows already deleted — both indicate the
+    /// log and the store disagree.
+    pub fn replay_delete(&mut self, tsn: Tsn, ts: u64) -> Result<()> {
+        let pos = self.checked_pos(tsn, "replay delete")?;
+        if !self.mark_latest_deleted(pos) {
+            return Err(DashError::internal(format!(
+                "log/store inconsistency: replayed delete of already-deleted {tsn}"
+            )));
+        }
+        self.delete_ts[pos] = ts;
+        Ok(())
+    }
+
+    /// Is the row at `tsn` visible to `snap`? Out-of-range rows are not.
+    pub fn row_visible(&self, tsn: Tsn, snap: &SnapshotView) -> bool {
+        let pos = tsn.0 as usize;
+        pos < self.insert_ts.len() && snap.visible(self.insert_ts[pos], self.delete_ts[pos])
+    }
+
+    /// Rows of sealed stride `stride` that `snap` must NOT see, as a
+    /// bitmap (bit set = invisible), or `None` when the whole stride is
+    /// visible. The snapshot-scan analogue of [`ColumnTable::stride_deleted`].
+    pub fn stride_invisible(&self, stride: usize, snap: &SnapshotView) -> Option<Bitmap> {
+        let base = stride * STRIDE;
+        let mut bm: Option<Bitmap> = None;
+        for off in 0..STRIDE {
+            let pos = base + off;
+            if !snap.visible(self.insert_ts[pos], self.delete_ts[pos]) {
+                bm.get_or_insert_with(|| Bitmap::zeros(STRIDE)).set(off);
+            }
+        }
+        bm
+    }
+
+    /// Per-row insert timestamp words (indexed by TSN) — checkpoint input.
+    pub fn insert_ts_words(&self) -> &[u64] {
+        &self.insert_ts
+    }
+
+    /// Per-row delete timestamp words (indexed by TSN) — checkpoint input.
+    pub fn delete_ts_words(&self) -> &[u64] {
+        &self.delete_ts
+    }
+
+    /// Does any row carry a pending (uncommitted) timestamp word? True
+    /// while transactions are in flight; checkpoints refuse to run then.
+    pub fn has_pending(&self) -> bool {
+        self.insert_ts.iter().chain(self.delete_ts.iter()).any(|&w| is_pending(w))
+    }
+
+    /// Bounds-check a TSN, returning its row position.
+    fn checked_pos(&self, tsn: Tsn, what: &str) -> Result<usize> {
+        let pos = tsn.0 as usize;
+        if (pos as u64) < self.total_rows() {
+            Ok(pos)
+        } else {
+            Err(DashError::exec(format!(
+                "{what} of {tsn} out of range (table \"{}\" has {} rows)",
+                self.name,
+                self.total_rows()
+            )))
+        }
     }
 
     /// Decode one column of one sealed stride.
@@ -432,18 +670,23 @@ mod tests {
     fn delete_and_visibility() {
         let mut t = test_table();
         fill(&mut t, STRIDE + 10);
-        assert!(t.delete(Tsn(3)));
-        assert!(!t.delete(Tsn(3)), "double delete is a no-op");
+        assert!(t.delete(Tsn(3)).unwrap());
+        assert!(!t.delete(Tsn(3)).unwrap(), "double delete is a no-op");
         assert!(t.is_deleted(Tsn(3)));
-        assert!(t.delete(Tsn(STRIDE as u64 + 1)), "open-stride delete");
+        assert!(
+            t.delete(Tsn(STRIDE as u64 + 1)).unwrap(),
+            "open-stride delete"
+        );
         assert_eq!(t.live_rows(), (STRIDE + 10 - 2) as u64);
+        // Out-of-range TSN is an error, not a silent false.
+        assert!(t.delete(Tsn(999_999)).is_err());
     }
 
     #[test]
     fn open_stride_deletes_survive_sealing() {
         let mut t = test_table();
         fill(&mut t, 10);
-        t.delete(Tsn(4));
+        t.delete(Tsn(4)).unwrap();
         fill(&mut t, STRIDE - 10); // seals the stride
         assert_eq!(t.sealed_strides(), 1);
         assert!(t.is_deleted(Tsn(4)));
@@ -504,6 +747,90 @@ mod tests {
             "compressed {} raw {raw}",
             t.compressed_bytes()
         );
+    }
+
+    #[test]
+    fn mvcc_insert_commit_abort() {
+        let mut t = test_table();
+        fill(&mut t, 5);
+        let txn = TxnId(1);
+        let tsn = t.mvcc_insert(row![100i64, "region-x", 1.0f64], txn).unwrap();
+        // Pending: invisible to latest scans and to other snapshots, but
+        // visible to the writing transaction.
+        assert!(t.is_deleted(tsn));
+        assert_eq!(t.live_rows(), 5);
+        assert!(!t.row_visible(tsn, &SnapshotView::at(u64::MAX >> 1)));
+        let mine = SnapshotView { ts: 0, txn: Some(txn) };
+        assert!(t.row_visible(tsn, &mine));
+        // Commit at ts 7.
+        t.commit_insert(tsn, 7).unwrap();
+        assert!(!t.is_deleted(tsn));
+        assert_eq!(t.live_rows(), 6);
+        assert!(t.row_visible(tsn, &SnapshotView::at(7)));
+        assert!(!t.row_visible(tsn, &SnapshotView::at(6)));
+        // Abort path leaves a permanent placeholder.
+        let tsn2 = t.mvcc_insert(row![101i64, "region-y", 2.0f64], TxnId(2)).unwrap();
+        t.abort_insert(tsn2).unwrap();
+        assert!(t.is_deleted(tsn2));
+        assert_eq!(t.live_rows(), 6);
+        assert!(!t.row_visible(tsn2, &SnapshotView::at(u64::MAX >> 1)));
+    }
+
+    #[test]
+    fn mvcc_delete_first_writer_wins() {
+        let mut t = test_table();
+        fill(&mut t, 5);
+        let (a, b) = (TxnId(1), TxnId(2));
+        assert!(t.mvcc_delete(Tsn(2), a, 0).unwrap());
+        // Second deleter conflicts while the first is pending...
+        let e = t.mvcc_delete(Tsn(2), b, 0).unwrap_err();
+        assert_eq!(e.class(), "40001");
+        // ...and still conflicts after the first commits (snapshot 0 < 5).
+        t.commit_delete(Tsn(2), 5).unwrap();
+        assert_eq!(t.live_rows(), 4);
+        let e = t.mvcc_delete(Tsn(2), b, 0).unwrap_err();
+        assert_eq!(e.class(), "40001");
+        // A later snapshot that already saw the delete just skips the row.
+        assert!(!t.mvcc_delete(Tsn(2), b, 5).unwrap());
+        // Abort releases the pending mark.
+        assert!(t.mvcc_delete(Tsn(3), a, 5).unwrap());
+        t.abort_delete(Tsn(3)).unwrap();
+        assert!(t.mvcc_delete(Tsn(3), b, 5).unwrap());
+        assert_eq!(t.live_rows(), 4, "pending delete does not change live count");
+    }
+
+    #[test]
+    fn restore_and_replay_enforce_consistency() {
+        let mut t = test_table();
+        t.restore_row(Tsn(0), row![1i64, "a", 1.0f64], 3, TS_NEVER).unwrap();
+        t.restore_row(Tsn(1), row![2i64, "b", 2.0f64], TS_NEVER, TS_NEVER)
+            .unwrap();
+        assert_eq!(t.live_rows(), 1, "aborted placeholder is not live");
+        // Gap in positions is a log/store inconsistency.
+        assert!(t.restore_row(Tsn(5), row![9i64, "z", 0.0f64], 4, TS_NEVER).is_err());
+        t.replay_delete(Tsn(0), 6).unwrap();
+        assert_eq!(t.live_rows(), 0);
+        assert!(t.replay_delete(Tsn(0), 7).is_err(), "double replay detected");
+        assert!(t.replay_delete(Tsn(99), 7).is_err(), "out of range detected");
+        // Visibility honors restored words: visible in [3, 6).
+        assert!(t.row_visible(Tsn(0), &SnapshotView::at(3)));
+        assert!(!t.row_visible(Tsn(0), &SnapshotView::at(6)));
+        assert!(!t.has_pending());
+    }
+
+    #[test]
+    fn stride_invisible_masks() {
+        let mut t = test_table();
+        fill(&mut t, STRIDE);
+        let txn = TxnId(9);
+        assert!(t.mvcc_delete(Tsn(10), txn, 0).unwrap());
+        t.commit_delete(Tsn(10), 4).unwrap();
+        // Before the delete's commit ts: everything visible.
+        assert!(t.stride_invisible(0, &SnapshotView::at(3)).is_none());
+        // At/after: exactly row 10 is masked.
+        let bm = t.stride_invisible(0, &SnapshotView::at(4)).unwrap();
+        assert!(bm.get(10));
+        assert_eq!(bm.count_ones(), 1);
     }
 
     #[test]

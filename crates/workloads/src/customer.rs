@@ -151,12 +151,26 @@ pub fn generate(scale: usize, statement_count: usize) -> CustomerWorkload {
         },
     ];
 
-    // ---- the analytic long-tail query set ----
-    // Every query is distinct (different date windows / filters), like the
-    // paper's 3,500 distinct longest-running queries — so neither engine
-    // gets to answer from a previous identical query's cache footprint.
+    let analytic_queries = analytic_query_set();
+
+    // ---- the mixed statement stream ----
+    let statements = statement_stream("work", scale, n_accts, statement_count, &analytic_queries);
+    CustomerWorkload {
+        tables,
+        statements,
+        analytic_queries,
+    }
+}
+
+/// The analytic long-tail query set on its own (shape-only — independent of
+/// the scale factor), so concurrent streams can build statement mixes
+/// without regenerating the fact table.
+///
+/// Every query is distinct (different date windows / filters), like the
+/// paper's 3,500 distinct longest-running queries — so neither engine
+/// gets to answer from a previous identical query's cache footprint.
+pub fn analytic_query_set() -> Vec<QuerySpec> {
     let mut analytic_queries = Vec::new();
-    let recent = crate::gen::recent_window_start();
     let start = history_start();
     // Mix: ~60% scan-parity queries (full-history rollups and joins, where
     // the appliance streams sequentially and the speedup is modest — these
@@ -217,15 +231,7 @@ pub fn generate(scale: usize, statement_count: usize) -> CustomerWorkload {
         };
         analytic_queries.push(spec);
     }
-    let _ = recent;
-
-    // ---- the mixed statement stream ----
-    let statements = statement_stream("work", scale, n_accts, statement_count, &analytic_queries);
-    CustomerWorkload {
-        tables,
-        statements,
-        analytic_queries,
-    }
+    analytic_queries
 }
 
 /// Generate a deterministic statement stream with the paper's mix

@@ -15,11 +15,15 @@
 //!   architecture, not frontend differences.
 //! * [`gen`] — deterministic data generation utilities (seeded RNG, Zipf
 //!   skew, value vocabularies).
+//! * [`concurrent`] — the N-session concurrent statement-mix harness with
+//!   conflict-retry loops and a lost-update audit (Test 2 under snapshot
+//!   isolation).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bdinsight;
+pub mod concurrent;
 pub mod customer;
 pub mod gen;
 pub mod spec;

@@ -185,7 +185,7 @@ proptest! {
         let mut live = Vec::new();
         for (i, fr) in rows.iter().enumerate() {
             if i % delete_every == 0 {
-                table.delete(dashdb_local::common::ids::Tsn(i as u64));
+                table.delete(dashdb_local::common::ids::Tsn(i as u64)).unwrap();
             } else {
                 live.push(fr.clone());
             }
