@@ -59,6 +59,22 @@ pub const WAL_FSYNC: &str = "wal.fsync";
 /// An `Error` action kills the process image between the data records
 /// and the commit — recovery must roll the transaction back.
 pub const WAL_COMMIT: &str = "wal.commit";
+/// Failpoint: creating a fresh WAL generation file (the first step of a
+/// checkpoint's generation switch). An `Error` action makes the create
+/// fail *without* touching the live log: the checkpoint must abort
+/// cleanly and commits must keep flowing to the old generation.
+pub const WAL_CREATE: &str = "wal.create";
+/// Failpoint: evaluated by the group-commit leader after a commit record
+/// is durable but before the transaction's rows are stamped with the
+/// commit timestamp. An `Error` action forces the memory-vs-log
+/// divergence path: the database must poison itself rather than undo a
+/// transaction the log already promises.
+pub const TXN_STAMP: &str = "txn.stamp";
+/// Failpoint: evaluated by `Database::checkpoint` after the generation
+/// switch, before table capture. `Stall` widens the window in which DDL
+/// and commits race the capture; `Error` aborts the checkpoint after the
+/// new generation already exists (recovery must chain both logs).
+pub const CKPT_CAPTURE: &str = "checkpoint.capture";
 
 /// When an armed failpoint fires.
 #[derive(Debug, Clone, Copy, PartialEq)]

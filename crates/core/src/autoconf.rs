@@ -138,6 +138,21 @@ fn budget_override(raw: Option<&str>) -> Option<u64> {
     raw.and_then(|v| v.trim().parse::<u64>().ok()).filter(|&b| b >= 1)
 }
 
+/// Group-commit batching window from `DASH_GROUP_COMMIT_US` (default
+/// 100µs). The leader of a commit batch waits at most this long for
+/// concurrent committers to pile in before flushing; `0` disables the
+/// wait entirely (each commit still batches opportunistically with
+/// whatever is already queued).
+pub fn default_group_commit_window() -> std::time::Duration {
+    group_commit_override(std::env::var("DASH_GROUP_COMMIT_US").ok().as_deref())
+        .unwrap_or(std::time::Duration::from_micros(100))
+}
+
+fn group_commit_override(raw: Option<&str>) -> Option<std::time::Duration> {
+    raw.and_then(|v| v.trim().parse::<u64>().ok())
+        .map(std::time::Duration::from_micros)
+}
+
 impl AutoConfig {
     /// Derive the configuration from hardware — the whole point is that
     /// this is a *function*: same hardware in, same tuned system out,

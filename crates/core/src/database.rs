@@ -5,12 +5,14 @@ use crate::autoconf::{AutoConfig, HardwareSpec};
 use crate::catalog::Catalog;
 use crate::monitor::Monitor;
 use crate::result::{QueryResult, StatementKind};
-use crate::txn::{Transaction, TxnManager, WriteKind, WriteOp};
+use crate::txn::{
+    CommitOutcome, CommitRequest, GroupCommitQueue, Transaction, TxnManager, WriteKind, WriteOp,
+};
 use crate::wlm::WorkloadManager;
 use dash_common::dialect::Dialect;
-use dash_common::faults::FaultRegistry;
+use dash_common::faults::{FaultAction, FaultRegistry, CKPT_CAPTURE, TXN_STAMP};
 use dash_common::ids::{SessionId, Tsn};
-use dash_common::txn::{SnapshotView, TxnId, TS_NEVER};
+use dash_common::txn::{is_pending, pending_owner, SnapshotView, TxnId, TS_NEVER};
 use dash_common::{DashError, DataType, Datum, Field, Result, Row, Schema, StatementContext};
 use dash_exec::batch::Batch;
 use dash_exec::functions::EvalContext;
@@ -23,7 +25,7 @@ use dash_storage::bufferpool::{BufferPool, Policy};
 use dash_storage::table::ColumnTable;
 use dash_storage::wal::{
     read_checkpoint, read_wal, truncate_wal, write_checkpoint, CheckpointData, SyncPolicy,
-    TableSnapshot, Wal, WalRecord,
+    TableSnapshot, Wal, WalReadOutcome, WalRecord,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -54,6 +56,18 @@ pub struct Database {
     /// Failpoint registry shared with the WAL (and fresh logs at
     /// checkpoint) so chaos tests can crash the log mid-commit.
     faults: Mutex<FaultRegistry>,
+    /// Group-commit queue: concurrent committers batch their commit
+    /// records into a single WAL flush (see [`Database::checkpoint`] and
+    /// the commit path for the protocol).
+    commit_queue: GroupCommitQueue,
+    /// Group-commit batching window in microseconds
+    /// (`DASH_GROUP_COMMIT_US`, default 100). Atomic so tests and
+    /// benchmarks can retune it on a live engine.
+    group_commit_us: AtomicU64,
+    /// Set when commit stamping failed *after* the commit record was
+    /// durable: memory has diverged from the log and every further write
+    /// or checkpoint is refused. Reopening replays the log and converges.
+    poisoned: Mutex<Option<String>>,
 }
 
 impl Database {
@@ -111,6 +125,11 @@ impl Database {
             wal_generation: AtomicU64::new(0),
             wal_sync: SyncPolicy::Commit,
             faults: Mutex::new(FaultRegistry::new()),
+            commit_queue: GroupCommitQueue::new(),
+            group_commit_us: AtomicU64::new(
+                crate::autoconf::default_group_commit_window().as_micros() as u64,
+            ),
+            poisoned: Mutex::new(None),
         }
     }
 
@@ -173,6 +192,44 @@ impl Database {
         &self.txn
     }
 
+    /// Retune the group-commit batching window (tests and benchmarks;
+    /// production picks it up from `DASH_GROUP_COMMIT_US`).
+    pub fn set_group_commit_window(&self, window: Duration) {
+        self.group_commit_us
+            .store(window.as_micros() as u64, Ordering::SeqCst);
+    }
+
+    /// The current group-commit batching window.
+    pub fn group_commit_window(&self) -> Duration {
+        Duration::from_micros(self.group_commit_us.load(Ordering::SeqCst))
+    }
+
+    /// True when post-durability commit stamping diverged from the log
+    /// and the engine refuses further writes. Reopen the database to
+    /// recover (replay converges memory with the log).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.lock().is_some()
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        match self.poisoned.lock().as_ref() {
+            Some(why) => Err(DashError::Storage(format!(
+                "database is poisoned, reopen to recover: {why}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Mark the engine poisoned (first cause wins) and build the error
+    /// every subsequent write will see.
+    fn poison(&self, why: String) -> DashError {
+        let mut p = self.poisoned.lock();
+        let cause = p.get_or_insert(why).clone();
+        DashError::Storage(format!(
+            "database is poisoned, reopen to recover: {cause}"
+        ))
+    }
+
     fn checkpoint_path(dir: &std::path::Path) -> PathBuf {
         dir.join("checkpoint.dash")
     }
@@ -181,10 +238,21 @@ impl Database {
         dir.join(format!("wal.{generation}.log"))
     }
 
-    /// Crash recovery: checkpoint restore, two-pass log replay, torn-tail
-    /// truncation. Committed transactions re-apply with their original
-    /// timestamps; uncommitted work restores as permanently invisible
-    /// placeholder rows so TSNs keep their log-assigned positions.
+    /// Crash recovery: checkpoint restore, two-pass replay of the WAL
+    /// *generation chain*, torn-tail truncation. Committed transactions
+    /// re-apply with their original timestamps; uncommitted work restores
+    /// as permanently invisible placeholder rows so TSNs keep their
+    /// log-assigned positions.
+    ///
+    /// The chain starts at the checkpoint's generation and follows every
+    /// newer `wal.<g>.log` on disk: a crash can land between the snapshot
+    /// checkpointer's generation switch and its checkpoint write, leaving
+    /// commits in `wal.N+1` while `checkpoint.dash` still says `N` —
+    /// chaining the logs means that window loses nothing. Because the
+    /// snapshot checkpoint may overlap the old generation's records
+    /// (capture happens after the cut), replay is *idempotent*: an insert
+    /// applies only at the append position, a delete only to an undeleted
+    /// row, DDL only when it changes anything.
     fn recover(
         &self,
         dir: &std::path::Path,
@@ -192,132 +260,254 @@ impl Database {
         faults: FaultRegistry,
     ) -> Result<()> {
         let ckpt = read_checkpoint(&Self::checkpoint_path(dir))?.unwrap_or_default();
-        self.wal_generation.store(ckpt.generation, Ordering::SeqCst);
+        // Read the whole chain. A torn log is the crash frontier: nothing
+        // after it (there should be nothing — the switch flushes the old
+        // generation before creating the new one) may be replayed.
+        let mut chain: Vec<(u64, WalReadOutcome)> = Vec::new();
+        let mut gen = ckpt.generation;
+        loop {
+            let path = Self::wal_path(dir, gen);
+            if gen != ckpt.generation && !path.exists() {
+                break;
+            }
+            let outcome = read_wal(&path)?;
+            let torn = outcome.truncated_bytes > 0;
+            chain.push((gen, outcome));
+            if torn {
+                break;
+            }
+            gen += 1;
+        }
+        // Pass 1 over the chain: which transactions have a commit record
+        // inside the valid prefix, and at what timestamp. Everything else
+        // never happened.
+        let mut committed: HashMap<u64, u64> = HashMap::new();
+        let mut clock = ckpt.clock;
+        let mut max_txn = ckpt.next_txn.saturating_sub(1);
+        for (_, outcome) in &chain {
+            for rec in &outcome.records {
+                match rec {
+                    WalRecord::Commit { txn, ts } => {
+                        committed.insert(txn.0, *ts);
+                        clock = clock.max(*ts);
+                        max_txn = max_txn.max(txn.0);
+                    }
+                    WalRecord::Begin { txn }
+                    | WalRecord::Abort { txn }
+                    | WalRecord::Insert { txn, .. }
+                    | WalRecord::Delete { txn, .. } => max_txn = max_txn.max(txn.0),
+                    _ => {}
+                }
+            }
+        }
+        // Restore the checkpoint. The snapshot checkpointer captures raw
+        // timestamp words, so a row may carry a pending mark from a
+        // transaction that was mid-flight at capture time; the commit map
+        // is the truth — an owner with a commit record in the chain
+        // committed at that timestamp, one without never happened.
+        let resolve = |word: u64| -> u64 {
+            if is_pending(word) {
+                committed
+                    .get(&pending_owner(word).0)
+                    .copied()
+                    .unwrap_or(TS_NEVER)
+            } else {
+                word
+            }
+        };
         for t in ckpt.tables {
             let handle = self.catalog.create_table(&t.name, t.schema, None)?;
             let mut table = handle.write();
             for (i, (row, ins, del)) in t.rows.into_iter().enumerate() {
-                table.restore_row(Tsn(i as u64), row, ins, del)?;
+                table.restore_row(Tsn(i as u64), row, resolve(ins), resolve(del))?;
             }
         }
-        let wal_path = Self::wal_path(dir, ckpt.generation);
-        let outcome = read_wal(&wal_path)?;
-        // Pass 1: which transactions have a commit record inside the valid
-        // prefix, and at what timestamp. Everything else never happened.
-        let mut committed: HashMap<u64, u64> = HashMap::new();
-        let mut clock = ckpt.clock;
-        let mut max_txn = ckpt.next_txn.saturating_sub(1);
-        for rec in &outcome.records {
-            match rec {
-                WalRecord::Commit { txn, ts } => {
-                    committed.insert(txn.0, *ts);
-                    clock = clock.max(*ts);
-                    max_txn = max_txn.max(txn.0);
-                }
-                WalRecord::Begin { txn }
-                | WalRecord::Abort { txn }
-                | WalRecord::Insert { txn, .. }
-                | WalRecord::Delete { txn, .. } => max_txn = max_txn.max(txn.0),
-                _ => {}
-            }
-        }
-        // Pass 2: apply in log order. DDL is non-transactional and applies
-        // unconditionally; row records consult the commit map. Records for
-        // tables dropped later in the log are skipped when the lookup
-        // fails (the handle race is benign — see Session::delete).
+        // Pass 2: apply the chain in log order. Row records consult the
+        // commit map; records for tables dropped later in the log are
+        // skipped when the lookup fails (the handle race is benign — see
+        // Session::delete). Records whose effect the checkpoint already
+        // captured are skipped by the position / word guards.
         let mut applied = 0u64;
-        for rec in &outcome.records {
-            match rec {
-                WalRecord::CreateTable { name, schema } => {
-                    self.catalog.create_table(name, schema.clone(), None)?;
-                }
-                WalRecord::DropTable { name } => {
-                    self.catalog.drop_table(name, true)?;
-                }
-                WalRecord::Truncate { name } => {
-                    if let Ok(h) = self.catalog.table_handle(name) {
-                        let mut t = h.table.write();
-                        let (tname, schema) = (t.name().to_string(), t.schema().clone());
-                        *t = ColumnTable::new(tname, schema);
-                    }
-                }
-                WalRecord::Insert {
-                    txn,
-                    table,
-                    tsn,
-                    row,
-                } => {
-                    let Ok(h) = self.catalog.table_handle(table) else {
-                        applied += 1;
-                        continue;
-                    };
-                    // Txn id 0 marks pre-history (bulk loads, CTAS): those
-                    // rows are visible to every snapshot, like the live
-                    // path's load_rows.
-                    let ins = if txn.0 == 0 {
-                        0
-                    } else {
-                        committed.get(&txn.0).copied().unwrap_or(TS_NEVER)
-                    };
-                    h.table.write().restore_row(*tsn, row.clone(), ins, TS_NEVER)?;
-                }
-                WalRecord::Delete { txn, table, tsn } => {
-                    let ts = if txn.0 == 0 {
-                        Some(0)
-                    } else {
-                        committed.get(&txn.0).copied()
-                    };
-                    if let Some(ts) = ts {
-                        if let Ok(h) = self.catalog.table_handle(table) {
-                            h.table.write().replay_delete(*tsn, ts)?;
+        for (_, outcome) in &chain {
+            for rec in &outcome.records {
+                match rec {
+                    WalRecord::CreateTable { name, schema } => {
+                        if !self.catalog.has_table(name) {
+                            self.catalog.create_table(name, schema.clone(), None)?;
                         }
                     }
+                    WalRecord::DropTable { name } => {
+                        self.catalog.drop_table(name, true)?;
+                    }
+                    WalRecord::Truncate { name } => {
+                        if let Ok(h) = self.catalog.table_handle(name) {
+                            let mut t = h.table.write();
+                            let (tname, schema) = (t.name().to_string(), t.schema().clone());
+                            *t = ColumnTable::new(tname, schema);
+                        }
+                    }
+                    WalRecord::Insert {
+                        txn,
+                        table,
+                        tsn,
+                        row,
+                    } => {
+                        let Ok(h) = self.catalog.table_handle(table) else {
+                            applied += 1;
+                            continue;
+                        };
+                        // Txn id 0 marks pre-history (bulk loads, CTAS):
+                        // those rows are visible to every snapshot, like
+                        // the live path's load_rows.
+                        let ins = if txn.0 == 0 {
+                            0
+                        } else {
+                            committed.get(&txn.0).copied().unwrap_or(TS_NEVER)
+                        };
+                        let mut t = h.table.write();
+                        // Apply only at the append position: a smaller TSN
+                        // is already covered by the checkpoint (or was
+                        // superseded by a later TRUNCATE resetting the
+                        // position space — the wipe replays afterwards in
+                        // log order either way).
+                        if tsn.0 == t.total_rows() {
+                            t.restore_row(*tsn, row.clone(), ins, TS_NEVER)?;
+                        }
+                    }
+                    WalRecord::Delete { txn, table, tsn } => {
+                        let ts = if txn.0 == 0 {
+                            Some(0)
+                        } else {
+                            committed.get(&txn.0).copied()
+                        };
+                        if let Some(ts) = ts {
+                            if let Ok(h) = self.catalog.table_handle(table) {
+                                let mut t = h.table.write();
+                                // Skip deletes the checkpoint captured.
+                                if tsn.0 < t.total_rows()
+                                    && t.delete_ts_words()[tsn.0 as usize] == TS_NEVER
+                                {
+                                    t.replay_delete(*tsn, ts)?;
+                                }
+                            }
+                        }
+                    }
+                    WalRecord::Begin { .. }
+                    | WalRecord::Commit { .. }
+                    | WalRecord::Abort { .. }
+                    | WalRecord::Checkpoint { .. } => {}
                 }
-                WalRecord::Begin { .. }
-                | WalRecord::Commit { .. }
-                | WalRecord::Abort { .. }
-                | WalRecord::Checkpoint { .. } => {}
+                applied += 1;
             }
-            applied += 1;
         }
-        if outcome.truncated_bytes > 0 {
-            truncate_wal(&wal_path, outcome.valid_len)?;
+        // Only the last log of the chain can have a torn tail.
+        if let Some((last_gen, last)) = chain.last() {
+            if last.truncated_bytes > 0 {
+                truncate_wal(&Self::wal_path(dir, *last_gen), last.valid_len)?;
+            }
         }
-        self.monitor.record_recovery(applied, outcome.truncated_bytes);
+        let truncated: u64 = chain.iter().map(|(_, o)| o.truncated_bytes).sum();
+        self.monitor.record_recovery(applied, truncated);
         self.txn.restore(clock, max_txn + 1);
-        *self.wal.lock() = Some(Wal::open_append(&wal_path, sync, faults)?);
+        let live_gen = chain.last().map_or(ckpt.generation, |(g, _)| *g);
+        self.wal_generation.store(live_gen, Ordering::SeqCst);
+        *self.wal.lock() = Some(Wal::open_append(
+            Self::wal_path(dir, live_gen),
+            sync,
+            faults,
+        )?);
+        // Recycle generations older than the checkpoint — a crash between
+        // a checkpoint write and its cleanup can leave them behind, and
+        // their history is fully covered by the checkpoint.
+        for g in (0..ckpt.generation).rev() {
+            let p = Self::wal_path(dir, g);
+            if p.exists() {
+                let _ = std::fs::remove_file(&p);
+            } else {
+                break;
+            }
+        }
         Ok(())
     }
 
-    /// Write a checkpoint: the full durable state (every row position with
-    /// its timestamp words) lands in `checkpoint.dash` atomically, a fresh
-    /// log starts for the new generation, and the old log is deleted.
+    /// Write a **snapshot checkpoint**: capture the durable state against
+    /// a pinned commit-clock cut, switch the log to a new generation, and
+    /// recycle every older generation file. Runs *concurrently with open
+    /// transactions* — uncommitted work is captured as raw pending
+    /// timestamp words that recovery resolves against the log chain, so
+    /// writers never need to quiesce. Returns the new generation.
     ///
-    /// Refuses to run while transactions are open or pending row versions
-    /// exist — a checkpoint must capture a clean committed state (callers
-    /// quiesce their sessions first). Returns the new generation.
+    /// The order of operations makes every failure point safe:
+    ///
+    /// 1. create `wal.N+1` first — if that fails nothing has changed and
+    ///    the old generation stays live (the PR 6 ordering published the
+    ///    new generation in `checkpoint.dash` before the log existed,
+    ///    losing every later commit on recovery);
+    /// 2. under the commit lock, flush and swap the live log — the WAL
+    ///    mutex is the generation guard: every append, transactional or
+    ///    DDL, lands entirely in one generation relative to this cut;
+    /// 3. capture all durable tables *without* the commit lock (readers
+    ///    and writers keep running; per-table read locks give each table
+    ///    an atomic snapshot that is a superset of the old generation's
+    ///    effects, which idempotent replay tolerates);
+    /// 4. write `checkpoint.dash` atomically — on failure the old
+    ///    checkpoint stands and recovery chains `wal.N`, `wal.N+1`;
+    /// 5. recycle generations `< N+1`.
     pub fn checkpoint(&self) -> Result<u64> {
         let dir = self.wal_dir.as_ref().ok_or_else(|| {
             DashError::analysis("checkpoint requires a durable database (Database::open)")
         })?;
-        // Block commits for the duration so the snapshot is a consistent
-        // commit-clock cut.
-        let _guard = self.txn.lock_commits();
-        let open = self.txn.active_count();
-        if open > 0 {
-            return Err(DashError::exec(format!(
-                "checkpoint refused: {open} transaction(s) still open"
-            )));
+        self.check_poisoned()?;
+        let faults = self.faults.lock().clone();
+        // Phases 1 + 2 — the cut. The commit lock pins a consistent
+        // commit-clock snapshot: no commit is mid-stamp while it is held,
+        // so every row is either fully published or still pending.
+        let (generation, clock, next_txn) = {
+            let _guard = self.txn.lock_commits();
+            let generation = self.wal_generation.load(Ordering::SeqCst) + 1;
+            let new_wal = Wal::create(
+                Self::wal_path(dir, generation),
+                self.wal_sync,
+                faults.clone(),
+            )?;
+            {
+                let mut wal = self.wal.lock();
+                if let Some(old) = wal.as_mut() {
+                    if let Err(e) = old.flush() {
+                        // The old generation is dead or unwritable; a cut
+                        // here would capture state the log cannot back.
+                        // Drop the orphan new file and abort unchanged.
+                        drop(wal);
+                        drop(new_wal);
+                        let _ = std::fs::remove_file(Self::wal_path(dir, generation));
+                        return Err(e.with_context("checkpoint: flushing the old generation"));
+                    }
+                }
+                *wal = Some(new_wal);
+            }
+            self.wal_generation.store(generation, Ordering::SeqCst);
+            (generation, self.txn.snapshot_ts(), self.txn.next_txn_id())
+        };
+        // Deterministic race window for tests: DDL and commits issued
+        // during a `Stall` land in `wal.N+1` while capture waits.
+        match faults.evaluate(CKPT_CAPTURE) {
+            Some(FaultAction::Stall(d)) => std::thread::sleep(d),
+            Some(FaultAction::Error(msg)) => {
+                // The switch already happened; aborting is safe because
+                // recovery chains the old and new generations.
+                return Err(DashError::Storage(format!(
+                    "simulated checkpoint failure after the generation switch: {msg}"
+                )));
+            }
+            None => {}
         }
-        let generation = self.wal_generation.load(Ordering::SeqCst) + 1;
+        // Phase 3 — capture. Raw timestamp words: pending marks and
+        // commits that landed after the cut are captured as-is; recovery
+        // resolves both against the chain (`wal.N+1` holds their commit
+        // records if they committed).
         let mut tables = Vec::new();
         for (name, handle) in self.catalog.durable_tables() {
             let t = handle.read();
-            if t.has_pending() {
-                return Err(DashError::exec(format!(
-                    "checkpoint refused: table \"{name}\" has pending row versions"
-                )));
-            }
             let (ins, del) = (t.insert_ts_words(), t.delete_ts_words());
             let mut rows = Vec::with_capacity(ins.len());
             for pos in 0..t.total_rows() {
@@ -331,18 +521,21 @@ impl Database {
         }
         let data = CheckpointData {
             generation,
-            clock: self.txn.snapshot_ts(),
-            next_txn: self.txn.next_txn_id(),
+            clock,
+            next_txn,
             tables,
         };
+        // Phase 4 — publish.
         write_checkpoint(&Self::checkpoint_path(dir), &data)?;
-        let faults = self.faults.lock().clone();
-        let new_wal = Wal::create(Self::wal_path(dir, generation), self.wal_sync, faults)?;
-        let old = self.wal.lock().replace(new_wal);
-        self.wal_generation.store(generation, Ordering::SeqCst);
-        drop(old);
-        // The old log's history is fully covered by the checkpoint.
-        let _ = std::fs::remove_file(Self::wal_path(dir, generation - 1));
+        // Phase 5 — recycle every generation the checkpoint now covers.
+        let mut recycled = 0u64;
+        for g in 0..generation {
+            let p = Self::wal_path(dir, g);
+            if p.exists() && std::fs::remove_file(&p).is_ok() {
+                recycled += 1;
+            }
+        }
+        self.monitor.record_checkpoint(recycled);
         Ok(generation)
     }
 
@@ -354,22 +547,156 @@ impl Database {
         }
     }
 
-    /// Commit protocol: under the commit lock, append + flush the commit
-    /// record (the durability point), stamp every written row with the
-    /// commit timestamp, then publish the new clock. Log order therefore
-    /// equals commit-timestamp order, which replay depends on.
-    fn commit_transaction(&self, txn: &Transaction) -> Result<()> {
+    /// Group-commit protocol: enqueue the transaction and block until a
+    /// batch leader (possibly this thread) has decided its outcome. The
+    /// leader holds the commit lock across [timestamp allocation + commit
+    /// record appends + one batch flush + stamping + publish], so WAL
+    /// record order still equals commit-timestamp order — the invariant
+    /// replay depends on — while N concurrent commits cost one fsync.
+    fn commit_transaction(&self, txn: &Transaction) -> CommitOutcome {
+        if let Err(e) = self.check_poisoned() {
+            return CommitOutcome::Aborted(e);
+        }
+        // Only wait out the batching window when other transactions are
+        // in flight; a lone committer has nobody to batch with.
+        let window = if self.txn.active_count() > 1 {
+            self.group_commit_window()
+        } else {
+            Duration::ZERO
+        };
+        let req = CommitRequest {
+            txn: txn.id,
+            writes: txn.writes.clone(),
+        };
+        self.commit_queue
+            .commit(req, window, |batch| self.commit_batch(batch))
+    }
+
+    /// The batch leader's side of group commit. Every member gets exactly
+    /// one of four outcomes:
+    ///
+    /// * its commit record never reached the log → `Aborted` (the session
+    ///   undoes the in-memory writes; recovery agrees it never happened);
+    /// * the log died with the batch partially flushed → `Unknown` (the
+    ///   record may be durable; in-memory stamps stay pending-invisible
+    ///   and recovery decides — undoing could contradict the log);
+    /// * the record is durable and stamping succeeded → `Committed`;
+    /// * the record is durable but stamping failed → `Poisoned`. This is
+    ///   the divergence the PR 6 commit path mishandled by undoing a
+    ///   logged transaction and reusing its timestamp; now the engine
+    ///   refuses further writes instead of lying about durable state.
+    fn commit_batch(&self, batch: Vec<CommitRequest>) -> Vec<(TxnId, CommitOutcome)> {
         let _guard = self.txn.lock_commits();
-        let ts = self.txn.commit_ts();
-        self.wal_append(&WalRecord::Commit { txn: txn.id, ts })?;
-        for w in &txn.writes {
+        if let Err(e) = self.check_poisoned() {
+            return batch
+                .into_iter()
+                .map(|r| (r.txn, CommitOutcome::Aborted(e.clone())))
+                .collect();
+        }
+        // Phase 1 — log. One WAL-mutex hold for the whole batch: allocate
+        // timestamps in queue order, append every commit record with the
+        // boundary flush deferred, then make the batch durable with a
+        // single flush. Timestamps are burned, not reused, on failure.
+        let mut appended_ts: Vec<u64> = Vec::with_capacity(batch.len());
+        let mut append_err: Option<DashError> = None;
+        let mut flush_err: Option<DashError> = None;
+        let fsync_delta = {
+            let mut wal = self.wal.lock();
+            let before = wal.as_ref().map_or(0, |w| w.fsyncs());
+            for req in &batch {
+                let ts = self.txn.allocate_commit_ts();
+                let res = match wal.as_mut() {
+                    Some(w) => w.append_deferred(&WalRecord::Commit { txn: req.txn, ts }),
+                    None => Ok(()),
+                };
+                match res {
+                    Ok(()) => appended_ts.push(ts),
+                    Err(e) => {
+                        append_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if append_err.is_none() {
+                if let Some(w) = wal.as_mut() {
+                    if let Err(e) = w.flush_commit() {
+                        flush_err = Some(e);
+                    }
+                }
+            }
+            wal.as_ref().map_or(0, |w| w.fsyncs()).saturating_sub(before)
+        };
+        self.monitor.record_group_commit(fsync_delta);
+        let appended = appended_ts.len();
+        let durable = append_err.is_none() && flush_err.is_none();
+        // Phase 2 — stamp and publish in timestamp order, WITHOUT the WAL
+        // mutex (stamping takes table write locks; DML holds a table lock
+        // while appending, so holding both here would deadlock). The
+        // commit lock stays held: nobody observes a half-stamped batch.
+        let mut outcomes: Vec<(TxnId, CommitOutcome)> = Vec::with_capacity(batch.len());
+        let mut poison_err: Option<DashError> = None;
+        for (i, req) in batch.iter().enumerate() {
+            if i >= appended {
+                // Never made it into the log — a definite abort.
+                let e = append_err.clone().unwrap_or_else(|| {
+                    DashError::Storage("group commit: log died before this record".into())
+                });
+                outcomes.push((req.txn, CommitOutcome::Aborted(e)));
+                continue;
+            }
+            if !durable {
+                // Appended, but the log died before the batch flush
+                // definitely completed. The bytes may be on disk.
+                let e = flush_err.clone().or_else(|| append_err.clone()).unwrap();
+                outcomes.push((
+                    req.txn,
+                    CommitOutcome::Unknown(DashError::Storage(format!(
+                        "commit outcome unknown: log died with this batch in flight ({e})"
+                    ))),
+                ));
+                continue;
+            }
+            let ts = appended_ts[i];
+            if let Some(p) = &poison_err {
+                outcomes.push((req.txn, CommitOutcome::Poisoned(p.clone())));
+                continue;
+            }
+            match self.stamp_writes(req, ts) {
+                Ok(()) => {
+                    self.txn.publish(ts);
+                    outcomes.push((req.txn, CommitOutcome::Committed(ts)));
+                }
+                Err(e) => {
+                    let p = self.poison(format!(
+                        "transaction {} is committed at ts {ts} in the log \
+                         but stamping its rows failed: {e}",
+                        req.txn.0
+                    ));
+                    poison_err = Some(p.clone());
+                    outcomes.push((req.txn, CommitOutcome::Poisoned(p)));
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// Stamp one transaction's writes with its commit timestamp. Runs
+    /// after the durability point, so any failure here (including the
+    /// [`TXN_STAMP`] failpoint, its deterministic repro) poisons the
+    /// database rather than pretending the transaction aborted.
+    fn stamp_writes(&self, req: &CommitRequest, ts: u64) -> Result<()> {
+        if let Some(FaultAction::Error(msg)) = self.faults.lock().evaluate(TXN_STAMP) {
+            return Err(DashError::Storage(format!(
+                "simulated stamping failure: {msg}"
+            )));
+        }
+        for w in &req.writes {
             let mut t = w.table.write();
             match w.kind {
                 WriteKind::Insert => t.commit_insert(w.tsn, ts)?,
                 WriteKind::Delete => t.commit_delete(w.tsn, ts)?,
             }
         }
-        self.txn.publish(ts);
         Ok(())
     }
 
@@ -568,14 +895,14 @@ impl Session {
         let Some(txn) = self.txn.take() else {
             return Ok(());
         };
-        let result = self.db.commit_transaction(&txn);
+        let outcome = self.db.commit_transaction(&txn);
         self.db.txn.finish(txn.id);
-        match result {
-            Ok(()) => {
+        match outcome {
+            CommitOutcome::Committed(_) => {
                 self.db.monitor.record_txn_commit();
                 Ok(())
             }
-            Err(e) => {
+            CommitOutcome::Aborted(e) => {
                 // The commit record never reached the log, so as far as
                 // recovery is concerned the transaction never happened.
                 // Undo the in-memory stamps to match.
@@ -583,6 +910,17 @@ impl Session {
                 self.db.monitor.record_txn_abort();
                 Err(e)
             }
+            CommitOutcome::Unknown(e) => {
+                // The record may be durable; undoing could contradict a
+                // log that promises the commit. Leave the stamps pending
+                // (invisible) — the log is dead anyway, and recovery
+                // resolves the truth on reopen.
+                self.db.monitor.record_txn_abort();
+                Err(e)
+            }
+            // Memory and log diverged; the database already refuses
+            // further writes. Touch nothing.
+            CommitOutcome::Poisoned(e) => Err(e),
         }
     }
 
@@ -661,6 +999,21 @@ impl Session {
     }
 
     fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult> {
+        // A poisoned engine (commit stamping diverged from the durable
+        // log) refuses every statement that could write; reads and
+        // ROLLBACK still work so sessions can wind down before reopening.
+        if matches!(
+            stmt,
+            Statement::Insert { .. }
+                | Statement::Update { .. }
+                | Statement::Delete { .. }
+                | Statement::Begin
+                | Statement::CreateTable { .. }
+                | Statement::DropTable { .. }
+                | Statement::Truncate { .. }
+        ) {
+            self.db.check_poisoned()?;
+        }
         match stmt {
             Statement::Select(select) => {
                 let stmt_ctx =
@@ -780,25 +1133,36 @@ impl Session {
                                 .create_table(&name, batch.schema().clone(), owner)?;
                         let rows = batch.to_rows();
                         // CTAS rows are pre-history (txn 0): visible to
-                        // every snapshot, like a bulk load.
+                        // every snapshot, like a bulk load. The row
+                        // records are appended *inside* the table write
+                        // lock, like DML: a concurrent snapshot checkpoint
+                        // capturing this table therefore sees either none
+                        // or all of the logged rows — never a log/memory
+                        // split it would lose at the generation switch.
                         let durable = owner.is_none();
-                        if let Some(key) =
-                            durable.then(|| self.db.catalog.durable_key(&name, None)).flatten()
-                        {
+                        let key = durable
+                            .then(|| self.db.catalog.durable_key(&name, None))
+                            .flatten();
+                        if let Some(key) = &key {
                             self.db.wal_append(&WalRecord::CreateTable {
                                 name: key.clone(),
                                 schema: batch.schema().clone(),
                             })?;
-                            for (i, row) in rows.iter().enumerate() {
-                                self.db.wal_append(&WalRecord::Insert {
-                                    txn: TxnId(0),
-                                    table: key.clone(),
-                                    tsn: Tsn(i as u64),
-                                    row: row.clone(),
-                                })?;
-                            }
                         }
-                        handle.write().load_rows(rows)?;
+                        {
+                            let mut t = handle.write();
+                            if let Some(key) = &key {
+                                for (i, row) in rows.iter().enumerate() {
+                                    self.db.wal_append(&WalRecord::Insert {
+                                        txn: TxnId(0),
+                                        table: key.clone(),
+                                        tsn: Tsn(i as u64),
+                                        row: row.clone(),
+                                    })?;
+                                }
+                            }
+                            t.load_rows(rows)?;
+                        }
                         Ok(QueryResult::ddl())
                     }
                     None => {
@@ -847,13 +1211,17 @@ impl Session {
                 let durable = self.db.catalog.durable_key(&name, Some(self.id));
                 let handle = self.db.catalog.table_handle_for(&name, Some(self.id))?;
                 {
+                    // Wipe and log under one table write lock so a
+                    // concurrent snapshot checkpoint can't capture the
+                    // wiped table while the Truncate record slips into
+                    // the recycled old generation.
                     let mut t = handle.table.write();
                     let schema = t.schema().clone();
                     let tname = t.name().to_string();
                     *t = ColumnTable::new(tname, schema);
-                }
-                if let Some(key) = durable {
-                    self.db.wal_append(&WalRecord::Truncate { name: key })?;
+                    if let Some(key) = durable {
+                        self.db.wal_append(&WalRecord::Truncate { name: key })?;
+                    }
                 }
                 Ok(QueryResult::ddl())
             }

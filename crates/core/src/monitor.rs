@@ -80,6 +80,17 @@ pub struct TxnStats {
     pub wal_records_replayed: u64,
     /// Bytes of torn tail truncated from the WAL during the last recovery.
     pub recovery_truncated_bytes: u64,
+    /// Commit batches flushed by a group-commit leader. One batch may
+    /// carry many commits; `txn_commits / group_commit_batches` is the
+    /// average group size.
+    pub group_commit_batches: u64,
+    /// Physical WAL syncs spent on the commit path. Group commit's whole
+    /// point is `wal_fsyncs < txn_commits` under concurrency.
+    pub wal_fsyncs: u64,
+    /// Snapshot checkpoints completed.
+    pub checkpoints: u64,
+    /// WAL generation files reclaimed after a durable checkpoint.
+    pub wal_segments_recycled: u64,
 }
 
 impl TxnStats {
@@ -245,6 +256,23 @@ impl Monitor {
         t.recovery_truncated_bytes += truncated_bytes;
     }
 
+    /// Record one group-commit batch: the leader flushed `fsyncs`
+    /// physical syncs (0 or 1 per batch, policy-dependent) covering the
+    /// whole group.
+    pub fn record_group_commit(&self, fsyncs: u64) {
+        let mut t = self.txn.lock();
+        t.group_commit_batches += 1;
+        t.wal_fsyncs += fsyncs;
+    }
+
+    /// Record a completed snapshot checkpoint and how many old WAL
+    /// generation files it recycled.
+    pub fn record_checkpoint(&self, segments_recycled: u64) {
+        let mut t = self.txn.lock();
+        t.checkpoints += 1;
+        t.wal_segments_recycled += segments_recycled;
+    }
+
     /// Snapshot of the transaction/durability counters.
     pub fn txn(&self) -> TxnStats {
         *self.txn.lock()
@@ -293,6 +321,16 @@ impl Monitor {
                 t.wal_records_replayed,
                 t.recovery_truncated_bytes,
             ));
+            if t.group_commit_batches > 0 || t.checkpoints > 0 {
+                out.push_str(&format!(
+                    "durability: {} group-commit batches, {} wal fsyncs, \
+                     {} checkpoints, {} wal segments recycled\n",
+                    t.group_commit_batches,
+                    t.wal_fsyncs,
+                    t.checkpoints,
+                    t.wal_segments_recycled,
+                ));
+            }
         }
         let pins = self.pinned_epochs();
         if !pins.is_empty() {
@@ -384,15 +422,23 @@ mod tests {
         m.record_txn_abort();
         m.record_txn_conflict();
         m.record_recovery(17, 5);
+        m.record_group_commit(1);
+        m.record_group_commit(0);
+        m.record_checkpoint(3);
         let t = m.txn();
         assert_eq!(t.txn_commits, 2);
         assert_eq!(t.txn_aborts, 1);
         assert_eq!(t.txn_conflicts, 1);
         assert_eq!(t.wal_records_replayed, 17);
         assert_eq!(t.recovery_truncated_bytes, 5);
+        assert_eq!(t.group_commit_batches, 2);
+        assert_eq!(t.wal_fsyncs, 1);
+        assert_eq!(t.checkpoints, 1);
+        assert_eq!(t.wal_segments_recycled, 3);
         let rep = m.report();
         assert!(rep.contains("txn: 2 commits, 1 aborts, 1 conflicts"));
         assert!(rep.contains("17 wal records replayed"));
+        assert!(rep.contains("durability: 2 group-commit batches, 1 wal fsyncs, 1 checkpoints, 3 wal segments recycled"));
     }
 
     #[test]

@@ -19,10 +19,12 @@
 
 use dash_common::ids::Tsn;
 use dash_common::txn::TxnId;
+use dash_common::DashError;
 use dash_exec::plan::SharedTable;
-use parking_lot::{Mutex, MutexGuard};
-use std::collections::HashSet;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// What a transaction did to one row (its undo/commit log entry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,13 +71,22 @@ pub struct TxnManager {
     /// pre-history timestamp word 0 (bulk loads, non-transactional
     /// inserts) is visible to every snapshot.
     clock: AtomicU64,
+    /// High-water mark of *handed-out* commit timestamps. Always ≥
+    /// `clock`; the gap is timestamps allocated to commits that failed
+    /// before publishing. Burned timestamps are never reissued — reuse
+    /// was the PR 6 bug that made a failed commit's half-stamped rows
+    /// visible under the next commit's publish.
+    allocated: AtomicU64,
     /// Next transaction id to hand out (ids start at 1; 0 is reserved).
     next_txn: AtomicU64,
     /// Held across [commit-record append + table stamping + clock bump]
-    /// so commit order in the WAL equals commit-timestamp order.
+    /// so commit order in the WAL equals commit-timestamp order. The
+    /// snapshot checkpointer holds it only for the generation cut, which
+    /// is what pins a consistent commit-clock snapshot.
     commit_lock: Mutex<()>,
-    /// Transaction ids currently open (checkpointing refuses to run while
-    /// any are — a checkpoint must capture a clean committed state).
+    /// Transaction ids currently open (a scheduling hint — e.g. the
+    /// group-commit leader only waits out its batching window when other
+    /// transactions are in flight).
     active: Mutex<HashSet<u64>>,
 }
 
@@ -84,6 +95,7 @@ impl TxnManager {
     pub fn new() -> TxnManager {
         TxnManager {
             clock: AtomicU64::new(0),
+            allocated: AtomicU64::new(0),
             next_txn: AtomicU64::new(1),
             commit_lock: Mutex::new(()),
             active: Mutex::new(HashSet::new()),
@@ -91,8 +103,12 @@ impl TxnManager {
     }
 
     /// Restore clock and id allocator from a checkpoint + WAL replay.
+    /// Timestamps burned by the dead process (allocated, never published,
+    /// never logged) are safe to reissue: nothing on disk or in memory
+    /// carries them.
     pub fn restore(&self, clock: u64, next_txn: u64) {
         self.clock.store(clock, Ordering::SeqCst);
+        self.allocated.store(clock, Ordering::SeqCst);
         self.next_txn.store(next_txn.max(1), Ordering::SeqCst);
     }
 
@@ -123,29 +139,150 @@ impl TxnManager {
         self.active.lock().len()
     }
 
-    /// Acquire the commit lock. The caller computes `commit_ts()` under
-    /// the guard, appends the WAL commit record, stamps tables, and only
-    /// then calls [`TxnManager::publish`] — still under the guard.
+    /// Acquire the commit lock. The group-commit leader holds it across
+    /// [allocate timestamps + append commit records + batch flush + table
+    /// stamping + publish] so WAL record order, commit-timestamp order,
+    /// and stamping order always agree.
     pub fn lock_commits(&self) -> MutexGuard<'_, ()> {
         self.commit_lock.lock()
     }
 
-    /// The timestamp the next commit will get (call under the commit lock).
-    pub fn commit_ts(&self) -> u64 {
-        self.clock.load(Ordering::SeqCst) + 1
+    /// Hand out the next commit timestamp (call under the commit lock).
+    /// The timestamp is *consumed* whether or not the commit succeeds —
+    /// a failed commit burns it rather than letting the next committer
+    /// reuse a timestamp that may already be stamped into rows.
+    pub fn allocate_commit_ts(&self) -> u64 {
+        self.allocated.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Publish a commit: advance the clock to `ts` so new snapshots see
     /// the freshly stamped rows (call under the commit lock, after all
-    /// tables are stamped).
+    /// tables are stamped). `fetch_max` keeps the clock monotone even if
+    /// an earlier batch member failed and its timestamp was burned.
     pub fn publish(&self, ts: u64) {
-        self.clock.store(ts, Ordering::SeqCst);
+        self.clock.fetch_max(ts, Ordering::SeqCst);
     }
 }
 
 impl Default for TxnManager {
     fn default() -> Self {
         TxnManager::new()
+    }
+}
+
+/// One committer's submission to the group-commit queue: its transaction
+/// id and the ordered write-set the batch leader stamps on its behalf.
+pub struct CommitRequest {
+    /// The committing transaction.
+    pub txn: TxnId,
+    /// Every row it wrote, in order (cloned from the session's
+    /// transaction so the leader can stamp without the session).
+    pub writes: Vec<WriteOp>,
+}
+
+/// What the group-commit leader decided about one batched transaction.
+#[derive(Debug)]
+pub enum CommitOutcome {
+    /// The commit record is durable and every row is stamped; visible at
+    /// the contained commit timestamp.
+    Committed(u64),
+    /// The commit record definitely never reached the log. The session
+    /// must undo the transaction's in-memory writes and report an abort.
+    Aborted(DashError),
+    /// The log died with the commit record buffered or partially flushed
+    /// — it may or may not be on disk. In-memory writes stay pending
+    /// (invisible) and recovery decides the truth on reopen; undoing
+    /// here could contradict a record that did land.
+    Unknown(DashError),
+    /// The commit record is durable but stamping the in-memory rows
+    /// failed: memory has diverged from the log and the database has
+    /// been poisoned. Reopening replays the log and converges.
+    Poisoned(DashError),
+}
+
+struct GcState {
+    /// Requests waiting for a leader to batch them (FIFO = timestamp
+    /// allocation order).
+    queue: Vec<CommitRequest>,
+    /// True while some thread is collecting or processing a batch.
+    leader_active: bool,
+    /// Finished outcomes keyed by transaction id, awaiting pickup.
+    outcomes: HashMap<u64, CommitOutcome>,
+}
+
+/// The group-commit queue: committers enqueue their requests, one of
+/// them becomes the batch leader, drains the queue, and produces every
+/// member's outcome in a single WAL flush (see `Database::commit_batch`).
+pub struct GroupCommitQueue {
+    state: Mutex<GcState>,
+    cond: Condvar,
+}
+
+impl GroupCommitQueue {
+    /// An empty queue with no leader.
+    pub fn new() -> GroupCommitQueue {
+        GroupCommitQueue {
+            state: Mutex::new(GcState {
+                queue: Vec::new(),
+                leader_active: false,
+                outcomes: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Submit one commit and block until its outcome is known.
+    ///
+    /// The first committer to find no active leader becomes the leader:
+    /// it optionally sleeps out `window` (only when it is alone — the
+    /// point of the window is to let concurrent committers pile in, not
+    /// to delay an already-formed batch), drains the queue, and runs
+    /// `process` on the whole batch. Followers block until the leader
+    /// posts their outcome; a follower whose request missed the batch
+    /// (it enqueued after the drain) inherits leadership for the next
+    /// round, so no request is ever stranded.
+    pub fn commit(
+        &self,
+        req: CommitRequest,
+        window: Duration,
+        process: impl FnOnce(Vec<CommitRequest>) -> Vec<(TxnId, CommitOutcome)>,
+    ) -> CommitOutcome {
+        let my_id = req.txn.0;
+        let mut st = self.state.lock();
+        st.queue.push(req);
+        while st.leader_active {
+            self.cond.wait(&mut st);
+            if let Some(out) = st.outcomes.remove(&my_id) {
+                return out;
+            }
+        }
+        st.leader_active = true;
+        if !window.is_zero() && st.queue.len() == 1 {
+            drop(st);
+            std::thread::sleep(window);
+            st = self.state.lock();
+        }
+        let batch = std::mem::take(&mut st.queue);
+        drop(st);
+        let outcomes = process(batch);
+        let mut st = self.state.lock();
+        for (txn, out) in outcomes {
+            st.outcomes.insert(txn.0, out);
+        }
+        st.leader_active = false;
+        let mine = st
+            .outcomes
+            .remove(&my_id)
+            .expect("group-commit leader's own request must be in its batch");
+        drop(st);
+        self.cond.notify_all();
+        mine
+    }
+}
+
+impl Default for GroupCommitQueue {
+    fn default() -> Self {
+        GroupCommitQueue::new()
     }
 }
 
@@ -175,11 +312,89 @@ mod tests {
         assert_eq!(m.snapshot_ts(), 0);
         {
             let _guard = m.lock_commits();
-            let ts = m.commit_ts();
+            let ts = m.allocate_commit_ts();
             assert_eq!(ts, 1);
             m.publish(ts);
         }
         assert_eq!(m.snapshot_ts(), 1);
+    }
+
+    #[test]
+    fn burned_timestamps_are_never_reissued() {
+        let m = TxnManager::new();
+        let _guard = m.lock_commits();
+        let burned = m.allocate_commit_ts();
+        assert_eq!(burned, 1);
+        // The commit that got ts 1 failed before publishing: the clock
+        // stays put but the next commit must NOT see ts 1 again.
+        assert_eq!(m.snapshot_ts(), 0);
+        let next = m.allocate_commit_ts();
+        assert_eq!(next, 2);
+        m.publish(next);
+        assert_eq!(m.snapshot_ts(), 2);
+        // A late publish of a smaller timestamp can't move the clock back.
+        m.publish(burned);
+        assert_eq!(m.snapshot_ts(), 2);
+    }
+
+    #[test]
+    fn group_commit_queue_batches_concurrent_committers() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let q = std::sync::Arc::new(GroupCommitQueue::new());
+        let batches = std::sync::Arc::new(AtomicUsize::new(0));
+        let barrier = std::sync::Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for i in 1..=8u64 {
+            let q = q.clone();
+            let batches = batches.clone();
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let req = CommitRequest {
+                    txn: TxnId(i),
+                    writes: Vec::new(),
+                };
+                let out = q.commit(req, Duration::from_millis(20), |batch| {
+                    batches.fetch_add(1, Ordering::SeqCst);
+                    batch
+                        .iter()
+                        .map(|r| (r.txn, CommitOutcome::Committed(r.txn.0)))
+                        .collect()
+                });
+                match out {
+                    CommitOutcome::Committed(ts) => assert_eq!(ts, i),
+                    other => panic!("expected Committed, got {other:?}"),
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = batches.load(Ordering::SeqCst);
+        assert!((1..8).contains(&n), "8 committers should share batches, got {n}");
+    }
+
+    #[test]
+    fn group_commit_queue_strands_no_request() {
+        // Sequential submissions with a zero window: every commit is its
+        // own batch and still completes.
+        let q = GroupCommitQueue::new();
+        for i in 1..=5u64 {
+            let out = q.commit(
+                CommitRequest {
+                    txn: TxnId(i),
+                    writes: Vec::new(),
+                },
+                Duration::ZERO,
+                |batch| {
+                    assert_eq!(batch.len(), 1);
+                    vec![(batch[0].txn, CommitOutcome::Committed(i))]
+                },
+            );
+            assert!(matches!(out, CommitOutcome::Committed(ts) if ts == i));
+        }
     }
 
     #[test]

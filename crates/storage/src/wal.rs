@@ -27,7 +27,7 @@
 //! fails, mirroring a dead process. Tests then reopen the database
 //! directory and assert on what recovery rebuilds.
 
-use dash_common::faults::{FaultAction, FaultRegistry, WAL_APPEND, WAL_COMMIT, WAL_FSYNC};
+use dash_common::faults::{FaultAction, FaultRegistry, WAL_APPEND, WAL_COMMIT, WAL_CREATE, WAL_FSYNC};
 use dash_common::ids::Tsn;
 use dash_common::txn::TxnId;
 use dash_common::types::DataType;
@@ -498,12 +498,24 @@ pub struct Wal {
     /// fsync crash drops exactly these bytes.
     buffer: Vec<u8>,
     crashed: bool,
+    /// Completed physical syncs (write + `sync_data`) on this log. The
+    /// group-commit leader reads the delta around a batch flush to report
+    /// fsyncs-per-commit to the monitor.
+    fsyncs: u64,
 }
 
 impl Wal {
-    /// Create a fresh (truncated) log at `path`.
+    /// Create a fresh (truncated) log at `path`. Evaluates the
+    /// [`WAL_CREATE`] failpoint *before* touching the filesystem, so a
+    /// simulated failure leaves whatever log is currently live untouched.
     pub fn create(path: impl Into<PathBuf>, sync: SyncPolicy, faults: FaultRegistry) -> Result<Wal> {
         let path = path.into();
+        if let Some(FaultAction::Error(msg)) = faults.evaluate(WAL_CREATE) {
+            return Err(DashError::Storage(format!(
+                "simulated failure creating {}: {msg}",
+                path.display()
+            )));
+        }
         let file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -517,6 +529,7 @@ impl Wal {
             faults,
             buffer: Vec::new(),
             crashed: false,
+            fsyncs: 0,
         })
     }
 
@@ -540,6 +553,7 @@ impl Wal {
             faults,
             buffer: Vec::new(),
             crashed: false,
+            fsyncs: 0,
         })
     }
 
@@ -562,6 +576,20 @@ impl Wal {
     /// [`WAL_COMMIT`] failpoint; the [`SyncPolicy`] decides whether the
     /// record is flushed immediately.
     pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        self.append_inner(rec, false)
+    }
+
+    /// Append one record *without* the per-record boundary flush that
+    /// [`SyncPolicy::Commit`] would normally perform: the group-commit
+    /// leader appends a whole batch of commit records and then makes them
+    /// durable with a single [`Wal::flush_commit`]. `SyncPolicy::Always`
+    /// still flushes every record — its contract is per-record
+    /// durability and group commit must not weaken it.
+    pub fn append_deferred(&mut self, rec: &WalRecord) -> Result<()> {
+        self.append_inner(rec, true)
+    }
+
+    fn append_inner(&mut self, rec: &WalRecord, defer_boundary_flush: bool) -> Result<()> {
         if self.crashed {
             return Err(self.dead());
         }
@@ -590,20 +618,41 @@ impl Wal {
         match self.sync {
             SyncPolicy::Always => self.flush(),
             SyncPolicy::Commit
-                if matches!(
-                    rec,
-                    WalRecord::Commit { .. }
-                        | WalRecord::Abort { .. }
-                        | WalRecord::CreateTable { .. }
-                        | WalRecord::DropTable { .. }
-                        | WalRecord::Truncate { .. }
-                        | WalRecord::Checkpoint { .. }
-                ) =>
+                if !defer_boundary_flush
+                    && matches!(
+                        rec,
+                        WalRecord::Commit { .. }
+                            | WalRecord::Abort { .. }
+                            | WalRecord::CreateTable { .. }
+                            | WalRecord::DropTable { .. }
+                            | WalRecord::Truncate { .. }
+                            | WalRecord::Checkpoint { .. }
+                    ) =>
             {
                 self.flush()
             }
             _ => Ok(()),
         }
+    }
+
+    /// The batch flush matching [`Wal::append_deferred`]: under
+    /// [`SyncPolicy::Commit`] force the deferred records out in one sync;
+    /// under `Always` they are already on disk and under `Never` the
+    /// policy says not to sync at commit boundaries at all, so both are
+    /// no-ops (without re-evaluating the [`WAL_FSYNC`] failpoint).
+    pub fn flush_commit(&mut self) -> Result<()> {
+        if self.crashed {
+            return Err(self.dead());
+        }
+        match self.sync {
+            SyncPolicy::Commit => self.flush(),
+            SyncPolicy::Always | SyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// Completed physical syncs on this log so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// Force buffered records to the file and sync it. Evaluates the
@@ -630,6 +679,7 @@ impl Wal {
             .and_then(|()| self.file.sync_data())
             .map_err(|e| DashError::Storage(format!("wal write {}: {e}", self.path.display())))?;
         self.buffer.clear();
+        self.fsyncs += 1;
         Ok(())
     }
 }

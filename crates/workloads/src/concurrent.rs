@@ -20,7 +20,9 @@ use crate::customer::{self, Statement};
 use crate::spec::TableDef;
 use dash_common::{DashError, Datum, Result};
 use dash_core::{Database, Session};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Name of the shared audit table the harness creates.
 pub const AUDIT_TABLE: &str = "mix_audit";
@@ -45,6 +47,11 @@ pub struct MixConfig {
     /// How many times a conflicted batch is retried (with a fresh
     /// snapshot) before the stream gives up on it.
     pub max_retries: usize,
+    /// When set (and the database is durable), a checkpointer thread runs
+    /// `Database::checkpoint` at this interval for the whole run — the
+    /// checkpoint-under-load leg: snapshot checkpoints must coexist with
+    /// open transactions without losing a single audit increment.
+    pub checkpoint_every: Option<Duration>,
 }
 
 impl Default for MixConfig {
@@ -55,6 +62,7 @@ impl Default for MixConfig {
             scale: 1000,
             batch: 8,
             max_retries: 64,
+            checkpoint_every: None,
         }
     }
 }
@@ -86,6 +94,12 @@ pub struct MixOutcome {
     pub per_stream: Vec<StreamStats>,
     /// `(id, hits)` rows of the audit table after the run.
     pub audit: Vec<(i64, i64)>,
+    /// Snapshot checkpoints completed while the streams ran
+    /// ([`MixConfig::checkpoint_every`]; zero when disabled).
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed (a dead log under chaos testing,
+    /// never a refusal — snapshot checkpoints accept open transactions).
+    pub checkpoint_errors: u64,
 }
 
 impl MixOutcome {
@@ -306,7 +320,27 @@ pub fn run_concurrent_mix(db: &Arc<Database>, cfg: &MixConfig) -> Result<MixOutc
         .collect();
 
     let mut per_stream: Vec<StreamStats> = Vec::with_capacity(cfg.streams);
+    let checkpoints = AtomicU64::new(0);
+    let checkpoint_errors = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
     std::thread::scope(|scope| {
+        // The checkpoint-under-load leg: snapshot checkpoints run
+        // concurrently with every stream, open transactions included.
+        let checkpointer = cfg
+            .checkpoint_every
+            .filter(|_| db.is_durable())
+            .map(|every| {
+                let (done, ck, ce) = (&done, &checkpoints, &checkpoint_errors);
+                scope.spawn(move || {
+                    while !done.load(Ordering::SeqCst) {
+                        match db.checkpoint() {
+                            Ok(_) => ck.fetch_add(1, Ordering::SeqCst),
+                            Err(_) => ce.fetch_add(1, Ordering::SeqCst),
+                        };
+                        std::thread::sleep(every);
+                    }
+                })
+            });
         let handles: Vec<_> = streams
             .iter()
             .enumerate()
@@ -317,6 +351,10 @@ pub fn run_concurrent_mix(db: &Arc<Database>, cfg: &MixConfig) -> Result<MixOutc
                 Ok(stats) => per_stream.push(stats),
                 Err(_) => per_stream.push(StreamStats::default()),
             }
+        }
+        done.store(true, Ordering::SeqCst);
+        if let Some(h) = checkpointer {
+            let _ = h.join();
         }
     });
     per_stream.sort_by_key(|s| s.stream);
@@ -336,7 +374,12 @@ pub fn run_concurrent_mix(db: &Arc<Database>, cfg: &MixConfig) -> Result<MixOutc
             Ok((id, hits))
         })
         .collect::<Result<Vec<_>>>()?;
-    Ok(MixOutcome { per_stream, audit })
+    Ok(MixOutcome {
+        per_stream,
+        audit,
+        checkpoints: checkpoints.load(Ordering::SeqCst),
+        checkpoint_errors: checkpoint_errors.load(Ordering::SeqCst),
+    })
 }
 
 #[cfg(test)]
@@ -360,6 +403,7 @@ mod tests {
             scale: 200,
             batch: 6,
             max_retries: 16,
+            checkpoint_every: None,
         };
         let out = run_concurrent_mix(&db, &cfg).unwrap();
         assert_eq!(out.per_stream.len(), 1);
@@ -377,6 +421,7 @@ mod tests {
             scale: 200,
             batch: 4,
             max_retries: 64,
+            checkpoint_every: None,
         };
         let out = run_concurrent_mix(&db, &cfg).unwrap();
         assert_eq!(out.per_stream.len(), 4);
@@ -398,6 +443,7 @@ mod tests {
             scale: 200,
             batch: 5,
             max_retries: 32,
+            checkpoint_every: None,
         };
         let a = run_concurrent_mix(&db, &cfg).unwrap();
         let b = run_concurrent_mix(&db, &cfg).unwrap();
