@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dash_common::{row, Field, Row, Schema};
 use dash_exec::agg::{hash_aggregate, AggExpr, AggFunc};
+use dash_exec::key::KeyMode;
 use dash_exec::batch::Batch;
 use dash_exec::expr::{ArithOp, Expr};
 use dash_exec::functions::EvalContext;
@@ -66,6 +67,7 @@ fn bench_groupby(c: &mut Criterion) {
                         &aggs(),
                         schema.clone(),
                         &ctx,
+                        KeyMode::Encoded,
                         1,
                         &mut stats,
                     )
@@ -92,6 +94,7 @@ fn bench_groupby(c: &mut Criterion) {
                         &aggs(),
                         schema.clone(),
                         &ctx,
+                        KeyMode::Encoded,
                         1,
                         &mut stats,
                     )

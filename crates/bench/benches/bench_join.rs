@@ -8,6 +8,7 @@ use dash_exec::batch::Batch;
 use dash_exec::expr::Expr;
 use dash_exec::functions::EvalContext;
 use dash_exec::join::{hash_join, JoinType};
+use dash_exec::key::KeyMode;
 use dash_exec::stats::ExecStats;
 
 fn fact(n: usize) -> Batch {
@@ -44,7 +45,7 @@ fn bench_join(c: &mut Criterion) {
             b.iter(|| {
                 let mut stats = ExecStats::default();
                 let stmt = dash_common::StatementContext::unbounded();
-                hash_join(f, &d, &[(0, 0)], JoinType::Inner, 1, &stmt, &mut stats).expect("join")
+                hash_join(f, &d, &[(0, 0)], JoinType::Inner, KeyMode::Encoded, 1, &stmt, &mut stats).expect("join")
             })
         });
     }
@@ -89,13 +90,14 @@ fn bench_fused_vs_pipeline(c: &mut Criterion) {
                 let mut stats = ExecStats::default();
                 let stmt = dash_common::StatementContext::unbounded();
                 let joined =
-                    hash_join(f, &d, &[(0, 0)], JoinType::Inner, 1, &stmt, &mut stats).expect("join");
+                    hash_join(f, &d, &[(0, 0)], JoinType::Inner, KeyMode::Encoded, 1, &stmt, &mut stats).expect("join");
                 dash_exec::agg::hash_aggregate(
                     &joined,
                     &group_exprs,
                     &aggs,
                     out_schema.clone(),
                     &ctx,
+                    KeyMode::Encoded,
                     1,
                     &mut stats,
                 )

@@ -243,7 +243,9 @@ impl Hash for Datum {
                     v.hash(state)
                 }
             }
-            Datum::Float(v) => v.to_bits().hash(state),
+            // Canonical bits so hash agrees with Eq: -0.0 = 0.0 and NaNs
+            // compare Equal under sql_cmp, so they must share a bucket.
+            Datum::Float(v) => canonical_f64_bits(*v).hash(state),
             Datum::Decimal(v, s) => {
                 let f = *v as f64 / 10f64.powi(*s as i32);
                 f.to_bits().hash(state)
@@ -252,6 +254,24 @@ impl Hash for Datum {
             Datum::Timestamp(t) => t.hash(state),
             Datum::Str(s) => s.hash(state),
         }
+    }
+}
+
+/// Canonical bit pattern for an `f64` acting as a hash or group key.
+///
+/// `-0.0` folds onto `+0.0` and every NaN payload folds onto one canonical
+/// NaN, so bit-level key identity agrees with SQL equality (`-0.0 = 0.0`,
+/// and NaN pairs compare Equal under [`Datum::sql_cmp`]). Every keyed path
+/// — `Datum` hashing, the aggregate fast path, and the encoded key words —
+/// must go through this one form so group identity never drifts between
+/// paths.
+pub fn canonical_f64_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        f64::NAN.to_bits()
+    } else if v == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        v.to_bits()
     }
 }
 

@@ -25,7 +25,7 @@ pub mod statement;
 pub mod txn;
 pub mod types;
 
-pub use datum::Datum;
+pub use datum::{canonical_f64_bits, Datum};
 pub use error::{DashError, Result};
 pub use row::Row;
 pub use schema::{Field, Schema};

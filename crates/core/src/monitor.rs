@@ -100,12 +100,36 @@ impl TxnStats {
     }
 }
 
+/// Operate-on-compressed counters: how many join/group key evaluations ran
+/// directly on encoded code words versus falling back to `Datum`
+/// comparisons, and how much re-encoding the code-domain path paid for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyPathStats {
+    /// Input rows whose join/group keys were hashed and compared as
+    /// fixed-width encoded words (no `Datum` in the loop).
+    pub encoded_key_rows: u64,
+    /// Input rows that fell back to materialized `Datum` keys (cross-type
+    /// keys, computed expressions, mixed encodings).
+    pub datum_key_rows: u64,
+    /// Build/partial-side rows translated into the other side's code
+    /// domain instead of decoding the larger side.
+    pub keys_reencoded_rows: u64,
+}
+
+impl KeyPathStats {
+    /// True when no keyed operator has run.
+    pub fn is_clean(&self) -> bool {
+        *self == KeyPathStats::default()
+    }
+}
+
 /// The monitoring store.
 #[derive(Clone, Default)]
 pub struct Monitor {
     inner: Arc<Mutex<BTreeMap<&'static str, KindStats>>>,
     recovery: Arc<Mutex<RecoveryStats>>,
     txn: Arc<Mutex<TxnStats>>,
+    key_path: Arc<Mutex<KeyPathStats>>,
     /// Assignment epochs still pinned by in-flight statements:
     /// epoch -> number of statements holding it. The lowest key is the GC
     /// watermark — no snapshot at or above it may be reclaimed.
@@ -278,6 +302,21 @@ impl Monitor {
         *self.txn.lock()
     }
 
+    /// Fold one statement's key-path counters into the store: rows keyed
+    /// on encoded words, rows keyed on `Datum`s, and rows re-encoded into
+    /// the other side's code domain.
+    pub fn record_key_path(&self, encoded: u64, datum: u64, reencoded: u64) {
+        let mut k = self.key_path.lock();
+        k.encoded_key_rows += encoded;
+        k.datum_key_rows += datum;
+        k.keys_reencoded_rows += reencoded;
+    }
+
+    /// Snapshot of the operate-on-compressed key-path counters.
+    pub fn key_path(&self) -> KeyPathStats {
+        *self.key_path.lock()
+    }
+
     /// Render the monitoring history as a small report.
     pub fn report(&self) -> String {
         let mut out = String::from("statement     count   errors   total_ms   max_ms\n");
@@ -331,6 +370,14 @@ impl Monitor {
                     t.wal_segments_recycled,
                 ));
             }
+        }
+        let k = self.key_path();
+        if !k.is_clean() {
+            out.push_str(&format!(
+                "key path: {} rows on encoded keys, {} rows on datum keys, \
+                 {} rows re-encoded\n",
+                k.encoded_key_rows, k.datum_key_rows, k.keys_reencoded_rows,
+            ));
         }
         let pins = self.pinned_epochs();
         if !pins.is_empty() {
@@ -410,6 +457,20 @@ mod tests {
         let rep = m.report();
         assert!(rep.contains("1 statements cancelled"));
         assert!(rep.contains("2 budget rejections"));
+    }
+
+    #[test]
+    fn key_path_counters_accumulate_and_report() {
+        let m = Monitor::new();
+        assert!(m.key_path().is_clean());
+        m.record_key_path(100, 7, 3);
+        m.record_key_path(50, 0, 0);
+        let k = m.key_path();
+        assert_eq!(k.encoded_key_rows, 150);
+        assert_eq!(k.datum_key_rows, 7);
+        assert_eq!(k.keys_reencoded_rows, 3);
+        let rep = m.report();
+        assert!(rep.contains("key path: 150 rows on encoded keys, 7 rows on datum keys, 3 rows re-encoded"));
     }
 
     #[test]

@@ -188,6 +188,56 @@ impl<T: Eq + Hash + Clone + Ord> FreqDict<T> {
     }
 }
 
+/// Bits reserved for the in-partition code in a [`pack_code`] word; the
+/// partition selector occupies the byte above.
+pub const PACK_CODE_BITS: u32 = 56;
+
+/// Pack a [`DictCode`] into one fixed-width `u64` key word.
+///
+/// The partition selector, biased by one so packed words never collide
+/// with the join-local intern range (which has the top bit set), occupies
+/// the top byte; the in-partition code fills the low 56 bits. Packing is
+/// injective over a dictionary's codes, so two packed words from the same
+/// dictionary are equal exactly when they name the same entry — the
+/// property hash join and grouping rely on to compare keys without
+/// decoding.
+#[inline]
+pub fn pack_code((part, code): DictCode) -> u64 {
+    debug_assert!(code < 1 << PACK_CODE_BITS, "dictionary code overflows pack width");
+    ((part as u64 + 1) << PACK_CODE_BITS) | code
+}
+
+/// Unpack a word produced by [`pack_code`] back into its [`DictCode`].
+#[inline]
+pub fn unpack_code(word: u64) -> DictCode {
+    (
+        ((word >> PACK_CODE_BITS) - 1) as u8,
+        word & ((1 << PACK_CODE_BITS) - 1),
+    )
+}
+
+impl<T: Eq + Hash + Clone + Ord> FreqDict<T> {
+    /// Compare two entries of *this* dictionary by value order. Within one
+    /// partition codes are value-ordered and compare directly; across
+    /// partitions the frequency tiers interleave the value domain, so the
+    /// decoded values are consulted.
+    pub fn compare_codes(&self, a: DictCode, b: DictCode) -> std::cmp::Ordering {
+        if a.0 == b.0 {
+            a.1.cmp(&b.1)
+        } else {
+            self.decode(a.0, a.1).cmp(self.decode(b.0, b.1))
+        }
+    }
+
+    /// Translate a code from `from`'s code domain into this dictionary's —
+    /// the "re-encode the smaller side" rule: instead of decoding the
+    /// larger side of a join, the smaller side's codes are mapped into the
+    /// larger side's code space. `None` when the value is absent here.
+    pub fn translate_code(&self, from: &FreqDict<T>, code: DictCode) -> Option<DictCode> {
+        self.encode(from.decode(code.0, code.1))
+    }
+}
+
 /// Size accounting for dictionary entries.
 pub trait DictSized {
     /// Approximate heap bytes for one entry.
@@ -408,7 +458,53 @@ mod tests {
         assert_eq!(dict.partitions()[0].width, 0, "single value needs 0 bits");
     }
 
+    #[test]
+    fn pack_unpack_roundtrip_and_disjoint_ranges() {
+        for part in 0..MAX_PARTITIONS as u8 {
+            for code in [0u64, 1, 255, (1 << PACK_CODE_BITS) - 1] {
+                let w = pack_code((part, code));
+                assert_eq!(unpack_code(w), (part, code));
+                assert_eq!(w >> 63, 0, "packed words leave the top bit clear");
+                assert_ne!(w, 0, "packed words are never zero");
+            }
+        }
+    }
+
+    #[test]
+    fn compare_codes_matches_value_order() {
+        let dict = FreqDict::build(&skewed_hist());
+        let vals: Vec<u64> = vec![50, 100, 205, 1000, 1499];
+        for a in &vals {
+            for b in &vals {
+                let ca = dict.encode(a).unwrap();
+                let cb = dict.encode(b).unwrap();
+                assert_eq!(dict.compare_codes(ca, cb), a.cmp(b), "{a} vs {b}");
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_translate_code_roundtrips(values in prop::collection::vec(0u64..500, 1..300)) {
+            // Two dictionaries over the same values with different frequency
+            // shapes: codes differ, but translating build-side codes into
+            // the probe side's domain and back must be the identity.
+            let h1 = Histogram::from_values(values.iter().map(Some));
+            let mut skew = values.clone();
+            skew.extend(values.iter().filter(|v| **v % 3 == 0));
+            let h2 = Histogram::from_values(skew.iter().map(Some));
+            let d1 = FreqDict::build(&h1);
+            let d2 = FreqDict::build(&h2);
+            for v in &values {
+                let c1 = d1.encode(v).unwrap();
+                let c2 = d2.translate_code(&d1, c1).expect("value present in both");
+                prop_assert_eq!(d2.decode(c2.0, c2.1), v);
+                prop_assert_eq!(d1.translate_code(&d2, c2), Some(c1));
+                // The packed forms stay within their own dictionary's domain.
+                prop_assert_eq!(unpack_code(pack_code(c2)), c2);
+            }
+        }
+
         #[test]
         fn prop_encode_decode_roundtrip(values in prop::collection::vec(0u64..1000, 1..400)) {
             let h = Histogram::from_values(values.iter().map(Some));

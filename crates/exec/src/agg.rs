@@ -13,11 +13,12 @@ use crate::batch::Batch;
 use crate::expr::Expr;
 use crate::functions::EvalContext;
 use crate::join::PARTITION_ROWS;
+use crate::key::{self, route_hash, KeyCol, KeyMode, StrInterner, STR_MISS};
 use crate::pool;
 use crate::stats::ExecStats;
 use dash_common::fxhash::FxHashMap;
 use dash_common::statement::approx_datum_bytes;
-use dash_common::{BudgetLease, DashError, DataType, Datum, Result, Row, Schema};
+use dash_common::{canonical_f64_bits, BudgetLease, DashError, DataType, Datum, Result, Row, Schema};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
@@ -457,7 +458,7 @@ fn try_fast_aggregate(
             let mut map: FxHashMap<Option<u64>, u32> = FxHashMap::default();
             for (i, k) in v.iter().enumerate() {
                 let id = *map
-                    .entry(k.map(|f| f.to_bits()))
+                    .entry(k.map(canonical_f64_bits))
                     .or_insert_with(|| {
                         key_rows.push(i);
                         n_groups += 1;
@@ -721,10 +722,11 @@ impl FastAcc {
     }
 }
 
-/// Hashable group-key identity for merging fast-path partials. Floats are
-/// compared by bit pattern — exactly how the morsel-local (and serial)
-/// typed key maps group them — so `NaN` groups with itself and `-0.0`
-/// stays distinct from `0.0` across morsel boundaries too.
+/// Hashable group-key identity for merging fast-path partials. Floats use
+/// [`canonical_f64_bits`] — the one canonical form every keyed path shares
+/// (`Datum` hashing, the typed key maps here, and the encoded key words) —
+/// so `NaN` groups with itself and `-0.0` groups with `0.0`, matching SQL
+/// equality under [`Datum::sql_cmp`] on every path.
 #[derive(Hash, PartialEq, Eq)]
 enum FastKey {
     Null,
@@ -737,7 +739,7 @@ fn fast_key(d: &Datum) -> FastKey {
     match d {
         Datum::Null => FastKey::Null,
         Datum::Int(i) => FastKey::Int(*i),
-        Datum::Float(f) => FastKey::Bits(f.to_bits()),
+        Datum::Float(f) => FastKey::Bits(canonical_f64_bits(*f)),
         Datum::Str(s) => FastKey::Str(s.clone()),
         // The fast path only keys on Int/Float/Str column vectors.
         other => unreachable!("fast-path key cannot be {other:?}"),
@@ -783,7 +785,7 @@ fn fast_partial(input: &Batch, g: usize, kinds: &[FastKind], lo: usize, hi: usiz
         ColumnValues::Float(v) => {
             let mut map: FxHashMap<Option<u64>, u32> = FxHashMap::default();
             for (i, k) in v[lo..hi].iter().enumerate() {
-                group_of[i] = *map.entry(k.map(|f| f.to_bits())).or_insert_with(|| {
+                group_of[i] = *map.entry(k.map(canonical_f64_bits)).or_insert_with(|| {
                     key_rows.push(lo + i);
                     ng += 1;
                     ng - 1
@@ -1090,28 +1092,210 @@ pub fn try_fused_join_aggregate(
     Some(Batch::from_rows(out_schema.clone(), &rows))
 }
 
+/// The operate-on-compressed grouping path: every group key is a bare
+/// column whose values reduce to fixed-width `u64` words (see
+/// [`crate::key`]), so partition routing and group identity never touch a
+/// `Datum`. Keys lay out as `nk + 1` words per row — the extra word is a
+/// NULL mask (bit `c` set = column `c` NULL, its key word zeroed), which
+/// groups NULLs together without reserving a sentinel in the word domain.
+/// Group values materialize late, from one representative row per group.
+///
+/// Returns `None` when the shape does not qualify (computed key
+/// expressions, too many keys, mismatched column kinds); the caller falls
+/// back to the `Datum` path.
+#[allow(clippy::too_many_arguments)]
+fn try_encoded_aggregate(
+    input: &Batch,
+    group_exprs: &[Expr],
+    aggs: &[AggExpr],
+    out_schema: &Schema,
+    ctx: &EvalContext,
+    parallelism: usize,
+    stats: &mut ExecStats,
+) -> Option<Result<Batch>> {
+    let cols = key::group_key_cols(input, group_exprs)?;
+    Some(encoded_aggregate(
+        input, group_exprs, &cols, aggs, out_schema, ctx, parallelism, stats,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encoded_aggregate(
+    input: &Batch,
+    group_exprs: &[Expr],
+    cols: &[KeyCol<'_>],
+    aggs: &[AggExpr],
+    out_schema: &Schema,
+    ctx: &EvalContext,
+    parallelism: usize,
+    stats: &mut ExecStats,
+) -> Result<Batch> {
+    let n = input.len();
+    let nk = cols.len();
+    let stride = nk + 1; // key words + NULL-mask word
+    let parts = (n / PARTITION_ROWS + 1).next_power_of_two();
+    let mask = parts as u64 - 1;
+
+    // Phase 1 — radix-scatter key words into per-partition buckets, one
+    // row-range morsel at a time (same recipe as the Datum path, minus the
+    // per-row `Vec<Datum>`). Each worker leases its buckets' bytes.
+    type CodedBucket = (Vec<u32>, Vec<u64>);
+    let ranges = pool::row_morsels(n, parallelism, 4096);
+    let scatter_run = pool::run_morsels(ranges.len(), parallelism, &ctx.statement, |mi| {
+        let (lo, hi) = ranges[mi];
+        let mut local: Vec<CodedBucket> = (0..parts).map(|_| (Vec::new(), Vec::new())).collect();
+        let mut words = vec![0u64; stride];
+        for row in lo..hi {
+            let mut nulls = 0u64;
+            for (c, col) in cols.iter().enumerate() {
+                match col.word(row) {
+                    Some(w) => words[c] = w,
+                    None => {
+                        words[c] = 0;
+                        nulls |= 1 << c;
+                    }
+                }
+            }
+            words[nk] = nulls;
+            let p = if parts == 1 {
+                0
+            } else {
+                // NULL columns carry word 0 (not STR_MISS), so the raw-string
+                // hashing inside route_hash never touches a NULL slot; the
+                // mask folds in so (NULL) and (value-with-word-0) split.
+                ((route_hash(cols, &words[..nk], row) ^ nulls.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    & mask) as usize
+            };
+            local[p].0.push(row as u32);
+            local[p].1.extend_from_slice(&words);
+        }
+        let mut lease = BudgetLease::new(&ctx.statement);
+        let bytes: u64 = local
+            .iter()
+            .map(|(rows, ws)| (rows.len() * 4 + ws.len() * 8) as u64)
+            .sum();
+        lease.charge(bytes)?;
+        Ok((local, lease))
+    });
+    let scatter_run = scatter_run.inspect_err(|e| {
+        if matches!(e, DashError::ResourceExhausted(_)) {
+            stats.budget_rejections += 1;
+        }
+    })?;
+    stats.note_parallel_phase(scatter_run.morsels_dispatched, scatter_run.workers_used);
+    stats.agg_scatter_morsels += scatter_run.morsels_dispatched;
+    if parts > 1 {
+        stats.rows_partitioned += n as u64;
+    }
+    let mut leases = Vec::with_capacity(scatter_run.results.len());
+    let mut scattered: Vec<CodedBucket> = (0..parts).map(|_| (Vec::new(), Vec::new())).collect();
+    for (local, lease) in scatter_run.results {
+        leases.push(lease);
+        for (p, (rows, ws)) in local.into_iter().enumerate() {
+            scattered[p].0.extend(rows);
+            scattered[p].1.extend(ws);
+        }
+    }
+
+    // Phase 2 — aggregate each partition as its own morsel. Rows arrive in
+    // input order, groups emit in first-appearance order, and partitions
+    // hold disjoint keys, so serial and parallel runs are byte-identical.
+    let scattered: Vec<Mutex<CodedBucket>> = scattered.into_iter().map(Mutex::new).collect();
+    let agg_run = pool::run_morsels(scattered.len(), parallelism, &ctx.statement, |p| {
+        let (rows, mut words) = std::mem::take(&mut *scattered[p].lock());
+        // Out-of-dictionary strings intern in input row order: the local
+        // code assignment is deterministic regardless of worker timing.
+        let mut interners: Vec<StrInterner> = (0..nk).map(|_| StrInterner::default()).collect();
+        let mut gid_of: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
+        let mut reps: Vec<u32> = Vec::new();
+        let mut states: Vec<Vec<AggState>> = Vec::new();
+        for (i, &row) in rows.iter().enumerate() {
+            let ws = &mut words[i * stride..(i + 1) * stride];
+            for c in 0..nk {
+                if ws[c] == STR_MISS {
+                    ws[c] = interners[c].intern(cols[c].str_at(row as usize));
+                }
+            }
+            let gid = match gid_of.get(&ws[..]) {
+                Some(&g) => g,
+                None => {
+                    let g = reps.len() as u32;
+                    gid_of.insert(ws.to_vec(), g);
+                    reps.push(row);
+                    states.push(init_states(aggs, input));
+                    g
+                }
+            };
+            let sts = &mut states[gid as usize];
+            for (agg, state) in aggs.iter().zip(sts.iter_mut()) {
+                let mut vals = Vec::with_capacity(agg.args.len());
+                for a in &agg.args {
+                    vals.push(a.eval(input, row as usize, ctx)?);
+                }
+                update(state, &vals)?;
+            }
+        }
+        // Late materialization: group values decode once per group, from
+        // the representative (first) row.
+        let mut part_rows: Vec<Row> = Vec::with_capacity(reps.len());
+        for (&rep, sts) in reps.iter().zip(states) {
+            let mut vals: Vec<Datum> = Vec::with_capacity(nk + aggs.len());
+            for g in group_exprs {
+                let Expr::Col(c) = g else {
+                    unreachable!("encoded grouping requires bare column keys")
+                };
+                vals.push(input.value(rep as usize, *c));
+            }
+            for (agg, state) in aggs.iter().zip(sts) {
+                vals.push(finish(state, &agg.func));
+            }
+            part_rows.push(Row::new(vals));
+        }
+        Ok(part_rows)
+    })?;
+    stats.note_parallel_phase(agg_run.morsels_dispatched, agg_run.workers_used);
+    drop(leases); // partition state consumed — return its budget
+    let out_rows: Vec<Row> = agg_run.results.into_iter().flatten().collect();
+    Batch::from_rows(out_schema.clone(), &out_rows)
+}
+
 /// Hash-aggregate a batch.
 ///
 /// `group_exprs` produce the key (empty = global aggregate, which always
 /// yields exactly one row); `aggs` produce the aggregate columns. The
 /// output schema is `group columns ⧺ aggregate columns` with the supplied
-/// field definitions.
+/// field definitions. `key_mode` is the planner's key-path decision:
+/// `Encoded` admits the typed fast path and the encoded word-keyed path,
+/// `Datum` forces the general fallback.
+#[allow(clippy::too_many_arguments)]
 pub fn hash_aggregate(
     input: &Batch,
     group_exprs: &[Expr],
     aggs: &[AggExpr],
     out_schema: Schema,
     ctx: &EvalContext,
+    key_mode: KeyMode,
     parallelism: usize,
     stats: &mut ExecStats,
 ) -> Result<Batch> {
-    // Vectorized fast path for the dominant shape.
-    if !group_exprs.is_empty() && !input.is_empty() {
+    if key_mode == KeyMode::Encoded && !group_exprs.is_empty() && !input.is_empty() {
+        // Vectorized fast path for the dominant shape.
         if let Some(result) =
             try_fast_aggregate(input, group_exprs, aggs, &out_schema, ctx, parallelism, stats)
         {
+            stats.encoded_key_rows += input.len() as u64;
             return result;
         }
+        // General encoded path: group on fixed-width key words.
+        if let Some(result) =
+            try_encoded_aggregate(input, group_exprs, aggs, &out_schema, ctx, parallelism, stats)
+        {
+            stats.encoded_key_rows += input.len() as u64;
+            return result;
+        }
+    }
+    if !group_exprs.is_empty() {
+        stats.datum_key_rows += input.len() as u64;
     }
     // Phase 1+2 fused — each row-range morsel evaluates its group keys and
     // radix-scatters them into thread-local per-partition buckets, the
@@ -1322,6 +1506,7 @@ mod tests {
             ],
             schema,
             &ctx(),
+            KeyMode::Encoded,
             1,
             &mut stats,
         )
@@ -1349,6 +1534,7 @@ mod tests {
             ],
             out_schema(0, 2),
             &ctx(),
+            KeyMode::Encoded,
             1,
             &mut stats,
         )
@@ -1374,6 +1560,7 @@ mod tests {
             ],
             out_schema(0, 2),
             &ctx(),
+            KeyMode::Encoded,
             1,
             &mut stats,
         )
@@ -1391,6 +1578,7 @@ mod tests {
             &[agg1(AggFunc::Min, 1), agg1(AggFunc::Max, 1), agg1(AggFunc::Avg, 1)],
             out_schema(0, 3),
             &ctx(),
+            KeyMode::Encoded,
             1,
             &mut stats,
         )
@@ -1421,6 +1609,7 @@ mod tests {
             ],
             out_schema(0, 2),
             &ctx(),
+            KeyMode::Encoded,
             1,
             &mut stats,
         )
@@ -1449,6 +1638,7 @@ mod tests {
             ],
             out_schema(0, 3),
             &ctx(),
+            KeyMode::Encoded,
             1,
             &mut stats,
         )
@@ -1474,6 +1664,7 @@ mod tests {
             &[agg1(AggFunc::VarPop, 0), agg1(AggFunc::StdDevPop, 0), agg1(AggFunc::VarSamp, 0)],
             out_schema(0, 3),
             &ctx(),
+            KeyMode::Encoded,
             1,
             &mut stats,
         )
@@ -1507,6 +1698,7 @@ mod tests {
             }],
             out_schema(0, 1),
             &ctx(),
+            KeyMode::Encoded,
             1,
             &mut stats,
         )
@@ -1539,6 +1731,7 @@ mod tests {
             &[agg1(AggFunc::Sum, 1)],
             out_sch,
             &ctx(),
+            KeyMode::Encoded,
             1,
             &mut stats,
         )

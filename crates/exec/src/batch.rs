@@ -4,15 +4,31 @@
 //! only at plan edges (results, inserts, shuffles). Batch sizes follow the
 //! stride length so a scan emits one batch per surviving stride.
 
+use std::sync::Arc;
+
 use dash_common::{DashError, Datum, Result, Row, Schema};
 use dash_encoding::column::ColumnValues;
+use dash_encoding::dict::FreqDict;
 
 /// A column-major batch of rows sharing one schema.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Batch {
     schema: Schema,
     columns: Vec<ColumnValues>,
     len: usize,
+    /// Per-column string dictionaries, when the column is backed by a
+    /// frequency-partitioned dictionary in storage. Empty means "none known".
+    /// Dictionaries are advisory metadata for the operate-on-compressed key
+    /// path; they never affect the values a batch holds.
+    dicts: Vec<Option<Arc<FreqDict<Arc<str>>>>>,
+}
+
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        // Dictionaries are advisory metadata, not data: two batches holding
+        // the same values are equal regardless of dictionary attachment.
+        self.schema == other.schema && self.columns == other.columns && self.len == other.len
+    }
 }
 
 impl Batch {
@@ -34,6 +50,7 @@ impl Batch {
             schema,
             columns,
             len,
+            dicts: Vec::new(),
         })
     }
 
@@ -48,6 +65,7 @@ impl Batch {
             schema,
             columns,
             len: 0,
+            dicts: Vec::new(),
         }
     }
 
@@ -75,6 +93,7 @@ impl Batch {
             schema,
             columns,
             len,
+            dicts: Vec::new(),
         })
     }
 
@@ -133,6 +152,7 @@ impl Batch {
             schema: self.schema.clone(),
             columns,
             len: positions.len(),
+            dicts: self.dicts.clone(),
         }
     }
 
@@ -142,7 +162,28 @@ impl Batch {
             schema: self.schema.project(indices),
             columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
             len: self.len,
+            dicts: indices
+                .iter()
+                .map(|&i| self.dicts.get(i).cloned().flatten())
+                .collect(),
         }
+    }
+
+    /// Attach the storage dictionary backing string column `col`.
+    ///
+    /// The dictionary is advisory: key-path code in `join`/`agg` uses it to
+    /// hash packed dictionary codes instead of string bytes, and falls back
+    /// to raw values when it is absent.
+    pub fn set_str_dict(&mut self, col: usize, dict: Arc<FreqDict<Arc<str>>>) {
+        if self.dicts.len() < self.schema.len() {
+            self.dicts.resize(self.schema.len(), None);
+        }
+        self.dicts[col] = Some(dict);
+    }
+
+    /// The storage dictionary backing string column `col`, if known.
+    pub fn str_dict(&self, col: usize) -> Option<&Arc<FreqDict<Arc<str>>>> {
+        self.dicts.get(col).and_then(|d| d.as_ref())
     }
 
     /// Concatenate batches of identical schemas.

@@ -1,4 +1,5 @@
-//! Cache-efficient partitioned hash join (§II.B.7).
+//! Cache-efficient partitioned hash join (§II.B.7), operating on
+//! compressed key words where encodings allow.
 //!
 //! "All of the query algorithms aim to keep data in the processor's L3 or
 //! L2 caches ... by partitioning data into L3 or L2 chunks for performing
@@ -7,13 +8,32 @@
 //! Both inputs are first hash-partitioned on the join key into chunks
 //! sized so each build-side hash table fits in cache; each partition pair
 //! is then joined independently. NULL keys never match (SQL semantics).
+//!
+//! Two key paths share one pipeline shape:
+//!
+//! * **Encoded** ([`KeyMode::Encoded`]) — every key column reduces to a
+//!   fixed-width `u64` word (ordered-int bits, canonical ordered-float
+//!   bits, or packed dictionary codes; see [`crate::key`]); partitioning,
+//!   building, and probing touch only those words. Strings outside the
+//!   shared dictionary resolve through a deterministic per-partition
+//!   interner built from build-side rows.
+//! * **Datum** — the fallback for cross-domain keys (`Int 2` joins
+//!   `Float 2.0`). Build rows store their key `Datum`s (they live in the
+//!   hash table); probe rows reuse one scratch buffer per morsel and are
+//!   never collected.
+//!
+//! Both paths emit `(probe row, build row)` index pairs per partition;
+//! payload columns materialize **late**, gathered column-at-a-time only
+//! for rows that survived the probe.
 
 use crate::batch::Batch;
+use crate::key::{self, route_hash, JoinKeyPlan, KeyCol, KeyMode, StrInterner, STR_MISS};
 use crate::pool;
 use crate::stats::ExecStats;
 use dash_common::fxhash::FxHashMap;
 use dash_common::statement::approx_datum_bytes;
-use dash_common::{BudgetLease, Datum, Result, Row, StatementContext};
+use dash_common::{BudgetLease, Datum, Result, StatementContext};
+use dash_encoding::column::ColumnValues;
 use parking_lot::Mutex;
 use std::collections::hash_map::Entry;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
@@ -35,6 +55,10 @@ pub enum JoinType {
 /// stays within an L2-ish footprint (the cache-conscious chunking).
 pub const PARTITION_ROWS: usize = 8 * 1024;
 
+/// Sentinel build-row index marking "no match" in an output pair (NULL
+/// padding for Left, or an unused slot for Semi/Anti).
+const NO_MATCH: u32 = u32::MAX;
+
 fn key_hash(values: &[Datum]) -> u64 {
     let mut h = BuildHasherDefault::<dash_common::fxhash::FxHasher>::default().build_hasher();
     for v in values {
@@ -43,55 +67,364 @@ fn key_hash(values: &[Datum]) -> u64 {
     h.finish()
 }
 
-/// One hash partition's rows: ascending row index plus the (non-null)
-/// join key computed for that row.
-type KeyedRows = Vec<(usize, Vec<Datum>)>;
+/// Append output pairs for one probe row given its build-side matches.
+#[inline]
+fn probe_emit(join_type: JoinType, li: u32, matches: Option<&[u32]>, out: &mut Vec<(u32, u32)>) {
+    match join_type {
+        JoinType::Inner => {
+            if let Some(ms) = matches {
+                for &ri in ms {
+                    out.push((li, ri));
+                }
+            }
+        }
+        JoinType::Left => match matches {
+            Some(ms) => {
+                for &ri in ms {
+                    out.push((li, ri));
+                }
+            }
+            None => out.push((li, NO_MATCH)),
+        },
+        JoinType::Semi => {
+            if matches.is_some() {
+                out.push((li, NO_MATCH));
+            }
+        }
+        JoinType::Anti => {
+            if matches.is_none() {
+                out.push((li, NO_MATCH));
+            }
+        }
+    }
+}
 
-fn key_of(batch: &Batch, row: usize, cols: &[usize]) -> Option<Vec<Datum>> {
-    let mut key = Vec::with_capacity(cols.len());
+/// Execute a hash join between two materialized batches.
+///
+/// `on` pairs are (left ordinal, right ordinal). The output schema is
+/// `left ⧺ right` for Inner/Left, and just `left` for Semi/Anti.
+/// `key_mode` is the planner's key-path decision; `Encoded` is re-verified
+/// against the actual batches and silently falls back to the `Datum` path
+/// when the runtime column kinds disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join(
+    left: &Batch,
+    right: &Batch,
+    on: &[(usize, usize)],
+    join_type: JoinType,
+    key_mode: KeyMode,
+    parallelism: usize,
+    stmt: &StatementContext,
+    stats: &mut ExecStats,
+) -> Result<Batch> {
+    assert!(!on.is_empty(), "hash join requires at least one key pair");
+    assert!(
+        left.len() < NO_MATCH as usize && right.len() < NO_MATCH as usize,
+        "hash join sides must fit u32 row indices"
+    );
+    let out_schema = match join_type {
+        JoinType::Inner | JoinType::Left => left.schema().join(right.schema()),
+        JoinType::Semi | JoinType::Anti => left.schema().clone(),
+    };
+
+    // Choose partition count from the build (right) side.
+    let parts = partition_count(right.len());
+    let mask = parts as u64 - 1;
+
+    let mut pairs: Option<Vec<(u32, u32)>> = None;
+    if key_mode == KeyMode::Encoded {
+        if let Some(plan) = key::join_key_cols(left, right, on) {
+            stats.encoded_key_rows += (left.len() + right.len()) as u64;
+            stats.keys_reencoded_rows += plan.reencoded_rows;
+            pairs = Some(encoded_join_pairs(
+                &plan,
+                left.len(),
+                right.len(),
+                join_type,
+                parts,
+                mask,
+                parallelism,
+                stmt,
+                stats,
+            )?);
+        }
+    }
+    let pairs = match pairs {
+        Some(p) => p,
+        None => {
+            stats.datum_key_rows += (left.len() + right.len()) as u64;
+            datum_join_pairs(
+                left,
+                right,
+                on,
+                join_type,
+                parts,
+                mask,
+                parallelism,
+                stmt,
+                stats,
+            )?
+        }
+    };
+
+    materialize_pairs(left, right, out_schema, &pairs, parallelism, stmt, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Encoded key path: partition/build/probe on u64 words.
+// ---------------------------------------------------------------------------
+
+/// One side's hash partitions under the encoded path: row indices plus
+/// their key words, flat with stride `nk`.
+type CodedPartition = (Vec<u32>, Vec<u64>);
+
+/// Hash-partition one side on its key words. Morsel partials concatenate
+/// in morsel order, so each partition keeps ascending row order —
+/// identical to a serial pass. Returns partitions, NULL-keyed rows, and
+/// (morsels, workers) pool usage.
+#[allow(clippy::type_complexity)]
+fn partition_encoded(
+    len: usize,
+    cols: &[KeyCol<'_>],
+    parts: usize,
+    mask: u64,
+    parallelism: usize,
+    stmt: &StatementContext,
+) -> Result<(Vec<CodedPartition>, Vec<u32>, (u64, u64))> {
+    let nk = cols.len();
+    let ranges = pool::row_morsels(len, parallelism, 4096);
+    let run = pool::run_morsels(ranges.len(), parallelism, stmt, |mi| {
+        let (lo, hi) = ranges[mi];
+        let mut local: Vec<CodedPartition> = (0..parts).map(|_| (Vec::new(), Vec::new())).collect();
+        let mut nulls: Vec<u32> = Vec::new();
+        let mut words = vec![0u64; nk];
+        'row: for i in lo..hi {
+            for (c, col) in cols.iter().enumerate() {
+                match col.word(i) {
+                    Some(w) => words[c] = w,
+                    None => {
+                        nulls.push(i as u32);
+                        continue 'row; // NULL keys never join
+                    }
+                }
+            }
+            let p = (route_hash(cols, &words, i) & mask) as usize;
+            local[p].0.push(i as u32);
+            local[p].1.extend_from_slice(&words);
+        }
+        Ok((local, nulls))
+    })?;
+    let mut partitions: Vec<CodedPartition> = (0..parts).map(|_| (Vec::new(), Vec::new())).collect();
+    let mut nullkey: Vec<u32> = Vec::new();
+    for (local, nulls) in run.results {
+        for (p, (rows, words)) in local.into_iter().enumerate() {
+            partitions[p].0.extend(rows);
+            partitions[p].1.extend(words);
+        }
+        nullkey.extend(nulls);
+    }
+    Ok((partitions, nullkey, (run.morsels_dispatched, run.workers_used)))
+}
+
+/// Resolve a partition's [`STR_MISS`] words against per-column interners,
+/// interning on the build side (`intern` = true) and looking up on the
+/// probe side. Returns `false` when a probe word is provably unmatched.
+#[inline]
+fn resolve_words(
+    words: &mut [u64],
+    row: u32,
+    cols: &[KeyCol<'_>],
+    interners: &mut [StrInterner],
+    intern: bool,
+) -> bool {
+    for (c, w) in words.iter_mut().enumerate() {
+        if *w == STR_MISS {
+            let s = cols[c].str_at(row as usize);
+            if intern {
+                *w = interners[c].intern(s);
+            } else {
+                match interners[c].lookup(s) {
+                    Some(code) => *w = code,
+                    None => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The encoded build+probe: per partition, resolve out-of-dictionary
+/// strings, build a word-keyed table from the right side, probe with the
+/// left side, and emit (probe, build) row pairs.
+#[allow(clippy::too_many_arguments)]
+fn encoded_join_pairs(
+    plan: &JoinKeyPlan<'_>,
+    left_len: usize,
+    right_len: usize,
+    join_type: JoinType,
+    parts: usize,
+    mask: u64,
+    parallelism: usize,
+    stmt: &StatementContext,
+    stats: &mut ExecStats,
+) -> Result<Vec<(u32, u32)>> {
+    let nk = plan.left.len();
+    let (right_parts, _right_nullkey, (rm, rw)) =
+        partition_encoded(right_len, &plan.right, parts, mask, parallelism, stmt)?;
+    let (left_parts, left_nullkey, (lm, lw)) =
+        partition_encoded(left_len, &plan.left, parts, mask, parallelism, stmt)?;
+    stats.note_parallel_phase(rm, rw);
+    stats.note_parallel_phase(lm, lw);
+    stats.rows_partitioned += right_parts.iter().map(|p| p.0.len() as u64).sum::<u64>();
+    stats.rows_partitioned += left_parts.iter().map(|p| p.0.len() as u64).sum::<u64>();
+
+    // The partitioned word state is the dominant allocation: one u32 plus
+    // nk u64 words per row on each side.
+    let mut lease = BudgetLease::new(stmt);
+    let bytes: u64 = right_parts
+        .iter()
+        .chain(left_parts.iter())
+        .map(|(rows, words)| (rows.len() * 4 + words.len() * 8) as u64)
+        .sum();
+    lease.charge(bytes).inspect_err(|_| {
+        stats.budget_rejections += 1;
+    })?;
+
+    let right_parts: Vec<Mutex<CodedPartition>> = right_parts.into_iter().map(Mutex::new).collect();
+    let left_parts: Vec<Mutex<CodedPartition>> = left_parts.into_iter().map(Mutex::new).collect();
+    let join_run = pool::run_morsels(parts, parallelism, stmt, |p| {
+        let (brows, mut bwords) = std::mem::take(&mut *right_parts[p].lock());
+        let (prows, mut pwords) = std::mem::take(&mut *left_parts[p].lock());
+        // Out-of-dictionary strings intern in build row order: the code
+        // assignment is deterministic regardless of worker timing.
+        let mut interners: Vec<StrInterner> = (0..nk).map(|_| StrInterner::default()).collect();
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        if nk == 1 {
+            let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            for (i, &r) in brows.iter().enumerate() {
+                if !resolve_words(&mut bwords[i..i + 1], r, &plan.right, &mut interners, true) {
+                    unreachable!("build-side interning cannot miss");
+                }
+                table.entry(bwords[i]).or_default().push(r);
+            }
+            for (i, &l) in prows.iter().enumerate() {
+                if resolve_words(&mut pwords[i..i + 1], l, &plan.left, &mut interners, false) {
+                    probe_emit(join_type, l, table.get(&pwords[i]).map(|v| &v[..]), &mut out);
+                } else {
+                    probe_emit(join_type, l, None, &mut out);
+                }
+            }
+        } else {
+            let mut table: FxHashMap<Vec<u64>, Vec<u32>> = FxHashMap::default();
+            for (i, &r) in brows.iter().enumerate() {
+                let ws = &mut bwords[i * nk..(i + 1) * nk];
+                resolve_words(ws, r, &plan.right, &mut interners, true);
+                table.entry(ws.to_vec()).or_default().push(r);
+            }
+            for (i, &l) in prows.iter().enumerate() {
+                let ws = &mut pwords[i * nk..(i + 1) * nk];
+                if resolve_words(ws, l, &plan.left, &mut interners, false) {
+                    probe_emit(join_type, l, table.get(&ws[..]).map(|v| &v[..]), &mut out);
+                } else {
+                    probe_emit(join_type, l, None, &mut out);
+                }
+            }
+        }
+        Ok(out)
+    })?;
+    stats.note_parallel_phase(join_run.morsels_dispatched, join_run.workers_used);
+    drop(lease);
+    let mut pairs: Vec<(u32, u32)> = join_run.results.into_iter().flatten().collect();
+    append_nullkey_pairs(join_type, &left_nullkey, &mut pairs);
+    Ok(pairs)
+}
+
+// ---------------------------------------------------------------------------
+// Datum fallback path.
+// ---------------------------------------------------------------------------
+
+/// One build-side partition's rows: ascending row index plus the
+/// (non-null) join key computed for that row.
+type KeyedRows = Vec<(u32, Vec<Datum>)>;
+
+/// Fill `scratch` with the key for `row`, returning false on a NULL
+/// component (NULL keys never join).
+#[inline]
+fn fill_key(batch: &Batch, row: usize, cols: &[usize], scratch: &mut Vec<Datum>) -> bool {
+    scratch.clear();
     for &c in cols {
         let v = batch.value(row, c);
         if v.is_null() {
-            return None; // NULL keys never join
+            return false;
         }
-        key.push(v);
+        scratch.push(v);
     }
-    Some(key)
+    true
 }
 
-/// Hash-partition one side in row-range morsels. Each morsel buckets its
-/// range locally; partials concatenate in morsel order, so every
-/// partition keeps its rows in ascending row order — identical to a
-/// serial pass. The computed key is stored alongside the row index
-/// (computed once, moved, never re-derived). Returns the partitions, the
-/// NULL-keyed rows, and the (morsels, workers) pool usage.
+/// Partition the build side, storing each row's key `Datum`s (they move
+/// into the per-partition hash tables).
 #[allow(clippy::type_complexity)]
-fn partition_side(
+fn partition_datum_build(
     batch: &Batch,
     cols: &[usize],
     parts: usize,
     mask: u64,
     parallelism: usize,
     stmt: &StatementContext,
-) -> Result<(Vec<KeyedRows>, Vec<usize>, (u64, u64))> {
+) -> Result<(Vec<KeyedRows>, (u64, u64))> {
     let ranges = pool::row_morsels(batch.len(), parallelism, 4096);
     let run = pool::run_morsels(ranges.len(), parallelism, stmt, |mi| {
         let (lo, hi) = ranges[mi];
         let mut local: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
-        let mut nulls: Vec<usize> = Vec::new();
+        let mut scratch: Vec<Datum> = Vec::with_capacity(cols.len());
         for i in lo..hi {
-            match key_of(batch, i, cols) {
-                Some(k) => {
-                    let p = (key_hash(&k) & mask) as usize;
-                    local[p].push((i, k));
-                }
-                None => nulls.push(i),
+            if fill_key(batch, i, cols, &mut scratch) {
+                let p = (key_hash(&scratch) & mask) as usize;
+                local[p].push((i as u32, scratch.clone()));
+            }
+        }
+        Ok(local)
+    })?;
+    let mut partitions: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
+    for local in run.results {
+        for (p, v) in local.into_iter().enumerate() {
+            partitions[p].extend(v);
+        }
+    }
+    Ok((partitions, (run.morsels_dispatched, run.workers_used)))
+}
+
+/// Partition the probe side by key hash only: one reused scratch buffer
+/// per morsel, no per-row key allocation — probe keys are recomputed into
+/// the scratch at probe time.
+#[allow(clippy::type_complexity)]
+fn partition_datum_probe(
+    batch: &Batch,
+    cols: &[usize],
+    parts: usize,
+    mask: u64,
+    parallelism: usize,
+    stmt: &StatementContext,
+) -> Result<(Vec<Vec<u32>>, Vec<u32>, (u64, u64))> {
+    let ranges = pool::row_morsels(batch.len(), parallelism, 4096);
+    let run = pool::run_morsels(ranges.len(), parallelism, stmt, |mi| {
+        let (lo, hi) = ranges[mi];
+        let mut local: Vec<Vec<u32>> = (0..parts).map(|_| Vec::new()).collect();
+        let mut nulls: Vec<u32> = Vec::new();
+        let mut scratch: Vec<Datum> = Vec::with_capacity(cols.len());
+        for i in lo..hi {
+            if fill_key(batch, i, cols, &mut scratch) {
+                let p = (key_hash(&scratch) & mask) as usize;
+                local[p].push(i as u32);
+            } else {
+                nulls.push(i as u32);
             }
         }
         Ok((local, nulls))
     })?;
-    let mut partitions: Vec<KeyedRows> = (0..parts).map(|_| Vec::new()).collect();
-    let mut nullkey: Vec<usize> = Vec::new();
+    let mut partitions: Vec<Vec<u32>> = (0..parts).map(|_| Vec::new()).collect();
+    let mut nullkey: Vec<u32> = Vec::new();
     for (local, nulls) in run.results {
         for (p, v) in local.into_iter().enumerate() {
             partitions[p].extend(v);
@@ -101,73 +434,58 @@ fn partition_side(
     Ok((partitions, nullkey, (run.morsels_dispatched, run.workers_used)))
 }
 
-/// Execute a hash join between two materialized batches.
-///
-/// `on` pairs are (left ordinal, right ordinal). The output schema is
-/// `left ⧺ right` for Inner/Left, and just `left` for Semi/Anti.
-pub fn hash_join(
+/// The `Datum`-keyed build+probe, emitting the same (probe, build) pair
+/// stream as the encoded path.
+#[allow(clippy::too_many_arguments)]
+fn datum_join_pairs(
     left: &Batch,
     right: &Batch,
     on: &[(usize, usize)],
     join_type: JoinType,
+    parts: usize,
+    mask: u64,
     parallelism: usize,
     stmt: &StatementContext,
     stats: &mut ExecStats,
-) -> Result<Batch> {
-    assert!(!on.is_empty(), "hash join requires at least one key pair");
+) -> Result<Vec<(u32, u32)>> {
     let left_cols: Vec<usize> = on.iter().map(|(l, _)| *l).collect();
     let right_cols: Vec<usize> = on.iter().map(|(_, r)| *r).collect();
 
-    let out_schema = match join_type {
-        JoinType::Inner | JoinType::Left => left.schema().join(right.schema()),
-        JoinType::Semi | JoinType::Anti => left.schema().clone(),
-    };
-
-    // Choose partition count from the build (right) side.
-    let parts = (right.len() / PARTITION_ROWS + 1).next_power_of_two();
-    let mask = parts as u64 - 1;
-
-    // Phase 1 — hash-partition both sides across the pool.
-    let (right_parts, _right_nullkey, (rm, rw)) =
-        partition_side(right, &right_cols, parts, mask, parallelism, stmt)?;
+    let (right_parts, (rm, rw)) =
+        partition_datum_build(right, &right_cols, parts, mask, parallelism, stmt)?;
     let (left_parts, left_nullkey, (lm, lw)) =
-        partition_side(left, &left_cols, parts, mask, parallelism, stmt)?;
+        partition_datum_probe(left, &left_cols, parts, mask, parallelism, stmt)?;
     stats.note_parallel_phase(rm, rw);
     stats.note_parallel_phase(lm, lw);
     stats.rows_partitioned += right_parts.iter().map(|p| p.len() as u64).sum::<u64>();
     stats.rows_partitioned += left_parts.iter().map(|p| p.len() as u64).sum::<u64>();
 
-    // The partitioned row/key state (and the per-partition hash tables built
-    // from the right side, which hold the same keys moved in) is the join's
-    // dominant allocation. Charge it against the statement's memory budget
-    // up front; the lease releases on every exit path, so an over-budget or
-    // cancelled join drops its partial state without leaking the charge.
+    // The stored build keys (which move into the per-partition hash
+    // tables) plus the probe row indices are the join's dominant
+    // allocation. Charge them up front; the lease releases on every exit
+    // path, so an over-budget or cancelled join drops its partial state
+    // without leaking the charge.
     let mut lease = BudgetLease::new(stmt);
     let bytes: u64 = right_parts
         .iter()
-        .chain(left_parts.iter())
         .flatten()
         .map(|(_, k)| {
-            std::mem::size_of::<(usize, Vec<Datum>)>() as u64
+            std::mem::size_of::<(u32, Vec<Datum>)>() as u64
                 + k.iter().map(approx_datum_bytes).sum::<u64>()
         })
-        .sum();
+        .sum::<u64>()
+        + left_parts.iter().map(|p| p.len() as u64 * 4).sum::<u64>();
     lease.charge(bytes).inspect_err(|_| {
         stats.budget_rejections += 1;
     })?;
 
-    // Phase 2 — each partition pair is one build+probe morsel. Partitions
-    // hold disjoint keys and ascending row order, so concatenating the
-    // per-partition outputs in partition order reproduces the serial
-    // output exactly.
     let right_parts: Vec<Mutex<KeyedRows>> = right_parts.into_iter().map(Mutex::new).collect();
-    let left_parts: Vec<Mutex<KeyedRows>> = left_parts.into_iter().map(Mutex::new).collect();
-    let right_nulls = Row::new(vec![Datum::Null; right.schema().len()]);
+    let left_parts: Vec<Mutex<Vec<u32>>> = left_parts.into_iter().map(Mutex::new).collect();
     let join_run = pool::run_morsels(parts, parallelism, stmt, |p| {
         // Build per-partition table on the right side, moving each stored
         // key into the table (duplicates just add their row index).
         let build = std::mem::take(&mut *right_parts[p].lock());
-        let mut table: FxHashMap<Vec<Datum>, Vec<usize>> = FxHashMap::default();
+        let mut table: FxHashMap<Vec<Datum>, Vec<u32>> = FxHashMap::default();
         for (ri, k) in build {
             match table.entry(k) {
                 Entry::Occupied(mut e) => e.get_mut().push(ri),
@@ -176,60 +494,104 @@ pub fn hash_join(
                 }
             }
         }
-        // Probe with the left side.
+        // Probe with the left side, re-deriving each key into one reused
+        // scratch buffer — probed, never stored.
         let probe = std::mem::take(&mut *left_parts[p].lock());
-        let mut part_rows: Vec<Row> = Vec::new();
-        for (li, k) in probe {
-            let matches = table.get(&k);
-            match join_type {
-                JoinType::Inner => {
-                    if let Some(ms) = matches {
-                        for &ri in ms {
-                            part_rows.push(left.row(li).concat(&right.row(ri)));
-                        }
-                    }
-                }
-                JoinType::Left => match matches {
-                    Some(ms) => {
-                        for &ri in ms {
-                            part_rows.push(left.row(li).concat(&right.row(ri)));
-                        }
-                    }
-                    None => part_rows.push(left.row(li).concat(&right_nulls)),
-                },
-                JoinType::Semi => {
-                    if matches.is_some() {
-                        part_rows.push(left.row(li));
-                    }
-                }
-                JoinType::Anti => {
-                    if matches.is_none() {
-                        part_rows.push(left.row(li));
-                    }
-                }
-            }
+        let mut scratch: Vec<Datum> = Vec::with_capacity(on.len());
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for li in probe {
+            let filled = fill_key(left, li as usize, &left_cols, &mut scratch);
+            debug_assert!(filled, "NULL keys were routed away in phase 1");
+            let matches = table.get(scratch.as_slice()).map(|v| &v[..]);
+            probe_emit(join_type, li, matches, &mut out);
         }
-        Ok(part_rows)
+        Ok(out)
     })?;
     stats.note_parallel_phase(join_run.morsels_dispatched, join_run.workers_used);
     drop(lease); // partitions and build tables consumed — return their budget
-    let mut out_rows: Vec<Row> = join_run.results.into_iter().flatten().collect();
-    // NULL-keyed left rows: unmatched by definition.
+    let mut pairs: Vec<(u32, u32)> = join_run.results.into_iter().flatten().collect();
+    append_nullkey_pairs(join_type, &left_nullkey, &mut pairs);
+    Ok(pairs)
+}
+
+/// NULL-keyed probe rows are unmatched by definition: padded for Left,
+/// kept for Anti, dropped for Inner/Semi.
+fn append_nullkey_pairs(join_type: JoinType, nullkey: &[u32], pairs: &mut Vec<(u32, u32)>) {
     match join_type {
-        JoinType::Left => {
-            for &li in &left_nullkey {
-                out_rows.push(left.row(li).concat(&right_nulls));
-            }
-        }
-        JoinType::Anti => {
-            for &li in &left_nullkey {
-                out_rows.push(left.row(li));
-            }
+        JoinType::Left | JoinType::Anti => {
+            pairs.extend(nullkey.iter().map(|&li| (li, NO_MATCH)));
         }
         JoinType::Inner | JoinType::Semi => {}
     }
+}
 
-    Batch::from_rows(out_schema, &out_rows)
+// ---------------------------------------------------------------------------
+// Late materialization.
+// ---------------------------------------------------------------------------
+
+/// Gather one output column from the surviving pairs: left columns index
+/// by probe row, right columns by build row with [`NO_MATCH`] → NULL.
+fn gather_column(src: &ColumnValues, pairs: &[(u32, u32)], right_side: bool) -> ColumnValues {
+    macro_rules! gather {
+        ($v:expr, $clone:expr) => {
+            pairs
+                .iter()
+                .map(|&(li, ri)| {
+                    let idx = if right_side { ri } else { li };
+                    if idx == NO_MATCH {
+                        None
+                    } else {
+                        $clone(&$v[idx as usize])
+                    }
+                })
+                .collect()
+        };
+    }
+    match src {
+        ColumnValues::Int(v) => ColumnValues::Int(gather!(v, |x: &Option<i64>| *x)),
+        ColumnValues::Float(v) => ColumnValues::Float(gather!(v, |x: &Option<f64>| *x)),
+        ColumnValues::Str(v) => {
+            ColumnValues::Str(gather!(v, |x: &Option<std::sync::Arc<str>>| x.clone()))
+        }
+    }
+}
+
+/// Materialize the joined batch from surviving (probe, build) pairs,
+/// column at a time across the pool — the late-materialization step both
+/// key paths share, so their outputs are structurally identical.
+fn materialize_pairs(
+    left: &Batch,
+    right: &Batch,
+    out_schema: dash_common::Schema,
+    pairs: &[(u32, u32)],
+    parallelism: usize,
+    stmt: &StatementContext,
+    stats: &mut ExecStats,
+) -> Result<Batch> {
+    let lw = left.schema().len();
+    let ncols = out_schema.len();
+    let run = pool::run_morsels(ncols, parallelism, stmt, |c| {
+        Ok(if c < lw {
+            gather_column(left.column(c), pairs, false)
+        } else {
+            gather_column(right.column(c - lw), pairs, true)
+        })
+    })?;
+    stats.note_parallel_phase(run.morsels_dispatched, run.workers_used);
+    let mut batch = Batch::new(out_schema, run.results)?;
+    // Dictionaries survive the join: a downstream aggregate can still key
+    // on packed codes.
+    for c in 0..ncols {
+        let dict = if c < lw {
+            left.str_dict(c)
+        } else {
+            right.str_dict(c - lw)
+        };
+        if let Some(d) = dict {
+            batch.set_str_dict(c, d.clone());
+        }
+    }
+    Ok(batch)
 }
 
 /// Expose the partition fan-out chosen for a build side of `rows` rows
@@ -256,10 +618,26 @@ pub fn cross_join(left: &Batch, right: &Batch) -> Result<Batch> {
 mod tests {
     use super::*;
     use dash_common::types::DataType;
-    use dash_common::{row, Field, Schema};
+    use dash_common::{row, Field, Row, Schema};
 
     fn stmt() -> StatementContext {
         StatementContext::unbounded()
+    }
+
+    /// Run the join under both key modes, assert they agree, and return
+    /// the encoded-path result. All fixtures keep the build side under one
+    /// partition, so even the row order must match across paths.
+    fn join_both(l: &Batch, r: &Batch, on: &[(usize, usize)], jt: JoinType) -> Batch {
+        let mut s1 = ExecStats::default();
+        let mut s2 = ExecStats::default();
+        let enc = hash_join(l, r, on, jt, KeyMode::Encoded, 1, &stmt(), &mut s1).unwrap();
+        let dat = hash_join(l, r, on, jt, KeyMode::Datum, 1, &stmt(), &mut s2).unwrap();
+        // Compare row-wise: Datum equality treats NaN == NaN (SQL semantics),
+        // while raw f64 column equality does not.
+        assert_eq!(enc.to_rows(), dat.to_rows(), "encoded and Datum paths must agree");
+        assert_eq!(enc.schema(), dat.schema());
+        assert_eq!(s2.encoded_key_rows, 0, "Datum mode must not take the encoded path");
+        enc
     }
 
     fn orders() -> Batch {
@@ -296,8 +674,7 @@ mod tests {
 
     #[test]
     fn inner_join_basic() {
-        let mut stats = ExecStats::default();
-        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
+        let out = join_both(&orders(), &customers(), &[(1, 0)], JoinType::Inner);
         assert_eq!(out.len(), 3); // o1, o2, o3 match; o4 null; o5 dangling
         assert_eq!(out.schema().len(), 4);
         let names: Vec<String> = out
@@ -311,8 +688,7 @@ mod tests {
 
     #[test]
     fn left_join_pads_nulls() {
-        let mut stats = ExecStats::default();
-        let out = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Left, 1, &stmt(), &mut stats).unwrap();
+        let out = join_both(&orders(), &customers(), &[(1, 0)], JoinType::Left);
         assert_eq!(out.len(), 5);
         let unmatched: Vec<Row> = out
             .to_rows()
@@ -324,11 +700,10 @@ mod tests {
 
     #[test]
     fn semi_and_anti() {
-        let mut stats = ExecStats::default();
-        let semi = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Semi, 1, &stmt(), &mut stats).unwrap();
+        let semi = join_both(&orders(), &customers(), &[(1, 0)], JoinType::Semi);
         assert_eq!(semi.len(), 3);
         assert_eq!(semi.schema().len(), 2, "semi keeps left columns only");
-        let anti = hash_join(&orders(), &customers(), &[(1, 0)], JoinType::Anti, 1, &stmt(), &mut stats).unwrap();
+        let anti = join_both(&orders(), &customers(), &[(1, 0)], JoinType::Anti);
         assert_eq!(anti.len(), 2);
         let ids: Vec<i64> = anti.to_rows().iter().map(|r| r.get(0).as_int().unwrap()).collect();
         assert!(ids.contains(&4) && ids.contains(&5));
@@ -348,8 +723,7 @@ mod tests {
             &[row![1i64, 100i64], row![1i64, 200i64], row![2i64, 300i64]],
         )
         .unwrap();
-        let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
+        let out = join_both(&l, &r, &[(0, 0)], JoinType::Inner);
         assert_eq!(out.len(), 4, "2 probe x 2 build matches");
     }
 
@@ -366,8 +740,7 @@ mod tests {
         )
         .unwrap();
         let r = Batch::from_rows(schema, &[row![1i64, "x"], row![2i64, "y"]]).unwrap();
-        let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0), (1, 1)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
+        let out = join_both(&l, &r, &[(0, 0), (1, 1)], JoinType::Inner);
         assert_eq!(out.len(), 1);
     }
 
@@ -381,21 +754,58 @@ mod tests {
         let r_rows: Vec<Row> = (0..1000).map(|i| row![i as i64]).collect();
         let r = Batch::from_rows(schema, &r_rows).unwrap();
         assert!(partition_count(n) > 1);
-        let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
+        let out = join_both(&l, &r, &[(0, 0)], JoinType::Inner);
         assert_eq!(out.len(), n);
+        let mut stats = ExecStats::default();
+        hash_join(&l, &r, &[(0, 0)], JoinType::Inner, KeyMode::Encoded, 1, &stmt(), &mut stats)
+            .unwrap();
         assert!(stats.rows_partitioned >= (n + 1000) as u64);
+        assert_eq!(stats.encoded_key_rows, (n + 1000) as u64);
     }
 
     #[test]
     fn cross_type_numeric_keys_join() {
-        // Int 2 joins Float 2.0 (Datum equality is cross-numeric).
+        // Int 2 joins Float 2.0 (Datum equality is cross-numeric). The
+        // planner marks this Datum; even if asked for Encoded, the runtime
+        // column-kind check must fall back.
         let sl = Schema::new(vec![Field::new("k", DataType::Int64)]).unwrap();
         let sr = Schema::new(vec![Field::new("k", DataType::Float64)]).unwrap();
-        let l = Batch::from_rows(sl, &[row![2i64]]).unwrap();
-        let r = Batch::from_rows(sr, &[row![2.0f64]]).unwrap();
-        let mut stats = ExecStats::default();
-        let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, 1, &stmt(), &mut stats).unwrap();
-        assert_eq!(out.len(), 1);
+        let l = Batch::from_rows(sl.clone(), &[row![2i64]]).unwrap();
+        let r = Batch::from_rows(sr.clone(), &[row![2.0f64]]).unwrap();
+        assert_eq!(KeyMode::for_join(&sl, &sr, &[(0, 0)]), KeyMode::Datum);
+        for mode in [KeyMode::Encoded, KeyMode::Datum] {
+            let mut stats = ExecStats::default();
+            let out = hash_join(&l, &r, &[(0, 0)], JoinType::Inner, mode, 1, &stmt(), &mut stats)
+                .unwrap();
+            assert_eq!(out.len(), 1);
+            assert_eq!(stats.encoded_key_rows, 0, "cross-domain keys must fall back");
+            assert_eq!(stats.datum_key_rows, 2);
+        }
+    }
+
+    #[test]
+    fn float_keys_encoded_path_matches() {
+        // -0.0 joins +0.0 and NaN never equals anything under SQL... but
+        // Datum::sql_cmp treats NaN as Equal to NaN, so both paths must too.
+        let s = Schema::new(vec![Field::new("k", DataType::Float64)]).unwrap();
+        let l = Batch::from_rows(
+            s.clone(),
+            &[row![-0.0f64], row![1.5f64], row![f64::NAN]],
+        )
+        .unwrap();
+        let r = Batch::from_rows(s, &[row![0.0f64], row![f64::NAN]]).unwrap();
+        let out = join_both(&l, &r, &[(0, 0)], JoinType::Inner);
+        assert_eq!(out.len(), 2, "-0.0 matches +0.0; NaN matches NaN");
+    }
+
+    #[test]
+    fn str_keys_without_dictionary_use_interner() {
+        let out = join_both(
+            &customers().project(&[1, 0]),
+            &customers(),
+            &[(0, 1)],
+            JoinType::Inner,
+        );
+        assert_eq!(out.len(), 3);
     }
 }

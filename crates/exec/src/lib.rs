@@ -31,6 +31,7 @@ pub mod expr;
 pub mod functions;
 pub mod geo;
 pub mod join;
+pub mod key;
 pub mod plan;
 pub mod pool;
 pub mod scan;
@@ -40,6 +41,7 @@ pub mod stats;
 
 pub use batch::Batch;
 pub use expr::Expr;
+pub use key::KeyMode;
 pub use plan::{execute, PhysicalPlan};
 pub use scan::{ColumnPredicate, ScanConfig};
 pub use stats::ExecStats;

@@ -11,6 +11,7 @@ use crate::batch::Batch;
 use crate::expr::Expr;
 use crate::functions::EvalContext;
 use crate::join::{hash_join, JoinType};
+use crate::key::KeyMode;
 use crate::scan::{scan, ScanConfig};
 use crate::sort::{sort_batch, SortKey, SortOptions};
 use crate::stats::ExecStats;
@@ -65,6 +66,9 @@ pub enum PhysicalPlan {
         on: Vec<(usize, usize)>,
         /// Join type.
         join_type: JoinType,
+        /// Key path: `Encoded` hashes/probes fixed-width code words
+        /// (operate on compressed); `Datum` is the general fallback.
+        key_mode: KeyMode,
         /// Worker-pool width for partitioning and build+probe morsels.
         parallelism: usize,
     },
@@ -78,6 +82,9 @@ pub enum PhysicalPlan {
         aggs: Vec<AggExpr>,
         /// Output schema: group columns then aggregate columns.
         schema: Schema,
+        /// Key path: `Encoded` groups on fixed-width code words when every
+        /// key is a bare column; `Datum` is the general fallback.
+        key_mode: KeyMode,
         /// Worker-pool width for key-eval and per-partition morsels.
         parallelism: usize,
     },
@@ -214,17 +221,18 @@ impl PhysicalPlan {
                 right,
                 on,
                 join_type,
+                key_mode,
                 parallelism,
             } => {
                 out.push_str(&format!(
-                    "{pad}HashJoin {join_type:?} on={on:?} par={parallelism}\n"
+                    "{pad}HashJoin {join_type:?} on={on:?} keys={key_mode:?} par={parallelism}\n"
                 ));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            PhysicalPlan::HashAggregate { input, group, aggs, .. } => {
+            PhysicalPlan::HashAggregate { input, group, aggs, key_mode, .. } => {
                 out.push_str(&format!(
-                    "{pad}HashAggregate groups={} aggs={}\n",
+                    "{pad}HashAggregate groups={} aggs={} keys={key_mode:?}\n",
                     group.len(),
                     aggs.len()
                 ));
@@ -327,17 +335,19 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
             right,
             on,
             join_type,
+            key_mode,
             parallelism,
         } => {
             let l = exec_node(left, ctx, stats)?;
             let r = exec_node(right, ctx, stats)?;
-            hash_join(&l, &r, on, *join_type, *parallelism, &ctx.statement, stats)
+            hash_join(&l, &r, on, *join_type, *key_mode, *parallelism, &ctx.statement, stats)
         }
         PhysicalPlan::HashAggregate {
             input,
             group,
             aggs,
             schema,
+            key_mode,
             parallelism,
         } => {
             // Fused star-join aggregation: aggregate while probing instead
@@ -347,6 +357,7 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
                 right,
                 on,
                 join_type: JoinType::Inner,
+                key_mode: join_key_mode,
                 parallelism: join_parallelism,
             } = &**input
             {
@@ -360,22 +371,33 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
                     aggs,
                     schema,
                 ) {
+                    // The fused path keys on Datums while probing.
+                    stats.datum_key_rows += (l.len() + r.len()) as u64;
                     return result;
                 }
-                let joined =
-                    hash_join(&l, &r, on, JoinType::Inner, *join_parallelism, &ctx.statement, stats)?;
+                let joined = hash_join(
+                    &l,
+                    &r,
+                    on,
+                    JoinType::Inner,
+                    *join_key_mode,
+                    *join_parallelism,
+                    &ctx.statement,
+                    stats,
+                )?;
                 return hash_aggregate(
                     &joined,
                     group,
                     aggs,
                     schema.clone(),
                     ctx,
+                    *key_mode,
                     *parallelism,
                     stats,
                 );
             }
             let child = exec_node(input, ctx, stats)?;
-            hash_aggregate(&child, group, aggs, schema.clone(), ctx, *parallelism, stats)
+            hash_aggregate(&child, group, aggs, schema.clone(), ctx, *key_mode, *parallelism, stats)
         }
         PhysicalPlan::Sort {
             input,
@@ -581,6 +603,7 @@ mod tests {
             }),
             on: vec![(1, 0)],
             join_type: JoinType::Inner,
+            key_mode: KeyMode::Encoded,
             parallelism: 2,
         };
         let agg = PhysicalPlan::HashAggregate {
@@ -604,6 +627,7 @@ mod tests {
                 Field::new("total", DataType::Float64),
             ])
             .unwrap(),
+            key_mode: KeyMode::Encoded,
             parallelism: 2,
         };
         let plan = PhysicalPlan::Sort {

@@ -321,7 +321,14 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
         }
     }
 
-    let batch = Batch::new(out_schema, out_cols)?;
+    let mut batch = Batch::new(out_schema, out_cols)?;
+    // Attach storage dictionaries so downstream joins/aggregates can key on
+    // packed dictionary codes (operate on compressed) instead of strings.
+    for (oi, &col) in config.projection.iter().enumerate() {
+        if let Some(dict) = table.str_dict(col) {
+            batch.set_str_dict(oi, dict.clone());
+        }
+    }
     stats.rows_out = batch.len() as u64;
     Ok((batch, stats))
 }

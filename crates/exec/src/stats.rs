@@ -46,6 +46,16 @@ pub struct ExecStats {
     /// Row-range morsels that radix-scattered aggregate keys into
     /// thread-local partition buckets (the pass that used to be serial).
     pub agg_scatter_morsels: u64,
+    /// Join/group key rows evaluated on the operate-on-compressed path
+    /// (fixed-width code words, no `Datum` in the hot loop).
+    pub encoded_key_rows: u64,
+    /// Join/group key rows evaluated on the `Datum` fallback path
+    /// (cross-type keys, computed expressions, mixed encodings).
+    pub datum_key_rows: u64,
+    /// Rows whose side lost the dictionary vote and re-encoded into the
+    /// other side's code domain (the re-encode rule: translate the
+    /// smaller side, never decode the larger one).
+    pub keys_reencoded_rows: u64,
 }
 
 impl ExecStats {
@@ -99,6 +109,9 @@ impl AddAssign for ExecStats {
         // Widest fan-in across phases, not a sum.
         self.merge_fanin = self.merge_fanin.max(rhs.merge_fanin);
         self.agg_scatter_morsels += rhs.agg_scatter_morsels;
+        self.encoded_key_rows += rhs.encoded_key_rows;
+        self.datum_key_rows += rhs.datum_key_rows;
+        self.keys_reencoded_rows += rhs.keys_reencoded_rows;
     }
 }
 
@@ -157,5 +170,24 @@ mod tests {
         assert_eq!(s.sort_runs_generated, 8, "runs sum across sorts");
         assert_eq!(s.merge_fanin, 3, "fan-in is the widest merge, not a sum");
         assert_eq!(s.agg_scatter_morsels, 6);
+    }
+
+    #[test]
+    fn key_path_counters_sum() {
+        let mut s = ExecStats {
+            encoded_key_rows: 100,
+            datum_key_rows: 10,
+            keys_reencoded_rows: 5,
+            ..Default::default()
+        };
+        s += ExecStats {
+            encoded_key_rows: 50,
+            datum_key_rows: 1,
+            keys_reencoded_rows: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.encoded_key_rows, 150);
+        assert_eq!(s.datum_key_rows, 11);
+        assert_eq!(s.keys_reencoded_rows, 7);
     }
 }

@@ -21,6 +21,7 @@ use dash_exec::agg::{AggExpr, AggFunc};
 use dash_exec::expr::{ArithOp, CmpOp, Expr};
 use dash_exec::functions::{EvalContext, FunctionRegistry};
 use dash_exec::join::JoinType;
+use dash_exec::key::KeyMode;
 use dash_exec::plan::{PhysicalPlan, SharedTable};
 use dash_exec::scan::{ColumnPredicate, ScanConfig};
 use dash_exec::sort::SortKey;
@@ -697,11 +698,14 @@ impl Planner<'_> {
                 Some((idx, l, r, outer)) => {
                     let (rplan, rscope) = items.remove(idx);
                     let jt = if outer { JoinType::Left } else { JoinType::Inner };
+                    let on = vec![(l, r)];
+                    let key_mode = KeyMode::for_join(&plan.schema(), &rplan.schema(), &on);
                     plan = PhysicalPlan::HashJoin {
                         left: Box::new(plan),
                         right: Box::new(rplan),
-                        on: vec![(l, r)],
+                        on,
                         join_type: jt,
+                        key_mode,
                         parallelism: self.provider.parallelism(),
                     };
                     scope = scope.join(&rscope);
@@ -860,11 +864,17 @@ impl Planner<'_> {
                             // re-project into the original column order.
                             let flipped: Vec<(usize, usize)> =
                                 on.iter().map(|&(l, r)| (r, l)).collect();
+                            let key_mode = KeyMode::for_join(
+                                &rplan.schema(),
+                                &lplan.schema(),
+                                &flipped,
+                            );
                             let inner = PhysicalPlan::HashJoin {
                                 left: Box::new(rplan),
                                 right: Box::new(lplan),
                                 on: flipped,
                                 join_type: JoinType::Left,
+                                key_mode,
                                 parallelism: self.provider.parallelism(),
                             };
                             let nl = lscope.cols.len();
@@ -885,12 +895,15 @@ impl Planner<'_> {
                             } else {
                                 JoinType::Inner
                             };
+                            let key_mode =
+                                KeyMode::for_join(&lplan.schema(), &rplan.schema(), &on);
                             (
                                 PhysicalPlan::HashJoin {
                                     left: Box::new(lplan),
                                     right: Box::new(rplan),
                                     on,
                                     join_type: jt,
+                                    key_mode,
                                     parallelism: self.provider.parallelism(),
                                 },
                                 combined,
@@ -1147,11 +1160,13 @@ impl Planner<'_> {
             });
         }
         let agg_scope = Scope { cols: out_cols };
+        let key_mode = KeyMode::for_group(&input.schema(), &group_exprs);
         let plan = PhysicalPlan::HashAggregate {
             input: Box::new(input),
             group: group_exprs,
             aggs,
             schema: agg_scope.to_schema(),
+            key_mode,
             parallelism: self.provider.parallelism(),
         };
 
@@ -2012,6 +2027,7 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
                     right,
                     on,
                     join_type: JoinType::Inner,
+                    key_mode,
                     parallelism,
                 } => {
                     let lw = left.schema().len();
@@ -2041,6 +2057,7 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
                         right: Box::new(pushdown(wrap(*right, rpreds))),
                         on,
                         join_type: JoinType::Inner,
+                        key_mode,
                         parallelism,
                     };
                     return match and_all(keep) {
@@ -2097,12 +2114,14 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
             right,
             on,
             join_type,
+            key_mode,
             parallelism,
         } => PhysicalPlan::HashJoin {
             left: Box::new(pushdown(*left)),
             right: Box::new(pushdown(*right)),
             on,
             join_type,
+            key_mode,
             parallelism,
         },
         PhysicalPlan::CrossJoin { left, right } => PhysicalPlan::CrossJoin {
@@ -2114,12 +2133,14 @@ pub fn pushdown(plan: PhysicalPlan) -> PhysicalPlan {
             group,
             aggs,
             schema,
+            key_mode,
             parallelism,
         } => PhysicalPlan::HashAggregate {
             input: Box::new(pushdown(*input)),
             group,
             aggs,
             schema,
+            key_mode,
             parallelism,
         },
         PhysicalPlan::Sort {

@@ -18,7 +18,9 @@ use dash_common::txn::{is_pending, pending, pending_owner, SnapshotView, TxnId, 
 use dash_common::{DashError, Datum, Result, Row, Schema};
 use dash_encoding::bitmap::Bitmap;
 use dash_encoding::column::{ColumnCompressor, ColumnEncoding, ColumnValues};
+use dash_encoding::dict::FreqDict;
 use dash_encoding::EncodedBlock;
+use std::sync::Arc;
 
 /// Tuples per stride — the paper collects skipping metadata "for
 /// (approximately) 1K tuples".
@@ -29,6 +31,11 @@ pub const STRIDE: usize = 1024;
 struct ColumnState {
     encoding: Option<ColumnEncoding>,
     blocks: Vec<EncodedBlock>,
+    /// Shared handle on the string dictionary inside `encoding`, when the
+    /// column is dictionary-coded. Cached so scans can attach it to output
+    /// batches (the operate-on-compressed key path) without cloning the
+    /// dictionary per query.
+    str_dict: Option<Arc<FreqDict<Arc<str>>>>,
 }
 
 /// A column-organized table.
@@ -73,6 +80,7 @@ impl ColumnTable {
                 ColumnState {
                     encoding: None,
                     blocks: Vec::new(),
+                    str_dict: None,
                 };
                 ncols
             ],
@@ -121,6 +129,13 @@ impl ColumnTable {
     /// The encoding of column `col`, if analysis has run.
     pub fn encoding(&self, col: usize) -> Option<&ColumnEncoding> {
         self.columns[col].encoding.as_ref()
+    }
+
+    /// Shared handle on the frequency dictionary backing string column
+    /// `col`, if it is dictionary-coded. Joins and aggregates use this to
+    /// key on packed dictionary codes instead of string bytes.
+    pub fn str_dict(&self, col: usize) -> Option<&Arc<FreqDict<Arc<str>>>> {
+        self.columns[col].str_dict.as_ref()
     }
 
     /// The encoded block of column `col` in sealed stride `stride`.
@@ -203,7 +218,9 @@ impl ColumnTable {
         self.reset();
         // Global analysis.
         for (i, values) in staged.iter().enumerate() {
-            self.columns[i].encoding = Some(self.compressor.analyze(values));
+            let enc = self.compressor.analyze(values);
+            self.columns[i].str_dict = str_dict_of(&enc);
+            self.columns[i].encoding = Some(enc);
         }
         // Encode full strides.
         let n = count as usize;
@@ -238,6 +255,7 @@ impl ColumnTable {
     fn reset(&mut self) {
         for c in &mut self.columns {
             c.encoding = None;
+            c.str_dict = None;
             c.blocks.clear();
         }
         for (i, f) in self.schema.fields().iter().enumerate() {
@@ -257,7 +275,9 @@ impl ColumnTable {
         for i in 0..self.columns.len() {
             if self.columns[i].encoding.is_none() {
                 // First seal: analyze on what we have.
-                self.columns[i].encoding = Some(self.compressor.analyze(&self.open[i]));
+                let enc = self.compressor.analyze(&self.open[i]);
+                self.columns[i].str_dict = str_dict_of(&enc);
+                self.columns[i].encoding = Some(enc);
             }
         }
         for i in 0..self.columns.len() {
@@ -607,6 +627,14 @@ impl ColumnTable {
             synopsis_bytes: self.synopsis.size_bytes(),
             column_ndv: ndv,
         }
+    }
+}
+
+/// Shared dictionary handle for a freshly analyzed encoding, if any.
+fn str_dict_of(enc: &ColumnEncoding) -> Option<Arc<FreqDict<Arc<str>>>> {
+    match enc {
+        ColumnEncoding::StrDict { dict, .. } => Some(Arc::new(dict.clone())),
+        _ => None,
     }
 }
 

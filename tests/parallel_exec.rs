@@ -14,6 +14,7 @@ use dashdb_local::exec::agg::{hash_aggregate, AggExpr, AggFunc};
 use dashdb_local::exec::expr::Expr;
 use dashdb_local::exec::functions::EvalContext;
 use dashdb_local::exec::join::{hash_join, JoinType};
+use dashdb_local::exec::key::KeyMode;
 use dashdb_local::exec::stats::ExecStats;
 use dashdb_local::exec::Batch;
 
@@ -105,6 +106,7 @@ fn generic_aggregate_matches_serial_exactly() {
         &aggs,
         schema.clone(),
         &EvalContext::default(),
+        KeyMode::Datum,
         1,
         &mut serial_stats,
     )
@@ -118,6 +120,7 @@ fn generic_aggregate_matches_serial_exactly() {
             &aggs,
             schema.clone(),
             &EvalContext::default(),
+            KeyMode::Datum,
             par,
             &mut stats,
         )
@@ -154,6 +157,7 @@ fn fast_path_aggregate_matches_serial_exactly() {
         &aggs,
         schema.clone(),
         &EvalContext::default(),
+        KeyMode::Encoded,
         1,
         &mut serial_stats,
     )
@@ -166,6 +170,7 @@ fn fast_path_aggregate_matches_serial_exactly() {
             &aggs,
             schema.clone(),
             &EvalContext::default(),
+            KeyMode::Encoded,
             par,
             &mut stats,
         )
@@ -193,6 +198,7 @@ fn fast_path_float_sums_match_within_epsilon() {
             &aggs,
             schema.clone(),
             &EvalContext::default(),
+            KeyMode::Encoded,
             par,
             &mut stats,
         )
@@ -233,6 +239,7 @@ fn global_aggregate_matches_serial() {
             &aggs,
             schema.clone(),
             &EvalContext::default(),
+            KeyMode::Datum,
             1,
             &mut stats,
         )
@@ -246,6 +253,7 @@ fn global_aggregate_matches_serial() {
                 &aggs,
                 schema.clone(),
                 &EvalContext::default(),
+                KeyMode::Datum,
                 par,
                 &mut stats,
             )
@@ -302,23 +310,35 @@ fn join_sides(n: usize) -> (Batch, Batch) {
 fn joins_match_serial_exactly_for_all_types() {
     let (left, right) = join_sides(20_000);
     for join_type in [JoinType::Inner, JoinType::Left, JoinType::Semi, JoinType::Anti] {
-        let mut serial_stats = ExecStats::default();
-        let serial = hash_join(&left, &right, &[(1, 0)], join_type, 1, &StatementContext::unbounded(), &mut serial_stats).unwrap();
-        assert!(serial_stats.parallel_workers_used <= 1);
-        for par in PARALLELISMS {
-            let mut stats = ExecStats::default();
-            let out = hash_join(&left, &right, &[(1, 0)], join_type, par, &StatementContext::unbounded(), &mut stats).unwrap();
-            assert_eq!(
-                out.to_rows(),
-                serial.to_rows(),
-                "{join_type:?} at parallelism {par}"
-            );
-            assert!(
-                stats.parallel_workers_used > 1,
-                "{join_type:?} at parallelism {par}"
-            );
-            assert!(stats.morsels_dispatched > 1);
+        let mut per_mode = Vec::new();
+        for key_mode in [KeyMode::Encoded, KeyMode::Datum] {
+            let mut serial_stats = ExecStats::default();
+            let serial = hash_join(&left, &right, &[(1, 0)], join_type, key_mode, 1, &StatementContext::unbounded(), &mut serial_stats).unwrap();
+            assert!(serial_stats.parallel_workers_used <= 1);
+            if key_mode == KeyMode::Encoded {
+                assert!(serial_stats.encoded_key_rows > 0, "{join_type:?}");
+            } else {
+                assert_eq!(serial_stats.encoded_key_rows, 0, "{join_type:?}");
+            }
+            for par in PARALLELISMS {
+                let mut stats = ExecStats::default();
+                let out = hash_join(&left, &right, &[(1, 0)], join_type, key_mode, par, &StatementContext::unbounded(), &mut stats).unwrap();
+                assert_eq!(
+                    out.to_rows(),
+                    serial.to_rows(),
+                    "{join_type:?} {key_mode:?} at parallelism {par}"
+                );
+                assert!(
+                    stats.parallel_workers_used > 1,
+                    "{join_type:?} {key_mode:?} at parallelism {par}"
+                );
+                assert!(stats.morsels_dispatched > 1);
+            }
+            per_mode.push(serial.to_rows());
         }
+        // The build side fits in one partition, so even row order matches
+        // between the encoded and Datum key paths.
+        assert_eq!(per_mode[0], per_mode[1], "{join_type:?}: paths must agree");
     }
 }
 
@@ -334,13 +354,134 @@ fn join_with_all_null_keys_matches_serial() {
     let left = Batch::from_rows(schema, &rows).unwrap();
     let (_, right) = join_sides(0);
     for join_type in [JoinType::Inner, JoinType::Left, JoinType::Semi, JoinType::Anti] {
-        let mut stats = ExecStats::default();
-        let serial = hash_join(&left, &right, &[(1, 0)], join_type, 1, &StatementContext::unbounded(), &mut stats).unwrap();
-        for par in PARALLELISMS {
+        for key_mode in [KeyMode::Encoded, KeyMode::Datum] {
             let mut stats = ExecStats::default();
-            let out = hash_join(&left, &right, &[(1, 0)], join_type, par, &StatementContext::unbounded(), &mut stats).unwrap();
-            assert_eq!(out.to_rows(), serial.to_rows(), "{join_type:?} par {par}");
+            let serial = hash_join(&left, &right, &[(1, 0)], join_type, key_mode, 1, &StatementContext::unbounded(), &mut stats).unwrap();
+            for par in PARALLELISMS {
+                let mut stats = ExecStats::default();
+                let out = hash_join(&left, &right, &[(1, 0)], join_type, key_mode, par, &StatementContext::unbounded(), &mut stats).unwrap();
+                assert_eq!(out.to_rows(), serial.to_rows(), "{join_type:?} {key_mode:?} par {par}");
+            }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operate-on-compressed equivalence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn encoded_aggregate_matches_datum_aggregate() {
+    // Multi-key grouping (string + int, both with NULLs): the encoded
+    // aggregate interns code words, the Datum path hashes materialized
+    // keys. Group sets and aggregates must agree exactly; emit order is
+    // path-specific, so rows are compared sorted.
+    let input = fact_batch(BIG);
+    let schema = out_schema(&[
+        ("region", DataType::Utf8),
+        ("grp", DataType::Int64),
+        ("cnt", DataType::Int64),
+        ("total", DataType::Int64),
+    ]);
+    let aggs = [count_star(), agg(AggFunc::Sum, 2)];
+    let groups = [Expr::col(0), Expr::col(1)];
+    let run = |key_mode: KeyMode, par: usize| {
+        let mut stats = ExecStats::default();
+        let mut rows = hash_aggregate(
+            &input,
+            &groups,
+            &aggs,
+            schema.clone(),
+            &EvalContext::default(),
+            key_mode,
+            par,
+            &mut stats,
+        )
+        .unwrap()
+        .to_rows();
+        rows.sort_by_key(|r| (r.get(0).render(), r.get(1).render()));
+        (rows, stats)
+    };
+    let (datum_rows, datum_stats) = run(KeyMode::Datum, 1);
+    assert_eq!(datum_stats.encoded_key_rows, 0);
+    assert_eq!(datum_stats.datum_key_rows, BIG as u64);
+    for par in [1usize, 4] {
+        let (enc_rows, enc_stats) = run(KeyMode::Encoded, par);
+        assert_eq!(enc_rows, datum_rows, "parallelism {par}");
+        assert_eq!(enc_stats.encoded_key_rows, BIG as u64, "parallelism {par}");
+        assert_eq!(enc_stats.datum_key_rows, 0);
+    }
+}
+
+#[test]
+fn float_group_keys_agree_across_all_paths() {
+    // -0.0 and +0.0 are one group, every NaN is one group — on the
+    // vectorized fast path, the encoded path, and the generic Datum path
+    // alike (canonical_f64_bits unifies the key identity everywhere).
+    let schema = Schema::new(vec![Field::new("k", DataType::Float64)]).unwrap();
+    let rows: Vec<Row> = (0..4096)
+        .map(|i| match i % 5 {
+            0 => row![-0.0f64],
+            1 => row![0.0f64],
+            2 => row![f64::NAN],
+            3 => row![-f64::NAN],
+            _ => row![1.5f64],
+        })
+        .collect();
+    let input = Batch::from_rows(schema, &rows).unwrap();
+    let aggs = [count_star()];
+    let run = |groups: &[Expr], out: &Schema, key_mode: KeyMode, par: usize| {
+        let mut stats = ExecStats::default();
+        let mut got = hash_aggregate(
+            &input,
+            groups,
+            &aggs,
+            out.clone(),
+            &EvalContext::default(),
+            key_mode,
+            par,
+            &mut stats,
+        )
+        .unwrap()
+        .to_rows();
+        got.sort_by_key(|r| {
+            r.values().iter().map(|d| d.render()).collect::<Vec<_>>()
+        });
+        got
+    };
+    // Single bare float key: the vectorized fast path (Encoded) vs the
+    // generic Datum path. 3 groups: ±0.0 fold together, NaNs fold together.
+    let out1 = out_schema(&[("k", DataType::Float64), ("cnt", DataType::Int64)]);
+    let bare = [Expr::col(0)];
+    let mut single = Vec::new();
+    for key_mode in [KeyMode::Encoded, KeyMode::Datum] {
+        for par in [1usize, 4] {
+            let got = run(&bare, &out1, key_mode, par);
+            assert_eq!(got.len(), 3, "{key_mode:?} par {par}");
+            single.push(got);
+        }
+    }
+    for other in &single[1..] {
+        assert_eq!(&single[0], other, "single-key paths must agree on float identity");
+    }
+    // Doubled key (k, k): multi-key grouping rides the encoded aggregate
+    // under Encoded and the generic partitioned path under Datum.
+    let out2 = out_schema(&[
+        ("k", DataType::Float64),
+        ("k2", DataType::Float64),
+        ("cnt", DataType::Int64),
+    ]);
+    let double = [Expr::col(0), Expr::col(0)];
+    let mut multi = Vec::new();
+    for key_mode in [KeyMode::Encoded, KeyMode::Datum] {
+        for par in [1usize, 4] {
+            let got = run(&double, &out2, key_mode, par);
+            assert_eq!(got.len(), 3, "{key_mode:?} par {par}");
+            multi.push(got);
+        }
+    }
+    for other in &multi[1..] {
+        assert_eq!(&multi[0], other, "multi-key paths must agree on float identity");
     }
 }
 
@@ -395,15 +536,88 @@ fn sql_results_identical_across_worker_counts_with_deletes() {
         "SELECT d.name, f.label, COUNT(*) FROM facts f JOIN dims d ON f.grp = d.g \
          GROUP BY d.name, f.label ORDER BY d.name, f.label",
     ];
-    for sql in queries {
+    for (qi, sql) in queries.iter().enumerate() {
         db.catalog().set_parallelism(1);
         let serial = s.execute(sql).unwrap();
         assert!(serial.stats.parallel_workers_used <= 1, "{sql}");
+        if qi == 2 {
+            // The int-keyed join hashes encoded key words even with MVCC
+            // delete filtering in the scan underneath.
+            assert!(serial.stats.encoded_key_rows > 0, "{:?}", serial.stats);
+        }
         for par in [2usize, 4] {
             db.catalog().set_parallelism(par);
             let out = s.execute(sql).unwrap();
             assert_eq!(out.rows, serial.rows, "{sql} at parallelism {par}");
         }
+    }
+}
+
+#[test]
+fn sql_string_join_reencodes_build_side_codes() {
+    // Both join sides are dictionary-backed strings with distinct
+    // dictionaries: the smaller (build) side must be translated into the
+    // probe side's code domain, never the reverse.
+    let db = seeded_db(5_000);
+    let mut s = db.connect();
+    let schema = Schema::new(vec![
+        Field::not_null("lab", DataType::Utf8),
+        Field::new("boost", DataType::Int64),
+    ])
+    .unwrap();
+    let t = db.catalog().create_table("labels", schema, None).unwrap();
+    let rows: Vec<Row> = (0..23).map(|k| row![format!("L{k}"), k as i64]).collect();
+    t.write().load_rows(rows).unwrap();
+
+    let sql = "SELECT f.id, l.boost FROM facts f JOIN labels l ON f.label = l.lab \
+               ORDER BY f.id";
+    db.catalog().set_parallelism(1);
+    let serial = s.execute(sql).unwrap();
+    assert_eq!(serial.rows.len(), 5_000, "every fact label resolves");
+    assert!(serial.stats.encoded_key_rows > 0, "{:?}", serial.stats);
+    assert_eq!(serial.stats.datum_key_rows, 0, "{:?}", serial.stats);
+    assert_eq!(
+        serial.stats.keys_reencoded_rows, 23,
+        "build side re-encoded into the probe dictionary: {:?}",
+        serial.stats
+    );
+    for par in [2usize, 4] {
+        db.catalog().set_parallelism(par);
+        let out = s.execute(sql).unwrap();
+        assert_eq!(out.rows, serial.rows, "parallelism {par}");
+        assert!(out.stats.encoded_key_rows > 0);
+    }
+    // The statement counters land in the monitor's key-path store.
+    let k = db.monitor().key_path();
+    assert!(k.encoded_key_rows > 0);
+    assert!(k.keys_reencoded_rows > 0);
+}
+
+#[test]
+fn sql_cross_type_join_falls_back_to_datum_keys() {
+    // Int joined against Float: code domains differ, so the planner keeps
+    // the Datum key path — and 2 must still equal 2.0 there.
+    let db = seeded_db(200);
+    let mut s = db.connect();
+    let schema = Schema::new(vec![
+        Field::not_null("x", DataType::Float64),
+        Field::new("tag", DataType::Utf8),
+    ])
+    .unwrap();
+    let t = db.catalog().create_table("fvals", schema, None).unwrap();
+    let rows: Vec<Row> = (0..50).map(|k| row![(k * 7) as f64, format!("t{k}")]).collect();
+    t.write().load_rows(rows).unwrap();
+
+    let sql = "SELECT f.id, v.tag FROM facts f JOIN fvals v ON f.qty = v.x ORDER BY f.id";
+    db.catalog().set_parallelism(1);
+    let serial = s.execute(sql).unwrap();
+    assert!(!serial.rows.is_empty(), "int 7k == float 7k.0 must match");
+    assert_eq!(serial.stats.encoded_key_rows, 0, "{:?}", serial.stats);
+    assert!(serial.stats.datum_key_rows > 0, "{:?}", serial.stats);
+    for par in [2usize, 4] {
+        db.catalog().set_parallelism(par);
+        let out = s.execute(sql).unwrap();
+        assert_eq!(out.rows, serial.rows, "parallelism {par}");
     }
 }
 
@@ -657,6 +871,7 @@ fn generic_agg_scatter_reports_morsels() {
             &aggs,
             schema.clone(),
             &EvalContext::default(),
+            KeyMode::Datum,
             par,
             &mut stats,
         )
