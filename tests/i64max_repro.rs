@@ -1,0 +1,19 @@
+use dashdb_local::common::types::DataType;
+use dashdb_local::common::{row, Field, Row, Schema, StatementContext};
+use dashdb_local::exec::join::{hash_join, JoinType};
+use dashdb_local::exec::key::KeyMode;
+use dashdb_local::exec::stats::ExecStats;
+use dashdb_local::exec::Batch;
+
+#[test]
+fn join_on_i64_max_key() {
+    let s = Schema::new(vec![Field::not_null("k", DataType::Int64)]).unwrap();
+    let l = Batch::from_rows(s.clone(), &[row![i64::MAX], row![1i64]]).unwrap();
+    let r = Batch::from_rows(s, &[row![i64::MAX], row![2i64]]).unwrap();
+    let mut stats = ExecStats::default();
+    let out = hash_join(
+        &l, &r, &[(0, 0)], JoinType::Inner, KeyMode::Encoded, 1,
+        &StatementContext::unbounded(), &mut stats,
+    ).unwrap();
+    assert_eq!(out.len(), 1);
+}
