@@ -53,6 +53,10 @@ struct StatementInner {
     budget_limit: u64,
     /// Bytes currently reserved against the budget.
     budget_used: AtomicU64,
+    /// Highest `budget_used` ever observed: the statement's peak reserved
+    /// footprint. Only tracked when a budget limit is set (like
+    /// `budget_used`), so unlimited statements stay on the fast path.
+    budget_high_water: AtomicU64,
     /// Reservations refused because they would exceed the budget.
     budget_rejections: AtomicU64,
     /// Worst preemption latency observed, in morsels: the maximum number
@@ -85,6 +89,7 @@ impl StatementContext {
                 deadline,
                 budget_limit: budget.unwrap_or(u64::MAX),
                 budget_used: AtomicU64::new(0),
+                budget_high_water: AtomicU64::new(0),
                 budget_rejections: AtomicU64::new(0),
                 cancel_latency_max_morsels: AtomicU64::new(0),
             }),
@@ -210,7 +215,12 @@ impl StatementContext {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(()),
+                Ok(_) => {
+                    self.inner
+                        .budget_high_water
+                        .fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
                 Err(actual) => used = actual,
             }
         }
@@ -239,6 +249,12 @@ impl StatementContext {
     /// Bytes currently reserved.
     pub fn budget_used(&self) -> u64 {
         self.inner.budget_used.load(Ordering::Relaxed)
+    }
+
+    /// Peak bytes ever reserved simultaneously. Zero for unlimited
+    /// statements (the budget account is not tracked without a limit).
+    pub fn budget_high_water(&self) -> u64 {
+        self.inner.budget_high_water.load(Ordering::Relaxed)
     }
 
     /// Reservations refused so far.
@@ -359,6 +375,9 @@ mod tests {
         ctx.release(500);
         ctx.try_reserve(500).unwrap();
         assert_eq!(ctx.budget_used(), 1000);
+        assert_eq!(ctx.budget_high_water(), 1000, "peak tracked across release");
+        ctx.release(1000);
+        assert_eq!(ctx.budget_high_water(), 1000, "release never lowers the peak");
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub struct Catalog {
     pub(crate) parallelism: std::sync::atomic::AtomicUsize,
     /// Rows per parallel sort run handed to planners.
     pub(crate) sort_run_rows: std::sync::atomic::AtomicUsize,
+    /// Whether the query-wide pipeline scheduler runs SELECTs
+    /// (`DASH_PIPELINE`; on by default).
+    pub(crate) pipeline_enabled: std::sync::atomic::AtomicBool,
+    /// Pipeline in-flight morsel window (`DASH_PIPELINE_INFLIGHT`;
+    /// 0 = auto, parallelism × 4).
+    pub(crate) pipeline_inflight: std::sync::atomic::AtomicUsize,
 }
 
 impl Catalog {
@@ -68,6 +74,8 @@ impl Catalog {
             sort_run_rows: std::sync::atomic::AtomicUsize::new(
                 dash_exec::sort::DEFAULT_SORT_RUN_ROWS,
             ),
+            pipeline_enabled: std::sync::atomic::AtomicBool::new(true),
+            pipeline_inflight: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -82,6 +90,32 @@ impl Catalog {
     pub fn set_sort_run_rows(&self, n: usize) {
         self.sort_run_rows
             .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Enable or disable the query-wide pipeline scheduler
+    /// (`DASH_PIPELINE`).
+    pub fn set_pipeline_enabled(&self, on: bool) {
+        self.pipeline_enabled
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Set the pipeline in-flight morsel window (`DASH_PIPELINE_INFLIGHT`;
+    /// 0 = auto).
+    pub fn set_pipeline_inflight(&self, n: usize) {
+        self.pipeline_inflight
+            .store(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether the pipeline scheduler is enabled for this catalog.
+    pub fn pipeline_enabled(&self) -> bool {
+        self.pipeline_enabled
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The configured pipeline in-flight window (0 = auto).
+    pub fn pipeline_inflight(&self) -> usize {
+        self.pipeline_inflight
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn fold(name: &str) -> String {

@@ -113,6 +113,8 @@ impl Database {
         let catalog = Arc::new(Catalog::new(pool));
         catalog.set_parallelism(config.effective_parallelism());
         catalog.set_sort_run_rows(config.effective_sort_run_rows());
+        catalog.set_pipeline_enabled(config.effective_pipeline_enabled());
+        catalog.set_pipeline_inflight(config.effective_pipeline_inflight());
         Database {
             catalog,
             config,
@@ -836,6 +838,10 @@ impl Session {
             now_micros: now,
             sequences: Some(self.db.catalog.clone()),
             statement: StatementContext::unbounded(),
+            pipeline: dash_exec::pipeline::PipelineConfig {
+                enabled: self.db.catalog.pipeline_enabled(),
+                inflight: self.db.catalog.pipeline_inflight(),
+            },
         }
     }
 
@@ -1076,6 +1082,14 @@ impl Session {
                         stats.keys_reencoded_rows,
                     );
                 }
+                if stats.pipelines_run > 0 {
+                    mon.record_pipeline(
+                        stats.pipelines_run,
+                        stats.pipeline_breakers,
+                        stats.peak_inflight_morsels,
+                        stats.peak_inflight_bytes,
+                    );
+                }
                 Ok(QueryResult {
                     kind: StatementKind::Query,
                     schema: batch.schema().clone(),
@@ -1284,7 +1298,18 @@ impl Session {
                 let ctx = self.eval_context();
                 let plan =
                     plan_select(&select, &self.provider(), self.dialect, &ctx)?;
-                plan.explain()
+                let mut text = plan.explain();
+                // Show how the morsel scheduler would decompose the plan
+                // (pipelines in execution order, build sides first).
+                if ctx.pipeline.enabled {
+                    if let Some(lines) = dash_exec::pipeline::describe(&plan) {
+                        for l in lines {
+                            text.push_str(&l);
+                            text.push('\n');
+                        }
+                    }
+                }
+                text
             }
             other => format!("{} statement\n", kind_name(&other)),
         };

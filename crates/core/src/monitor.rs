@@ -123,6 +123,30 @@ impl KeyPathStats {
     }
 }
 
+/// Pipeline-scheduler counters: how many query-wide pipelines ran, how
+/// many breakers (builds, agg merges, sort seals) split them, and the
+/// in-flight peaks the morsel window actually reached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Pipelines driven to completion by the morsel scheduler.
+    pub pipelines_run: u64,
+    /// Pipeline breakers encountered (hash-join builds, aggregate merges,
+    /// sort seals).
+    pub pipeline_breakers: u64,
+    /// Highest number of morsels simultaneously in flight in any drive.
+    pub peak_inflight_morsels: u64,
+    /// Highest bytes simultaneously resident (in-flight morsels plus
+    /// frozen build tables) in any drive.
+    pub peak_inflight_bytes: u64,
+}
+
+impl PipelineStats {
+    /// True when no pipeline has run.
+    pub fn is_clean(&self) -> bool {
+        *self == PipelineStats::default()
+    }
+}
+
 /// The monitoring store.
 #[derive(Clone, Default)]
 pub struct Monitor {
@@ -130,6 +154,7 @@ pub struct Monitor {
     recovery: Arc<Mutex<RecoveryStats>>,
     txn: Arc<Mutex<TxnStats>>,
     key_path: Arc<Mutex<KeyPathStats>>,
+    pipeline: Arc<Mutex<PipelineStats>>,
     /// Assignment epochs still pinned by in-flight statements:
     /// epoch -> number of statements holding it. The lowest key is the GC
     /// watermark — no snapshot at or above it may be reclaimed.
@@ -317,6 +342,22 @@ impl Monitor {
         *self.key_path.lock()
     }
 
+    /// Fold one statement's pipeline-scheduler counters into the store:
+    /// pipelines run, breakers crossed, and the in-flight peaks (morsels
+    /// and bytes) its drives reached.
+    pub fn record_pipeline(&self, run: u64, breakers: u64, peak_morsels: u64, peak_bytes: u64) {
+        let mut p = self.pipeline.lock();
+        p.pipelines_run += run;
+        p.pipeline_breakers += breakers;
+        p.peak_inflight_morsels = p.peak_inflight_morsels.max(peak_morsels);
+        p.peak_inflight_bytes = p.peak_inflight_bytes.max(peak_bytes);
+    }
+
+    /// Snapshot of the pipeline-scheduler counters.
+    pub fn pipeline(&self) -> PipelineStats {
+        *self.pipeline.lock()
+    }
+
     /// Render the monitoring history as a small report.
     pub fn report(&self) -> String {
         let mut out = String::from("statement     count   errors   total_ms   max_ms\n");
@@ -377,6 +418,16 @@ impl Monitor {
                 "key path: {} rows on encoded keys, {} rows on datum keys, \
                  {} rows re-encoded\n",
                 k.encoded_key_rows, k.datum_key_rows, k.keys_reencoded_rows,
+            ));
+        }
+        let p = self.pipeline();
+        if !p.is_clean() {
+            out.push_str(&format!(
+                "pipelines: {} run, {} breakers, peak {} morsels / {} bytes in flight\n",
+                p.pipelines_run,
+                p.pipeline_breakers,
+                p.peak_inflight_morsels,
+                p.peak_inflight_bytes,
             ));
         }
         let pins = self.pinned_epochs();
@@ -471,6 +522,21 @@ mod tests {
         assert_eq!(k.keys_reencoded_rows, 3);
         let rep = m.report();
         assert!(rep.contains("key path: 150 rows on encoded keys, 7 rows on datum keys, 3 rows re-encoded"));
+    }
+
+    #[test]
+    fn pipeline_counters_accumulate_and_report() {
+        let m = Monitor::new();
+        assert!(m.pipeline().is_clean());
+        m.record_pipeline(2, 3, 8, 4096);
+        m.record_pipeline(1, 1, 4, 8192); // peaks take the max, sums add
+        let p = m.pipeline();
+        assert_eq!(p.pipelines_run, 3);
+        assert_eq!(p.pipeline_breakers, 4);
+        assert_eq!(p.peak_inflight_morsels, 8);
+        assert_eq!(p.peak_inflight_bytes, 8192);
+        let rep = m.report();
+        assert!(rep.contains("pipelines: 3 run, 4 breakers, peak 8 morsels / 8192 bytes in flight"));
     }
 
     #[test]

@@ -1212,7 +1212,7 @@ fn encoded_aggregate(
         for (i, &row) in rows.iter().enumerate() {
             let ws = &mut words[i * stride..(i + 1) * stride];
             for c in 0..nk {
-                if ws[c] == STR_MISS {
+                if ws[c] == STR_MISS && cols[c].is_str() {
                     ws[c] = interners[c].intern(cols[c].str_at(row as usize));
                 }
             }
@@ -1419,6 +1419,10 @@ pub fn hash_aggregate(
 }
 
 fn init_states(aggs: &[AggExpr], input: &Batch) -> Vec<AggState> {
+    init_states_for_schema(aggs, input.schema())
+}
+
+fn init_states_for_schema(aggs: &[AggExpr], schema: &Schema) -> Vec<AggState> {
     aggs.iter()
         .map(|a| {
             // SUM over an integer column stays integer.
@@ -1426,13 +1430,400 @@ fn init_states(aggs: &[AggExpr], input: &Batch) -> Vec<AggState> {
                 .args
                 .first()
                 .and_then(|e| match e {
-                    Expr::Col(i) => Some(input.schema().field(*i).data_type.is_integer()),
+                    Expr::Col(i) => Some(schema.field(*i).data_type.is_integer()),
                     _ => None,
                 })
                 .unwrap_or(false);
             new_state(a, is_int)
         })
         .collect()
+}
+
+/// Merge a morsel-partial aggregate state into the running state for the
+/// same group — the aggregate breaker's combine step. Counts and sums add,
+/// min/max compare, percentile value sets concatenate (in fold order, so
+/// the pre-sort layout is deterministic), and the moment states combine
+/// with Chan et al.'s parallel update formulas. `DISTINCT` states cannot
+/// merge (their per-partial seen-sets overlap); the pipeline planner gates
+/// them to the materialized path, so reaching one here is an internal
+/// error, not a user error.
+fn merge_state(dst: &mut AggState, src: AggState) -> Result<()> {
+    match (dst, src) {
+        (AggState::Count(a), AggState::Count(b)) => {
+            *a += b;
+            Ok(())
+        }
+        (AggState::SumInt { sum, any }, AggState::SumInt { sum: s, any: a }) => {
+            *sum = sum
+                .checked_add(s)
+                .ok_or_else(|| DashError::exec("SUM overflow"))?;
+            *any |= a;
+            Ok(())
+        }
+        (AggState::SumFloat { sum, any }, AggState::SumFloat { sum: s, any: a }) => {
+            *sum += s;
+            *any |= a;
+            Ok(())
+        }
+        (AggState::Avg { sum, n }, AggState::Avg { sum: s, n: m }) => {
+            *sum += s;
+            *n += m;
+            Ok(())
+        }
+        (AggState::MinMax { current, min }, AggState::MinMax { current: other, .. }) => {
+            if let Some(v) = other {
+                let replace = match current {
+                    None => true,
+                    Some(c) => {
+                        let ord = v.sql_cmp(c);
+                        if *min {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        }
+                    }
+                };
+                if replace {
+                    *current = Some(v);
+                }
+            }
+            Ok(())
+        }
+        (AggState::Values(a), AggState::Values(b)) => {
+            a.extend(b);
+            Ok(())
+        }
+        (
+            AggState::Moments { n, mean, m2 },
+            AggState::Moments {
+                n: n2,
+                mean: mean2,
+                m2: m22,
+            },
+        ) => {
+            if n2 > 0 {
+                if *n == 0 {
+                    (*n, *mean, *m2) = (n2, mean2, m22);
+                } else {
+                    let total = *n + n2;
+                    let delta = mean2 - *mean;
+                    *m2 += m22 + delta * delta * (*n as f64) * (n2 as f64) / total as f64;
+                    *mean += delta * (n2 as f64) / total as f64;
+                    *n = total;
+                }
+            }
+            Ok(())
+        }
+        (
+            AggState::CoMoments { n, mx, my, cxy },
+            AggState::CoMoments {
+                n: n2,
+                mx: mx2,
+                my: my2,
+                cxy: cxy2,
+            },
+        ) => {
+            if n2 > 0 {
+                if *n == 0 {
+                    (*n, *mx, *my, *cxy) = (n2, mx2, my2, cxy2);
+                } else {
+                    let total = *n + n2;
+                    let dx = mx2 - *mx;
+                    let dy = my2 - *my;
+                    *cxy += cxy2 + dx * dy * (*n as f64) * (n2 as f64) / total as f64;
+                    *mx += dx * (n2 as f64) / total as f64;
+                    *my += dy * (n2 as f64) / total as f64;
+                    *n = total;
+                }
+            }
+            Ok(())
+        }
+        (AggState::Distinct(..), _) => Err(DashError::internal(
+            "DISTINCT aggregate reached the partial-merge path",
+        )),
+        _ => Err(DashError::internal(
+            "mismatched aggregate partial states at merge",
+        )),
+    }
+}
+
+/// Can every aggregate in this list run as mergeable per-morsel partials?
+/// `DISTINCT` cannot: its per-partial seen-sets overlap across morsels.
+pub(crate) fn supports_partial(aggs: &[AggExpr]) -> bool {
+    !aggs.iter().any(|a| a.distinct)
+}
+
+/// One morsel's worth of grouped aggregate state: group keys in
+/// first-appearance order plus the running states per group. Produced on
+/// pool workers by [`aggregate_morsel`], merged in morsel-index order by
+/// [`AggAccumulator::merge`].
+pub(crate) struct AggPartial {
+    keys: Vec<Vec<Datum>>,
+    states: Vec<Vec<AggState>>,
+    /// True when the morsel grouped on encoded key words.
+    encoded: bool,
+    rows: u64,
+}
+
+impl AggPartial {
+    /// Rough heap footprint, for inflight accounting.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        let key_bytes: u64 = self
+            .keys
+            .iter()
+            .map(|k| dash_common::statement::approx_row_bytes(k))
+            .sum();
+        let state_bytes: u64 = self
+            .states
+            .iter()
+            .flat_map(|sts| sts.iter().map(state_bytes))
+            .sum();
+        key_bytes + state_bytes
+    }
+}
+
+fn state_bytes(s: &AggState) -> u64 {
+    let base = std::mem::size_of::<AggState>() as u64;
+    match s {
+        AggState::Values(v) => base + (v.len() * 8) as u64,
+        AggState::Distinct(set, inner) => {
+            base + set.iter().map(approx_datum_bytes).sum::<u64>() + state_bytes(inner)
+        }
+        _ => base,
+    }
+}
+
+/// Aggregate one pipeline morsel into a mergeable partial. Grouping runs
+/// on encoded key words when every group key is a bare column whose values
+/// reduce to fixed-width words (the operate-on-compressed path, with
+/// out-of-dictionary strings interned in row order), falling back to
+/// `Datum` keys otherwise. Group keys materialize from each group's first
+/// row, so merging partials in morsel order reproduces the serial scan's
+/// first-appearance group order.
+pub(crate) fn aggregate_morsel(
+    input: &Batch,
+    group_exprs: &[Expr],
+    aggs: &[AggExpr],
+    ctx: &EvalContext,
+) -> Result<AggPartial> {
+    let n = input.len();
+    // Cancellation/deadline observed once per morsel; a morsel is at most a
+    // stride's worth of rows, so latency stays bounded.
+    ctx.statement.check()?;
+    if group_exprs.is_empty() {
+        // Global aggregate: one group, present even for an empty morsel so
+        // zero-row inputs still produce their NULL/0 row at finish.
+        let mut states = init_states(aggs, input);
+        for row in 0..n {
+            for (agg, state) in aggs.iter().zip(states.iter_mut()) {
+                let mut vals = Vec::with_capacity(agg.args.len());
+                for a in &agg.args {
+                    vals.push(a.eval(input, row, ctx)?);
+                }
+                update(state, &vals)?;
+            }
+        }
+        return Ok(AggPartial {
+            keys: vec![Vec::new()],
+            states: vec![states],
+            encoded: false,
+            rows: n as u64,
+        });
+    }
+
+    if let Some(cols) = key::group_key_cols(input, group_exprs) {
+        let nk = cols.len();
+        let mut interners: Vec<StrInterner> = (0..nk).map(|_| StrInterner::default()).collect();
+        let mut gid_of: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
+        let mut reps: Vec<u32> = Vec::new();
+        let mut states: Vec<Vec<AggState>> = Vec::new();
+        let mut words = vec![0u64; nk + 1];
+        for row in 0..n {
+            let mut nulls = 0u64;
+            for (c, col) in cols.iter().enumerate() {
+                match col.word(row) {
+                    Some(w) => words[c] = w,
+                    None => {
+                        words[c] = 0;
+                        nulls |= 1 << c;
+                    }
+                }
+            }
+            words[nk] = nulls;
+            for c in 0..nk {
+                if words[c] == STR_MISS && cols[c].is_str() {
+                    words[c] = interners[c].intern(cols[c].str_at(row));
+                }
+            }
+            let gid = match gid_of.get(&words[..]) {
+                Some(&g) => g,
+                None => {
+                    let g = reps.len() as u32;
+                    gid_of.insert(words.clone(), g);
+                    reps.push(row as u32);
+                    states.push(init_states(aggs, input));
+                    g
+                }
+            };
+            let sts = &mut states[gid as usize];
+            for (agg, state) in aggs.iter().zip(sts.iter_mut()) {
+                let mut vals = Vec::with_capacity(agg.args.len());
+                for a in &agg.args {
+                    vals.push(a.eval(input, row, ctx)?);
+                }
+                update(state, &vals)?;
+            }
+        }
+        // Late materialization from each group's representative row.
+        let mut keys = Vec::with_capacity(reps.len());
+        for &rep in &reps {
+            let mut key = Vec::with_capacity(nk);
+            for g in group_exprs {
+                key.push(g.eval(input, rep as usize, ctx)?);
+            }
+            keys.push(key);
+        }
+        return Ok(AggPartial {
+            keys,
+            states,
+            encoded: true,
+            rows: n as u64,
+        });
+    }
+
+    // Datum fallback: computed key expressions or unwordable columns.
+    let mut gid_of: FxHashMap<Vec<Datum>, u32> = FxHashMap::default();
+    let mut keys: Vec<Vec<Datum>> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    for row in 0..n {
+        let mut key = Vec::with_capacity(group_exprs.len());
+        for g in group_exprs {
+            key.push(g.eval(input, row, ctx)?);
+        }
+        let gid = match gid_of.get(&key) {
+            Some(&g) => g,
+            None => {
+                let g = keys.len() as u32;
+                gid_of.insert(key.clone(), g);
+                keys.push(key.clone());
+                states.push(init_states(aggs, input));
+                g
+            }
+        };
+        let sts = &mut states[gid as usize];
+        for (agg, state) in aggs.iter().zip(sts.iter_mut()) {
+            let mut vals = Vec::with_capacity(agg.args.len());
+            for a in &agg.args {
+                vals.push(a.eval(input, row, ctx)?);
+            }
+            update(state, &vals)?;
+        }
+    }
+    Ok(AggPartial {
+        keys,
+        states,
+        encoded: false,
+        rows: n as u64,
+    })
+}
+
+/// The aggregate pipeline breaker's fold side: merges per-morsel
+/// [`AggPartial`]s in morsel-index order, keeping groups in global
+/// first-appearance order, then finishes into the output batch. Runs only
+/// on the folding thread, so it needs no synchronization.
+pub(crate) struct AggAccumulator {
+    gid_of: FxHashMap<Vec<Datum>, u32>,
+    keys: Vec<Vec<Datum>>,
+    states: Vec<Vec<AggState>>,
+    /// Rows aggregated via encoded key words vs `Datum` fallback keys.
+    pub(crate) encoded_rows: u64,
+    /// Rows aggregated via the `Datum` fallback path.
+    pub(crate) datum_rows: u64,
+}
+
+impl AggAccumulator {
+    pub(crate) fn new() -> AggAccumulator {
+        AggAccumulator {
+            gid_of: FxHashMap::default(),
+            keys: Vec::new(),
+            states: Vec::new(),
+            encoded_rows: 0,
+            datum_rows: 0,
+        }
+    }
+
+    /// Fold one morsel's partial into the global state. Must be called in
+    /// morsel-index order for deterministic group order.
+    pub(crate) fn merge(&mut self, partial: AggPartial) -> Result<()> {
+        if partial.encoded {
+            self.encoded_rows += partial.rows;
+        } else {
+            self.datum_rows += partial.rows;
+        }
+        for (key, sts) in partial.keys.into_iter().zip(partial.states) {
+            match self.gid_of.get(&key) {
+                Some(&g) => {
+                    let dst = &mut self.states[g as usize];
+                    for (d, s) in dst.iter_mut().zip(sts) {
+                        merge_state(d, s)?;
+                    }
+                }
+                None => {
+                    let g = self.keys.len() as u32;
+                    self.gid_of.insert(key.clone(), g);
+                    self.keys.push(key);
+                    self.states.push(sts);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rough heap footprint of the accumulated group state.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        let key_bytes: u64 = self
+            .keys
+            .iter()
+            .map(|k| dash_common::statement::approx_row_bytes(k))
+            .sum();
+        let state_bytes: u64 = self
+            .states
+            .iter()
+            .flat_map(|sts| sts.iter().map(state_bytes))
+            .sum();
+        key_bytes + state_bytes
+    }
+
+    /// Finish every group into the output batch. `input_schema` is the
+    /// pre-aggregation schema (for typing a synthesized global group when
+    /// zero morsels arrived).
+    pub(crate) fn finish(
+        self,
+        group_exprs: &[Expr],
+        aggs: &[AggExpr],
+        out_schema: Schema,
+        input_schema: &Schema,
+    ) -> Result<Batch> {
+        let mut out_rows: Vec<Row> = Vec::with_capacity(self.keys.len());
+        for (key, states) in self.keys.into_iter().zip(self.states) {
+            let mut row: Vec<Datum> = key;
+            for (agg, state) in aggs.iter().zip(states) {
+                row.push(finish(state, &agg.func));
+            }
+            out_rows.push(Row::new(row));
+        }
+        // A global aggregate yields exactly one row even with zero input.
+        if group_exprs.is_empty() && out_rows.is_empty() {
+            let states = init_states_for_schema(aggs, input_schema);
+            let row: Vec<Datum> = aggs
+                .iter()
+                .zip(states)
+                .map(|(agg, s)| finish(s, &agg.func))
+                .collect();
+            out_rows.push(Row::new(row));
+        }
+        Batch::from_rows(out_schema, &out_rows)
+    }
 }
 
 #[cfg(test)]
@@ -1751,5 +2142,165 @@ mod tests {
         assert_eq!(AggFunc::from_name("COVARIANCE"), Some(AggFunc::CovarPop));
         assert_eq!(AggFunc::from_name("nope"), None);
         assert_eq!(AggFunc::CovarPop.arg_count(), 2);
+    }
+
+    /// Partial-aggregate `input` in `split`-row morsels, merge in order,
+    /// finish — the pipeline breaker's code path in miniature.
+    fn partial_pipeline(
+        input: &Batch,
+        split: usize,
+        group_exprs: &[Expr],
+        aggs: &[AggExpr],
+        schema: Schema,
+    ) -> Batch {
+        let mut acc = AggAccumulator::new();
+        let mut start = 0;
+        let mut any = false;
+        while start < input.len() || (!any && input.is_empty()) {
+            let end = (start + split).min(input.len());
+            let idx: Vec<usize> = (start..end).collect();
+            let morsel = input.take(&idx);
+            acc.merge(aggregate_morsel(&morsel, group_exprs, aggs, &ctx()).unwrap())
+                .unwrap();
+            start = end;
+            any = true;
+        }
+        acc.finish(group_exprs, aggs, schema, input.schema()).unwrap()
+    }
+
+    #[test]
+    fn partial_merge_matches_single_pass() {
+        let input = sales();
+        let aggs = vec![
+            AggExpr {
+                func: AggFunc::CountStar,
+                args: vec![],
+                distinct: false,
+            },
+            agg1(AggFunc::Sum, 1),
+            agg1(AggFunc::Min, 1),
+            agg1(AggFunc::Max, 2),
+            agg1(AggFunc::Avg, 2),
+        ];
+        let schema = out_schema(1, 5);
+        let mut stats = ExecStats::default();
+        let whole = hash_aggregate(
+            &input,
+            &[Expr::col(0)],
+            &aggs,
+            schema.clone(),
+            &ctx(),
+            KeyMode::Encoded,
+            1,
+            &mut stats,
+        )
+        .unwrap();
+        for split in [1, 2, 5] {
+            let merged = partial_pipeline(&input, split, &[Expr::col(0)], &aggs, schema.clone());
+            let mut a = whole.to_rows();
+            let mut b = merged.to_rows();
+            a.sort_by_key(|r| r.get(0).render());
+            b.sort_by_key(|r| r.get(0).render());
+            assert_eq!(a, b, "split={split}");
+        }
+    }
+
+    #[test]
+    fn partial_merge_moments_match_welford() {
+        // Chan's merge formulas must reproduce the serial Welford result.
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float64),
+            Field::new("y", DataType::Float64),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = (0..97)
+            .map(|i| {
+                let x = (i as f64) * 0.37 - 11.0;
+                row![x, x * 1.5 + ((i % 7) as f64)]
+            })
+            .collect();
+        let input = Batch::from_rows(schema, &rows).unwrap();
+        let aggs = vec![
+            agg1(AggFunc::VarSamp, 0),
+            agg1(AggFunc::StdDevPop, 0),
+            AggExpr {
+                func: AggFunc::CovarPop,
+                args: vec![Expr::col(0), Expr::col(1)],
+                distinct: false,
+            },
+            agg1(AggFunc::Median, 0),
+        ];
+        let schema = out_schema(0, 4);
+        let mut stats = ExecStats::default();
+        let whole = hash_aggregate(
+            &input,
+            &[],
+            &aggs,
+            schema.clone(),
+            &ctx(),
+            KeyMode::Encoded,
+            1,
+            &mut stats,
+        )
+        .unwrap();
+        let merged = partial_pipeline(&input, 16, &[], &aggs, schema);
+        for c in 0..4 {
+            let (a, b) = (whole.row(0).get(c).clone(), merged.row(0).get(c).clone());
+            match (a, b) {
+                (Datum::Float(x), Datum::Float(y)) => {
+                    assert!((x - y).abs() < 1e-9, "col {c}: {x} vs {y}")
+                }
+                (x, y) => assert_eq!(x, y, "col {c}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_global_aggregate_zero_morsels_yields_one_row() {
+        let aggs = vec![
+            AggExpr {
+                func: AggFunc::CountStar,
+                args: vec![],
+                distinct: false,
+            },
+            agg1(AggFunc::Sum, 1),
+        ];
+        let acc = AggAccumulator::new();
+        let input_schema = sales().schema().clone();
+        let out = acc
+            .finish(&[], &aggs, out_schema(0, 2), &input_schema)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0), row![0i64, Datum::Null]);
+    }
+
+    #[test]
+    fn partial_merge_sum_overflow_is_exec_error() {
+        let mut a = AggState::SumInt {
+            sum: i64::MAX,
+            any: true,
+        };
+        let err = merge_state(&mut a, AggState::SumInt { sum: 1, any: true }).unwrap_err();
+        assert_eq!(err.class(), "22000");
+        let mut d = new_state(&agg1(AggFunc::Sum, 0), true);
+        // DISTINCT states refuse to merge: the planner must gate them out.
+        let distinct = AggState::Distinct(
+            HashSet::default(),
+            Box::new(AggState::SumInt { sum: 0, any: false }),
+        );
+        assert!(matches!(
+            merge_state(&mut d, distinct).unwrap_err(),
+            DashError::Internal(_)
+        ));
+    }
+
+    #[test]
+    fn partial_keeps_first_appearance_group_order() {
+        let input = sales();
+        let aggs = vec![agg1(AggFunc::Sum, 1)];
+        let merged = partial_pipeline(&input, 2, &[Expr::col(0)], &aggs, out_schema(1, 1));
+        // east appears first in row order, then west — across morsels.
+        assert_eq!(merged.row(0).get(0), &Datum::from("east"));
+        assert_eq!(merged.row(1).get(0), &Datum::from("west"));
     }
 }

@@ -191,6 +191,99 @@ impl Batch {
         let rows: Vec<Row> = batches.iter().flat_map(|b| b.to_rows()).collect();
         Batch::from_rows(schema, &rows)
     }
+
+    /// Concatenate batches column-at-a-time, preserving dictionary
+    /// metadata — the pipeline sinks' stitch step. Unlike [`Batch::concat`]
+    /// this never round-trips through rows, and a column keeps its
+    /// dictionary when every non-empty input agrees on it (pointer
+    /// identity), so the operate-on-compressed key path survives the seam.
+    pub fn concat_columnar(schema: Schema, batches: Vec<Batch>) -> Result<Batch> {
+        let ncols = schema.len();
+        let mut dicts: Vec<Option<Arc<FreqDict<Arc<str>>>>> = vec![None; ncols];
+        let mut dicts_seeded = false;
+        let mut columns: Vec<ColumnValues> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnValues::empty_for(f.data_type))
+            .collect();
+        let mut len = 0usize;
+        for b in batches {
+            if b.schema.len() != ncols {
+                return Err(DashError::internal(format!(
+                    "concat arity mismatch: batch has {} columns, schema has {ncols}",
+                    b.schema.len()
+                )));
+            }
+            if b.is_empty() {
+                continue;
+            }
+            // Dictionary vote: first non-empty batch seeds, later batches
+            // must match by pointer or the column's dictionary is dropped.
+            if !dicts_seeded {
+                for (c, slot) in dicts.iter_mut().enumerate() {
+                    *slot = b.str_dict(c).cloned();
+                }
+                dicts_seeded = true;
+            } else {
+                for (c, slot) in dicts.iter_mut().enumerate() {
+                    let same = match (slot.as_ref(), b.str_dict(c)) {
+                        (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                        (None, None) => true,
+                        _ => false,
+                    };
+                    if !same {
+                        *slot = None;
+                    }
+                }
+            }
+            len += b.len;
+            for (dst, src) in columns.iter_mut().zip(b.columns) {
+                dst.extend_from(src);
+            }
+        }
+        let mut out = Batch {
+            schema,
+            columns,
+            len,
+            dicts: Vec::new(),
+        };
+        for (c, dict) in dicts.into_iter().enumerate() {
+            if let Some(d) = dict {
+                out.set_str_dict(c, d);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rough heap footprint of the batch, for inflight-memory accounting.
+    /// An estimate on purpose (like `approx_datum_bytes`): it bounds
+    /// growth, it is not an allocator.
+    pub fn approx_bytes(&self) -> u64 {
+        self.columns
+            .iter()
+            .map(|c| match c {
+                ColumnValues::Int(v) => (v.len() * 9) as u64,
+                ColumnValues::Float(v) => (v.len() * 9) as u64,
+                ColumnValues::Str(v) => v
+                    .iter()
+                    .map(|s| 16 + s.as_ref().map_or(0, |s| s.len()) as u64)
+                    .sum(),
+            })
+            .sum()
+    }
+
+    /// Column `i`, or a classified internal error when the ordinal is out
+    /// of range — the checked cousin of [`Batch::column`] for plan-driven
+    /// lookups where the ordinal came from a decomposed plan rather than a
+    /// validated schema.
+    pub fn try_column(&self, i: usize) -> Result<&ColumnValues> {
+        self.columns.get(i).ok_or_else(|| {
+            DashError::internal(format!(
+                "column ordinal {i} out of range for {}-column batch",
+                self.columns.len()
+            ))
+        })
+    }
 }
 
 fn take_column(c: &ColumnValues, positions: &[usize]) -> ColumnValues {
@@ -264,5 +357,52 @@ mod tests {
         let b = Batch::from_rows(schema(), &[row![2i64, "b"]]).unwrap();
         let c = Batch::concat(schema(), &[a, b]).unwrap();
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn concat_columnar_matches_row_concat_and_keeps_dicts() {
+        let vals: Vec<Arc<str>> = vec![Arc::from("a"), Arc::from("b")];
+        let dict = Arc::new(FreqDict::build(
+            &dash_encoding::histogram::Histogram::from_values(vals.iter().map(Some)),
+        ));
+        let mut a = Batch::from_rows(schema(), &[row![1i64, "a"]]).unwrap();
+        a.set_str_dict(1, dict.clone());
+        let mut b = Batch::from_rows(schema(), &[row![2i64, "b"], row![3i64, Datum::Null]]).unwrap();
+        b.set_str_dict(1, dict.clone());
+        let rowwise = Batch::concat(schema(), &[a.clone(), b.clone()]).unwrap();
+        let colwise = Batch::concat_columnar(schema(), vec![a.clone(), b.clone()]).unwrap();
+        assert_eq!(colwise.to_rows(), rowwise.to_rows());
+        assert!(
+            colwise
+                .str_dict(1)
+                .is_some_and(|d| Arc::ptr_eq(d, &dict)),
+            "agreeing dictionaries survive the seam"
+        );
+        // Disagreeing dictionaries are dropped, values unharmed.
+        let zvals: Vec<Arc<str>> = vec![Arc::from("z")];
+        let other = Arc::new(FreqDict::build(
+            &dash_encoding::histogram::Histogram::from_values(zvals.iter().map(Some)),
+        ));
+        let mut b2 = b.clone();
+        b2.set_str_dict(1, other);
+        let mixed = Batch::concat_columnar(schema(), vec![a, b2]).unwrap();
+        assert!(mixed.str_dict(1).is_none());
+        assert_eq!(mixed.to_rows(), rowwise.to_rows());
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_rows() {
+        let small = Batch::from_rows(schema(), &[row![1i64, "a"]]).unwrap();
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64, "x".repeat(50)]).collect();
+        let big = Batch::from_rows(schema(), &rows).unwrap();
+        assert!(big.approx_bytes() > small.approx_bytes() * 50);
+    }
+
+    #[test]
+    fn try_column_classifies_out_of_range() {
+        let b = Batch::from_rows(schema(), &[row![1i64, "a"]]).unwrap();
+        assert!(b.try_column(1).is_ok());
+        let err = b.try_column(2).unwrap_err();
+        assert_eq!(err.class(), "XX000", "internal classification: {err}");
     }
 }

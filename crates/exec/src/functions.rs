@@ -35,6 +35,10 @@ pub struct EvalContext {
     /// budget. Every operator checks it at morsel granularity; the
     /// default is unbounded (never cancels, never rejects).
     pub statement: dash_common::StatementContext,
+    /// Pipelined-execution knobs (`DASH_PIPELINE`,
+    /// `DASH_PIPELINE_INFLIGHT`): whether eligible plans run through the
+    /// query-wide morsel scheduler and how many morsels may be in flight.
+    pub pipeline: crate::pipeline::PipelineConfig,
 }
 
 impl std::fmt::Debug for EvalContext {
@@ -55,6 +59,7 @@ impl Default for EvalContext {
             now_micros: date::parse_timestamp("2017-04-19 12:00:00").expect("valid literal"),
             sequences: None,
             statement: dash_common::StatementContext::unbounded(),
+            pipeline: crate::pipeline::PipelineConfig::default(),
         }
     }
 }

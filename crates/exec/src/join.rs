@@ -238,7 +238,7 @@ fn resolve_words(
     intern: bool,
 ) -> bool {
     for (c, w) in words.iter_mut().enumerate() {
-        if *w == STR_MISS {
+        if *w == STR_MISS && cols[c].is_str() {
             let s = cols[c].str_at(row as usize);
             if intern {
                 *w = interners[c].intern(s);
@@ -600,6 +600,308 @@ pub fn partition_count(rows: usize) -> usize {
     (rows / PARTITION_ROWS + 1).next_power_of_two()
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined probe: a frozen build side probed one morsel at a time.
+// ---------------------------------------------------------------------------
+
+/// Per-partition encoded tables, specialised for the common single-key
+/// join so the hot probe loop hashes one `u64` instead of a slice.
+enum EncodedTables {
+    Single(Vec<FxHashMap<u64, Vec<u32>>>),
+    Multi(Vec<FxHashMap<Vec<u64>, Vec<u32>>>),
+}
+
+/// Frozen encoded-path build state: word-keyed tables plus the interners
+/// and dictionaries that define the code domain every probe morsel must
+/// encode into.
+struct EncodedBuild {
+    tables: EncodedTables,
+    /// Per partition, per key column: build-side out-of-dictionary
+    /// interners (probe strings only *look up*; a miss is provably
+    /// unmatched).
+    interners: Vec<Vec<StrInterner>>,
+    /// The fixed code domain per string key column — the build side's
+    /// dictionary, chosen once. Probe morsels re-encode by value against
+    /// it, so per-morsel dictionary votes can never flip the domain.
+    dicts: Vec<Option<std::sync::Arc<dash_encoding::dict::FreqDict<std::sync::Arc<str>>>>>,
+}
+
+/// Frozen `Datum`-path build state.
+struct DatumBuild {
+    tables: Vec<FxHashMap<Vec<Datum>, Vec<u32>>>,
+}
+
+/// A hash-join build side frozen for pipelined execution: constructed once
+/// (the pipeline breaker), then probed concurrently by scan-order morsels
+/// via [`JoinBuild::probe_morsel`]. Output pairs are emitted in probe-row
+/// order within each morsel, so folding morsels in index order reproduces
+/// a deterministic, parallelism-independent row order.
+pub(crate) struct JoinBuild {
+    build: Batch,
+    on: Vec<(usize, usize)>,
+    join_type: JoinType,
+    out_schema: dash_common::Schema,
+    mask: u64,
+    encoded: Option<EncodedBuild>,
+    datum: Option<DatumBuild>,
+    /// Budget charged for the frozen tables; released when the build drops
+    /// at pipeline end.
+    _lease: BudgetLease,
+}
+
+impl JoinBuild {
+    /// Freeze `build` (the right/inner side) into partitioned hash tables.
+    /// `probe_schema` is the streamed left side's schema; `key_mode` is the
+    /// planner's decision, re-verified here against both schemas.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        build: Batch,
+        probe_schema: &dash_common::Schema,
+        on: Vec<(usize, usize)>,
+        join_type: JoinType,
+        key_mode: KeyMode,
+        parallelism: usize,
+        stmt: &StatementContext,
+        stats: &mut ExecStats,
+    ) -> Result<JoinBuild> {
+        assert!(!on.is_empty(), "hash join requires at least one key pair");
+        let out_schema = match join_type {
+            JoinType::Inner | JoinType::Left => probe_schema.join(build.schema()),
+            JoinType::Semi | JoinType::Anti => probe_schema.clone(),
+        };
+        let parts = partition_count(build.len());
+        let mask = parts as u64 - 1;
+        let nk = on.len();
+        let build_cols: Vec<usize> = on.iter().map(|(_, r)| *r).collect();
+
+        let use_encoded = key_mode == KeyMode::Encoded
+            && KeyMode::for_join(probe_schema, build.schema(), &on) == KeyMode::Encoded;
+
+        let mut lease = BudgetLease::new(stmt);
+        let build_rows: u64;
+        let (encoded, datum) = if use_encoded {
+            // The build side owns the code domain: its dictionary (when
+            // present) becomes the domain every probe morsel encodes into.
+            let dicts: Vec<_> = build_cols
+                .iter()
+                .map(|&c| build.str_dict(c).cloned())
+                .collect();
+            let cols: Vec<KeyCol<'_>> = build_cols
+                .iter()
+                .zip(&dicts)
+                .map(|(&c, d)| {
+                    KeyCol::from_column(&build, c, d.clone())
+                        .expect("encoded build column must be viewable")
+                })
+                .collect();
+            let (partitions, _nullkey, (m, w)) =
+                partition_encoded(build.len(), &cols, parts, mask, parallelism, stmt)?;
+            stats.note_parallel_phase(m, w);
+            build_rows = partitions.iter().map(|p| p.0.len() as u64).sum();
+            let bytes: u64 = partitions
+                .iter()
+                .map(|(rows, words)| (rows.len() * (4 + 32) + words.len() * 8) as u64)
+                .sum();
+            lease.charge(bytes).inspect_err(|_| {
+                stats.budget_rejections += 1;
+            })?;
+            let mut interners: Vec<Vec<StrInterner>> = Vec::with_capacity(parts);
+            let tables = if nk == 1 {
+                let mut tabs = Vec::with_capacity(parts);
+                for (brows, mut bwords) in partitions {
+                    let mut ins: Vec<StrInterner> =
+                        (0..nk).map(|_| StrInterner::default()).collect();
+                    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+                    for (i, &r) in brows.iter().enumerate() {
+                        resolve_words(&mut bwords[i..i + 1], r, &cols, &mut ins, true);
+                        table.entry(bwords[i]).or_default().push(r);
+                    }
+                    interners.push(ins);
+                    tabs.push(table);
+                }
+                EncodedTables::Single(tabs)
+            } else {
+                let mut tabs = Vec::with_capacity(parts);
+                for (brows, mut bwords) in partitions {
+                    let mut ins: Vec<StrInterner> =
+                        (0..nk).map(|_| StrInterner::default()).collect();
+                    let mut table: FxHashMap<Vec<u64>, Vec<u32>> = FxHashMap::default();
+                    for (i, &r) in brows.iter().enumerate() {
+                        let ws = &mut bwords[i * nk..(i + 1) * nk];
+                        resolve_words(ws, r, &cols, &mut ins, true);
+                        table.entry(ws.to_vec()).or_default().push(r);
+                    }
+                    interners.push(ins);
+                    tabs.push(table);
+                }
+                EncodedTables::Multi(tabs)
+            };
+            stats.encoded_key_rows += build.len() as u64;
+            (
+                Some(EncodedBuild {
+                    tables,
+                    interners,
+                    dicts,
+                }),
+                None,
+            )
+        } else {
+            let (partitions, (m, w)) =
+                partition_datum_build(&build, &build_cols, parts, mask, parallelism, stmt)?;
+            stats.note_parallel_phase(m, w);
+            build_rows = partitions.iter().map(|p| p.len() as u64).sum();
+            let bytes: u64 = partitions
+                .iter()
+                .flatten()
+                .map(|(_, k)| {
+                    std::mem::size_of::<(u32, Vec<Datum>)>() as u64
+                        + k.iter().map(approx_datum_bytes).sum::<u64>()
+                })
+                .sum();
+            lease.charge(bytes).inspect_err(|_| {
+                stats.budget_rejections += 1;
+            })?;
+            let tables: Vec<FxHashMap<Vec<Datum>, Vec<u32>>> = partitions
+                .into_iter()
+                .map(|rows| {
+                    let mut table: FxHashMap<Vec<Datum>, Vec<u32>> = FxHashMap::default();
+                    for (ri, k) in rows {
+                        match table.entry(k) {
+                            Entry::Occupied(mut e) => e.get_mut().push(ri),
+                            Entry::Vacant(e) => {
+                                e.insert(vec![ri]);
+                            }
+                        }
+                    }
+                    table
+                })
+                .collect();
+            stats.datum_key_rows += build.len() as u64;
+            (None, Some(DatumBuild { tables }))
+        };
+        stats.rows_partitioned += build_rows;
+        Ok(JoinBuild {
+            build,
+            on,
+            join_type,
+            out_schema,
+            mask,
+            encoded,
+            datum,
+            _lease: lease,
+        })
+    }
+
+    /// The joined output schema (`probe ⧺ build`, or probe-only for
+    /// Semi/Anti).
+    pub(crate) fn out_schema(&self) -> &dash_common::Schema {
+        &self.out_schema
+    }
+
+    /// Rough bytes held by the frozen tables (for inflight accounting).
+    pub(crate) fn held_bytes(&self) -> u64 {
+        self._lease.held()
+    }
+
+    /// Probe one morsel against the frozen tables and materialize its
+    /// joined rows. Pairs are emitted in probe-row order (NULL-keyed rows
+    /// pad inline for Left/Anti), so the output is a deterministic
+    /// function of the morsel alone — workers can probe concurrently and
+    /// the fold stays byte-identical to a serial pass.
+    pub(crate) fn probe_morsel(
+        &self,
+        probe: &Batch,
+        stmt: &StatementContext,
+        stats: &mut ExecStats,
+    ) -> Result<Batch> {
+        stmt.check()?;
+        let nk = self.on.len();
+        let probe_cols: Vec<usize> = self.on.iter().map(|(l, _)| *l).collect();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        if let Some(enc) = &self.encoded {
+            stats.encoded_key_rows += probe.len() as u64;
+            for (c, d) in probe_cols.iter().zip(&enc.dicts) {
+                if let (Some(pd), Some(bd)) = (probe.str_dict(*c), d) {
+                    if !std::sync::Arc::ptr_eq(pd, bd) {
+                        // The morsel carries its own dictionary; its keys
+                        // re-encode by value into the build-side domain.
+                        stats.keys_reencoded_rows += probe.len() as u64;
+                    }
+                }
+            }
+            let cols: Vec<KeyCol<'_>> = probe_cols
+                .iter()
+                .zip(&enc.dicts)
+                .map(|(&c, d)| {
+                    KeyCol::from_column(probe, c, d.clone()).ok_or_else(|| {
+                        dash_common::DashError::internal("probe morsel column not viewable")
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let mut words = vec![0u64; nk];
+            'row: for li in 0..probe.len() {
+                for (c, col) in cols.iter().enumerate() {
+                    match col.word(li) {
+                        Some(w) => words[c] = w,
+                        None => {
+                            probe_emit(self.join_type, li as u32, None, &mut pairs);
+                            continue 'row;
+                        }
+                    }
+                }
+                let p = (route_hash(&cols, &words, li) & self.mask) as usize;
+                let mut resolved = true;
+                for c in 0..nk {
+                    if words[c] == STR_MISS && cols[c].is_str() {
+                        match enc.interners[p][c].lookup(cols[c].str_at(li)) {
+                            Some(code) => words[c] = code,
+                            None => {
+                                resolved = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                let matches = if resolved {
+                    match &enc.tables {
+                        EncodedTables::Single(tabs) => tabs[p].get(&words[0]),
+                        EncodedTables::Multi(tabs) => tabs[p].get(&words[..]),
+                    }
+                    .map(|v| &v[..])
+                } else {
+                    None
+                };
+                probe_emit(self.join_type, li as u32, matches, &mut pairs);
+            }
+        } else if let Some(dat) = &self.datum {
+            stats.datum_key_rows += probe.len() as u64;
+            let mut scratch: Vec<Datum> = Vec::with_capacity(nk);
+            for li in 0..probe.len() {
+                if fill_key(probe, li, &probe_cols, &mut scratch) {
+                    let p = (key_hash(&scratch) & self.mask) as usize;
+                    let matches = dat.tables[p].get(scratch.as_slice()).map(|v| &v[..]);
+                    probe_emit(self.join_type, li as u32, matches, &mut pairs);
+                } else {
+                    probe_emit(self.join_type, li as u32, None, &mut pairs);
+                }
+            }
+        } else {
+            unreachable!("JoinBuild holds exactly one key path");
+        }
+        // Morsel-local late materialization: serial within the morsel (the
+        // pipeline's parallelism is across morsels, not inside them).
+        materialize_pairs(
+            probe,
+            &self.build,
+            self.out_schema.clone(),
+            &pairs,
+            1,
+            stmt,
+            stats,
+        )
+    }
+}
+
 /// Cartesian product (CROSS JOIN, and the fallback for comma-lists with no
 /// connecting predicate).
 pub fn cross_join(left: &Batch, right: &Batch) -> Result<Batch> {
@@ -807,5 +1109,130 @@ mod tests {
             JoinType::Inner,
         );
         assert_eq!(out.len(), 3);
+    }
+
+    /// Probe `l` against a frozen build of `r` in `split`-row morsels and
+    /// reassemble — the pipelined probe path in miniature.
+    fn probe_in_morsels(
+        l: &Batch,
+        r: &Batch,
+        on: &[(usize, usize)],
+        jt: JoinType,
+        mode: KeyMode,
+        split: usize,
+    ) -> Batch {
+        let mut stats = ExecStats::default();
+        let build = JoinBuild::new(
+            r.clone(),
+            l.schema(),
+            on.to_vec(),
+            jt,
+            mode,
+            1,
+            &stmt(),
+            &mut stats,
+        )
+        .unwrap();
+        let mut outs = Vec::new();
+        let mut start = 0;
+        while start < l.len() {
+            let end = (start + split).min(l.len());
+            let idx: Vec<usize> = (start..end).collect();
+            let morsel = l.take(&idx);
+            outs.push(build.probe_morsel(&morsel, &stmt(), &mut stats).unwrap());
+            start = end;
+        }
+        Batch::concat_columnar(build.out_schema().clone(), outs).unwrap()
+    }
+
+    #[test]
+    fn join_build_morsel_probe_matches_hash_join() {
+        for jt in [JoinType::Inner, JoinType::Left, JoinType::Semi, JoinType::Anti] {
+            for mode in [KeyMode::Encoded, KeyMode::Datum] {
+                let mut s = ExecStats::default();
+                let whole = hash_join(
+                    &orders(),
+                    &customers(),
+                    &[(1, 0)],
+                    jt,
+                    mode,
+                    1,
+                    &stmt(),
+                    &mut s,
+                )
+                .unwrap();
+                for split in [1, 2, 5] {
+                    let piped =
+                        probe_in_morsels(&orders(), &customers(), &[(1, 0)], jt, mode, split);
+                    let mut a = whole.to_rows();
+                    let mut b = piped.to_rows();
+                    a.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+                    b.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+                    assert_eq!(a, b, "{jt:?}/{mode:?}/split={split}");
+                    assert_eq!(whole.schema(), piped.schema());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_build_probe_rows_stay_in_probe_order() {
+        // Unlike the partition-major materialized path, pipelined probe
+        // output is probe-row-major: deterministic at any parallelism.
+        let piped = probe_in_morsels(
+            &orders(),
+            &customers(),
+            &[(1, 0)],
+            JoinType::Left,
+            KeyMode::Encoded,
+            2,
+        );
+        let ids: Vec<i64> = piped
+            .to_rows()
+            .iter()
+            .map(|r| r.get(0).as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5], "probe order preserved");
+    }
+
+    #[test]
+    fn join_build_releases_budget_on_drop() {
+        let ctx = StatementContext::with_limits(None, Some(1 << 30));
+        let mut stats = ExecStats::default();
+        let build = JoinBuild::new(
+            customers(),
+            orders().schema(),
+            vec![(1, 0)],
+            JoinType::Inner,
+            KeyMode::Encoded,
+            1,
+            &ctx,
+            &mut stats,
+        )
+        .unwrap();
+        assert!(build.held_bytes() > 0);
+        assert_eq!(stats.rows_partitioned, 3);
+        assert!(ctx.budget_used() > 0);
+        drop(build);
+        assert_eq!(ctx.budget_used(), 0, "frozen-table lease released");
+    }
+
+    #[test]
+    fn join_build_multi_key_and_str_keys() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ])
+        .unwrap();
+        let l = Batch::from_rows(
+            schema.clone(),
+            &[row![1i64, "x"], row![1i64, "y"], row![2i64, "x"], row![Datum::Null, "x"]],
+        )
+        .unwrap();
+        let r = Batch::from_rows(schema, &[row![1i64, "x"], row![2i64, "y"]]).unwrap();
+        for mode in [KeyMode::Encoded, KeyMode::Datum] {
+            let out = probe_in_morsels(&l, &r, &[(0, 0), (1, 1)], JoinType::Inner, mode, 2);
+            assert_eq!(out.len(), 1, "{mode:?}");
+        }
     }
 }

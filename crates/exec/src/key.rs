@@ -167,7 +167,7 @@ pub(crate) fn f64_key_word(v: f64) -> u64 {
 impl<'a> KeyCol<'a> {
     /// Build a key column view over `batch` column `col`, with `dict`
     /// overriding the batch's own dictionary for strings.
-    fn from_column(
+    pub(crate) fn from_column(
         batch: &'a Batch,
         col: usize,
         dict: Option<Arc<FreqDict<Arc<str>>>>,
@@ -192,6 +192,15 @@ impl<'a> KeyCol<'a> {
         }
     }
 
+    /// Whether this key column is a string column — the only kind whose
+    /// words can carry the [`STR_MISS`] sentinel. Int keys legitimately
+    /// produce the word `u64::MAX` (`i64::MAX` ordered), so every sentinel
+    /// check must be gated on the column kind, not the word alone.
+    #[inline]
+    pub fn is_str(&self) -> bool {
+        matches!(self, KeyCol::Str { .. })
+    }
+
     /// The raw string at `row`; only valid for `Str` columns on non-NULL rows.
     #[inline]
     pub fn str_at(&self, row: usize) -> &Arc<str> {
@@ -211,7 +220,7 @@ impl<'a> KeyCol<'a> {
 pub(crate) fn route_hash(cols: &[KeyCol<'_>], words: &[u64], row: usize) -> u64 {
     let mut h = FxHasher::default();
     for (c, &w) in cols.iter().zip(words) {
-        if w == STR_MISS {
+        if w == STR_MISS && c.is_str() {
             c.str_at(row).as_bytes().hash(&mut h);
         } else {
             w.hash(&mut h);

@@ -32,6 +32,7 @@ pub mod functions;
 pub mod geo;
 pub mod join;
 pub mod key;
+pub mod pipeline;
 pub mod plan;
 pub mod pool;
 pub mod scan;

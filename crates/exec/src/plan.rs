@@ -15,7 +15,7 @@ use crate::key::KeyMode;
 use crate::scan::{scan, ScanConfig};
 use crate::sort::{sort_batch, SortKey, SortOptions};
 use crate::stats::ExecStats;
-use dash_common::{Result, Row, Schema};
+use dash_common::{DashError, Result, Row, Schema};
 use dash_storage::table::ColumnTable;
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -163,7 +163,10 @@ impl PhysicalPlan {
             },
             PhysicalPlan::HashAggregate { schema, .. } => schema.clone(),
             PhysicalPlan::Sort { input, .. } => input.schema(),
-            PhysicalPlan::UnionAll { inputs } => inputs[0].schema(),
+            PhysicalPlan::UnionAll { inputs } => inputs
+                .first()
+                .map(|p| p.schema())
+                .unwrap_or_else(|| Schema::new_unchecked(Vec::new())),
             PhysicalPlan::Distinct { input } => input.schema(),
             PhysicalPlan::RowNumber { input, name } => {
                 let mut fields = input.schema().fields().to_vec();
@@ -280,11 +283,41 @@ impl PhysicalPlan {
 }
 
 /// Execute a plan to completion.
+///
+/// Pipelineable shapes (scan → filter/project/probe chains with an
+/// optional aggregate and sort at the root) run through the query-wide
+/// morsel scheduler in [`crate::pipeline`]; everything else — and every
+/// plan when `DASH_PIPELINE=off` — uses the materialized operator-at-a-time
+/// executor below.
 pub fn execute(plan: &PhysicalPlan, ctx: &EvalContext) -> Result<(Batch, ExecStats)> {
+    if let Some(res) = crate::pipeline::try_execute(plan, ctx) {
+        let (batch, mut stats) = res?;
+        stats.rows_out = batch.len() as u64;
+        return Ok((batch, stats));
+    }
     let mut stats = ExecStats::default();
     let batch = exec_node(plan, ctx, &mut stats)?;
     stats.rows_out = batch.len() as u64;
     Ok((batch, stats))
+}
+
+/// Charge a materialized intermediate batch against the statement budget
+/// for the duration of the operator consuming it, and record its size in
+/// the peak-bytes counter. This is what makes the materialized executor's
+/// O(intermediate result) peak visible — and comparable to the pipeline
+/// scheduler's O(morsels in flight) peak — through both `ExecStats` and
+/// [`dash_common::StatementContext::budget_high_water`].
+fn charge_intermediate(
+    batch: &Batch,
+    ctx: &EvalContext,
+    stats: &mut ExecStats,
+) -> Result<dash_common::BudgetLease> {
+    let mut lease = dash_common::BudgetLease::new(&ctx.statement);
+    lease.charge(batch.approx_bytes()).inspect_err(|_| {
+        stats.budget_rejections += 1;
+    })?;
+    stats.peak_inflight_bytes = stats.peak_inflight_bytes.max(lease.held());
+    Ok(lease)
 }
 
 fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> Result<Batch> {
@@ -385,6 +418,7 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
                     &ctx.statement,
                     stats,
                 )?;
+                let _lease = charge_intermediate(&joined, ctx, stats)?;
                 return hash_aggregate(
                     &joined,
                     group,
@@ -397,6 +431,7 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
                 );
             }
             let child = exec_node(input, ctx, stats)?;
+            let _lease = charge_intermediate(&child, ctx, stats)?;
             hash_aggregate(&child, group, aggs, schema.clone(), ctx, *key_mode, *parallelism, stats)
         }
         PhysicalPlan::Sort {
@@ -417,7 +452,10 @@ fn exec_node(plan: &PhysicalPlan, ctx: &EvalContext, stats: &mut ExecStats) -> R
             sort_batch(&child, keys, &opts, ctx, stats)
         }
         PhysicalPlan::UnionAll { inputs } => {
-            let schema = inputs[0].schema();
+            let schema = inputs
+                .first()
+                .ok_or_else(|| DashError::internal("UnionAll with no inputs"))?
+                .schema();
             let batches: Result<Vec<Batch>> = inputs
                 .iter()
                 .map(|p| exec_node(p, ctx, stats))

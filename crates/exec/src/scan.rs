@@ -119,82 +119,246 @@ impl ScanConfig {
     }
 }
 
-/// Run a scan over a column table, returning the output batch and stats.
-pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Result<(Batch, ExecStats)> {
-    let schema = table.schema().clone();
-    let mut stats = ExecStats {
-        strides_total: table.sealed_strides() as u64,
-        ..Default::default()
-    };
+/// The scan's precomputed shape: which columns each stride must touch,
+/// which strides survived synopsis pruning, and the output schema. Shared
+/// by the batch [`scan`] entry point and the per-morsel [`ScanSource`] the
+/// pipeline scheduler drives.
+struct ScanShape {
+    schema: Schema,
+    touched: Vec<usize>,
+    residual_cols: Vec<usize>,
+    candidate_list: Vec<usize>,
+    out_schema: Schema,
+    out_types: Vec<dash_common::DataType>,
+    /// `strides_total` / `strides_skipped` from pruning, to seed stats.
+    base_stats: ExecStats,
+}
 
-    // Columns the scan must touch per stride.
-    let mut touched: Vec<usize> = config.projection.clone();
-    for p in &config.predicates {
-        if !touched.contains(&p.column()) {
-            touched.push(p.column());
-        }
-    }
-    let mut residual_cols = Vec::new();
-    if let Some(r) = &config.residual {
-        r.referenced_columns(&mut residual_cols);
-        for c in &residual_cols {
-            if !touched.contains(c) {
-                touched.push(*c);
+impl ScanShape {
+    fn new(table: &ColumnTable, config: &ScanConfig) -> Result<ScanShape> {
+        let schema = table.schema().clone();
+        let mut base_stats = ExecStats {
+            strides_total: table.sealed_strides() as u64,
+            ..Default::default()
+        };
+
+        // Columns the scan must touch per stride.
+        let mut touched: Vec<usize> = config.projection.clone();
+        for p in &config.predicates {
+            if !touched.contains(&p.column()) {
+                touched.push(p.column());
             }
         }
-    }
-
-    // 1. Synopsis pruning.
-    let nstrides = table.sealed_strides();
-    let mut candidates = Bitmap::ones(nstrides);
-    if !config.disable_skipping {
-        for p in &config.predicates {
-            let col_dt = schema.field(p.column()).data_type;
-            match p {
-                ColumnPredicate::Range { col, lo, hi } => {
-                    let lo_u = lo
-                        .as_ref()
-                        .map(|d| datum_to_ordered(col_dt, d))
-                        .transpose()?;
-                    let hi_u = hi
-                        .as_ref()
-                        .map(|d| datum_to_ordered(col_dt, d))
-                        .transpose()?;
-                    candidates.and_with(&table.synopsis().candidate_strides(*col, lo_u, hi_u));
+        let mut residual_cols = Vec::new();
+        if let Some(r) = &config.residual {
+            r.referenced_columns(&mut residual_cols);
+            for c in &residual_cols {
+                if !touched.contains(c) {
+                    touched.push(*c);
                 }
-                ColumnPredicate::IsNull { col, negated } => {
-                    if !negated {
-                        candidates.and_with(&table.synopsis().null_strides(*col));
+            }
+        }
+
+        // Synopsis pruning.
+        let nstrides = table.sealed_strides();
+        let mut candidates = Bitmap::ones(nstrides);
+        if !config.disable_skipping {
+            for p in &config.predicates {
+                let col_dt = schema.field(p.column()).data_type;
+                match p {
+                    ColumnPredicate::Range { col, lo, hi } => {
+                        let lo_u = lo
+                            .as_ref()
+                            .map(|d| datum_to_ordered(col_dt, d))
+                            .transpose()?;
+                        let hi_u = hi
+                            .as_ref()
+                            .map(|d| datum_to_ordered(col_dt, d))
+                            .transpose()?;
+                        candidates.and_with(&table.synopsis().candidate_strides(*col, lo_u, hi_u));
+                    }
+                    ColumnPredicate::IsNull { col, negated } => {
+                        if !negated {
+                            candidates.and_with(&table.synopsis().null_strides(*col));
+                        }
                     }
                 }
             }
         }
-    }
+        let candidate_list: Vec<usize> = (0..nstrides)
+            .filter(|&s| {
+                if candidates.get(s) {
+                    true
+                } else {
+                    base_stats.strides_skipped += 1;
+                    false
+                }
+            })
+            .collect();
 
-    // 2. Per-stride evaluation — every candidate stride is one morsel,
+        let out_schema = if config.include_tsn {
+            let mut fields = schema.project(&config.projection).fields().to_vec();
+            fields.push(dash_common::Field::not_null("_TSN", dash_common::DataType::Int64));
+            Schema::new_unchecked(fields)
+        } else {
+            schema.project(&config.projection)
+        };
+        let out_types: Vec<dash_common::DataType> =
+            out_schema.fields().iter().map(|f| f.data_type).collect();
+        Ok(ScanShape {
+            schema,
+            touched,
+            residual_cols,
+            candidate_list,
+            out_schema,
+            out_types,
+            base_stats,
+        })
+    }
+}
+
+/// Decode one surviving stride's projection columns at `positions` into
+/// per-column partial values (plus the `_TSN` column when requested),
+/// charging the buffer pool for every projected block.
+fn materialize_stride(
+    table: &ColumnTable,
+    config: &ScanConfig,
+    ctx: &EvalContext,
+    out_types: &[dash_common::DataType],
+    stride: usize,
+    positions: &[usize],
+    stats: &mut ExecStats,
+) -> Result<Vec<ColumnValues>> {
+    if let Some(pool) = &config.pool {
+        let mut pool = pool.lock();
+        for &col in &config.projection {
+            charge(&mut pool, stats, &ctx.statement, config.table_id, col, stride)?;
+        }
+    }
+    let mut partial: Vec<ColumnValues> = Vec::with_capacity(out_types.len());
+    for (oi, &col) in config.projection.iter().enumerate() {
+        let decoded = table.decode_stride(col, stride)?;
+        let mut cv = ColumnValues::empty_for(out_types[oi]);
+        cv.append_selected(&decoded, positions);
+        partial.push(cv);
+    }
+    if config.include_tsn {
+        let base = stride * dash_storage::table::STRIDE;
+        let mut tsn = ColumnValues::empty_for(dash_common::DataType::Int64);
+        for &pos in positions {
+            tsn.push_datum(dash_common::DataType::Int64, &Datum::Int((base + pos) as i64))?;
+        }
+        partial.push(tsn);
+    }
+    Ok(partial)
+}
+
+/// Evaluate the open (unsealed) stride directly on values, appending
+/// survivors to `out_cols`.
+fn scan_open_stride(
+    table: &ColumnTable,
+    config: &ScanConfig,
+    ctx: &EvalContext,
+    schema: &Schema,
+    out_cols: &mut [ColumnValues],
+    stats: &mut ExecStats,
+) -> Result<()> {
+    let open_len = table.open_len();
+    if open_len == 0 {
+        return Ok(());
+    }
+    stats.rows_scanned += open_len as u64;
+    let open_deleted = table.open_deleted();
+    let open_base = table.sealed_strides() * dash_storage::table::STRIDE;
+    let mut positions = Vec::new();
+    'pos: for (pos, &was_deleted) in open_deleted.iter().enumerate().take(open_len) {
+        match &config.snapshot {
+            Some(snap) => {
+                let tsn = dash_common::ids::Tsn((open_base + pos) as u64);
+                if !table.row_visible(tsn, snap) {
+                    continue;
+                }
+            }
+            None => {
+                if was_deleted {
+                    continue;
+                }
+            }
+        }
+        for p in &config.predicates {
+            let col = p.column();
+            let dt = schema.field(col).data_type;
+            let v = table.open_values(col).datum_at(dt, pos);
+            if !open_predicate_matches(p, &v) {
+                continue 'pos;
+            }
+        }
+        positions.push(pos);
+    }
+    if !positions.is_empty() {
+        if let Some(residual) = &config.residual {
+            let cols: Vec<ColumnValues> = (0..schema.len())
+                .map(|c| table.open_values(c).clone())
+                .collect();
+            let full = Batch::new(schema.clone(), cols)?;
+            let mut kept = Vec::with_capacity(positions.len());
+            for pos in positions {
+                if residual.eval_predicate(&full, pos, ctx)? {
+                    kept.push(pos);
+                }
+            }
+            positions = kept;
+        }
+        for (oi, &col) in config.projection.iter().enumerate() {
+            out_cols[oi].append_selected(table.open_values(col), &positions);
+        }
+        if config.include_tsn {
+            let base = table.sealed_strides() * dash_storage::table::STRIDE;
+            let tsn_col = out_cols
+                .last_mut()
+                .ok_or_else(|| DashError::internal("tsn scan without output columns"))?;
+            for &pos in &positions {
+                tsn_col.push_datum(
+                    dash_common::DataType::Int64,
+                    &Datum::Int((base + pos) as i64),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Attach storage dictionaries so downstream joins/aggregates can key on
+/// packed dictionary codes (operate on compressed) instead of strings.
+fn attach_dicts(table: &ColumnTable, config: &ScanConfig, batch: &mut Batch) {
+    for (oi, &col) in config.projection.iter().enumerate() {
+        if let Some(dict) = table.str_dict(col) {
+            batch.set_str_dict(oi, dict.clone());
+        }
+    }
+}
+
+/// Run a scan over a column table, returning the output batch and stats.
+pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Result<(Batch, ExecStats)> {
+    let shape = ScanShape::new(table, config)?;
+    let mut stats = shape.base_stats;
+    let schema = &shape.schema;
+
+    // Per-stride evaluation — every candidate stride is one morsel,
     // work-claimed from the shared pool. Synopsis skipping clusters the
     // survivors, so a contiguous split would hand one worker all the real
     // work; claiming keeps the load balanced whatever the skew. Results
     // come back in stride order, so output stays deterministic.
-    let candidate_list: Vec<usize> = (0..nstrides)
-        .filter(|&s| {
-            if candidates.get(s) {
-                true
-            } else {
-                stats.strides_skipped += 1;
-                false
-            }
-        })
-        .collect();
+    let candidate_list = &shape.candidate_list;
     let eval_run = pool::run_morsels(candidate_list.len(), config.parallelism, &ctx.statement, |mi| {
         let mut local_stats = ExecStats::default();
         let outcome = eval_stride(
             table,
             config,
             ctx,
-            &schema,
-            &touched,
-            &residual_cols,
+            schema,
+            &shape.touched,
+            &shape.residual_cols,
             candidate_list[mi],
             &mut local_stats,
         )?;
@@ -209,47 +373,20 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
         }
     }
 
-    // 3. Materialize survivors (projection columns only) — each surviving
+    // Materialize survivors (projection columns only) — each surviving
     // stride decodes as its own morsel; the per-stride partial columns are
     // stitched back together in stride order, byte-identical to a serial
     // decode.
-    let out_schema = if config.include_tsn {
-        let mut fields = schema.project(&config.projection).fields().to_vec();
-        fields.push(dash_common::Field::not_null("_TSN", dash_common::DataType::Int64));
-        Schema::new_unchecked(fields)
-    } else {
-        schema.project(&config.projection)
-    };
-    let out_types: Vec<dash_common::DataType> =
-        out_schema.fields().iter().map(|f| f.data_type).collect();
-    let mut out_cols: Vec<ColumnValues> = out_types
+    let mut out_cols: Vec<ColumnValues> = shape
+        .out_types
         .iter()
         .map(|&dt| ColumnValues::empty_for(dt))
         .collect();
     let mat_run = pool::run_morsels(out_rows.len(), config.parallelism, &ctx.statement, |mi| {
         let (stride, positions) = &out_rows[mi];
         let mut local_stats = ExecStats::default();
-        if let Some(pool) = &config.pool {
-            let mut pool = pool.lock();
-            for &col in &config.projection {
-                charge(&mut pool, &mut local_stats, &ctx.statement, config.table_id, col, *stride)?;
-            }
-        }
-        let mut partial: Vec<ColumnValues> = Vec::with_capacity(out_types.len());
-        for (oi, &col) in config.projection.iter().enumerate() {
-            let decoded = table.decode_stride(col, *stride)?;
-            let mut cv = ColumnValues::empty_for(out_types[oi]);
-            cv.append_selected(&decoded, positions);
-            partial.push(cv);
-        }
-        if config.include_tsn {
-            let base = stride * dash_storage::table::STRIDE;
-            let mut tsn = ColumnValues::empty_for(dash_common::DataType::Int64);
-            for &pos in positions {
-                tsn.push_datum(dash_common::DataType::Int64, &Datum::Int((base + pos) as i64))?;
-            }
-            partial.push(tsn);
-        }
+        let partial =
+            materialize_stride(table, config, ctx, &shape.out_types, *stride, positions, &mut local_stats)?;
         Ok((partial, local_stats))
     })?;
     stats.note_parallel_phase(mat_run.morsels_dispatched, mat_run.workers_used);
@@ -260,77 +397,107 @@ pub fn scan(table: &ColumnTable, config: &ScanConfig, ctx: &EvalContext) -> Resu
         }
     }
 
-    // 4. Open (unsealed) stride: evaluate directly on values.
-    let open_len = table.open_len();
-    if open_len > 0 {
-        stats.rows_scanned += open_len as u64;
-        let open_deleted = table.open_deleted();
-        let open_base = table.sealed_strides() * dash_storage::table::STRIDE;
-        let mut positions = Vec::new();
-        'pos: for (pos, &was_deleted) in open_deleted.iter().enumerate().take(open_len) {
-            match &config.snapshot {
-                Some(snap) => {
-                    let tsn = dash_common::ids::Tsn((open_base + pos) as u64);
-                    if !table.row_visible(tsn, snap) {
-                        continue;
-                    }
-                }
-                None => {
-                    if was_deleted {
-                        continue;
-                    }
-                }
-            }
-            for p in &config.predicates {
-                let col = p.column();
-                let dt = schema.field(col).data_type;
-                let v = table.open_values(col).datum_at(dt, pos);
-                if !open_predicate_matches(p, &v) {
-                    continue 'pos;
-                }
-            }
-            positions.push(pos);
-        }
-        if !positions.is_empty() {
-            if let Some(residual) = &config.residual {
-                let cols: Vec<ColumnValues> = (0..schema.len())
-                    .map(|c| table.open_values(c).clone())
-                    .collect();
-                let full = Batch::new(schema.clone(), cols)?;
-                let mut kept = Vec::with_capacity(positions.len());
-                for pos in positions {
-                    if residual.eval_predicate(&full, pos, ctx)? {
-                        kept.push(pos);
-                    }
-                }
-                positions = kept;
-            }
-            for (oi, &col) in config.projection.iter().enumerate() {
-                out_cols[oi].append_selected(table.open_values(col), &positions);
-            }
-            if config.include_tsn {
-                let base = table.sealed_strides() * dash_storage::table::STRIDE;
-                let tsn_col = out_cols.last_mut().expect("tsn column present");
-                for &pos in &positions {
-                    tsn_col.push_datum(
-                        dash_common::DataType::Int64,
-                        &Datum::Int((base + pos) as i64),
-                    )?;
-                }
-            }
-        }
-    }
+    // Open (unsealed) stride: evaluate directly on values.
+    scan_open_stride(table, config, ctx, schema, &mut out_cols, &mut stats)?;
 
-    let mut batch = Batch::new(out_schema, out_cols)?;
-    // Attach storage dictionaries so downstream joins/aggregates can key on
-    // packed dictionary codes (operate on compressed) instead of strings.
-    for (oi, &col) in config.projection.iter().enumerate() {
-        if let Some(dict) = table.str_dict(col) {
-            batch.set_str_dict(oi, dict.clone());
-        }
-    }
+    let mut batch = Batch::new(shape.out_schema.clone(), out_cols)?;
+    attach_dicts(table, config, &mut batch);
     stats.rows_out = batch.len() as u64;
     Ok((batch, stats))
+}
+
+/// A scan decomposed into independent per-stride morsels — the source end
+/// of a pipeline. Each morsel evaluates **and materializes** one candidate
+/// stride (predicates on compressed codes, late materialization of
+/// survivors, buffer-pool charging), returning a self-contained [`Batch`]
+/// with dictionary metadata attached, so a whole pipeline can run on the
+/// morsel's data while other strides are still being scanned.
+pub struct ScanSource<'a> {
+    table: &'a ColumnTable,
+    config: &'a ScanConfig,
+    shape: ScanShape,
+}
+
+impl<'a> ScanSource<'a> {
+    /// Prune strides and fix the output shape. `base_stats` records the
+    /// pruning outcome.
+    pub fn new(table: &'a ColumnTable, config: &'a ScanConfig) -> Result<ScanSource<'a>> {
+        Ok(ScanSource {
+            table,
+            config,
+            shape: ScanShape::new(table, config)?,
+        })
+    }
+
+    /// Schema of every batch this source emits.
+    pub fn out_schema(&self) -> &Schema {
+        &self.shape.out_schema
+    }
+
+    /// Number of morsels: one per candidate stride, plus one for the open
+    /// stride when it holds rows.
+    pub fn morsel_count(&self) -> usize {
+        self.shape.candidate_list.len() + usize::from(self.table.open_len() > 0)
+    }
+
+    /// Pruning stats (`strides_total`, `strides_skipped`) to seed the
+    /// query's counters before any morsel runs.
+    pub fn base_stats(&self) -> ExecStats {
+        self.shape.base_stats
+    }
+
+    /// Evaluate and materialize morsel `mi`. Morsels are ordered by stride,
+    /// with the open stride last, so folding results in morsel-index order
+    /// reproduces the serial scan's row order exactly.
+    pub fn morsel(&self, mi: usize, ctx: &EvalContext) -> Result<(Batch, ExecStats)> {
+        let mut stats = ExecStats::default();
+        let mut out_cols: Vec<ColumnValues> = self
+            .shape
+            .out_types
+            .iter()
+            .map(|&dt| ColumnValues::empty_for(dt))
+            .collect();
+        if let Some(&stride) = self.shape.candidate_list.get(mi) {
+            let outcome = eval_stride(
+                self.table,
+                self.config,
+                ctx,
+                &self.shape.schema,
+                &self.shape.touched,
+                &self.shape.residual_cols,
+                stride,
+                &mut stats,
+            )?;
+            if let Some((stride, positions)) = outcome {
+                out_cols = materialize_stride(
+                    self.table,
+                    self.config,
+                    ctx,
+                    &self.shape.out_types,
+                    stride,
+                    &positions,
+                    &mut stats,
+                )?;
+            }
+        } else if mi == self.shape.candidate_list.len() && self.table.open_len() > 0 {
+            scan_open_stride(
+                self.table,
+                self.config,
+                ctx,
+                &self.shape.schema,
+                &mut out_cols,
+                &mut stats,
+            )?;
+        } else {
+            return Err(DashError::internal(format!(
+                "scan morsel {mi} out of range ({} morsels)",
+                self.morsel_count()
+            )));
+        }
+        let mut batch = Batch::new(self.shape.out_schema.clone(), out_cols)?;
+        attach_dicts(self.table, self.config, &mut batch);
+        Ok((batch, stats))
+    }
 }
 
 /// Evaluate one stride: predicate bitmaps on compressed blocks, delete
@@ -965,6 +1132,48 @@ mod parallel_tests {
             assert_eq!(a.to_rows(), b.to_rows(), "parallel scan changed results");
             assert_eq!(sa.strides_scanned, sb.strides_scanned);
             assert_eq!(sa.rows_scanned, sb.rows_scanned);
+        }
+    }
+
+    #[test]
+    fn scan_source_morsels_reassemble_to_scan() {
+        let mut t = big_table();
+        // Leave rows in the open stride so the last morsel is exercised.
+        for i in 0..100 {
+            t.insert(row![(STRIDE * 16 + i) as i64, format!("g{}", i % 6), 1.5f64])
+                .unwrap();
+        }
+        let ctx = EvalContext::default();
+        for preds in [
+            vec![],
+            vec![ColumnPredicate::eq(1, "g2")],
+            vec![ColumnPredicate::Range {
+                col: 0,
+                lo: Some(Datum::Int(2000)),
+                hi: Some(Datum::Int(4000)),
+            }],
+        ] {
+            let cfg = ScanConfig {
+                predicates: preds,
+                ..ScanConfig::full(0, vec![0, 1, 2])
+            };
+            let (whole, whole_stats) = scan(&t, &cfg, &ctx).unwrap();
+            let src = ScanSource::new(&t, &cfg).unwrap();
+            let mut stats = src.base_stats();
+            let batches: Vec<Batch> = (0..src.morsel_count())
+                .map(|mi| {
+                    let (b, s) = src.morsel(mi, &ctx).unwrap();
+                    stats += s;
+                    b
+                })
+                .collect();
+            let dict_attached = batches.iter().any(|b| b.str_dict(1).is_some());
+            let sum = Batch::concat_columnar(src.out_schema().clone(), batches).unwrap();
+            assert_eq!(sum.to_rows(), whole.to_rows(), "morsels reassemble the scan");
+            assert!(dict_attached, "per-morsel batches carry dictionaries");
+            assert_eq!(stats.strides_scanned, whole_stats.strides_scanned);
+            assert_eq!(stats.rows_scanned, whole_stats.rows_scanned);
+            assert_eq!(stats.strides_skipped, whole_stats.strides_skipped);
         }
     }
 

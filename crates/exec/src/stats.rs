@@ -56,6 +56,21 @@ pub struct ExecStats {
     /// other side's code domain (the re-encode rule: translate the
     /// smaller side, never decode the larger one).
     pub keys_reencoded_rows: u64,
+    /// Pipelines the query-wide morsel scheduler ran (scan→…→sink chains).
+    /// Zero when the query fell back to operator-at-a-time execution.
+    pub pipelines_run: u64,
+    /// Pipeline breakers crossed: hash-join builds, aggregate merges, and
+    /// sort run-seals that forced full materialization between pipelines.
+    pub pipeline_breakers: u64,
+    /// Peak number of morsels simultaneously claimed-but-unfolded inside
+    /// any pipeline drive (bounded by the `DASH_PIPELINE_INFLIGHT` window).
+    pub peak_inflight_morsels: u64,
+    /// Peak bytes held by in-flight morsel results awaiting their in-order
+    /// fold — the O(morsels in flight) quantity that replaces
+    /// O(intermediate result) peak memory under pipelined execution. On
+    /// the materialized fallback path this records the largest
+    /// intermediate batch instead, so the two are comparable.
+    pub peak_inflight_bytes: u64,
 }
 
 impl ExecStats {
@@ -112,6 +127,12 @@ impl AddAssign for ExecStats {
         self.encoded_key_rows += rhs.encoded_key_rows;
         self.datum_key_rows += rhs.datum_key_rows;
         self.keys_reencoded_rows += rhs.keys_reencoded_rows;
+        self.pipelines_run += rhs.pipelines_run;
+        self.pipeline_breakers += rhs.pipeline_breakers;
+        // Peaks, not sums: two pipelines that each held 4 morsels in flight
+        // still bound the statement's simultaneous footprint at 4.
+        self.peak_inflight_morsels = self.peak_inflight_morsels.max(rhs.peak_inflight_morsels);
+        self.peak_inflight_bytes = self.peak_inflight_bytes.max(rhs.peak_inflight_bytes);
     }
 }
 
@@ -189,5 +210,27 @@ mod tests {
         assert_eq!(s.encoded_key_rows, 150);
         assert_eq!(s.datum_key_rows, 11);
         assert_eq!(s.keys_reencoded_rows, 7);
+    }
+
+    #[test]
+    fn pipeline_counters_merge() {
+        let mut s = ExecStats {
+            pipelines_run: 2,
+            pipeline_breakers: 1,
+            peak_inflight_morsels: 4,
+            peak_inflight_bytes: 1000,
+            ..Default::default()
+        };
+        s += ExecStats {
+            pipelines_run: 1,
+            pipeline_breakers: 2,
+            peak_inflight_morsels: 3,
+            peak_inflight_bytes: 5000,
+            ..Default::default()
+        };
+        assert_eq!(s.pipelines_run, 3, "pipelines sum");
+        assert_eq!(s.pipeline_breakers, 3, "breakers sum");
+        assert_eq!(s.peak_inflight_morsels, 4, "peak, not sum");
+        assert_eq!(s.peak_inflight_bytes, 5000, "peak, not sum");
     }
 }

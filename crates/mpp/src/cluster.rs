@@ -827,6 +827,7 @@ impl Cluster {
             now_micros: 0,
             sequences: None,
             statement: stmt_ctx.clone(),
+            pipeline: dash_exec::pipeline::PipelineConfig::default(),
         };
         let plan =
             dash_sql::planner::plan_select(stmt, fsd.db.catalog().as_ref(), self.dialect, &ctx)?;

@@ -1,5 +1,5 @@
 use dashdb_local::common::types::DataType;
-use dashdb_local::common::{row, Field, Row, Schema, StatementContext};
+use dashdb_local::common::{row, Field, Schema, StatementContext};
 use dashdb_local::exec::join::{hash_join, JoinType};
 use dashdb_local::exec::key::KeyMode;
 use dashdb_local::exec::stats::ExecStats;

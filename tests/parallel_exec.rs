@@ -571,6 +571,11 @@ fn sql_string_join_reencodes_build_side_codes() {
 
     let sql = "SELECT f.id, l.boost FROM facts f JOIN labels l ON f.label = l.lab \
                ORDER BY f.id";
+    // This test pins the *materialized* re-encode rule (translate the 23
+    // build rows into the probe dictionary). The pipeline scheduler instead
+    // freezes the build dictionary and re-encodes probe rows per morsel, so
+    // run it with the scheduler off and check equivalence separately below.
+    db.catalog().set_pipeline_enabled(false);
     db.catalog().set_parallelism(1);
     let serial = s.execute(sql).unwrap();
     assert_eq!(serial.rows.len(), 5_000, "every fact label resolves");
@@ -591,6 +596,14 @@ fn sql_string_join_reencodes_build_side_codes() {
     let k = db.monitor().key_path();
     assert!(k.encoded_key_rows > 0);
     assert!(k.keys_reencoded_rows > 0);
+
+    // Pipelined execution re-encodes per probe morsel against the frozen
+    // build dictionary — different accounting, identical rows.
+    db.catalog().set_pipeline_enabled(true);
+    let piped = s.execute(sql).unwrap();
+    assert_eq!(piped.rows, serial.rows, "pipelined run matches");
+    assert!(piped.stats.pipelines_run >= 1, "{:?}", piped.stats);
+    assert!(piped.stats.keys_reencoded_rows > 0, "{:?}", piped.stats);
 }
 
 #[test]
@@ -920,4 +933,315 @@ proptest! {
         reference.truncate(take.min(n));
         prop_assert_eq!(merged, reference);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined execution equivalence
+// ---------------------------------------------------------------------------
+
+use dashdb_local::exec::expr::CmpOp;
+use dashdb_local::exec::pipeline::PipelineConfig;
+use dashdb_local::exec::plan::{execute, PhysicalPlan, SharedTable};
+use dashdb_local::exec::scan::ScanConfig;
+
+/// An EvalContext with the pipeline scheduler explicitly on or off and a
+/// budget-tracking statement, so `budget_high_water` records the run's
+/// peak reserved bytes.
+fn pipe_ctx(enabled: bool) -> EvalContext {
+    EvalContext {
+        statement: StatementContext::with_limits(None, Some(1 << 30)),
+        pipeline: PipelineConfig {
+            enabled,
+            inflight: 0,
+        },
+        ..EvalContext::default()
+    }
+}
+
+/// Fact table for pipeline chains: nullable int join key with dangling
+/// values, a measure, and a string group column with NULLs.
+fn pipe_tables(n: usize) -> (SharedTable, SharedTable) {
+    let db = Database::untracked();
+    let fact_schema = Schema::new(vec![
+        Field::not_null("id", DataType::Int64),
+        Field::new("k", DataType::Int64),
+        Field::new("qty", DataType::Int64),
+        Field::new("grp", DataType::Utf8),
+    ])
+    .unwrap();
+    let facts = db.catalog().create_table("PFACTS", fact_schema, None).unwrap();
+    let mut rows = Vec::with_capacity(n);
+    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let k = match (x >> 29) % 10 {
+            0 => Datum::Null,
+            _ => Datum::from((x % 600) as i64),
+        };
+        let grp = match (x >> 41) % 6 {
+            0 => Datum::Null,
+            g => Datum::from(format!("g{g}")),
+        };
+        rows.push(row![i as i64, k, (x % 1000) as i64 - 500, grp]);
+    }
+    facts.write().load_rows(rows).unwrap();
+
+    let dim_schema = Schema::new(vec![
+        Field::not_null("dk", DataType::Int64),
+        Field::new("label", DataType::Utf8),
+    ])
+    .unwrap();
+    let dims = db.catalog().create_table("PDIMS", dim_schema, None).unwrap();
+    let mut dim_rows = Vec::new();
+    for k in 0..400i64 {
+        dim_rows.push(row![k, format!("d{k}")]);
+        if k % 5 == 0 {
+            dim_rows.push(row![k, format!("d{k}-alt")]);
+        }
+    }
+    dims.write().load_rows(dim_rows).unwrap();
+    (facts, dims)
+}
+
+/// scan(facts) → filter(qty > -400) → probe(dims) → agg → [sort]: the
+/// full pipeline chain, parameterized over join type, key path, worker
+/// count, and whether a sort seals the plan.
+fn chain_plan(
+    facts: &SharedTable,
+    dims: &SharedTable,
+    join_type: JoinType,
+    key_mode: KeyMode,
+    par: usize,
+    with_sort: bool,
+) -> PhysicalPlan {
+    let scan = PhysicalPlan::ColumnScan {
+        table: facts.clone(),
+        config: ScanConfig::full(0, vec![0, 1, 2, 3]),
+    };
+    let filter = PhysicalPlan::Filter {
+        input: Box::new(scan),
+        predicate: Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::col(2)),
+            Box::new(Expr::lit(-400i64)),
+        ),
+    };
+    let join = PhysicalPlan::HashJoin {
+        left: Box::new(filter),
+        right: Box::new(PhysicalPlan::ColumnScan {
+            table: dims.clone(),
+            config: ScanConfig::full(1, vec![0, 1]),
+        }),
+        on: vec![(1, 0)],
+        join_type,
+        key_mode,
+        parallelism: par,
+    };
+    // Semi/Anti output only probe columns; group on a surviving column.
+    let group_col = match join_type {
+        JoinType::Inner | JoinType::Left => 5, // dim label
+        JoinType::Semi | JoinType::Anti => 3,  // fact grp
+    };
+    let agg = PhysicalPlan::HashAggregate {
+        input: Box::new(join),
+        group: vec![Expr::col(group_col)],
+        aggs: vec![count_star(), agg(AggFunc::Sum, 2)],
+        schema: out_schema(&[
+            ("g", DataType::Utf8),
+            ("cnt", DataType::Int64),
+            ("total", DataType::Int64),
+        ]),
+        key_mode: KeyMode::Datum,
+        parallelism: par,
+    };
+    if !with_sort {
+        return agg;
+    }
+    PhysicalPlan::Sort {
+        input: Box::new(agg),
+        keys: vec![SortKey::asc(0)],
+        limit: None,
+        offset: 0,
+        parallelism: par,
+        run_rows: DEFAULT_SORT_RUN_ROWS,
+    }
+}
+
+#[test]
+fn pipelined_chain_matches_materialized_for_all_join_types() {
+    let (facts, dims) = pipe_tables(BIG);
+    for join_type in [JoinType::Inner, JoinType::Left, JoinType::Semi, JoinType::Anti] {
+        for key_mode in [KeyMode::Encoded, KeyMode::Datum] {
+            // Sorted root: pipelined and materialized plans must agree
+            // byte-for-byte, at every worker count.
+            let mat_ctx = pipe_ctx(false);
+            let plan = chain_plan(&facts, &dims, join_type, key_mode, 1, true);
+            let (mat, mat_stats) = execute(&plan, &mat_ctx).unwrap();
+            assert_eq!(
+                mat_stats.pipelines_run, 0,
+                "{join_type:?} {key_mode:?}: disabled scheduler must not run pipelines"
+            );
+            for par in [1usize, 4, 8] {
+                let ctx = pipe_ctx(true);
+                let plan = chain_plan(&facts, &dims, join_type, key_mode, par, true);
+                let (out, stats) = execute(&plan, &ctx).unwrap();
+                assert_eq!(
+                    out.to_rows(),
+                    mat.to_rows(),
+                    "{join_type:?} {key_mode:?} parallelism {par}"
+                );
+                assert!(
+                    stats.pipelines_run >= 1,
+                    "{join_type:?} {key_mode:?} par {par}: {stats:?}"
+                );
+                assert!(
+                    stats.pipeline_breakers >= 2,
+                    "build + agg + sort breakers expected: {stats:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_results_identical_across_worker_counts() {
+    // No sort at the root: the in-order morsel fold alone must make the
+    // pipelined output byte-identical at any parallelism.
+    let (facts, dims) = pipe_tables(BIG);
+    for join_type in [JoinType::Inner, JoinType::Left, JoinType::Semi, JoinType::Anti] {
+        for key_mode in [KeyMode::Encoded, KeyMode::Datum] {
+            let serial_ctx = pipe_ctx(true);
+            let plan = chain_plan(&facts, &dims, join_type, key_mode, 1, false);
+            let (serial, serial_stats) = execute(&plan, &serial_ctx).unwrap();
+            assert!(
+                serial_stats.parallel_workers_used <= 1,
+                "single worker drives the pipeline inline: {serial_stats:?}"
+            );
+            assert!(
+                serial_stats.pipelines_run >= 1,
+                "parallelism 1 still routes through the pipeline driver: {serial_stats:?}"
+            );
+            for par in [4usize, 8] {
+                let ctx = pipe_ctx(true);
+                let plan = chain_plan(&facts, &dims, join_type, key_mode, par, false);
+                let (out, stats) = execute(&plan, &ctx).unwrap();
+                assert_eq!(
+                    out.to_rows(),
+                    serial.to_rows(),
+                    "{join_type:?} {key_mode:?} parallelism {par}"
+                );
+                assert!(stats.parallel_workers_used > 1, "{stats:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_peak_memory_below_materialized_on_join_agg() {
+    // The whole point of the tentpole: a scan→probe→agg chain holds only
+    // the frozen build plus the in-flight morsel window, while the
+    // materialized executor holds the entire joined intermediate. Both
+    // peaks are observable through the statement budget high-water mark.
+    // Two group keys keep the materialized path off the fused join+agg
+    // shortcut, so it genuinely materializes (and charges) the join output.
+    let (facts, dims) = pipe_tables(BIG);
+    let join = PhysicalPlan::HashJoin {
+        left: Box::new(PhysicalPlan::ColumnScan {
+            table: facts.clone(),
+            config: ScanConfig::full(0, vec![0, 1, 2, 3]),
+        }),
+        right: Box::new(PhysicalPlan::ColumnScan {
+            table: dims.clone(),
+            config: ScanConfig::full(1, vec![0, 1]),
+        }),
+        on: vec![(1, 0)],
+        join_type: JoinType::Inner,
+        key_mode: KeyMode::Encoded,
+        parallelism: 4,
+    };
+    let plan = PhysicalPlan::HashAggregate {
+        input: Box::new(join),
+        group: vec![Expr::col(5), Expr::col(3)],
+        aggs: vec![count_star(), agg(AggFunc::Sum, 2)],
+        schema: out_schema(&[
+            ("label", DataType::Utf8),
+            ("grp", DataType::Utf8),
+            ("cnt", DataType::Int64),
+            ("total", DataType::Int64),
+        ]),
+        key_mode: KeyMode::Datum,
+        parallelism: 4,
+    };
+
+    let mat_ctx = pipe_ctx(false);
+    let (mat, mat_stats) = execute(&plan, &mat_ctx).unwrap();
+    let mat_peak = mat_ctx.statement.budget_high_water();
+    assert!(mat_peak > 0, "materialized agg input must be charged");
+    assert!(mat_stats.peak_inflight_bytes > 0);
+
+    let pipe_ctx_ = pipe_ctx(true);
+    let (piped, pipe_stats) = execute(&plan, &pipe_ctx_).unwrap();
+    let pipe_peak = pipe_ctx_.statement.budget_high_water();
+    assert!(pipe_peak > 0);
+    assert!(
+        pipe_peak * 2 < mat_peak,
+        "pipelined peak {pipe_peak} must be well under materialized peak {mat_peak}"
+    );
+    assert!(
+        pipe_stats.peak_inflight_morsels >= 1
+            && pipe_stats.peak_inflight_morsels <= 16,
+        "in-flight morsels bounded by the window: {pipe_stats:?}"
+    );
+
+    // Same groups either way (emit order is path-specific without a sort).
+    let mut a = piped.to_rows();
+    let mut b = mat.to_rows();
+    a.sort_by_key(|r| (r.get(0).render(), r.get(1).render()));
+    b.sort_by_key(|r| (r.get(0).render(), r.get(1).render()));
+    assert_eq!(a, b);
+
+    // All leases released on both paths.
+    assert_eq!(mat_ctx.statement.budget_used(), 0);
+    assert_eq!(pipe_ctx_.statement.budget_used(), 0);
+}
+
+#[test]
+fn sql_pipeline_knob_and_monitor_counters() {
+    let db = seeded_db(BIG);
+    let mut s = db.connect();
+    db.catalog().set_parallelism(4);
+
+    let sql = "SELECT d.name, COUNT(*), SUM(f.qty) FROM facts f JOIN dims d ON f.grp = d.g \
+               GROUP BY d.name ORDER BY d.name";
+    db.catalog().set_pipeline_enabled(true);
+    let piped = s.execute(sql).unwrap();
+    assert!(
+        piped.stats.pipelines_run >= 1,
+        "pipeline scheduler must drive this chain: {:?}",
+        piped.stats
+    );
+    db.catalog().set_pipeline_enabled(false);
+    let mat = s.execute(sql).unwrap();
+    assert_eq!(mat.stats.pipelines_run, 0, "{:?}", mat.stats);
+    assert_eq!(piped.rows, mat.rows, "knob must not change results");
+    db.catalog().set_pipeline_enabled(true);
+
+    // Statement counters landed in the monitor's pipeline store.
+    let p = db.monitor().pipeline();
+    assert!(p.pipelines_run >= 1, "{p:?}");
+    assert!(p.pipeline_breakers >= 1, "{p:?}");
+
+    // EXPLAIN shows the decomposition.
+    let explain = s
+        .execute(&format!("EXPLAIN {sql}"))
+        .unwrap();
+    let text: Vec<String> = explain
+        .rows
+        .iter()
+        .map(|r| r.get(0).render())
+        .collect();
+    assert!(
+        text.iter().any(|l| l.contains("pipeline") && l.contains("scan")),
+        "EXPLAIN must render pipeline decomposition: {text:?}"
+    );
 }

@@ -12,7 +12,13 @@ use dashdb_local::common::faults::{
 use dashdb_local::common::types::DataType;
 use dashdb_local::common::{row, DashError, Field, Row, Schema, StatementContext};
 use dashdb_local::core::{Database, HardwareSpec, Session};
+use dashdb_local::exec::agg::{AggExpr, AggFunc};
+use dashdb_local::exec::expr::Expr;
 use dashdb_local::exec::functions::EvalContext;
+use dashdb_local::exec::join::JoinType;
+use dashdb_local::exec::key::KeyMode;
+use dashdb_local::exec::plan::{execute, PhysicalPlan, SharedTable};
+use dashdb_local::exec::scan::ScanConfig;
 use dashdb_local::exec::sort::{merge_sorted_runs, sort_batch, SortKey, SortOptions};
 use dashdb_local::exec::stats::ExecStats;
 use dashdb_local::exec::Batch;
@@ -424,4 +430,170 @@ fn epoch_pins_are_visible_in_flight_and_drain_after() {
     });
     assert_eq!(c.monitor().epoch_gc_watermark(), None);
     assert!(c.monitor().pinned_epochs().is_empty());
+}
+
+/// A scan→probe→agg-partial chain for the pipeline-scheduler chaos legs:
+/// 6k facts joined against a 64-row dimension, grouped on the dim label.
+fn pipeline_chain() -> (SharedTable, SharedTable, PhysicalPlan) {
+    let db = Database::untracked();
+    let fact_schema = Schema::new(vec![
+        Field::not_null("id", DataType::Int64),
+        Field::not_null("k", DataType::Int64),
+        Field::not_null("qty", DataType::Int64),
+    ])
+    .unwrap();
+    let facts = db.catalog().create_table("CFACTS", fact_schema, None).unwrap();
+    let rows: Vec<Row> = (0..6_000)
+        .map(|i| row![i as i64, (i % 64) as i64, (i % 100) as i64])
+        .collect();
+    facts.write().load_rows(rows).unwrap();
+    let dim_schema = Schema::new(vec![
+        Field::not_null("dk", DataType::Int64),
+        Field::not_null("label", DataType::Utf8),
+    ])
+    .unwrap();
+    let dims = db.catalog().create_table("CDIMS", dim_schema, None).unwrap();
+    let dim_rows: Vec<Row> = (0..64i64).map(|k| row![k, format!("d{k}")]).collect();
+    dims.write().load_rows(dim_rows).unwrap();
+
+    let join = PhysicalPlan::HashJoin {
+        left: Box::new(PhysicalPlan::ColumnScan {
+            table: facts.clone(),
+            config: ScanConfig::full(0, vec![0, 1, 2]),
+        }),
+        right: Box::new(PhysicalPlan::ColumnScan {
+            table: dims.clone(),
+            config: ScanConfig::full(1, vec![0, 1]),
+        }),
+        on: vec![(1, 0)],
+        join_type: JoinType::Inner,
+        key_mode: KeyMode::Encoded,
+        parallelism: 4,
+    };
+    let agg_schema = Schema::new(vec![
+        Field::new("label", DataType::Utf8),
+        Field::new("cnt", DataType::Int64),
+        Field::new("total", DataType::Int64),
+    ])
+    .unwrap();
+    let plan = PhysicalPlan::HashAggregate {
+        input: Box::new(join),
+        group: vec![Expr::col(4)],
+        aggs: vec![
+            AggExpr {
+                func: AggFunc::CountStar,
+                args: vec![],
+                distinct: false,
+            },
+            AggExpr {
+                func: AggFunc::Sum,
+                args: vec![Expr::col(2)],
+                distinct: false,
+            },
+        ],
+        schema: agg_schema,
+        key_mode: KeyMode::Datum,
+        parallelism: 4,
+    };
+    (facts, dims, plan)
+}
+
+/// A statement deadline expires while the pipeline scheduler is mid-drive
+/// on a join→agg chain, every page read stalled: the per-step token check
+/// kills the statement inside the probe/agg-partial stages (not after the
+/// stall), classified, with the WLM slot back and the session reusable —
+/// where the rerun proves the statement really rode the pipeline path.
+#[test]
+fn deadline_kills_pipelined_join_chain_mid_drive() {
+    let reg = FaultRegistry::with_seed(seed(11));
+    let db = Database::with_hardware(HardwareSpec::laptop());
+    db.set_fault_registry(reg.clone());
+    let mut s = loaded_session(&db, 4000);
+    s.execute("CREATE TABLE regions (r VARCHAR(8), bonus DOUBLE)")
+        .unwrap();
+    s.execute("INSERT INTO regions VALUES ('r0', 1.0), ('r1', 2.0), ('r2', 3.0), ('r3', 4.0)")
+        .unwrap();
+
+    let sql = "SELECT r.r, COUNT(*), SUM(s.amount) FROM sales s JOIN regions r ON s.region = r.r \
+               GROUP BY r.r";
+    reg.arm(
+        PAGE_READ,
+        FaultPolicy::Always,
+        FaultAction::Stall(Duration::from_secs(5)),
+    );
+    s.set_statement_timeout(Some(Duration::from_millis(40)));
+    let start = Instant::now();
+    let err = s.query(sql).unwrap_err();
+    let elapsed = start.elapsed();
+    assert_eq!(err, DashError::Cancelled);
+    assert_eq!(err.class(), "57014", "deadline kill is classified: {err}");
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "kill must interrupt the pipeline drive, not wait out the stall ({elapsed:?})"
+    );
+    let rec = db.monitor().recovery();
+    assert!(rec.statements_cancelled >= 1, "{rec:?}");
+    assert!(rec.deadline_kills >= 1, "{rec:?}");
+    let (running, queued, _, _, _) = db.wlm().snapshot();
+    assert_eq!((running, queued), (0, 0), "WLM slot must not leak");
+
+    reg.disarm(PAGE_READ);
+    s.set_statement_timeout(None);
+    let again = s.execute(sql).unwrap();
+    assert_eq!(again.rows.len(), 4, "session answers after the kill");
+    assert!(
+        again.stats.pipelines_run >= 1,
+        "the killed statement's shape rides the pipeline scheduler: {:?}",
+        again.stats
+    );
+}
+
+/// A token cancelled before execution is observed at the first pipeline
+/// step — the scheduler checks before every stage, so the chain dies
+/// without producing a batch and without a byte left charged against the
+/// statement budget.
+#[test]
+fn cancelled_statement_dies_inside_pipelined_chain() {
+    let (_facts, _dims, plan) = pipeline_chain();
+    let stmt = StatementContext::with_limits(None, Some(1 << 30));
+    stmt.cancel();
+    let ctx = EvalContext::with_statement(stmt.clone());
+    let err = execute(&plan, &ctx).unwrap_err();
+    assert_eq!(err, DashError::Cancelled);
+    assert_eq!(err.class(), "57014", "{err}");
+    assert_eq!(
+        stmt.budget_used(),
+        0,
+        "aborted pipeline must release every morsel lease"
+    );
+}
+
+/// An expired deadline kills the same chain through the deadline arm of
+/// the token, and a budget too small for even one morsel's agg partial is
+/// refused as `ResourceExhausted` — both leave the statement with zero
+/// bytes charged, proving the per-morsel leases unwind on every abort
+/// path.
+#[test]
+fn pipelined_chain_aborts_release_all_leases() {
+    let (_facts, _dims, plan) = pipeline_chain();
+
+    let expired = StatementContext::with_deadline(Duration::ZERO);
+    let ctx = EvalContext::with_statement(expired.clone());
+    let err = execute(&plan, &ctx).unwrap_err();
+    assert_eq!(err, DashError::Cancelled);
+    assert_eq!(expired.budget_used(), 0, "deadline abort must unwind leases");
+
+    let starved = StatementContext::with_limits(None, Some(64));
+    let ctx = EvalContext::with_statement(starved.clone());
+    let err = execute(&plan, &ctx).unwrap_err();
+    assert!(
+        matches!(err, DashError::ResourceExhausted(_)),
+        "wrong variant: {err:?}"
+    );
+    assert_eq!(err.class(), "53200", "{err}");
+    assert_eq!(
+        starved.budget_used(),
+        0,
+        "budget refusal must release partial leases"
+    );
 }
